@@ -1,0 +1,39 @@
+//! Ablation — gather/scatter vs contiguous assembly on the send side.
+//!
+//! Both variants run on the identical FM 2.x engine and PPro profile; the
+//! only difference is whether the 24-byte protocol header is gathered as a
+//! separate piece (FM 2.x interface) or first assembled with the payload
+//! into one buffer (FM 1.x interface, one extra host memcpy per message).
+//! This isolates the send-side half of the paper's Section 4.1 story.
+
+use fm_bench::{bandwidth_table, banner, compare, fm2_layered_stream, stream_count};
+use fm_model::halfpower::BandwidthPoint;
+use fm_model::MachineProfile;
+
+const SIZES: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+
+fn main() {
+    banner(
+        "Ablation",
+        "send-side gather/scatter vs assemble-and-send (same engine, same machine)",
+    );
+    let p = MachineProfile::ppro200_fm2();
+    let gather: Vec<BandwidthPoint> = SIZES
+        .iter()
+        .map(|&s| fm2_layered_stream(p, s, stream_count(s), false, false).point(s))
+        .collect();
+    let assemble: Vec<BandwidthPoint> = SIZES
+        .iter()
+        .map(|&s| fm2_layered_stream(p, s, stream_count(s), true, false).point(s))
+        .collect();
+    bandwidth_table(&SIZES, &[("gather", &gather), ("assemble", &assemble)]);
+    println!();
+    let g = gather.last().unwrap().bandwidth.as_mbps();
+    let a = assemble.last().unwrap().bandwidth.as_mbps();
+    compare(
+        "assembly-copy penalty at 2 KB",
+        "one memcpy of hdr+payload",
+        format!("{:.1}% bandwidth loss", (1.0 - a / g) * 100.0),
+    );
+    assert!(a < g, "assembly must cost bandwidth");
+}

@@ -1,0 +1,58 @@
+//! Ablation — layer interleaving vs staged delivery on the receive side.
+//!
+//! Identical engine; the receiving handler either reads the header and
+//! lands the payload directly in its final buffer (FM 2.x interleaving)
+//! or receives into a staging buffer and copies out (the receive path the
+//! FM 1.x interface forces).
+//!
+//! Run on both machine profiles, because the result depends on where the
+//! pipeline bottleneck sits: on the PPro (fast memcpy) the staging copy
+//! hides in receiver pipeline slack and costs ~nothing in *bandwidth*
+//! (it still costs completion latency — see `ablation_pipelining`); on a
+//! Sparc-class memcpy the extra copy puts the receiver on the critical
+//! path and collapses bandwidth. This is exactly why the paper's Figure 4
+//! looks so bad on the Sparc generation.
+
+use fm_bench::{bandwidth_table, banner, compare, fm2_layered_stream, stream_count};
+use fm_model::halfpower::BandwidthPoint;
+use fm_model::MachineProfile;
+
+const SIZES: [usize; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+
+fn sweep(p: MachineProfile, staged: bool) -> Vec<BandwidthPoint> {
+    SIZES
+        .iter()
+        .map(|&s| fm2_layered_stream(p, s, stream_count(s), false, staged).point(s))
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "receive-side interleaved placement vs staged delivery",
+    );
+    for (name, p) in [
+        ("PPro-class memcpy (180 MB/s)", MachineProfile::ppro200_fm2()),
+        // Same FM 2.x engine, Sparc-era host costs: isolates the copy.
+        ("Sparc-class memcpy (20 MB/s)", MachineProfile::sparc_fm1()),
+    ] {
+        println!("\n-- {name} --");
+        let direct = sweep(p, false);
+        let staged = sweep(p, true);
+        bandwidth_table(&SIZES, &[("interleaved", &direct), ("staged", &staged)]);
+        let d = direct.last().unwrap().bandwidth.as_mbps();
+        let s = staged.last().unwrap().bandwidth.as_mbps();
+        compare(
+            "staging-copy penalty at 2 KB",
+            "grows as memcpy slows",
+            format!("{:.1}% bandwidth loss", (1.0 - s / d) * 100.0),
+        );
+    }
+    println!();
+    println!(
+        "note: on the fast-memcpy machine the staged copy pipelines away in\n\
+         bandwidth terms but still delays completion (ablation_pipelining);\n\
+         on the slow-memcpy machine it is the bottleneck — the Sparc-era\n\
+         situation that motivated FM 2.x's interleaving."
+    );
+}

@@ -1,0 +1,53 @@
+//! Ablation — transparent handler multithreading as pipelining.
+//!
+//! Single-message completion time (send start → payload in final buffer)
+//! for the interleaved receive vs the staged receive. The staged variant
+//! must perform its delivery copy *after* the last packet arrives — a
+//! serial tail that grows with message size — while the interleaved
+//! handler has been copying each packet as it landed. "On a long message
+//! the handler can be processing one part of the message while the sender
+//! is still sending the rest" (paper §4.1).
+
+use fm_bench::{banner, compare, fm2_layered_single_latency};
+use fm_model::MachineProfile;
+
+const SIZES: [usize; 6] = [1024, 2048, 4096, 8192, 16384, 32768];
+
+fn main() {
+    banner(
+        "Ablation",
+        "single-message completion time: interleaved vs staged receive",
+    );
+    let p = MachineProfile::ppro200_fm2();
+    println!(
+        "{:>10} {:>18} {:>18} {:>12}",
+        "size(B)", "interleaved", "staged", "tail cost"
+    );
+    let mut tail_growth = Vec::new();
+    for &s in &SIZES {
+        let direct = fm2_layered_single_latency(p, s, false);
+        let staged = fm2_layered_single_latency(p, s, true);
+        println!(
+            "{:>10} {:>18} {:>18} {:>12}",
+            s,
+            format!("{direct}"),
+            format!("{staged}"),
+            format!("{}", staged.saturating_sub(direct))
+        );
+        tail_growth.push(staged.saturating_sub(direct).as_ns());
+    }
+    println!();
+    compare(
+        "tail grows with size",
+        "serial delivery copy",
+        format!(
+            "{} ns at 1 KB -> {} ns at 32 KB",
+            tail_growth.first().unwrap(),
+            tail_growth.last().unwrap()
+        ),
+    );
+    assert!(
+        tail_growth.last().unwrap() > tail_growth.first().unwrap(),
+        "staged tail must grow with message size"
+    );
+}

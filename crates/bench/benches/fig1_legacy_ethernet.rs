@@ -1,0 +1,39 @@
+//! Figure 1 — theoretical 100 Mbit/s and 1 Gbit/s Ethernet bandwidth under
+//! a fixed 125 µs protocol-processing overhead, message sizes 8–1024 B.
+//!
+//! The paper's point: for the short messages that dominate real traffic,
+//! software overhead — not wire speed — bounds deliverable bandwidth; the
+//! two curves are nearly indistinguishable.
+
+use fm_bench::{bandwidth_table, banner, compare};
+use fm_model::legacy::{LegacyStack, FIG1_SIZES};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "legacy Ethernet bandwidth with 125 us protocol overhead",
+    );
+    let slow = LegacyStack::ethernet_100mbit();
+    let fast = LegacyStack::ethernet_1gbit();
+    let s = slow.sweep(&FIG1_SIZES);
+    let f = fast.sweep(&FIG1_SIZES);
+    let sizes: Vec<usize> = FIG1_SIZES.iter().map(|&x| x as usize).collect();
+    bandwidth_table(&sizes, &[("100 Mbit/s", &s), ("1 Gbit/s", &f)]);
+    println!();
+    compare(
+        "BW at 1024 B, 1 Gbit wire",
+        "~8 MB/s (axis top)",
+        format!("{:.2} MB/s", f.last().unwrap().bandwidth.as_mbps()),
+    );
+    compare(
+        "BW for <256 B messages",
+        "<= 2 MB/s (Sec. 2.2)",
+        format!("{:.2} MB/s at 255 B", fast.bandwidth_at(255).as_mbps()),
+    );
+    let gap = (f[4].bandwidth.as_mbps() - s[4].bandwidth.as_mbps()) / f[4].bandwidth.as_mbps();
+    compare(
+        "1 Gbit vs 100 Mbit gap at 128 B",
+        "visually nil",
+        format!("{:.1}%", gap * 100.0),
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 2 — breakdown of software overhead for Active Messages on the
+//! CM-5: base cost vs buffer management vs in-order delivery vs fault
+//! tolerance, at source/destination/total, for finite and indefinite
+//! sequences.
+//!
+//! Calibration point from the paper: 16-word messages, 4-word packets →
+//! 397 total cycles, of which 216 are guarantees (148 buffer mgmt, 21
+//! in-order, 47 fault tolerance).
+
+use fm_bench::{banner, compare};
+use fm_model::cmam::{breakdown, CmamConfig, CostSplit, Sequence};
+
+fn row(name: &str, c: &CostSplit) {
+    println!(
+        "{name:>22} {:>10} {:>12} {:>10} {:>13} {:>8}",
+        c.base,
+        c.buffer_mgmt,
+        c.in_order,
+        c.fault_tolerance,
+        c.total()
+    );
+}
+
+fn main() {
+    banner("Figure 2", "CM-5 Active Messages overhead breakdown (cycles)");
+    println!(
+        "{:>22} {:>10} {:>12} {:>10} {:>13} {:>8}",
+        "", "base", "buffer mgmt", "in-order", "fault-toler.", "total"
+    );
+    for seq in [Sequence::Finite, Sequence::Indefinite] {
+        let b = breakdown(&CmamConfig::paper_case(seq));
+        let label = match seq {
+            Sequence::Finite => "finite",
+            Sequence::Indefinite => "indefinite",
+        };
+        row(&format!("{label} / src"), &b.src);
+        row(&format!("{label} / dest"), &b.dest);
+        row(&format!("{label} / total"), &b.total());
+        println!();
+    }
+    let fin = breakdown(&CmamConfig::paper_case(Sequence::Finite));
+    compare(
+        "total cycles (16w msgs, 4w pkts)",
+        "397",
+        fin.total().total().to_string(),
+    );
+    compare(
+        "guarantee cycles (buf+ord+ft)",
+        "216 (148/21/47)",
+        format!(
+            "{} ({}/{}/{})",
+            fin.total().guarantee_cycles(),
+            fin.total().buffer_mgmt,
+            fin.total().in_order,
+            fin.total().fault_tolerance
+        ),
+    );
+    compare(
+        "guarantee share",
+        "50-70% (Sec. 2.3)",
+        format!("{:.0}%", fin.guarantee_fraction() * 100.0),
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 3b — FM 1.x overall performance: bandwidth vs message size for
+//! the complete implementation (buffer management included).
+//!
+//! Paper endpoints: 17.6 MB/s peak, N1/2 = 54 B, 14 us latency, with
+//! 17.5 MB/s available from 128 B upward.
+
+use fm_bench::{
+    bandwidth_table, banner, compare, curve_summary, fm1_latency, fm1_stream, stream_count,
+    Fm1Stage,
+};
+use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
+use fm_model::MachineProfile;
+
+const SIZES: [usize; 6] = [16, 32, 64, 128, 256, 512];
+
+fn main() {
+    banner("Figure 3b", "FM 1.x overall bandwidth (full implementation)");
+    let p = MachineProfile::sparc_fm1();
+    let curve: Vec<BandwidthPoint> = SIZES
+        .iter()
+        .map(|&s| fm1_stream(p, Fm1Stage::Full, s, stream_count(s)).point(s))
+        .collect();
+    bandwidth_table(&SIZES, &[("FM 1.x", &curve)]);
+    println!();
+    curve_summary("FM 1.x", &curve);
+    compare(
+        "peak bandwidth",
+        "17.6 MB/s",
+        format!("{:.2} MB/s", peak(&curve).as_mbps()),
+    );
+    compare(
+        "N1/2",
+        "54 B",
+        format!("{:.0} B", half_power_point(&curve).unwrap_or(f64::NAN)),
+    );
+    compare(
+        "one-way latency (16 B)",
+        "14 us",
+        format!("{}", fm1_latency(p, 16, 200)),
+    );
+}

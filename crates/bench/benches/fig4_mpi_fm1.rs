@@ -1,0 +1,57 @@
+//! Figure 4 — the initial MPI-FM over FM 1.x: (a) absolute bandwidth next
+//! to raw FM 1.x, (b) the interface efficiency (their ratio), 16 B – 2 KB.
+//!
+//! The paper's problem statement in one plot: the FM 1.x interface
+//! (contiguous buffers, no receiver pacing) forces assembly, bounce, and
+//! delivery copies on a ~20 MB/s-memcpy Sparc, so MPI delivers no more
+//! than ~35 % of FM's bandwidth.
+
+use fm_bench::{
+    bandwidth_table, banner, compare, curve_summary, efficiency_table, fm1_stream, mpi_latency,
+    mpi_stream, stream_count, Fm1Stage, MpiBinding,
+};
+use fm_model::halfpower::{peak, BandwidthPoint};
+use fm_model::MachineProfile;
+
+const SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+fn main() {
+    banner("Figure 4", "initial MPI-FM vs FM 1.x (absolute and % efficiency)");
+    let p = MachineProfile::sparc_fm1();
+    let fm: Vec<BandwidthPoint> = SIZES
+        .iter()
+        .map(|&s| fm1_stream(p, Fm1Stage::Full, s, stream_count(s)).point(s))
+        .collect();
+    let mpi: Vec<BandwidthPoint> = SIZES
+        .iter()
+        .map(|&s| mpi_stream(MpiBinding::OverFm1, p, s, stream_count(s)).point(s))
+        .collect();
+    println!("(a) absolute bandwidth");
+    bandwidth_table(&SIZES, &[("FM", &fm), ("MPI-FM", &mpi)]);
+    println!();
+    println!("(b) efficiency (MPI-FM / FM)");
+    efficiency_table(&mpi, &fm);
+    println!();
+    curve_summary("FM 1.x", &fm);
+    curve_summary("MPI-FM 1.x", &mpi);
+    let worst = SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, _)| mpi[i].bandwidth.as_mbps() / fm[i].bandwidth.as_mbps())
+        .fold(0.0f64, f64::max);
+    compare(
+        "best efficiency across sizes",
+        "<= ~35% (Sec. 3.2)",
+        format!("{:.0}%", worst * 100.0),
+    );
+    compare(
+        "MPI-FM peak bandwidth",
+        "~5.5 MB/s (Fig. 4a)",
+        format!("{:.2} MB/s", peak(&mpi).as_mbps()),
+    );
+    compare(
+        "MPI-FM one-way latency (16 B)",
+        "(not quoted)",
+        format!("{}", mpi_latency(MpiBinding::OverFm1, p, 16, 100)),
+    );
+}

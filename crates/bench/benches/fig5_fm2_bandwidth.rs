@@ -1,0 +1,38 @@
+//! Figure 5 — FM 2.1 performance on a 200 MHz Pentium Pro: bandwidth vs
+//! message size, 16 B – 2 KB.
+//!
+//! Paper endpoints: 11 us minimum latency, 77 MB/s peak bandwidth,
+//! N1/2 < 256 B.
+
+use fm_bench::{bandwidth_table, banner, compare, curve_summary, fm2_latency, fm2_stream, stream_count};
+use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
+use fm_model::MachineProfile;
+
+const SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+fn main() {
+    banner("Figure 5", "FM 2.1 bandwidth on a 200 MHz PPro");
+    let p = MachineProfile::ppro200_fm2();
+    let curve: Vec<BandwidthPoint> = SIZES
+        .iter()
+        .map(|&s| fm2_stream(p, s, stream_count(s)).point(s))
+        .collect();
+    bandwidth_table(&SIZES, &[("FM 2.x", &curve)]);
+    println!();
+    curve_summary("FM 2.x", &curve);
+    compare(
+        "peak bandwidth",
+        "77 MB/s",
+        format!("{:.2} MB/s", peak(&curve).as_mbps()),
+    );
+    compare(
+        "N1/2",
+        "< 256 B",
+        format!("{:.0} B", half_power_point(&curve).unwrap_or(f64::NAN)),
+    );
+    compare(
+        "one-way latency (16 B)",
+        "11 us",
+        format!("{}", fm2_latency(p, 16, 200)),
+    );
+}

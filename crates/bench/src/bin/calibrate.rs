@@ -1,0 +1,61 @@
+//! Calibration probe: prints every headline metric next to the paper's
+//! number. Used while tuning the machine profiles; kept as a quick sanity
+//! command (`cargo run -p fm-bench --bin calibrate --release`).
+
+use fm_bench::{
+    fm1_latency, fm1_stream, fm2_latency, fm2_stream, mpi_latency, mpi_stream, stream_count,
+    Fm1Stage, MpiBinding,
+};
+use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
+use fm_model::MachineProfile;
+
+fn sweep(f: impl Fn(usize) -> BandwidthPoint, sizes: &[usize]) -> Vec<BandwidthPoint> {
+    sizes.iter().map(|&s| f(s)).collect()
+}
+
+fn main() {
+    let sizes: Vec<usize> = (4..=11).map(|p| 1usize << p).collect(); // 16..2048
+    let sparc = MachineProfile::sparc_fm1();
+    let ppro = MachineProfile::ppro200_fm2();
+
+    let fm1: Vec<_> = sweep(
+        |s| fm1_stream(sparc, Fm1Stage::Full, s, stream_count(s)).point(s),
+        &sizes,
+    );
+    let fm2: Vec<_> = sweep(|s| fm2_stream(ppro, s, stream_count(s)).point(s), &sizes);
+    let mpi1: Vec<_> = sweep(
+        |s| mpi_stream(MpiBinding::OverFm1, sparc, s, stream_count(s)).point(s),
+        &sizes,
+    );
+    let mpi2: Vec<_> = sweep(
+        |s| mpi_stream(MpiBinding::OverFm2, ppro, s, stream_count(s)).point(s),
+        &sizes,
+    );
+
+    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}", "size", "FM1", "MPI1", "FM2", "MPI2", "eff1%", "eff2%");
+    for (i, s) in sizes.iter().enumerate() {
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.1} {:>7.1}",
+            s,
+            fm1[i].bandwidth.as_mbps(),
+            mpi1[i].bandwidth.as_mbps(),
+            fm2[i].bandwidth.as_mbps(),
+            mpi2[i].bandwidth.as_mbps(),
+            mpi1[i].bandwidth.as_mbps() / fm1[i].bandwidth.as_mbps() * 100.0,
+            mpi2[i].bandwidth.as_mbps() / fm2[i].bandwidth.as_mbps() * 100.0,
+        );
+    }
+
+    println!();
+    println!("metric                       paper      measured");
+    println!("FM1 peak BW                  17.6       {:.2} MB/s", peak(&fm1).as_mbps());
+    println!("FM1 N1/2                     54         {:?} B", half_power_point(&fm1).map(|x| x.round()));
+    println!("FM1 latency                  14 us      {}", fm1_latency(sparc, 16, 100));
+    println!("FM2 peak BW                  77         {:.2} MB/s", peak(&fm2).as_mbps());
+    println!("FM2 N1/2                     <256       {:?} B", half_power_point(&fm2).map(|x| x.round()));
+    println!("FM2 latency                  11 us      {}", fm2_latency(ppro, 16, 100));
+    println!("MPI-FM1 peak                 ~5.5(20-35%) {:.2} MB/s", peak(&mpi1).as_mbps());
+    println!("MPI-FM2 peak                 70         {:.2} MB/s", peak(&mpi2).as_mbps());
+    println!("MPI-FM2 latency              17 us      {}", mpi_latency(MpiBinding::OverFm2, ppro, 16, 100));
+    println!("MPI-FM1 latency              (n/a)      {}", mpi_latency(MpiBinding::OverFm1, sparc, 16, 100));
+}

@@ -1,0 +1,1056 @@
+//! Virtual-time measurement programs: FM 1.x / FM 2.x / MPI-FM bandwidth
+//! streams and ping-pongs on the simulated Myrinet cluster.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use fm_core::packet::HandlerId;
+use fm_core::{Fm1Engine, Fm2Engine, FmPacket, FmStream, SimDevice};
+use fm_model::halfpower::BandwidthPoint;
+use fm_model::{Bandwidth, MachineProfile, Nanos};
+use mpi_fm::{Mpi, Mpi1, Mpi2};
+use myrinet_sim::{NodeId, Simulation, StepOutcome, Topology};
+
+pub use fm_core::fm1::Fm1Stage;
+
+/// Handler id used by the raw FM benchmarks.
+const BENCH_HANDLER: HandlerId = HandlerId(1);
+
+/// Wall-clock guard for simulations (virtual time), generous.
+const SIM_LIMIT: Nanos = Nanos(120_000_000_000); // 120 virtual seconds
+
+/// Pick a message count that keeps total transfer around a few MB —
+/// enough to amortize ramp-up at every size without exploding event
+/// counts.
+pub fn stream_count(msg_size: usize) -> usize {
+    ((4 << 20) / msg_size.max(1)).clamp(64, 4096)
+}
+
+fn two_node_sim(profile: MachineProfile) -> Simulation<FmPacket> {
+    Simulation::new(profile, Topology::single_crossbar(2))
+}
+
+/// One fully-measured transfer: total payload bytes over the virtual time
+/// at which the receiver finished.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamResult {
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Virtual time at which the receiver completed.
+    pub elapsed: Nanos,
+    /// Messages that took the unexpected (extra-copy) MPI path, when
+    /// applicable.
+    pub unexpected: u64,
+    /// Engine-level memcpy bytes at the receiver.
+    pub recv_copied: u64,
+}
+
+impl StreamResult {
+    /// Delivered bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_transfer(self.bytes, self.elapsed)
+    }
+
+    /// As a curve point at `size`.
+    pub fn point(&self, size: usize) -> BandwidthPoint {
+        BandwidthPoint {
+            bytes: size as u64,
+            bandwidth: self.bandwidth(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw FM 1.x
+// ---------------------------------------------------------------------
+
+/// Stream `count` `size`-byte messages node 0 → node 1 over FM 1.x at
+/// `stage`; returns the measured result.
+pub fn fm1_stream(
+    profile: MachineProfile,
+    stage: Fm1Stage,
+    size: usize,
+    count: usize,
+) -> StreamResult {
+    let mut sim = two_node_sim(profile);
+
+    // Sender.
+    let mut fm_s = Fm1Engine::with_stage(
+        SimDevice::new(sim.host_interface(NodeId(0))),
+        profile,
+        stage,
+    );
+    let data = vec![0xABu8; size];
+    let mut sent = 0usize;
+    sim.set_program(
+        NodeId(0),
+        Box::new(move || loop {
+            if sent == count {
+                return StepOutcome::Done;
+            }
+            if fm_s.try_send(1, BENCH_HANDLER, &data).is_ok() {
+                sent += 1;
+                continue;
+            }
+            fm_s.extract(); // absorb returned credits
+            if fm_s.try_send(1, BENCH_HANDLER, &data).is_ok() {
+                sent += 1;
+                continue;
+            }
+            return StepOutcome::Wait;
+        }),
+    );
+
+    // Receiver: handler touches nothing (raw FM bandwidth — the paper's
+    // Figure 3/5 tests measure the messaging layer itself).
+    let mut fm_r = Fm1Engine::with_stage(
+        SimDevice::new(sim.host_interface(NodeId(1))),
+        profile,
+        stage,
+    );
+    let got = Rc::new(Cell::new(0usize));
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    {
+        let got = Rc::clone(&got);
+        fm_r.set_handler(
+            BENCH_HANDLER,
+            Box::new(move |_eng, _src, msg| {
+                assert_eq!(msg.len(), size);
+                got.set(got.get() + 1);
+            }),
+        );
+    }
+    {
+        let got = Rc::clone(&got);
+        let done_at = Rc::clone(&done_at);
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm_r.extract();
+                if got.get() >= count {
+                    done_at.set(fm_r.now());
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(sim.all_done(), "FM1 stream wedged: {}/{count} delivered", got.get());
+    StreamResult {
+        bytes: (size * count) as u64,
+        elapsed: done_at.get(),
+        unexpected: 0,
+        recv_copied: 0,
+    }
+}
+
+/// One-way latency over FM 1.x: half the average ping-pong round trip.
+pub fn fm1_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos {
+    let mut sim = two_node_sim(profile);
+
+    // Node 0: sends ping, waits for pong (handler 2 counts pongs).
+    let mut fm0 = Fm1Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    let pongs = Rc::new(Cell::new(0usize));
+    {
+        let pongs = Rc::clone(&pongs);
+        fm0.set_handler(
+            HandlerId(2),
+            Box::new(move |_e, _s, _m| pongs.set(pongs.get() + 1)),
+        );
+    }
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    {
+        let pongs = Rc::clone(&pongs);
+        let done_at = Rc::clone(&done_at);
+        let data = vec![7u8; size];
+        let mut sent = 0usize;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                fm0.extract();
+                if pongs.get() >= rounds {
+                    done_at.set(fm0.now());
+                    return StepOutcome::Done;
+                }
+                // Send the next ping only after the previous pong.
+                if sent == pongs.get() && fm0.try_send(1, BENCH_HANDLER, &data).is_ok() {
+                    sent += 1;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    // Node 1: handler echoes; the node is done once it has echoed every
+    // round and flushed the replies.
+    let mut fm1 = Fm1Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    let echoed = Rc::new(Cell::new(0usize));
+    {
+        let echoed = Rc::clone(&echoed);
+        fm1.set_handler(
+            BENCH_HANDLER,
+            Box::new(move |eng, src, msg| {
+                eng.send_from_handler(src, HandlerId(2), msg.to_vec());
+                echoed.set(echoed.get() + 1);
+            }),
+        );
+    }
+    sim.set_program(
+        NodeId(1),
+        Box::new(move || {
+            fm1.extract();
+            if echoed.get() >= rounds && fm1.progress() {
+                return StepOutcome::Done;
+            }
+            StepOutcome::Wait
+        }),
+    );
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(sim.all_done(), "FM1 ping-pong wedged");
+    done_at.get() / (2 * rounds as u64)
+}
+
+// ---------------------------------------------------------------------
+// Raw FM 2.x
+// ---------------------------------------------------------------------
+
+/// Stream `count` `size`-byte messages node 0 → node 1 over FM 2.x. The
+/// receiving handler consumes the stream into a scratch buffer (the
+/// minimal realistic receive: one `FM_receive` per message).
+pub fn fm2_stream(profile: MachineProfile, size: usize, count: usize) -> StreamResult {
+    let mut sim = two_node_sim(profile);
+
+    let fm_s = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    let data = vec![0xCDu8; size];
+    let mut sent = 0usize;
+    {
+        let fm_s = fm_s.clone();
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || loop {
+                if sent == count {
+                    return StepOutcome::Done;
+                }
+                if fm_s.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok() {
+                    sent += 1;
+                    continue;
+                }
+                fm_s.extract_all();
+                if fm_s.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok() {
+                    sent += 1;
+                    continue;
+                }
+                return StepOutcome::Wait;
+            }),
+        );
+    }
+
+    let fm_r = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    let got = Rc::new(Cell::new(0usize));
+    {
+        let got = Rc::clone(&got);
+        fm_r.set_handler(BENCH_HANDLER, move |stream: FmStream, _src| {
+            let got = Rc::clone(&got);
+            async move {
+                let msg = stream.receive_vec(stream.msg_len()).await;
+                assert_eq!(msg.len(), size);
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    let copied = Rc::new(Cell::new(0u64));
+    {
+        let got = Rc::clone(&got);
+        let done_at = Rc::clone(&done_at);
+        let copied = Rc::clone(&copied);
+        let fm_r = fm_r.clone();
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm_r.extract_all();
+                if got.get() >= count {
+                    done_at.set(fm_r.now());
+                    copied.set(fm_r.stats().bytes_copied);
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(sim.all_done(), "FM2 stream wedged: {}/{count}", got.get());
+    StreamResult {
+        bytes: (size * count) as u64,
+        elapsed: done_at.get(),
+        unexpected: 0,
+        recv_copied: copied.get(),
+    }
+}
+
+/// One-way latency over FM 2.x.
+pub fn fm2_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos {
+    let mut sim = two_node_sim(profile);
+
+    let fm0 = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    let pongs = Rc::new(Cell::new(0usize));
+    {
+        let pongs = Rc::clone(&pongs);
+        fm0.set_handler(HandlerId(2), move |stream: FmStream, _| {
+            let pongs = Rc::clone(&pongs);
+            async move {
+                stream.skip(stream.msg_len()).await;
+                pongs.set(pongs.get() + 1);
+            }
+        });
+    }
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    {
+        let pongs = Rc::clone(&pongs);
+        let done_at = Rc::clone(&done_at);
+        let data = vec![7u8; size];
+        let mut sent = 0usize;
+        let fm0 = fm0.clone();
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                fm0.extract_all();
+                if pongs.get() >= rounds {
+                    done_at.set(fm0.now());
+                    return StepOutcome::Done;
+                }
+                if sent == pongs.get() && fm0.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok()
+                {
+                    sent += 1;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    let fm1 = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    let echoed = Rc::new(Cell::new(0usize));
+    {
+        let fm_h = fm1.clone();
+        let echoed = Rc::clone(&echoed);
+        fm1.set_handler(BENCH_HANDLER, move |stream: FmStream, src| {
+            let fm = fm_h.clone();
+            let echoed = Rc::clone(&echoed);
+            async move {
+                let msg = stream.receive_vec(stream.msg_len()).await;
+                fm.send_from_handler(src, HandlerId(2), msg);
+                echoed.set(echoed.get() + 1);
+            }
+        });
+    }
+    {
+        let fm1 = fm1.clone();
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm1.extract_all();
+                if echoed.get() >= rounds && fm1.progress() {
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(sim.all_done(), "FM2 ping-pong wedged");
+    done_at.get() / (2 * rounds as u64)
+}
+
+// ---------------------------------------------------------------------
+// MPI-FM (both bindings)
+// ---------------------------------------------------------------------
+
+/// Which MPI binding to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiBinding {
+    /// Over FM 1.x (assembly + bounce + delivery copies).
+    OverFm1,
+    /// Over FM 2.x (gather/scatter + interleaving + pacing).
+    OverFm2,
+}
+
+/// Stream `count` `size`-byte MPI messages rank 0 → rank 1 with all
+/// receives pre-posted (the standard MPI bandwidth test shape).
+pub fn mpi_stream(
+    binding: MpiBinding,
+    profile: MachineProfile,
+    size: usize,
+    count: usize,
+) -> StreamResult {
+    match binding {
+        MpiBinding::OverFm1 => {
+            let sim = two_node_sim(profile);
+            let mpi_s = Mpi1::new(Fm1Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(0))),
+                profile,
+            ));
+            let mpi_r = Mpi1::new(Fm1Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(1))),
+                profile,
+            ));
+            run_mpi_stream(sim, mpi_s, mpi_r, size, count)
+        }
+        MpiBinding::OverFm2 => {
+            let sim = two_node_sim(profile);
+            let mpi_s = Mpi2::new(Fm2Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(0))),
+                profile,
+            ));
+            let mpi_r = Mpi2::new(Fm2Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(1))),
+                profile,
+            ));
+            run_mpi_stream(sim, mpi_s, mpi_r, size, count)
+        }
+    }
+}
+
+/// Shared MPI streaming program over any binding.
+fn run_mpi_stream<M: MpiStats + Mpi + 'static>(
+    mut sim: Simulation<FmPacket>,
+    mut mpi_s: impl Mpi + 'static,
+    mut mpi_r: M,
+    size: usize,
+    count: usize,
+) -> StreamResult {
+    // Sender: issue everything, then drive progress until flushed.
+    let mut issued = false;
+    let reqs: Rc<RefCell<Vec<mpi_fm::SendReq>>> = Rc::default();
+    {
+        let reqs = Rc::clone(&reqs);
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                if !issued {
+                    issued = true;
+                    let mut r = reqs.borrow_mut();
+                    for _ in 0..count {
+                        r.push(mpi_s.isend(1, 0, vec![0xEEu8; size]));
+                    }
+                }
+                mpi_s.progress();
+                if reqs.borrow().iter().all(|r| r.is_done()) {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Wait
+                }
+            }),
+        );
+    }
+
+    // Receiver: pre-post every receive.
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    let unexpected = Rc::new(Cell::new(0u64));
+    let copied = Rc::new(Cell::new(0u64));
+    {
+        let done_at = Rc::clone(&done_at);
+        let unexpected = Rc::clone(&unexpected);
+        let copied = Rc::clone(&copied);
+        let mut posted = false;
+        let mut reqs = Vec::new();
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                if !posted {
+                    posted = true;
+                    for _ in 0..count {
+                        reqs.push(mpi_r.irecv(Some(0), Some(0), size));
+                    }
+                }
+                mpi_r.progress();
+                if reqs.iter().all(|r| r.is_done()) {
+                    done_at.set(mpi_r.now());
+                    unexpected.set(mpi_r.unexpected());
+                    copied.set(mpi_r.bytes_copied());
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Wait
+                }
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(
+        sim.all_done(),
+        "MPI stream wedged at size {size}: t={} dev0={:?} dev1={:?}",
+        sim.now(),
+        sim.stats(NodeId(0)),
+        sim.stats(NodeId(1))
+    );
+    StreamResult {
+        bytes: (size * count) as u64,
+        elapsed: done_at.get(),
+        unexpected: unexpected.get(),
+        recv_copied: copied.get(),
+    }
+}
+
+/// MPI one-way latency (pre-posted receives, ping-pong).
+pub fn mpi_latency(
+    binding: MpiBinding,
+    profile: MachineProfile,
+    size: usize,
+    rounds: usize,
+) -> Nanos {
+    match binding {
+        MpiBinding::OverFm1 => {
+            let sim = two_node_sim(profile);
+            let a = Mpi1::new(Fm1Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(0))),
+                profile,
+            ));
+            let b = Mpi1::new(Fm1Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(1))),
+                profile,
+            ));
+            run_mpi_pingpong(sim, a, b, size, rounds)
+        }
+        MpiBinding::OverFm2 => {
+            let sim = two_node_sim(profile);
+            let a = Mpi2::new(Fm2Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(0))),
+                profile,
+            ));
+            let b = Mpi2::new(Fm2Engine::new(
+                SimDevice::new(sim.host_interface(NodeId(1))),
+                profile,
+            ));
+            run_mpi_pingpong(sim, a, b, size, rounds)
+        }
+    }
+}
+
+fn run_mpi_pingpong<MA, MB>(
+    mut sim: Simulation<FmPacket>,
+    mut a: MA,
+    mut b: MB,
+    size: usize,
+    rounds: usize,
+) -> Nanos
+where
+    MA: Mpi + MpiStats + 'static,
+    MB: Mpi + 'static,
+{
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    {
+        let done_at = Rc::clone(&done_at);
+        let mut round = 0usize;
+        let mut pending: Option<mpi_fm::RecvReq> = None;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || loop {
+                a.progress();
+                match &pending {
+                    None => {
+                        if round == rounds {
+                            done_at.set(a.now());
+                            return StepOutcome::Done;
+                        }
+                        a.isend(1, 1, vec![1u8; size]);
+                        pending = Some(a.irecv(Some(1), Some(2), size));
+                    }
+                    Some(req) => {
+                        if req.is_done() {
+                            req.take();
+                            pending = None;
+                            round += 1;
+                            continue;
+                        }
+                        return StepOutcome::Wait;
+                    }
+                }
+            }),
+        );
+    }
+    {
+        let mut round = 0usize;
+        let mut pending: Option<mpi_fm::RecvReq> = None;
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || loop {
+                b.progress();
+                match &pending {
+                    None => {
+                        if round == rounds {
+                            return StepOutcome::Done;
+                        }
+                        pending = Some(b.irecv(Some(0), Some(1), size));
+                    }
+                    Some(req) => {
+                        if req.is_done() {
+                            let data = req.take().expect("done");
+                            b.isend(0, 2, data);
+                            pending = None;
+                            round += 1;
+                            continue;
+                        }
+                        return StepOutcome::Wait;
+                    }
+                }
+            }),
+        );
+    }
+    sim.run(Some(SIM_LIMIT));
+    assert!(sim.all_done(), "MPI ping-pong wedged");
+    done_at.get() / (2 * rounds as u64)
+}
+
+// ---------------------------------------------------------------------
+// Ablation harnesses: one design element varied at a time, everything
+// else (including the machine profile) held fixed.
+// ---------------------------------------------------------------------
+
+/// A thin layered protocol over FM 2.x (24-byte header + payload), with
+/// the two paper-identified copy sites switchable:
+///
+/// * `send_assemble` — instead of gathering header+payload as two pieces,
+///   assemble them into one buffer first (an FM 1.x-interface send, costed
+///   as a host memcpy).
+/// * `recv_staged` — instead of reading the header and landing the payload
+///   directly in its destination, receive the whole message into a staging
+///   buffer and then copy it out (an FM 1.x-interface receive).
+pub fn fm2_layered_stream(
+    profile: MachineProfile,
+    size: usize,
+    count: usize,
+    send_assemble: bool,
+    recv_staged: bool,
+) -> StreamResult {
+    const HDR: usize = 24;
+    let mut sim = two_node_sim(profile);
+
+    let fm_s = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    let header = [0x11u8; HDR];
+    let payload = vec![0x22u8; size];
+    let mut sent = 0usize;
+    {
+        let fm_s = fm_s.clone();
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || loop {
+                if sent == count {
+                    return StepOutcome::Done;
+                }
+                let attempt = |fm_s: &Fm2Engine<SimDevice>| {
+                    if send_assemble {
+                        // FM 1.x-style: build one contiguous buffer first.
+                        let mut buf = Vec::with_capacity(HDR + size);
+                        buf.extend_from_slice(&header);
+                        buf.extend_from_slice(&payload);
+                        fm_s.charge_memcpy(buf.len());
+                        fm_s.try_send_message(1, BENCH_HANDLER, &[&buf]).is_ok()
+                    } else {
+                        // FM 2.x gather: two pieces, no copy.
+                        fm_s
+                            .try_send_message(1, BENCH_HANDLER, &[&header, &payload])
+                            .is_ok()
+                    }
+                };
+                if attempt(&fm_s) {
+                    sent += 1;
+                    continue;
+                }
+                // Absorb returned credits, then retry once before sleeping
+                // (sleeping right after draining the credits would be a
+                // lost wake-up).
+                fm_s.extract_all();
+                if attempt(&fm_s) {
+                    sent += 1;
+                    continue;
+                }
+                return StepOutcome::Wait;
+            }),
+        );
+    }
+
+    let fm_r = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    let got = Rc::new(Cell::new(0usize));
+    {
+        let got = Rc::clone(&got);
+        let fm_h = fm_r.clone();
+        fm_r.set_handler(BENCH_HANDLER, move |stream: FmStream, _src| {
+            let got = Rc::clone(&got);
+            let fm = fm_h.clone();
+            async move {
+                let mut hdr = [0u8; HDR];
+                stream.receive(&mut hdr).await;
+                let len = stream.msg_len() - HDR;
+                if recv_staged {
+                    // Staging-buffer receive, then delivery copy.
+                    let staged = stream.receive_vec(len).await;
+                    let mut user = vec![0u8; len];
+                    user.copy_from_slice(&staged);
+                    fm.charge_memcpy(len);
+                    std::hint::black_box(&user);
+                } else {
+                    // Layer interleaving: straight into the final buffer.
+                    let mut user = vec![0u8; len];
+                    let n = stream.receive(&mut user).await;
+                    debug_assert_eq!(n, len);
+                    std::hint::black_box(&user);
+                }
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    let copied = Rc::new(Cell::new(0u64));
+    {
+        let got = Rc::clone(&got);
+        let done_at = Rc::clone(&done_at);
+        let copied = Rc::clone(&copied);
+        let fm_r = fm_r.clone();
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm_r.extract_all();
+                if got.get() >= count {
+                    done_at.set(fm_r.now());
+                    copied.set(fm_r.stats().bytes_copied);
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(sim.all_done(), "layered stream wedged (size {size})");
+    StreamResult {
+        bytes: (size * count) as u64,
+        elapsed: done_at.get(),
+        unexpected: 0,
+        recv_copied: copied.get(),
+    }
+}
+
+/// Single-message end-to-end completion time for the layered protocol of
+/// [`fm2_layered_stream`]: from send start until the payload sits in its
+/// final buffer. Isolates the pipelining benefit of handler interleaving —
+/// the staged variant pays the delivery copy *after* the last packet.
+pub fn fm2_layered_single_latency(
+    profile: MachineProfile,
+    size: usize,
+    recv_staged: bool,
+) -> Nanos {
+    // A 1-message stream measures exactly the completion time.
+    let r = fm2_layered_stream(profile, size, 1, false, recv_staged);
+    r.elapsed
+}
+
+/// MPI-FM 2.x stream where the receiver posts only one receive at a time
+/// (a conservative consumer) and paces `FM_extract` with `budget` bytes
+/// per progress call (`None` = unpaced). Shows receiver flow control
+/// preventing unexpected-queue copies and buffer-pool pressure.
+pub fn mpi2_paced_stream(
+    profile: MachineProfile,
+    size: usize,
+    count: usize,
+    budget: Option<usize>,
+) -> StreamResult {
+    let mut sim = two_node_sim(profile);
+    let mut mpi_s = Mpi2::new(Fm2Engine::new(
+        SimDevice::new(sim.host_interface(NodeId(0))),
+        profile,
+    ));
+    let mut mpi_r = Mpi2::new(Fm2Engine::new(
+        SimDevice::new(sim.host_interface(NodeId(1))),
+        profile,
+    ));
+    if let Some(b) = budget {
+        mpi_r.set_extract_budget(b);
+    }
+
+    let mut issued = false;
+    let reqs: Rc<RefCell<Vec<mpi_fm::SendReq>>> = Rc::default();
+    {
+        let reqs = Rc::clone(&reqs);
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                if !issued {
+                    issued = true;
+                    let mut r = reqs.borrow_mut();
+                    for _ in 0..count {
+                        r.push(mpi_s.isend(1, 0, vec![0xEEu8; size]));
+                    }
+                }
+                mpi_s.progress();
+                if reqs.borrow().iter().all(|r| r.is_done()) {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Wait
+                }
+            }),
+        );
+    }
+
+    // The receiver models a *busy application*: it computes for 30 µs
+    // between communication polls and keeps only one receive posted at a
+    // time. Without pacing, each poll's unbounded extract presents every
+    // queued message at once and all but the posted one take the bounce
+    // path; with a small budget, intake tracks posting and FM's flow
+    // control holds the rest in the network.
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    let unexpected = Rc::new(Cell::new(0u64));
+    let copied = Rc::new(Cell::new(0u64));
+    {
+        let done_at = Rc::clone(&done_at);
+        let unexpected = Rc::clone(&unexpected);
+        let copied = Rc::clone(&copied);
+        let mut received = 0usize;
+        let mut pending: Option<mpi_fm::RecvReq> = None;
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                // Application compute phase.
+                mpi_r.fm().charge(Nanos::from_us(25));
+                // One communication poll.
+                mpi_r.progress();
+                loop {
+                    if pending.is_none() && received < count {
+                        pending = Some(mpi_r.irecv(Some(0), Some(0), size));
+                    }
+                    match &pending {
+                        Some(req) if req.is_done() => {
+                            req.take();
+                            pending = None;
+                            received += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if received >= count {
+                    done_at.set(MpiStats::now(&mpi_r));
+                    unexpected.set(mpi_r.unexpected_total());
+                    copied.set(mpi_r.fm().stats().bytes_copied);
+                    return StepOutcome::Done;
+                }
+                // Packets may deliberately remain pending (pacing), so use
+                // a timed continue, never an event wait.
+                StepOutcome::Continue
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(sim.all_done(), "paced MPI stream wedged (size {size})");
+    StreamResult {
+        bytes: (size * count) as u64,
+        elapsed: done_at.get(),
+        unexpected: unexpected.get(),
+        recv_copied: copied.get(),
+    }
+}
+
+/// One *unexpected* MPI-FM 2.x message: sent before any receive is
+/// posted; the receiver posts its receive only after noticing the arrival
+/// (the worst case for eager, the motivating case for rendezvous).
+/// `eager_threshold = None` keeps the 1998 eager-only behaviour;
+/// `Some(t)` turns on RTS/CTS above `t` bytes.
+pub fn mpi_unexpected_latency(
+    profile: MachineProfile,
+    size: usize,
+    eager_threshold: Option<usize>,
+) -> StreamResult {
+    let mut sim = two_node_sim(profile);
+    let mut mpi_s = Mpi2::new(Fm2Engine::new(
+        SimDevice::new(sim.host_interface(NodeId(0))),
+        profile,
+    ));
+    let mut mpi_r = Mpi2::new(Fm2Engine::new(
+        SimDevice::new(sim.host_interface(NodeId(1))),
+        profile,
+    ));
+    if let Some(t) = eager_threshold {
+        mpi_s.set_eager_threshold(t);
+        mpi_r.set_eager_threshold(t);
+    }
+
+    {
+        let mut sent = false;
+        let mut sreq: Option<mpi_fm::SendReq> = None;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                if !sent {
+                    sent = true;
+                    sreq = Some(mpi_s.isend(1, 0, vec![0xDDu8; size]));
+                }
+                mpi_s.progress();
+                // Stay alive until the request is done AND FM's deferred
+                // queue has drained (the rendezvous payload travels through
+                // it after the CTS).
+                let done = sreq.as_ref().expect("sent").is_done();
+                if done && mpi_s.fm().progress() {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Wait
+                }
+            }),
+        );
+    }
+
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    let unexpected = Rc::new(Cell::new(0u64));
+    let copied = Rc::new(Cell::new(0u64));
+    {
+        let done_at = Rc::clone(&done_at);
+        let unexpected = Rc::clone(&unexpected);
+        let copied = Rc::clone(&copied);
+        let mut posted: Option<mpi_fm::RecvReq> = None;
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                mpi_r.progress();
+                if posted.is_none() && mpi_r.unexpected_total() > 0 {
+                    // The application now learns of the message (e.g. via
+                    // a probe) and posts its receive.
+                    posted = Some(mpi_r.irecv(Some(0), Some(0), size));
+                }
+                match &posted {
+                    Some(req) if req.is_done() => {
+                        req.take();
+                        done_at.set(MpiStats::now(&mpi_r));
+                        unexpected.set(mpi_r.unexpected_total());
+                        copied.set(mpi_r.fm().stats().bytes_copied);
+                        StepOutcome::Done
+                    }
+                    _ => StepOutcome::Wait,
+                }
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(
+        sim.all_done(),
+        "unexpected-message transfer wedged (size {size}): t={} dev0={:?} dev1={:?}",
+        sim.now(),
+        sim.stats(NodeId(0)),
+        sim.stats(NodeId(1))
+    );
+    StreamResult {
+        bytes: size as u64,
+        elapsed: done_at.get(),
+        unexpected: unexpected.get(),
+        recv_copied: copied.get(),
+    }
+}
+
+/// Extra observability the harness needs beyond the `Mpi` trait.
+pub trait MpiStats {
+    /// Messages that took the unexpected path.
+    fn unexpected(&self) -> u64;
+    /// Engine-level memcpy bytes.
+    fn bytes_copied(&self) -> u64;
+    /// Current virtual time.
+    fn now(&self) -> Nanos;
+}
+
+impl MpiStats for Mpi1<SimDevice> {
+    fn unexpected(&self) -> u64 {
+        self.unexpected_total()
+    }
+    fn bytes_copied(&self) -> u64 {
+        self.fm_stats().bytes_copied
+    }
+    fn now(&self) -> Nanos {
+        Mpi1::now(self)
+    }
+}
+
+impl MpiStats for Mpi2<SimDevice> {
+    fn unexpected(&self) -> u64 {
+        self.unexpected_total()
+    }
+    fn bytes_copied(&self) -> u64 {
+        self.fm().stats().bytes_copied
+    }
+    fn now(&self) -> Nanos {
+        self.fm().now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fm1_stream_reaches_paper_scale_bandwidth() {
+        let r = fm1_stream(MachineProfile::sparc_fm1(), Fm1Stage::Full, 512, 200);
+        let bw = r.bandwidth().as_mbps();
+        assert!((10.0..25.0).contains(&bw), "FM1 @512B = {bw:.2} MB/s");
+    }
+
+    #[test]
+    fn fm2_stream_reaches_paper_scale_bandwidth() {
+        let r = fm2_stream(MachineProfile::ppro200_fm2(), 2048, 200);
+        let bw = r.bandwidth().as_mbps();
+        assert!((55.0..90.0).contains(&bw), "FM2 @2KB = {bw:.2} MB/s");
+    }
+
+    #[test]
+    fn latencies_are_in_paper_range() {
+        let l1 = fm1_latency(MachineProfile::sparc_fm1(), 16, 50);
+        assert!(
+            (8_000..22_000).contains(&l1.as_ns()),
+            "FM1 latency = {l1}"
+        );
+        let l2 = fm2_latency(MachineProfile::ppro200_fm2(), 16, 50);
+        assert!(
+            (7_000..16_000).contains(&l2.as_ns()),
+            "FM2 latency = {l2}"
+        );
+    }
+
+    #[test]
+    fn mpi_streams_run_and_order_correctly() {
+        let m1 = mpi_stream(MpiBinding::OverFm1, MachineProfile::sparc_fm1(), 1024, 64);
+        let f1 = fm1_stream(MachineProfile::sparc_fm1(), Fm1Stage::Full, 1024, 64);
+        assert!(
+            m1.bandwidth() < f1.bandwidth(),
+            "layering cannot speed things up"
+        );
+        let m2 = mpi_stream(MpiBinding::OverFm2, MachineProfile::ppro200_fm2(), 1024, 64);
+        let f2 = fm2_stream(MachineProfile::ppro200_fm2(), 1024, 64);
+        assert!(m2.bandwidth() < f2.bandwidth());
+        // And the headline claim: MPI efficiency is far better over FM2.
+        let eff1 = m1.bandwidth().as_mbps() / f1.bandwidth().as_mbps();
+        let eff2 = m2.bandwidth().as_mbps() / f2.bandwidth().as_mbps();
+        assert!(eff2 > eff1 + 0.2, "eff1={eff1:.2} eff2={eff2:.2}");
+    }
+}
+
+#[cfg(test)]
+mod dbg_tests {
+    use super::*;
+
+    #[test]
+    fn mpi2_stream_2048_does_not_wedge() {
+        let r = mpi_stream(MpiBinding::OverFm2, MachineProfile::ppro200_fm2(), 2048, stream_count(2048));
+        println!("bw = {}", r.bandwidth());
+    }
+}
+
+#[cfg(test)]
+mod dbg2_tests {
+    use super::*;
+
+    #[test]
+    fn mpi1_stream_2048_does_not_wedge() {
+        let r = mpi_stream(MpiBinding::OverFm1, MachineProfile::sparc_fm1(), 2048, stream_count(2048));
+        println!("bw = {}", r.bandwidth());
+    }
+}

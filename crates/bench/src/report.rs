@@ -1,0 +1,95 @@
+//! Plain-text report formatting for the figure benches.
+//!
+//! Every figure bench prints (a) the same series the paper plots, as an
+//! aligned table, and (b) a summary line comparing the measured endpoints
+//! to the paper's numbers, so `cargo bench` output doubles as the
+//! EXPERIMENTS.md evidence.
+
+use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
+
+/// Print a figure banner.
+pub fn banner(fig: &str, caption: &str) {
+    println!();
+    println!("=== {fig} — {caption} ===");
+}
+
+/// Print a bandwidth-vs-size table with one or more named series.
+pub fn bandwidth_table(sizes: &[usize], series: &[(&str, &[BandwidthPoint])]) {
+    print!("{:>10}", "size(B)");
+    for (name, _) in series {
+        print!("{name:>16}");
+    }
+    println!();
+    for (i, sz) in sizes.iter().enumerate() {
+        print!("{sz:>10}");
+        for (_, pts) in series {
+            assert_eq!(pts[i].bytes as usize, *sz, "series misaligned");
+            print!("{:>13.2} MB/s", pts[i].bandwidth.as_mbps() / 1.0);
+        }
+        println!();
+    }
+}
+
+/// Print an efficiency (%) table for a layered/substrate pair.
+pub fn efficiency_table(layered: &[BandwidthPoint], substrate: &[BandwidthPoint]) {
+    println!("{:>10}{:>14}", "size(B)", "efficiency");
+    for (l, s) in layered.iter().zip(substrate) {
+        let eff = if s.bandwidth.as_mbps() > 0.0 {
+            l.bandwidth.as_mbps() / s.bandwidth.as_mbps() * 100.0
+        } else {
+            0.0
+        };
+        println!("{:>10}{:>13.1}%", l.bytes, eff);
+    }
+}
+
+/// Summarize a curve: peak bandwidth and N½.
+pub fn curve_summary(name: &str, pts: &[BandwidthPoint]) {
+    let pk = peak(pts);
+    match half_power_point(pts) {
+        Some(n12) => println!(
+            "{name}: peak {:.2} MB/s, N1/2 = {:.0} B",
+            pk.as_mbps(),
+            n12
+        ),
+        None => println!("{name}: peak {:.2} MB/s, N1/2 beyond measured range", pk.as_mbps()),
+    }
+}
+
+/// Print a paper-vs-measured comparison line.
+pub fn compare(metric: &str, paper: &str, measured: String) {
+    println!("  {metric:<38} paper: {paper:<18} measured: {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_model::Bandwidth;
+
+    fn pt(bytes: u64, mbps: f64) -> BandwidthPoint {
+        BandwidthPoint {
+            bytes,
+            bandwidth: Bandwidth::from_mbps(mbps),
+        }
+    }
+
+    #[test]
+    fn tables_do_not_panic_and_align() {
+        let sizes = [16usize, 32];
+        let a = [pt(16, 1.0), pt(32, 2.0)];
+        let b = [pt(16, 0.5), pt(32, 1.5)];
+        banner("Figure T", "test");
+        bandwidth_table(&sizes, &[("one", &a), ("two", &b)]);
+        efficiency_table(&b, &a);
+        curve_summary("one", &a);
+        compare("peak", "2 MB/s", "2.0 MB/s".into());
+    }
+
+    #[test]
+    #[should_panic(expected = "series misaligned")]
+    fn misaligned_series_panics() {
+        let sizes = [16usize];
+        let a = [pt(32, 1.0)];
+        bandwidth_table(&sizes, &[("bad", &a)]);
+    }
+}

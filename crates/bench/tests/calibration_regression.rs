@@ -1,0 +1,117 @@
+//! Regression guard: every headline metric of the reproduction must stay
+//! inside the acceptance bands of DESIGN.md §6. A profile or engine change
+//! that drifts any figure out of the paper's shape fails here, not in a
+//! human's eyeball.
+
+use fm_bench::{
+    fm1_latency, fm1_stream, fm2_latency, fm2_stream, mpi_latency, mpi_stream, stream_count,
+    Fm1Stage, MpiBinding,
+};
+use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
+use fm_model::MachineProfile;
+
+fn sweep(f: impl Fn(usize) -> BandwidthPoint) -> Vec<BandwidthPoint> {
+    (4..=11).map(|p| f(1usize << p)).collect() // 16..2048
+}
+
+#[test]
+fn fm1_endpoints_stay_in_band() {
+    let p = MachineProfile::sparc_fm1();
+    let curve = sweep(|s| fm1_stream(p, Fm1Stage::Full, s, stream_count(s)).point(s));
+    let pk = peak(&curve).as_mbps();
+    assert!((16.0..19.0).contains(&pk), "FM1 peak {pk:.2} (paper 17.6)");
+    let n12 = half_power_point(&curve).expect("curve reaches half power");
+    assert!((40.0..80.0).contains(&n12), "FM1 N1/2 {n12:.0} (paper 54)");
+    let lat = fm1_latency(p, 16, 200).as_us_f64();
+    assert!((12.0..16.0).contains(&lat), "FM1 latency {lat:.1} us (paper 14)");
+}
+
+#[test]
+fn fm2_endpoints_stay_in_band() {
+    let p = MachineProfile::ppro200_fm2();
+    let curve = sweep(|s| fm2_stream(p, s, stream_count(s)).point(s));
+    let pk = peak(&curve).as_mbps();
+    assert!((70.0..84.0).contains(&pk), "FM2 peak {pk:.2} (paper 77)");
+    let n12 = half_power_point(&curve).expect("curve reaches half power");
+    assert!(n12 < 256.0, "FM2 N1/2 {n12:.0} (paper < 256)");
+    let lat = fm2_latency(p, 16, 200).as_us_f64();
+    assert!((9.0..13.0).contains(&lat), "FM2 latency {lat:.1} us (paper 11)");
+    // The generational leap: "nearly fourfold".
+    let fm1 = sweep(|s| {
+        fm1_stream(
+            MachineProfile::sparc_fm1(),
+            Fm1Stage::Full,
+            s,
+            stream_count(s),
+        )
+        .point(s)
+    });
+    let leap = pk / peak(&fm1).as_mbps();
+    assert!((3.5..5.0).contains(&leap), "FM1->FM2 leap {leap:.1}x (paper ~4x)");
+}
+
+#[test]
+fn mpi_fm1_efficiency_stays_in_band() {
+    let p = MachineProfile::sparc_fm1();
+    let fm = sweep(|s| fm1_stream(p, Fm1Stage::Full, s, stream_count(s)).point(s));
+    let mpi = sweep(|s| mpi_stream(MpiBinding::OverFm1, p, s, stream_count(s)).point(s));
+    for (f, m) in fm.iter().zip(&mpi) {
+        let eff = m.bandwidth.as_mbps() / f.bandwidth.as_mbps();
+        assert!(
+            (0.15..0.40).contains(&eff),
+            "MPI-FM1 efficiency at {} B = {:.0}% (paper 20-35%)",
+            f.bytes,
+            eff * 100.0
+        );
+    }
+    let pk = peak(&mpi).as_mbps();
+    assert!((3.5..6.5).contains(&pk), "MPI-FM1 peak {pk:.2} (paper ~5.5)");
+}
+
+#[test]
+fn mpi_fm2_efficiency_stays_in_band() {
+    let p = MachineProfile::ppro200_fm2();
+    let fm = sweep(|s| fm2_stream(p, s, stream_count(s)).point(s));
+    let mpi = sweep(|s| mpi_stream(MpiBinding::OverFm2, p, s, stream_count(s)).point(s));
+    let eff16 = mpi[0].bandwidth.as_mbps() / fm[0].bandwidth.as_mbps();
+    let eff2k = mpi[7].bandwidth.as_mbps() / fm[7].bandwidth.as_mbps();
+    assert!((0.55..0.80).contains(&eff16), "MPI-FM2 @16B = {:.0}%", eff16 * 100.0);
+    assert!((0.85..0.97).contains(&eff2k), "MPI-FM2 @2KB = {:.0}%", eff2k * 100.0);
+    // Efficiency must rise monotonically with size (Figure 6b's shape).
+    let effs: Vec<f64> = fm
+        .iter()
+        .zip(&mpi)
+        .map(|(f, m)| m.bandwidth.as_mbps() / f.bandwidth.as_mbps())
+        .collect();
+    assert!(
+        effs.windows(2).all(|w| w[1] > w[0] - 0.02),
+        "efficiency curve not rising: {effs:?}"
+    );
+    let pk = peak(&mpi).as_mbps();
+    assert!((63.0..77.0).contains(&pk), "MPI-FM2 peak {pk:.2} (paper 70)");
+    let lat = mpi_latency(MpiBinding::OverFm2, p, 16, 200).as_us_f64();
+    assert!((12.0..20.0).contains(&lat), "MPI-FM2 latency {lat:.1} us (paper 17)");
+}
+
+#[test]
+fn the_paper_headline_holds() {
+    // "the peak bandwidth of an high level library like MPI-FM ... went
+    // from an initial 20% to a final 90% of the bandwidth made available
+    // by the FM layer" (paper §6) — the whole point, as one assertion.
+    let sparc = MachineProfile::sparc_fm1();
+    let ppro = MachineProfile::ppro200_fm2();
+    let n = 2048;
+    let eff1 = mpi_stream(MpiBinding::OverFm1, sparc, n, stream_count(n))
+        .bandwidth()
+        .as_mbps()
+        / fm1_stream(sparc, Fm1Stage::Full, n, stream_count(n))
+            .bandwidth()
+            .as_mbps();
+    let eff2 = mpi_stream(MpiBinding::OverFm2, ppro, n, stream_count(n))
+        .bandwidth()
+        .as_mbps()
+        / fm2_stream(ppro, n, stream_count(n)).bandwidth().as_mbps();
+    assert!(eff1 < 0.40, "FM 1.x-era efficiency {:.0}%", eff1 * 100.0);
+    assert!(eff2 > 0.85, "FM 2.x-era efficiency {:.0}%", eff2 * 100.0);
+    assert!(eff2 / eff1 > 2.5, "the layering redesign must be the story");
+}

@@ -1,0 +1,41 @@
+//! Internal consistency: the LogGP closed form (derived from the machine
+//! profile) and the discrete-event simulation (charging the same profile
+//! event by event) must agree on FM 2.x latency and bandwidth. They share
+//! constants but not mechanisms — agreement means both account for time
+//! the same way; divergence means one of them is wrong.
+
+use fm_bench::{fm2_latency, fm2_stream, stream_count};
+use fm_model::logp::LogGp;
+use fm_model::MachineProfile;
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.max(1e-9)
+}
+
+#[test]
+fn latency_prediction_tracks_simulation() {
+    let p = MachineProfile::ppro200_fm2();
+    let m = LogGp::fm2(&p);
+    for n in [16usize, 64, 256, 1024] {
+        let sim = fm2_latency(p, n, 100).as_ns() as f64;
+        let ana = m.latency(&p, n).as_ns() as f64;
+        assert!(
+            rel_err(ana, sim) < 0.15,
+            "{n} B latency: analytic {ana:.0} ns vs simulated {sim:.0} ns"
+        );
+    }
+}
+
+#[test]
+fn bandwidth_prediction_tracks_simulation() {
+    let p = MachineProfile::ppro200_fm2();
+    let m = LogGp::fm2(&p);
+    for n in [64usize, 256, 1024, 2048] {
+        let sim = fm2_stream(p, n, stream_count(n)).bandwidth().as_mbps();
+        let ana = m.bandwidth(&p, n).as_mbps();
+        assert!(
+            rel_err(ana, sim) < 0.15,
+            "{n} B bandwidth: analytic {ana:.1} MB/s vs simulated {sim:.1} MB/s"
+        );
+    }
+}

@@ -1,0 +1,781 @@
+//! Fast Messages 1.x — the first-generation API (paper §3, Table 1).
+//!
+//! ```text
+//! FM_send_4(dest, handler, i0, i1, i2, i3)   -> Fm1Engine::try_send4
+//! FM_send(dest, handler, buf, size)          -> Fm1Engine::try_send
+//! FM_extract()                               -> Fm1Engine::extract
+//! ```
+//!
+//! Semantics reproduced from the paper:
+//!
+//! * Messages are **contiguous buffers**; each carries a handler id, and
+//!   the handler runs at the receiver when the *entire* message has
+//!   arrived. Multi-packet messages are assembled into a staging buffer
+//!   first — this staging copy is precisely the receive-side cost that
+//!   FM 2.x's layer interleaving later eliminates (§4.1).
+//! * Reliable, in-order delivery via credit-based sender flow control over
+//!   a lossless network (§3.1).
+//! * `FM_extract` is the only place receive processing happens (decoupled
+//!   scheduling): senders make progress without it, receivers control when
+//!   handlers run — but FM 1.x offers **no control over how much** is
+//!   extracted; `extract` drains everything pending, which is the missing
+//!   receiver flow control that FM 2.x adds.
+//!
+//! The engine is generic over [`NetDevice`] and charges every software
+//! action to the device clock using its [`MachineProfile`] (on real
+//! transports `charge` is a no-op and the cost is real CPU time).
+//!
+//! [`Fm1Stage`] reproduces the incremental-cost experiment of Figure 3a:
+//! link management only, plus I/O-bus management, plus flow control, plus
+//! full buffer management.
+
+use std::collections::VecDeque;
+
+use fm_model::{MachineProfile, Nanos};
+
+use crate::device::NetDevice;
+use crate::error::{FmError, WouldBlock};
+use crate::flow::CreditLedger;
+use crate::packet::{FmPacket, HandlerId, PacketFlags, PacketHeader};
+use crate::stats::FmStats;
+
+/// An FM 1.x message handler.
+///
+/// Runs inside [`Fm1Engine::extract`] once its whole message has arrived.
+/// It receives the engine (so it can reply via
+/// [`Fm1Engine::send_from_handler`] or account costs), the source node,
+/// and the complete contiguous message.
+pub type Fm1Handler<D> = Box<dyn FnMut(&mut Fm1Engine<D>, usize, &[u8])>;
+
+/// Cumulative implementation stages for the Figure 3a overhead breakdown.
+///
+/// The paper measured "the simplest code needed to operate the link DMAs,
+/// then with a few more lines to move data across the I/O bus, and finally
+/// with the flow management code added" — each stage here enables the
+/// corresponding cost/behaviour on top of the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fm1Stage {
+    /// Only link/NIC management: packets move, but host-side I/O bus and
+    /// flow-control costs are not charged and credits are not enforced.
+    LinkOnly,
+    /// Plus programmed-I/O transfer of packets across the I/O bus.
+    IoBus,
+    /// Plus credit-based flow control (bookkeeping and window stalls).
+    FlowControl,
+    /// Plus receive-side buffer management (staging assembly copies):
+    /// the complete FM 1.x.
+    Full,
+}
+
+impl Fm1Stage {
+    fn io_bus(self) -> bool {
+        self >= Fm1Stage::IoBus
+    }
+    fn flow_control(self) -> bool {
+        self >= Fm1Stage::FlowControl
+    }
+    fn buffer_mgmt(self) -> bool {
+        self >= Fm1Stage::Full
+    }
+}
+
+/// In-progress multi-packet message from one source.
+struct Assembly {
+    handler: HandlerId,
+    msg_len: u32,
+    buf: Vec<u8>,
+}
+
+/// The FM 1.x engine for one node.
+pub struct Fm1Engine<D: NetDevice> {
+    device: D,
+    profile: MachineProfile,
+    stage: Fm1Stage,
+    handlers: Vec<Option<Fm1Handler<D>>>,
+    flow: CreditLedger,
+    /// Next packet sequence number per destination.
+    send_pkt_seq: Vec<u32>,
+    /// Next message sequence number per destination.
+    send_msg_seq: Vec<u32>,
+    /// Expected next packet sequence number per source.
+    recv_pkt_seq: Vec<u32>,
+    /// One in-progress assembly per source (FM 1.x sends are atomic per
+    /// (src,dst) pair, so one suffices).
+    assembly: Vec<Option<Assembly>>,
+    /// Handler-initiated sends waiting for credits/space.
+    deferred: VecDeque<(usize, HandlerId, Vec<u8>)>,
+    /// Self-addressed messages (delivered on the next `extract`).
+    local: VecDeque<FmPacket>,
+    errors: Vec<FmError>,
+    stats: FmStats,
+    in_extract: bool,
+}
+
+impl<D: NetDevice> Fm1Engine<D> {
+    /// A full FM 1.x engine (all stages enabled).
+    pub fn new(device: D, profile: MachineProfile) -> Self {
+        Self::with_stage(device, profile, Fm1Stage::Full)
+    }
+
+    /// An engine at a particular implementation stage (Figure 3a).
+    pub fn with_stage(device: D, profile: MachineProfile, stage: Fm1Stage) -> Self {
+        let n = device.num_nodes();
+        Fm1Engine {
+            device,
+            profile,
+            stage,
+            handlers: Vec::new(),
+            flow: CreditLedger::new(n, profile.fm.credits_per_peer),
+            send_pkt_seq: vec![0; n],
+            send_msg_seq: vec![0; n],
+            recv_pkt_seq: vec![0; n],
+            assembly: (0..n).map(|_| None).collect(),
+            deferred: VecDeque::new(),
+            local: VecDeque::new(),
+            errors: Vec::new(),
+            stats: FmStats::default(),
+            in_extract: false,
+        }
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> usize {
+        self.device.node_id()
+    }
+
+    /// Number of nodes in the network.
+    pub fn num_nodes(&self) -> usize {
+        self.device.num_nodes()
+    }
+
+    /// Current time (virtual on the simulator).
+    pub fn now(&self) -> Nanos {
+        self.device.now()
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> FmStats {
+        self.stats
+    }
+
+    /// The machine profile in force.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.profile
+    }
+
+    /// Direct access to the underlying device (test harnesses and
+    /// transports that need to pump packets by hand).
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
+    /// Register `handler` under `id` (replacing any previous one).
+    pub fn set_handler(&mut self, id: HandlerId, handler: Fm1Handler<D>) {
+        let idx = id.0 as usize;
+        if self.handlers.len() <= idx {
+            self.handlers.resize_with(idx + 1, || None);
+        }
+        self.handlers[idx] = Some(handler);
+    }
+
+    /// Account arbitrary host cost (used by layered libraries for their own
+    /// processing).
+    pub fn charge(&mut self, cost: Nanos) {
+        self.device.charge(cost);
+    }
+
+    /// Account a host memcpy of `bytes` (used by layered libraries — e.g.
+    /// MPI-FM's assembly and delivery copies; also counted in
+    /// [`FmStats::bytes_copied`]).
+    pub fn charge_memcpy(&mut self, bytes: usize) {
+        self.stats.bytes_copied += bytes as u64;
+        let cost = self.profile.host.memcpy(bytes as u64);
+        self.device.charge(cost);
+    }
+
+    /// Guarantee-violation reports accumulated by `extract` (empties the
+    /// log).
+    pub fn take_errors(&mut self) -> Vec<FmError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// `FM_send`: send `data` to `dst`, invoking `handler` there.
+    ///
+    /// Non-blocking: returns [`WouldBlock`] (without sending anything) when
+    /// flow-control credits or NIC queue space are insufficient for the
+    /// whole message; retry after the next `extract`. FM 1.x hands whole
+    /// messages to the NIC atomically.
+    pub fn try_send(&mut self, dst: usize, handler: HandlerId, data: &[u8]) -> Result<(), WouldBlock> {
+        self.device.charge(Nanos(self.profile.host.send_call_ns));
+        if dst == self.device.node_id() {
+            return self.send_local(handler, data);
+        }
+        let mtu = self.profile.fm.mtu_payload;
+        let packets = if data.is_empty() { 1 } else { data.len().div_ceil(mtu) } as u32;
+
+        if self.device.send_space() < packets as usize {
+            self.stats.device_stalls += 1;
+            return Err(WouldBlock);
+        }
+        if self.stage.flow_control() && !self.flow.try_reserve(dst, packets) {
+            self.stats.credit_stalls += 1;
+            return Err(WouldBlock);
+        }
+
+        let msg_seq = self.send_msg_seq[dst];
+        self.send_msg_seq[dst] += 1;
+        let total = packets as usize;
+        for (i, chunk) in chunks_or_empty(data, mtu).enumerate() {
+            let mut flags = PacketFlags::EMPTY;
+            if i == 0 {
+                flags = flags | PacketFlags::FIRST;
+            }
+            if i + 1 == total {
+                flags = flags | PacketFlags::LAST;
+            }
+            let credits = if self.stage.flow_control() && i == 0 {
+                self.flow.take_owed(dst)
+            } else {
+                0
+            };
+            let pkt = FmPacket {
+                header: PacketHeader {
+                    src: self.device.node_id() as u16,
+                    dst: dst as u16,
+                    handler,
+                    msg_seq,
+                    pkt_seq: self.send_pkt_seq[dst],
+                    msg_len: data.len() as u32,
+                    flags,
+                    credits,
+                },
+                payload: chunk.to_vec(),
+            };
+            self.send_pkt_seq[dst] += 1;
+            self.charge_packet_send(pkt.wire_bytes());
+            self.device
+                .try_send(pkt)
+                .expect("space was checked before reserving");
+            self.stats.packets_sent += 1;
+        }
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        Ok(())
+    }
+
+    /// `FM_send_4`: the four-word fast path.
+    pub fn try_send4(&mut self, dst: usize, handler: HandlerId, words: [u32; 4]) -> Result<(), WouldBlock> {
+        let mut buf = [0u8; 16];
+        for (i, w) in words.iter().enumerate() {
+            buf[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        self.try_send(dst, handler, &buf)
+    }
+
+    /// Queue a message from inside a handler. Handler-initiated sends are
+    /// buffered by FM and flushed by `extract`/`progress` as credits allow
+    /// (a handler cannot block).
+    pub fn send_from_handler(&mut self, dst: usize, handler: HandlerId, data: Vec<u8>) {
+        self.deferred.push_back((dst, handler, data));
+    }
+
+    /// Flush deferred handler-initiated sends and owed explicit credits.
+    /// Returns true if everything deferred has been flushed.
+    pub fn progress(&mut self) -> bool {
+        while let Some((dst, handler, data)) = self.deferred.pop_front() {
+            if self.try_send(dst, handler, &data).is_err() {
+                self.deferred.push_front((dst, handler, data));
+                break;
+            }
+        }
+        self.return_explicit_credits();
+        self.deferred.is_empty()
+    }
+
+    fn send_local(&mut self, handler: HandlerId, data: &[u8]) -> Result<(), WouldBlock> {
+        // Self-sends bypass the NIC entirely (no credits, no packets on the
+        // wire) and are delivered at the next extract.
+        self.local.push_back(FmPacket {
+            header: PacketHeader {
+                src: self.device.node_id() as u16,
+                dst: self.device.node_id() as u16,
+                handler,
+                msg_seq: 0,
+                pkt_seq: 0,
+                msg_len: data.len() as u32,
+                flags: PacketFlags::FIRST | PacketFlags::LAST,
+                credits: 0,
+            },
+            payload: data.to_vec(),
+        });
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += data.len() as u64;
+        Ok(())
+    }
+
+    fn charge_packet_send(&mut self, wire_bytes: u32) {
+        let mut cost = Nanos(self.profile.host.per_packet_send_ns);
+        if self.stage.io_bus() {
+            cost += self.profile.iobus.pio(wire_bytes as u64);
+        }
+        if self.stage.flow_control() {
+            cost += Nanos(self.profile.host.flow_control_ns);
+        }
+        self.device.charge(cost);
+    }
+
+    fn return_explicit_credits(&mut self) {
+        let due: Vec<usize> = self.flow.needs_explicit_return().collect();
+        for peer in due {
+            if self.device.send_space() == 0 {
+                return; // retry next time
+            }
+            let credits = self.flow.take_owed(peer);
+            if credits == 0 {
+                continue;
+            }
+            let pkt = FmPacket::credit_only(self.device.node_id() as u16, peer as u16, credits);
+            self.charge_packet_send(pkt.wire_bytes());
+            self.device.try_send(pkt).expect("space checked");
+            self.stats.credit_packets_sent += 1;
+        }
+    }
+
+    /// `FM_extract`: process **all** pending incoming packets, running the
+    /// handler of each completed message. Returns the number of messages
+    /// handled.
+    ///
+    /// FM 1.x gives the receiver no control over the amount extracted —
+    /// that limitation (paper §3.2) is what FM 2.x's byte budget fixes.
+    ///
+    /// # Panics
+    /// Panics if called from inside a handler (FM handlers must not
+    /// recurse into extract).
+    pub fn extract(&mut self) -> usize {
+        assert!(!self.in_extract, "FM_extract may not be called from a handler");
+        self.device.charge(Nanos(self.profile.host.extract_poll_ns));
+        let mut handled = 0;
+
+        // Self-addressed messages first.
+        while let Some(pkt) = self.local.pop_front() {
+            handled += self.dispatch_complete(
+                pkt.header.src as usize,
+                pkt.header.handler,
+                pkt.payload,
+            );
+        }
+
+        while let Some(pkt) = self.device.try_recv() {
+            self.device
+                .charge(Nanos(self.profile.host.per_packet_recv_ns));
+            let src = pkt.header.src as usize;
+            if self.stage.flow_control() {
+                self.device.charge(Nanos(self.profile.host.flow_control_ns));
+                if pkt.header.credits > 0 {
+                    self.flow.credit_returned(src, pkt.header.credits as u32);
+                }
+                if !pkt.is_data() {
+                    continue;
+                }
+                self.flow.packet_drained(src);
+            } else if !pkt.is_data() {
+                continue;
+            }
+
+            // In-order guarantee check.
+            let expected = self.recv_pkt_seq[src];
+            if pkt.header.pkt_seq != expected {
+                self.errors.push(FmError::SequenceGap {
+                    src,
+                    expected,
+                    got: pkt.header.pkt_seq,
+                });
+                // Resynchronize and abandon any partial assembly.
+                self.recv_pkt_seq[src] = pkt.header.pkt_seq + 1;
+                self.assembly[src] = None;
+                // Can't trust mid-message data without its start.
+                if !pkt.header.flags.contains(PacketFlags::FIRST) {
+                    continue;
+                }
+            } else {
+                self.recv_pkt_seq[src] = expected + 1;
+            }
+            self.stats.packets_received += 1;
+
+            let first = pkt.header.flags.contains(PacketFlags::FIRST);
+            let last = pkt.header.flags.contains(PacketFlags::LAST);
+            if first && last {
+                // Single-packet message: deliver in place, no staging copy.
+                handled += self.dispatch_complete(src, pkt.header.handler, pkt.payload);
+                continue;
+            }
+            if first {
+                self.assembly[src] = Some(Assembly {
+                    handler: pkt.header.handler,
+                    msg_len: pkt.header.msg_len,
+                    buf: Vec::with_capacity(pkt.header.msg_len as usize),
+                });
+            }
+            let Some(asm) = self.assembly[src].as_mut() else {
+                self.errors.push(FmError::OrphanPacket {
+                    src,
+                    msg_seq: pkt.header.msg_seq,
+                });
+                continue;
+            };
+            // Staging assembly: the FM 1.x receive-side copy.
+            asm.buf.extend_from_slice(&pkt.payload);
+            if self.stage.buffer_mgmt() {
+                self.stats.bytes_copied += pkt.payload.len() as u64;
+                let c = self.profile.host.memcpy(pkt.payload.len() as u64);
+                self.device.charge(c);
+            }
+            if last {
+                let asm = self.assembly[src].take().expect("just appended");
+                debug_assert_eq!(asm.buf.len(), asm.msg_len as usize);
+                handled += self.dispatch_complete(src, asm.handler, asm.buf);
+            }
+        }
+
+        // Flush deferred handler sends and owed credits.
+        self.progress();
+        handled
+    }
+
+    fn dispatch_complete(&mut self, src: usize, handler: HandlerId, data: Vec<u8>) -> usize {
+        self.device
+            .charge(Nanos(self.profile.host.handler_dispatch_ns));
+        let idx = handler.0 as usize;
+        let slot = self.handlers.get_mut(idx).and_then(Option::take);
+        let Some(mut h) = slot else {
+            self.errors.push(FmError::UnknownHandler { handler: handler.0 });
+            return 0;
+        };
+        self.in_extract = true;
+        h(self, src, &data);
+        self.in_extract = false;
+        self.handlers[idx] = Some(h);
+        self.stats.handlers_run += 1;
+        self.stats.messages_received += 1;
+        self.stats.bytes_received += data.len() as u64;
+        1
+    }
+}
+
+/// Chunk `data` by `mtu`, yielding one empty chunk for empty data (every
+/// message is at least one packet).
+fn chunks_or_empty(data: &[u8], mtu: usize) -> impl Iterator<Item = &[u8]> {
+    let empty: &[u8] = &[];
+    let use_empty = data.is_empty();
+    data.chunks(mtu)
+        .chain(std::iter::once(empty).filter(move |_| use_empty))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{LoopbackDevice, LoopbackPair};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const H: HandlerId = HandlerId(1);
+
+    fn profile() -> MachineProfile {
+        MachineProfile::sparc_fm1()
+    }
+
+    fn pair() -> (Fm1Engine<LoopbackDevice>, Fm1Engine<LoopbackDevice>) {
+        // Device capacity strictly above the credit window so credit
+        // exhaustion, not queue exhaustion, is what tests observe.
+        let (a, b) = LoopbackPair::new(256);
+        (Fm1Engine::new(a, profile()), Fm1Engine::new(b, profile()))
+    }
+
+    type MsgLog = Rc<RefCell<Vec<(usize, Vec<u8>)>>>;
+
+    /// Install a handler that appends (src, message bytes) to a shared log.
+    fn recording_handler(e: &mut Fm1Engine<LoopbackDevice>, id: HandlerId) -> MsgLog {
+        let log: MsgLog = Rc::default();
+        let l = Rc::clone(&log);
+        e.set_handler(
+            id,
+            Box::new(move |_, src, data| l.borrow_mut().push((src, data.to_vec()))),
+        );
+        log
+    }
+
+    fn deliver(a: &mut Fm1Engine<LoopbackDevice>, b: &mut Fm1Engine<LoopbackDevice>) {
+        LoopbackPair::deliver(&mut a.device, &mut b.device);
+    }
+
+    #[test]
+    fn small_message_round_trip() {
+        let (mut s, mut r) = pair();
+        let log = recording_handler(&mut r, H);
+        s.try_send(1, H, b"hello").unwrap();
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 1);
+        assert_eq!(*log.borrow(), vec![(0, b"hello".to_vec())]);
+        assert_eq!(s.stats().messages_sent, 1);
+        assert_eq!(r.stats().messages_received, 1);
+        assert_eq!(r.stats().bytes_received, 5);
+    }
+
+    #[test]
+    fn multi_packet_message_is_assembled() {
+        let (mut s, mut r) = pair();
+        let log = recording_handler(&mut r, H);
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        s.try_send(1, H, &data).unwrap();
+        assert_eq!(s.stats().packets_sent, 8, "1000 B / 128 B MTU");
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 1);
+        assert_eq!(log.borrow()[0].1, data);
+        // Staging copy happened (multi-packet).
+        assert_eq!(r.stats().bytes_copied, 1000);
+    }
+
+    #[test]
+    fn single_packet_message_has_no_staging_copy() {
+        let (mut s, mut r) = pair();
+        let _log = recording_handler(&mut r, H);
+        s.try_send(1, H, &[7u8; 100]).unwrap();
+        deliver(&mut s, &mut r);
+        r.extract();
+        assert_eq!(r.stats().bytes_copied, 0, "delivered in place");
+    }
+
+    #[test]
+    fn send4_fast_path() {
+        let (mut s, mut r) = pair();
+        let log = recording_handler(&mut r, H);
+        s.try_send4(1, H, [1, 2, 3, 0xDEADBEEF]).unwrap();
+        deliver(&mut s, &mut r);
+        r.extract();
+        let data = &log.borrow()[0].1;
+        assert_eq!(data.len(), 16);
+        assert_eq!(u32::from_le_bytes(data[12..16].try_into().unwrap()), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn empty_message_still_invokes_handler() {
+        let (mut s, mut r) = pair();
+        let log = recording_handler(&mut r, H);
+        s.try_send(1, H, &[]).unwrap();
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 1);
+        assert_eq!(*log.borrow(), vec![(0, vec![])]);
+    }
+
+    #[test]
+    fn messages_arrive_in_order() {
+        let (mut s, mut r) = pair();
+        let log = recording_handler(&mut r, H);
+        for i in 0..10u8 {
+            s.try_send(1, H, &[i]).unwrap();
+        }
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 10);
+        let got: Vec<u8> = log.borrow().iter().map(|(_, d)| d[0]).collect();
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn credits_exhaust_and_recover() {
+        let (mut s, mut r) = pair();
+        let _log = recording_handler(&mut r, H);
+        let window = profile().fm.credits_per_peer; // 32 single-packet sends
+        for i in 0..window {
+            assert!(s.try_send(1, H, &[i as u8]).is_ok(), "send {i}");
+        }
+        // Window exhausted.
+        assert_eq!(s.try_send(1, H, &[99]), Err(WouldBlock));
+        assert_eq!(s.stats().credit_stalls, 1);
+
+        // Receiver drains; explicit credit packets flow back.
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), window as usize);
+        assert!(r.stats().credit_packets_sent > 0);
+        deliver(&mut r, &mut s);
+        s.extract(); // processes the credit-only packets
+        assert!(s.try_send(1, H, &[99]).is_ok());
+    }
+
+    #[test]
+    fn piggybacked_credits_on_bidirectional_traffic() {
+        let (mut a, mut b) = pair();
+        let _la = recording_handler(&mut a, H);
+        let _lb = recording_handler(&mut b, H);
+        // a -> b, b drains, then b -> a data packet carries the credit.
+        a.try_send(1, H, b"x").unwrap();
+        deliver(&mut a, &mut b);
+        b.extract();
+        assert_eq!(b.flow_owed_for_test(0), 1);
+        b.try_send(0, H, b"y").unwrap();
+        assert_eq!(b.flow_owed_for_test(0), 0, "credit piggybacked");
+        deliver(&mut b, &mut a);
+        a.extract();
+        assert_eq!(a.flow_available_for_test(1), profile().fm.credits_per_peer);
+    }
+
+    #[test]
+    fn device_full_reports_wouldblock() {
+        let (a, b) = LoopbackPair::new(2);
+        let mut s = Fm1Engine::new(a, profile());
+        let mut r = Fm1Engine::new(b, profile());
+        let _log = recording_handler(&mut r, H);
+        // 3 packets needed, only 2 slots.
+        let data = vec![0u8; 300];
+        assert_eq!(s.try_send(1, H, &data), Err(WouldBlock));
+        assert_eq!(s.stats().device_stalls, 1);
+        assert_eq!(s.stats().packets_sent, 0, "nothing partially sent");
+    }
+
+    #[test]
+    fn sequence_gap_is_detected_and_reported() {
+        let (mut s, mut r) = pair();
+        let log = recording_handler(&mut r, H);
+        s.try_send(1, H, &[1]).unwrap();
+        s.try_send(1, H, &[2]).unwrap();
+        s.try_send(1, H, &[3]).unwrap();
+        // Drop the middle packet in flight.
+        let dropped = s.device_out_remove_for_test(1);
+        assert_eq!(dropped.payload, vec![2]);
+        deliver(&mut s, &mut r);
+        let handled = r.extract();
+        assert_eq!(handled, 2, "messages 1 and 3 still delivered");
+        let errs = r.take_errors();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(
+            errs[0],
+            FmError::SequenceGap { src: 0, expected: 1, got: 2 }
+        ));
+        assert!(r.take_errors().is_empty(), "errors drained");
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn dropped_first_packet_orphans_rest_of_message() {
+        let (mut s, mut r) = pair();
+        let log = recording_handler(&mut r, H);
+        let data = vec![9u8; 300]; // 3 packets
+        s.try_send(1, H, &data).unwrap();
+        let _ = s.device_out_remove_for_test(0); // drop FIRST
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 0);
+        let errs = r.take_errors();
+        // One gap; the orphaned middle packet is skipped after resync
+        // (non-FIRST), and the LAST packet is also orphaned.
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, FmError::SequenceGap { .. })));
+        assert!(log.borrow().is_empty());
+    }
+
+    #[test]
+    fn handler_can_reply_ping_pong() {
+        let (mut a, mut b) = pair();
+        let pong_log = recording_handler(&mut a, HandlerId(2));
+        // b's handler replies with the payload incremented.
+        b.set_handler(
+            H,
+            Box::new(|eng, src, data| {
+                let reply: Vec<u8> = data.iter().map(|x| x + 1).collect();
+                eng.send_from_handler(src, HandlerId(2), reply);
+            }),
+        );
+        a.try_send(1, H, &[10, 20]).unwrap();
+        deliver(&mut a, &mut b);
+        b.extract(); // runs handler, queues reply; progress flushes it
+        deliver(&mut b, &mut a);
+        a.extract();
+        assert_eq!(*pong_log.borrow(), vec![(1, vec![11, 21])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not be called from a handler")]
+    fn extract_from_handler_panics() {
+        let (mut s, mut r) = pair();
+        r.set_handler(
+            H,
+            Box::new(|eng, _, _| {
+                eng.extract();
+            }),
+        );
+        s.try_send(1, H, &[1]).unwrap();
+        deliver(&mut s, &mut r);
+        r.extract();
+    }
+
+    #[test]
+    fn unknown_handler_is_reported() {
+        let (mut s, mut r) = pair();
+        s.try_send(1, HandlerId(42), &[1]).unwrap();
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 0);
+        let errs = r.take_errors();
+        assert!(matches!(errs[0], FmError::UnknownHandler { handler: 42 }));
+    }
+
+    #[test]
+    fn self_send_is_delivered_locally() {
+        let (mut a, _b) = pair();
+        let log = recording_handler(&mut a, H);
+        a.try_send(0, H, b"me").unwrap();
+        assert_eq!(a.extract(), 1);
+        assert_eq!(*log.borrow(), vec![(0, b"me".to_vec())]);
+        assert_eq!(a.stats().packets_sent, 0, "no wire traffic");
+    }
+
+    #[test]
+    fn stages_gate_costs() {
+        // The same transfer charges strictly more virtual time at each
+        // cumulative stage.
+        let mut elapsed = Vec::new();
+        for stage in [
+            Fm1Stage::LinkOnly,
+            Fm1Stage::IoBus,
+            Fm1Stage::FlowControl,
+            Fm1Stage::Full,
+        ] {
+            let (a, b) = LoopbackPair::new(64);
+            let mut s = Fm1Engine::with_stage(a, profile(), stage);
+            let mut r = Fm1Engine::with_stage(b, profile(), stage);
+            let _log = recording_handler(&mut r, H);
+            let data = vec![0u8; 512];
+            s.try_send(1, H, &data).unwrap();
+            LoopbackPair::deliver(&mut s.device, &mut r.device);
+            r.extract();
+            elapsed.push(s.now() + r.now());
+        }
+        assert!(
+            elapsed.windows(2).all(|w| w[0] < w[1]),
+            "stage costs must be cumulative: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn link_only_stage_ignores_credits() {
+        let (a, b) = LoopbackPair::new(1024);
+        let mut s = Fm1Engine::with_stage(a, profile(), Fm1Stage::LinkOnly);
+        let _r = Fm1Engine::with_stage(b, profile(), Fm1Stage::LinkOnly);
+        let window = profile().fm.credits_per_peer;
+        for i in 0..window * 2 {
+            assert!(s.try_send(1, H, &[i as u8]).is_ok());
+        }
+        assert_eq!(s.stats().credit_stalls, 0);
+    }
+
+    // --- test-only accessors ---
+    impl Fm1Engine<LoopbackDevice> {
+        fn flow_owed_for_test(&self, peer: usize) -> u32 {
+            self.flow.owed(peer)
+        }
+        fn flow_available_for_test(&self, peer: usize) -> u32 {
+            self.flow.available(peer)
+        }
+        fn device_out_remove_for_test(&mut self, idx: usize) -> FmPacket {
+            self.device.out_remove_for_test(idx)
+        }
+    }
+}

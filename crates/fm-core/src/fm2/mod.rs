@@ -1,0 +1,37 @@
+//! Fast Messages 2.x — the second-generation API (paper §4, Table 2).
+//!
+//! ```text
+//! FM_begin_message(dest, size, handler)  -> Fm2Engine::begin_message
+//! FM_send_piece(stream, buf, bytes)      -> Fm2Engine::try_send_piece
+//! FM_end_message(stream)                 -> Fm2Engine::try_end_message
+//! FM_receive(stream, buf, bytes)         -> FmStream::receive(buf).await
+//! FM_extract(bytes)                      -> Fm2Engine::extract(budget)
+//! ```
+//!
+//! What changed from FM 1.x, and why (paper §3.2, §4.1):
+//!
+//! * **Gather/scatter** — a message is a *byte stream*, composed from any
+//!   number of arbitrarily-sized pieces on the send side and decomposed
+//!   into any number of arbitrarily-sized reads on the receive side. The
+//!   piece boundaries need not match. Header attachment/removal (the bread
+//!   and butter of protocol layering) no longer costs a copy.
+//! * **Layer interleaving / transparent handler multithreading** — a
+//!   handler starts as soon as the *first* packet of its message arrives
+//!   and is suspended/resumed transparently at `FM_receive` boundaries as
+//!   later packets stream in. In this implementation a handler is an
+//!   `async` function and `FM_receive` is an await point; the engine polls
+//!   the handler exactly when new bytes (or the end of its message)
+//!   arrive. This is what lets a layered library read a header, look up
+//!   the destination buffer, and have the payload land directly in it.
+//! * **Receiver flow control** — `FM_extract` takes a byte budget
+//!   (rounded up to a packet boundary), so the receiving layer controls
+//!   how much data it is presented at a time and its buffer pools stop
+//!   overrunning.
+
+mod engine;
+mod sendstream;
+mod stream;
+
+pub use engine::{Fm2Engine, Fm2HandlerFn};
+pub use sendstream::SendStream;
+pub use stream::FmStream;

@@ -1,0 +1,390 @@
+//! The receive-side stream: `FM_receive` as an await point.
+//!
+//! An [`FmStream`] is the handler's view of one in-flight message. Bytes
+//! arrive packet by packet (appended by the engine during `FM_extract`);
+//! the handler consumes them in arbitrarily-sized [`FmStream::receive`]
+//! calls that suspend when not enough data has arrived yet. This is the
+//! paper's "clean sequential view of message reception" — the handler is
+//! written as if the whole message were already there, and the engine's
+//! scheduling (packetization, interleaving with other messages) is
+//! invisible to it.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll};
+
+use fm_model::Nanos;
+
+/// Shared cost sink between a stream and its engine: receive-side copies
+/// charge here during a handler poll, and the engine drains it into the
+/// device clock afterwards (the engine cannot be borrowed during the poll).
+pub(crate) struct ChargeCell {
+    pub(crate) pending: Nanos,
+    pub(crate) bytes_copied: u64,
+    pub(crate) memcpy_ns_per_kb: u64,
+    pub(crate) piece_call_ns: u64,
+}
+
+impl ChargeCell {
+    pub(crate) fn new(memcpy_ns_per_kb: u64, piece_call_ns: u64) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(ChargeCell {
+            pending: Nanos::ZERO,
+            bytes_copied: 0,
+            memcpy_ns_per_kb,
+            piece_call_ns,
+        }))
+    }
+}
+
+/// Receive-side state of one message.
+pub(crate) struct StreamState {
+    pub(crate) src: usize,
+    pub(crate) msg_len: u32,
+    /// Arrived, unconsumed payload segments (one per packet).
+    pub(crate) segments: VecDeque<Vec<u8>>,
+    /// Consumed prefix of the front segment.
+    pub(crate) front_offset: usize,
+    /// Total payload bytes arrived.
+    pub(crate) received: usize,
+    /// Total payload bytes consumed by `receive`/`skip`.
+    pub(crate) consumed: usize,
+    /// True once the LAST packet has arrived.
+    pub(crate) ended: bool,
+}
+
+impl StreamState {
+    pub(crate) fn new(src: usize, msg_len: u32) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(StreamState {
+            src,
+            msg_len,
+            segments: VecDeque::new(),
+            front_offset: 0,
+            received: 0,
+            consumed: 0,
+            ended: false,
+        }))
+    }
+
+    /// Bytes available to consume right now.
+    fn available(&self) -> usize {
+        self.received - self.consumed
+    }
+
+    /// Copy up to `out.len()` available bytes into `out`; returns count.
+    fn copy_out(&mut self, out: &mut [u8]) -> usize {
+        let mut filled = 0;
+        while filled < out.len() {
+            let Some(front) = self.segments.front() else { break };
+            let avail = &front[self.front_offset..];
+            let n = avail.len().min(out.len() - filled);
+            out[filled..filled + n].copy_from_slice(&avail[..n]);
+            filled += n;
+            self.front_offset += n;
+            if self.front_offset == front.len() {
+                self.segments.pop_front();
+                self.front_offset = 0;
+            }
+        }
+        self.consumed += filled;
+        filled
+    }
+
+    /// Discard up to `n` available bytes; returns count discarded.
+    fn discard(&mut self, n: usize) -> usize {
+        let mut dropped = 0;
+        while dropped < n {
+            let Some(front) = self.segments.front() else { break };
+            let avail = front.len() - self.front_offset;
+            let take = avail.min(n - dropped);
+            dropped += take;
+            self.front_offset += take;
+            if self.front_offset == front.len() {
+                self.segments.pop_front();
+                self.front_offset = 0;
+            }
+        }
+        self.consumed += dropped;
+        dropped
+    }
+}
+
+/// A handler's read handle on one in-flight message (the paper's
+/// `FM_stream`).
+///
+/// Cheap to clone; all clones view the same message.
+#[derive(Clone)]
+pub struct FmStream {
+    pub(crate) state: Rc<RefCell<StreamState>>,
+    pub(crate) charge: Rc<RefCell<ChargeCell>>,
+}
+
+impl FmStream {
+    /// The sending node.
+    pub fn src(&self) -> usize {
+        self.state.borrow().src
+    }
+
+    /// Total message payload length (from `FM_begin_message`'s size).
+    pub fn msg_len(&self) -> usize {
+        self.state.borrow().msg_len as usize
+    }
+
+    /// Bytes available to `receive` without suspending.
+    pub fn available(&self) -> usize {
+        self.state.borrow().available()
+    }
+
+    /// Bytes of the message not yet consumed (based on the declared
+    /// length).
+    pub fn remaining(&self) -> usize {
+        let s = self.state.borrow();
+        s.msg_len as usize - s.consumed
+    }
+
+    /// `FM_receive`: fill `buf` from the message byte stream, suspending
+    /// until enough data arrives. Resolves to the number of bytes written —
+    /// `buf.len()` unless the message ended first (short read).
+    ///
+    /// Each resumption that copies bytes charges the host memcpy cost; the
+    /// call itself charges the fixed `FM_receive` overhead once.
+    pub fn receive<'a>(&'a self, buf: &'a mut [u8]) -> Receive<'a> {
+        Receive {
+            stream: self,
+            buf,
+            filled: 0,
+            charged_call: false,
+        }
+    }
+
+    /// Consume and discard `n` bytes of the stream (no copy, no memcpy
+    /// charge), suspending until they have arrived. Resolves to the number
+    /// discarded (short if the message ended first).
+    pub fn skip(&self, n: usize) -> Skip<'_> {
+        Skip {
+            stream: self,
+            want: n,
+            dropped: 0,
+            charged_call: false,
+        }
+    }
+
+    /// Convenience: receive exactly `n` bytes into a fresh buffer.
+    /// Truncated if the message ends early.
+    pub async fn receive_vec(&self, n: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; n];
+        let got = self.receive(&mut buf).await;
+        buf.truncate(got);
+        buf
+    }
+}
+
+/// Future returned by [`FmStream::receive`].
+pub struct Receive<'a> {
+    stream: &'a FmStream,
+    buf: &'a mut [u8],
+    filled: usize,
+    charged_call: bool,
+}
+
+impl Future for Receive<'_> {
+    type Output = usize;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<usize> {
+        let this = self.get_mut();
+        if !this.charged_call {
+            this.charged_call = true;
+            let mut c = this.stream.charge.borrow_mut();
+            let ns = c.piece_call_ns;
+            c.pending += Nanos(ns);
+        }
+        let mut st = this.stream.state.borrow_mut();
+        let n = st.copy_out(&mut this.buf[this.filled..]);
+        if n > 0 {
+            let mut c = this.stream.charge.borrow_mut();
+            c.bytes_copied += n as u64;
+            let cost = fm_model::time::ns_for_bytes(c.memcpy_ns_per_kb, n as u64);
+            c.pending += cost;
+        }
+        this.filled += n;
+        if this.filled == this.buf.len() || (st.ended && st.available() == 0) {
+            Poll::Ready(this.filled)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`FmStream::skip`].
+pub struct Skip<'a> {
+    stream: &'a FmStream,
+    want: usize,
+    dropped: usize,
+    charged_call: bool,
+}
+
+impl Future for Skip<'_> {
+    type Output = usize;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<usize> {
+        let this = self.get_mut();
+        if !this.charged_call {
+            this.charged_call = true;
+            let mut c = this.stream.charge.borrow_mut();
+            let ns = c.piece_call_ns;
+            c.pending += Nanos(ns);
+        }
+        let mut st = this.stream.state.borrow_mut();
+        this.dropped += st.discard(this.want - this.dropped);
+        if this.dropped == this.want || (st.ended && st.available() == 0) {
+            Poll::Ready(this.dropped)
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::task::Waker;
+
+    fn make_stream(src: usize, len: u32) -> FmStream {
+        FmStream {
+            state: StreamState::new(src, len),
+            charge: ChargeCell::new(1024, 100), // 1 ns/B memcpy, 100 ns/call
+        }
+    }
+
+    fn push(s: &FmStream, bytes: &[u8]) {
+        let mut st = s.state.borrow_mut();
+        st.received += bytes.len();
+        st.segments.push_back(bytes.to_vec());
+    }
+
+    fn end(s: &FmStream) {
+        s.state.borrow_mut().ended = true;
+    }
+
+    fn poll<F: Future>(fut: &mut Pin<Box<F>>) -> Poll<F::Output> {
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        fut.as_mut().poll(&mut cx)
+    }
+
+    #[test]
+    fn receive_suspends_until_data_arrives() {
+        let s = make_stream(3, 8);
+        let mut buf = [0u8; 4];
+        {
+            let mut fut = Box::pin(s.receive(&mut buf));
+            assert_eq!(poll(&mut fut), Poll::Pending);
+            push(&s, &[1, 2]);
+            assert_eq!(poll(&mut fut), Poll::Pending, "only 2 of 4");
+            push(&s, &[3, 4, 5]);
+            assert_eq!(poll(&mut fut), Poll::Ready(4));
+        }
+        assert_eq!(buf, [1, 2, 3, 4]);
+        assert_eq!(s.available(), 1, "byte 5 still queued");
+    }
+
+    #[test]
+    fn receive_crosses_packet_boundaries_transparently() {
+        let s = make_stream(0, 10);
+        for chunk in [&[0u8, 1][..], &[2, 3, 4][..], &[5][..], &[6, 7, 8, 9][..]] {
+            push(&s, chunk);
+        }
+        end(&s);
+        let mut buf = [0u8; 10];
+        let mut fut = Box::pin(s.receive(&mut buf));
+        assert_eq!(poll(&mut fut), Poll::Ready(10));
+        drop(fut);
+        assert_eq!(buf, [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn short_read_at_message_end() {
+        let s = make_stream(0, 3);
+        push(&s, &[1, 2, 3]);
+        end(&s);
+        let mut buf = [0u8; 8];
+        let mut fut = Box::pin(s.receive(&mut buf));
+        assert_eq!(poll(&mut fut), Poll::Ready(3));
+    }
+
+    #[test]
+    fn zero_length_receive_is_immediate() {
+        let s = make_stream(0, 5);
+        let mut buf = [0u8; 0];
+        let mut fut = Box::pin(s.receive(&mut buf));
+        assert_eq!(poll(&mut fut), Poll::Ready(0));
+    }
+
+    #[test]
+    fn skip_discards_without_copy_charge() {
+        let s = make_stream(0, 6);
+        push(&s, &[1, 2, 3, 4]);
+        let mut fut = Box::pin(s.skip(5));
+        assert_eq!(poll(&mut fut), Poll::Pending);
+        push(&s, &[5, 6]);
+        assert_eq!(poll(&mut fut), Poll::Ready(5));
+        drop(fut);
+        assert_eq!(s.available(), 1);
+        let c = s.charge.borrow();
+        assert_eq!(c.bytes_copied, 0, "skip copies nothing");
+        assert_eq!(c.pending, Nanos(100), "only the fixed call cost");
+    }
+
+    #[test]
+    fn charges_accumulate_per_copy() {
+        let s = make_stream(0, 4);
+        push(&s, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        let mut fut = Box::pin(s.receive(&mut buf));
+        assert_eq!(poll(&mut fut), Poll::Ready(4));
+        drop(fut);
+        let c = s.charge.borrow();
+        assert_eq!(c.bytes_copied, 4);
+        // 100 ns call + 4 B at 1 ns/B.
+        assert_eq!(c.pending, Nanos(104));
+    }
+
+    #[test]
+    fn sequential_receives_see_the_stream_in_order() {
+        let s = make_stream(0, 6);
+        push(&s, &[10, 11, 12, 13, 14, 15]);
+        end(&s);
+        let mut a = [0u8; 2];
+        let mut b = [0u8; 4];
+        assert_eq!(poll(&mut Box::pin(s.receive(&mut a))), Poll::Ready(2));
+        assert_eq!(poll(&mut Box::pin(s.receive(&mut b))), Poll::Ready(4));
+        assert_eq!(a, [10, 11]);
+        assert_eq!(b, [12, 13, 14, 15]);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn receive_vec_truncates_on_early_end() {
+        let s = make_stream(0, 2);
+        push(&s, &[1, 2]);
+        end(&s);
+        let mut fut = Box::pin(s.receive_vec(10));
+        match poll(&mut fut) {
+            Poll::Ready(v) => assert_eq!(v, vec![1, 2]),
+            Poll::Pending => panic!("ended stream must resolve"),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = make_stream(7, 100);
+        assert_eq!(s.src(), 7);
+        assert_eq!(s.msg_len(), 100);
+        assert_eq!(s.remaining(), 100);
+        assert_eq!(s.available(), 0);
+        push(&s, &[0; 30]);
+        assert_eq!(s.available(), 30);
+    }
+}

@@ -1,0 +1,169 @@
+//! The FM wire packet.
+//!
+//! FM packetizes every message into MTU-bounded packets. The header carries
+//! what the receive path needs to reassemble byte streams, dispatch
+//! handlers, enforce in-order delivery, and return flow-control credits
+//! without extra wire traffic (piggybacking).
+
+/// Identifies a registered message handler on the receiving node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandlerId(pub u32);
+
+/// Wire bytes occupied by the FM header plus Myrinet routing/CRC framing.
+/// (FM's real header was ~4 words; routing bytes and CRC add the rest.)
+pub const HEADER_WIRE_BYTES: u32 = 24;
+
+/// Tiny local stand-in for the `bitflags` crate (not on the approved
+/// dependency list) — just the operations the engine needs.
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $( $(#[$fmeta:meta])* const $flag:ident = $val:expr; )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct $name(pub $ty);
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($val); )*
+            /// No flags set.
+            pub const EMPTY: $name = $name(0);
+            /// True if every flag in `other` is set in `self`.
+            #[inline]
+            pub fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+            /// Union of two flag sets.
+            #[inline]
+            pub fn union(self, other: $name) -> $name {
+                $name(self.0 | other.0)
+            }
+        }
+        impl std::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { self.union(rhs) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// Packet flags.
+    pub struct PacketFlags: u8 {
+        /// First packet of a message (header carries handler + length).
+        const FIRST = 1;
+        /// Last packet of a message.
+        const LAST = 2;
+        /// Carries no message data: exists only to return credits.
+        const CREDIT_ONLY = 4;
+    }
+}
+
+/// The FM packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// Sending node.
+    pub src: u16,
+    /// Destination node.
+    pub dst: u16,
+    /// Handler to run at the destination (meaningful on FIRST packets).
+    pub handler: HandlerId,
+    /// Per-(src,dst) message sequence number; identifies which message a
+    /// packet belongs to when packets of several messages interleave
+    /// (FM 2.x streaming).
+    pub msg_seq: u32,
+    /// Per-(src,dst) packet sequence number; the receiver checks these for
+    /// gaps — this is the in-order/reliability guarantee made observable.
+    pub pkt_seq: u32,
+    /// Total message payload length in bytes (meaningful on FIRST packets;
+    /// FM 2.x's `FM_begin_message` takes the size up front).
+    pub msg_len: u32,
+    /// Packet flags.
+    pub flags: PacketFlags,
+    /// Piggybacked flow-control credits being returned to `dst`.
+    pub credits: u16,
+}
+
+/// A full FM packet: header plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FmPacket {
+    /// The header.
+    pub header: PacketHeader,
+    /// Message payload carried by this packet (empty for CREDIT_ONLY).
+    pub payload: Vec<u8>,
+}
+
+impl FmPacket {
+    /// Bytes this packet occupies on the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        HEADER_WIRE_BYTES + self.payload.len() as u32
+    }
+
+    /// A credit-only packet returning `credits` from `src` to `dst`.
+    pub fn credit_only(src: u16, dst: u16, credits: u16) -> FmPacket {
+        FmPacket {
+            header: PacketHeader {
+                src,
+                dst,
+                handler: HandlerId(0),
+                msg_seq: 0,
+                pkt_seq: 0, // credit packets sit outside the data sequence
+                msg_len: 0,
+                flags: PacketFlags::CREDIT_ONLY,
+                credits,
+            },
+            payload: Vec::new(),
+        }
+    }
+
+    /// True if this packet carries message data (i.e. participates in the
+    /// data packet sequence).
+    pub fn is_data(&self) -> bool {
+        !self.header.flags.contains(PacketFlags::CREDIT_ONLY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_behave() {
+        let f = PacketFlags::FIRST | PacketFlags::LAST;
+        assert!(f.contains(PacketFlags::FIRST));
+        assert!(f.contains(PacketFlags::LAST));
+        assert!(!f.contains(PacketFlags::CREDIT_ONLY));
+        assert!(PacketFlags::EMPTY.contains(PacketFlags::EMPTY));
+        assert!(!PacketFlags::EMPTY.contains(PacketFlags::FIRST));
+    }
+
+    #[test]
+    fn wire_bytes_includes_header() {
+        let p = FmPacket {
+            header: PacketHeader {
+                src: 0,
+                dst: 1,
+                handler: HandlerId(3),
+                msg_seq: 0,
+                pkt_seq: 0,
+                msg_len: 100,
+                flags: PacketFlags::FIRST,
+                credits: 0,
+            },
+            payload: vec![0u8; 100],
+        };
+        assert_eq!(p.wire_bytes(), 124);
+        assert!(p.is_data());
+    }
+
+    #[test]
+    fn credit_only_packets() {
+        let p = FmPacket::credit_only(2, 5, 7);
+        assert_eq!(p.header.src, 2);
+        assert_eq!(p.header.dst, 5);
+        assert_eq!(p.header.credits, 7);
+        assert!(p.header.flags.contains(PacketFlags::CREDIT_ONLY));
+        assert!(!p.is_data());
+        assert_eq!(p.wire_bytes(), HEADER_WIRE_BYTES);
+    }
+}

@@ -1,0 +1,83 @@
+//! Model-based property tests of the flow-control ledger: a reference
+//! model tracks what the credit state must be; the ledger must agree
+//! after any operation sequence.
+
+use fm_core::flow::CreditLedger;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Try to reserve n credits toward peer 0.
+    Reserve(u32),
+    /// Peer drains k of our packets and returns the owed credits.
+    DrainAndReturn(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..20).prop_map(Op::Reserve),
+        (1u32..20).prop_map(Op::DrainAndReturn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ledger_matches_reference_model(window in 1u32..64, ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let mut ledger = CreditLedger::new(2, window);
+        // Reference: credits available to us, packets in flight toward
+        // the peer (drained but unacked bookkeeping happens atomically in
+        // DrainAndReturn here).
+        let mut avail = window;
+        let mut in_flight = 0u32;
+
+        for op in ops {
+            match op {
+                Op::Reserve(n) => {
+                    let expect_ok = avail >= n;
+                    let got_ok = ledger.try_reserve(0, n);
+                    prop_assert_eq!(got_ok, expect_ok);
+                    if expect_ok {
+                        avail -= n;
+                        in_flight += n;
+                    }
+                }
+                Op::DrainAndReturn(k) => {
+                    // The peer can only drain what was actually sent.
+                    let k = k.min(in_flight);
+                    if k == 0 {
+                        continue;
+                    }
+                    // Peer-side bookkeeping (drain k packets, owe k
+                    // credits, return them all) collapses to one return.
+                    ledger.credit_returned(0, k);
+                    in_flight -= k;
+                    avail += k;
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(ledger.available(0), avail);
+            prop_assert!(avail <= window);
+            prop_assert!(avail + in_flight == window, "credits are conserved");
+        }
+    }
+
+    /// Owed-credit accounting: drains accumulate, take_owed empties, and
+    /// the explicit-return threshold fires at half the window.
+    #[test]
+    fn owed_accounting(window in 2u32..64, drains in 0u32..200) {
+        let mut ledger = CreditLedger::new(2, window);
+        let drains = drains.min(window); // can't owe more than the window
+        for _ in 0..drains {
+            ledger.packet_drained(1);
+        }
+        prop_assert_eq!(ledger.owed(1), drains);
+        let threshold = (window / 2).max(1);
+        let flagged = ledger.needs_explicit_return().any(|p| p == 1);
+        prop_assert_eq!(flagged, drains >= threshold);
+        prop_assert_eq!(u32::from(ledger.take_owed(1)), drains);
+        prop_assert_eq!(ledger.owed(1), 0);
+        prop_assert_eq!(ledger.needs_explicit_return().count(), 0);
+    }
+}

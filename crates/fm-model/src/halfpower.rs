@@ -1,0 +1,180 @@
+//! Half-power message size (N½) and bandwidth-curve helpers.
+//!
+//! N½ — the message size at which a layer delivers half its peak bandwidth —
+//! is the paper's headline metric for *usable* performance: FM 1.0 cut
+//! Myrinet's N½ from over four thousand bytes to 54 bytes, and FM 2.x keeps
+//! it under 256 bytes while quadrupling absolute bandwidth. Every bandwidth
+//! sweep in the bench harness is summarized with these helpers.
+
+use crate::time::Bandwidth;
+
+/// One point of a bandwidth-vs-message-size curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandwidthPoint {
+    /// Message size in bytes.
+    pub bytes: u64,
+    /// Delivered bandwidth at that size.
+    pub bandwidth: Bandwidth,
+}
+
+/// Peak bandwidth of a curve (the maximum over all measured points).
+///
+/// Returns [`Bandwidth::ZERO`] for an empty curve.
+pub fn peak(curve: &[BandwidthPoint]) -> Bandwidth {
+    curve
+        .iter()
+        .map(|p| p.bandwidth)
+        .fold(Bandwidth::ZERO, |a, b| if b > a { b } else { a })
+}
+
+/// The half-power point N½: the smallest message size at which the curve
+/// reaches half of its peak bandwidth, linearly interpolated between
+/// measured points.
+///
+/// Returns `None` if the curve is empty or never reaches half peak
+/// (which for a monotone curve can only happen if the peak is the last
+/// point and everything before is below half).
+pub fn half_power_point(curve: &[BandwidthPoint]) -> Option<f64> {
+    let pk = peak(curve).as_mbps();
+    if pk <= 0.0 {
+        return None;
+    }
+    let half = pk / 2.0;
+    let mut prev: Option<&BandwidthPoint> = None;
+    for p in curve {
+        let bw = p.bandwidth.as_mbps();
+        if bw >= half {
+            return Some(match prev {
+                // First point already at half power: N½ is at or below the
+                // smallest measured size.
+                None => p.bytes as f64,
+                Some(q) => {
+                    let (x0, y0) = (q.bytes as f64, q.bandwidth.as_mbps());
+                    let (x1, y1) = (p.bytes as f64, bw);
+                    if (y1 - y0).abs() < f64::EPSILON {
+                        x0
+                    } else {
+                        x0 + (half - y0) / (y1 - y0) * (x1 - x0)
+                    }
+                }
+            });
+        }
+        prev = Some(p);
+    }
+    None
+}
+
+/// Efficiency of a layered curve against its substrate, point by point:
+/// `layered / substrate` at matching message sizes (sizes must line up).
+///
+/// This is exactly what Figures 4b and 6b plot.
+///
+/// # Panics
+/// Panics if the curves have different lengths or mismatched sizes.
+pub fn efficiency(layered: &[BandwidthPoint], substrate: &[BandwidthPoint]) -> Vec<(u64, f64)> {
+    assert_eq!(
+        layered.len(),
+        substrate.len(),
+        "efficiency requires curves over the same sizes"
+    );
+    layered
+        .iter()
+        .zip(substrate)
+        .map(|(l, s)| {
+            assert_eq!(l.bytes, s.bytes, "mismatched message sizes");
+            let denom = s.bandwidth.as_mbps();
+            let ratio = if denom > 0.0 {
+                l.bandwidth.as_mbps() / denom
+            } else {
+                0.0
+            };
+            (l.bytes, ratio)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(bytes: u64, mbps: f64) -> BandwidthPoint {
+        BandwidthPoint {
+            bytes,
+            bandwidth: Bandwidth::from_mbps(mbps),
+        }
+    }
+
+    #[test]
+    fn peak_of_monotone_curve_is_last_point() {
+        let c = [pt(16, 2.0), pt(64, 8.0), pt(256, 16.0)];
+        assert!((peak(&c).as_mbps() - 16.0).abs() < 1e-12);
+        assert_eq!(peak(&[]).as_mbps(), 0.0);
+    }
+
+    #[test]
+    fn half_power_interpolates() {
+        // Peak 16; half power 8 reached exactly at 64 B.
+        let c = [pt(16, 2.0), pt(64, 8.0), pt(256, 16.0)];
+        let n12 = half_power_point(&c).unwrap();
+        assert!((n12 - 64.0).abs() < 1e-9);
+        // Half power between points: peak 10, half 5, between 2.0@16 and
+        // 8.0@64: 16 + 3/6*48 = 40.
+        let c2 = [pt(16, 2.0), pt(64, 8.0), pt(256, 10.0)];
+        let n12 = half_power_point(&c2).unwrap();
+        assert!((n12 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_power_at_first_point() {
+        let c = [pt(16, 9.0), pt(64, 10.0)];
+        assert_eq!(half_power_point(&c), Some(16.0));
+    }
+
+    #[test]
+    fn half_power_empty_or_zero() {
+        assert_eq!(half_power_point(&[]), None);
+        assert_eq!(half_power_point(&[pt(16, 0.0)]), None);
+    }
+
+    #[test]
+    fn analytic_curve_n_half_equals_t0_times_bw() {
+        // For BW(n) = n/(T0 + n/B), N1/2 = T0*B. Check the helper against
+        // the closed form with T0 = 3 us, B = 18 MB/s -> N1/2 = 54 B.
+        let t0_s = 3.0e-6;
+        let b = 18.0e6;
+        let curve: Vec<BandwidthPoint> = (1..=4096)
+            .step_by(1)
+            .map(|n| {
+                let bw = n as f64 / (t0_s + n as f64 / b);
+                BandwidthPoint {
+                    bytes: n as u64,
+                    bandwidth: Bandwidth::from_bytes_per_sec(bw),
+                }
+            })
+            .collect();
+        let n12 = half_power_point(&curve).unwrap();
+        // Peak in the sampled range is slightly below B, so allow slack.
+        assert!((n12 - 54.0).abs() < 3.0, "N1/2 = {n12}");
+    }
+
+    #[test]
+    fn efficiency_ratio() {
+        let sub = [pt(16, 4.0), pt(64, 10.0)];
+        let lay = [pt(16, 2.0), pt(64, 9.0)];
+        let eff = efficiency(&lay, &sub);
+        assert_eq!(eff[0], (16, 0.5));
+        assert!((eff[1].1 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same sizes")]
+    fn efficiency_length_mismatch_panics() {
+        let _ = efficiency(&[pt(16, 1.0)], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched message sizes")]
+    fn efficiency_size_mismatch_panics() {
+        let _ = efficiency(&[pt(16, 1.0)], &[pt(32, 1.0)]);
+    }
+}

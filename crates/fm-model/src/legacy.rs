@@ -1,0 +1,163 @@
+//! Legacy-protocol bandwidth models (paper Section 1–2, Figure 1).
+//!
+//! Figure 1 of the paper plots the *theoretical* bandwidth of 100 Mbit/s and
+//! 1 Gbit/s Ethernet "assuming a fixed 125 µs protocol processing overhead"
+//! — the measured per-packet overhead of the fastest UDP implementations of
+//! the day (Section 2.2). The point of the figure is that for realistic
+//! (small) message sizes, software overhead — not wire speed — bounds
+//! deliverable bandwidth: the two curves are nearly indistinguishable below
+//! 1 KB.
+//!
+//! This module implements that closed form, plus the Section 2.2 corollary
+//! (≤ 2 MB/s sustainable for <256 B packets over UDP-class stacks).
+
+use crate::halfpower::BandwidthPoint;
+use crate::time::{Bandwidth, Nanos};
+
+/// A legacy protocol stack model: fixed per-packet software overhead in
+/// front of a serial wire.
+#[derive(Clone, Copy, Debug)]
+pub struct LegacyStack {
+    /// Human-readable name for report rows.
+    pub name: &'static str,
+    /// Fixed per-packet protocol processing overhead.
+    pub overhead: Nanos,
+    /// Wire rate.
+    pub wire: Bandwidth,
+}
+
+/// The paper's measured per-packet overhead for the fastest UDP
+/// implementations (Section 2.2): ≈ 125 µs.
+pub const UDP_OVERHEAD: Nanos = Nanos(125_000);
+
+impl LegacyStack {
+    /// 100 Mbit/s Ethernet under a 125 µs-overhead stack (Figure 1 curve a).
+    pub fn ethernet_100mbit() -> Self {
+        LegacyStack {
+            name: "100 Mbit/s Ethernet",
+            overhead: UDP_OVERHEAD,
+            wire: Bandwidth::from_mbit_per_sec(100.0),
+        }
+    }
+
+    /// 1 Gbit/s Ethernet under a 125 µs-overhead stack (Figure 1 curve b).
+    pub fn ethernet_1gbit() -> Self {
+        LegacyStack {
+            name: "1 Gbit/s Ethernet",
+            overhead: UDP_OVERHEAD,
+            wire: Bandwidth::from_mbit_per_sec(1000.0),
+        }
+    }
+
+    /// Classical Ethernet as quoted in the paper's introduction
+    /// (~1 ms latency, ~1.2 MB/s).
+    pub fn classical_ethernet() -> Self {
+        LegacyStack {
+            name: "classical Ethernet",
+            overhead: Nanos::from_ms(1),
+            wire: Bandwidth::from_mbps(1.2),
+        }
+    }
+
+    /// Time to move one `bytes`-byte message: fixed overhead plus wire
+    /// serialization.
+    pub fn time_for_message(&self, bytes: u64) -> Nanos {
+        self.overhead + self.wire.time_for(bytes)
+    }
+
+    /// Deliverable bandwidth at message size `bytes`:
+    /// `BW(n) = n / (o + n / wire)`.
+    pub fn bandwidth_at(&self, bytes: u64) -> Bandwidth {
+        Bandwidth::from_transfer(bytes, self.time_for_message(bytes))
+    }
+
+    /// The Figure 1 sweep: one point per message size.
+    pub fn sweep(&self, sizes: &[u64]) -> Vec<BandwidthPoint> {
+        sizes
+            .iter()
+            .map(|&n| BandwidthPoint {
+                bytes: n,
+                bandwidth: self.bandwidth_at(n),
+            })
+            .collect()
+    }
+}
+
+/// Message sizes plotted in Figure 1 (8 B – 1024 B, powers of two).
+pub const FIG1_SIZES: [u64; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_dominates_small_messages() {
+        // Section 2.2: "for typical packet size distributions (<256 bytes),
+        // bandwidths of no greater than 2 MB/s could be sustained".
+        let s = LegacyStack::ethernet_1gbit();
+        for n in [8, 64, 128, 255] {
+            assert!(
+                s.bandwidth_at(n).as_mbps() <= 2.05,
+                "{} B delivered {:.2} MB/s",
+                n,
+                s.bandwidth_at(n).as_mbps()
+            );
+        }
+    }
+
+    #[test]
+    fn gigabit_and_100mbit_nearly_indistinguishable_below_1kb() {
+        // The visual point of Figure 1: wire speed barely matters for the
+        // short messages that dominate real traffic (Section 2.1).
+        let fast = LegacyStack::ethernet_1gbit();
+        let slow = LegacyStack::ethernet_100mbit();
+        for &n in &FIG1_SIZES {
+            let f = fast.bandwidth_at(n).as_mbps();
+            let s = slow.bandwidth_at(n).as_mbps();
+            assert!(f >= s, "faster wire can't be slower");
+            if n <= 256 {
+                assert!(
+                    (f - s) / f < 0.13,
+                    "at {n} B the gap is {:.1}% — should be small",
+                    (f - s) / f * 100.0
+                );
+            }
+        }
+        // Even a 10x faster wire buys less than 2x at 1 KB.
+        let ratio = fast.bandwidth_at(1024).as_mbps() / slow.bandwidth_at(1024).as_mbps();
+        assert!(ratio < 2.0, "1 KB speedup from 10x wire = {ratio:.2}x");
+    }
+
+    #[test]
+    fn curve_is_monotonically_increasing() {
+        let s = LegacyStack::ethernet_100mbit();
+        let pts = s.sweep(&FIG1_SIZES);
+        for w in pts.windows(2) {
+            assert!(w[1].bandwidth > w[0].bandwidth);
+        }
+    }
+
+    #[test]
+    fn endpoint_matches_figure_axis() {
+        // Figure 1's y-axis tops out around 8 MB/s at 1024 B.
+        let s = LegacyStack::ethernet_1gbit();
+        let bw = s.bandwidth_at(1024).as_mbps();
+        assert!((7.0..9.0).contains(&bw), "1 KB on 1 Gbit = {bw:.2} MB/s");
+    }
+
+    #[test]
+    fn classical_ethernet_matches_intro_numbers() {
+        let s = LegacyStack::classical_ethernet();
+        assert_eq!(s.overhead, Nanos::from_ms(1));
+        // Large transfers approach the quoted 1.2 MB/s.
+        let bw = s.bandwidth_at(1_000_000).as_mbps();
+        assert!((1.0..1.2).contains(&bw));
+    }
+
+    #[test]
+    fn time_for_message_adds_components() {
+        let s = LegacyStack::ethernet_100mbit();
+        let t = s.time_for_message(1250); // 1250 B at 12.5 MB/s = 100 us
+        assert_eq!(t, Nanos::from_us(125) + Nanos::from_us(100));
+    }
+}

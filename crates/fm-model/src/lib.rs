@@ -1,0 +1,36 @@
+//! Cost and analytic models for the Fast Messages 2.x reproduction.
+//!
+//! The paper's performance results are properties of 1998 hardware (Myrinet,
+//! SBus/PCI I/O buses, Sparc and Pentium Pro hosts). This crate captures
+//! those properties as explicit, documented constants and closed-form
+//! models so the rest of the workspace can reproduce the *shape* of every
+//! figure without the hardware:
+//!
+//! * [`time`] — nanosecond-resolution virtual time and bandwidth arithmetic.
+//! * [`profile`] — machine profiles (host CPU, memcpy, I/O bus, NIC, link)
+//!   for the FM 1.x Sparc testbed and the FM 2.x 200 MHz Pentium Pro testbed.
+//! * [`legacy`] — the analytic legacy-protocol model behind Figure 1 and the
+//!   UDP/TCP overhead discussion of Section 2.2.
+//! * [`cmam`] — the CM-5 Active Messages software-overhead breakdown behind
+//!   Figure 2 (Section 2.3).
+//! * [`halfpower`] — N½ (half-power message size) and bandwidth-curve
+//!   helpers used when evaluating every bandwidth sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cmam;
+pub mod halfpower;
+pub mod legacy;
+pub mod logp;
+pub mod profile;
+pub mod time;
+
+pub use halfpower::{half_power_point, BandwidthPoint};
+pub use profile::MachineProfile;
+pub use time::{Bandwidth, Nanos};
+
+/// Wire bytes of FM packet framing (header + routing + CRC), mirrored from
+/// the engine's packet format so analytic models account for header
+/// overhead the same way the simulator does.
+pub const WIRE_HEADER_BYTES: u64 = 24;

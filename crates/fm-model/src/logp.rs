@@ -1,0 +1,164 @@
+//! LogP/LogGP-style analytic model derived from a machine profile.
+//!
+//! The LogP family (Culler et al.) characterizes a messaging system by a
+//! handful of parameters — latency `L`, send/receive overheads `o_s`/`o_r`,
+//! gap `g` (per-message pipeline interval), and LogGP's `G` (per-byte gap)
+//! — and predicts latency and bandwidth curves in closed form. FM's own
+//! literature analyzes the library in exactly these terms.
+//!
+//! Here the parameters are *derived from the same [`MachineProfile`]
+//! constants the discrete-event simulator charges*, which yields a strong
+//! internal consistency check: the closed-form prediction and the
+//! event-level simulation must agree (the `logp_cross_check` test in
+//! `fm-bench` holds them to ~15 %). Divergence means one of the two
+//! models is wrong about where time goes.
+
+use crate::profile::MachineProfile;
+use crate::time::{ns_for_bytes, Bandwidth, Nanos};
+
+/// LogGP parameters of an FM 2.x-style stack on a machine profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogGp {
+    /// Wire + switch + NIC latency: time between the last send-side host
+    /// action and the first receive-side host action for a minimal packet.
+    pub l: Nanos,
+    /// Send overhead: host CPU time to issue a minimal message.
+    pub o_send: Nanos,
+    /// Receive overhead: host CPU time to accept a minimal message.
+    pub o_recv: Nanos,
+    /// Gap: minimum interval between consecutive small-message sends
+    /// (pipeline bottleneck stage, per message).
+    pub g: Nanos,
+    /// Per-byte gap: incremental cost per payload byte at the bottleneck
+    /// stage (LogGP's big-message extension).
+    pub g_big_ns_per_kb: u64,
+}
+
+impl LogGp {
+    /// Derive LogGP parameters for the FM 2.x send/receive paths on
+    /// `profile`.
+    pub fn fm2(profile: &MachineProfile) -> LogGp {
+        let h = &profile.host;
+        let io = &profile.iobus;
+        let nic = &profile.nic;
+        let link = &profile.link;
+
+        // Send overhead: begin_message + one send_piece + per-packet fixed
+        // costs (descriptor + PIO setup + flow control).
+        let o_send = Nanos(
+            h.send_call_ns + h.piece_call_ns + h.per_packet_send_ns + io.pio_setup_ns
+                + h.flow_control_ns,
+        );
+        // Receive overhead: extract poll + per-packet processing + flow
+        // control + handler dispatch + one receive call.
+        let o_recv = Nanos(
+            h.extract_poll_ns
+                + h.per_packet_recv_ns
+                + h.flow_control_ns
+                + h.handler_dispatch_ns
+                + h.piece_call_ns,
+        );
+        // Latency: NIC firmware both sides, wire/switch transit, DMA setup.
+        let l = Nanos(nic.send_packet_ns)
+            + Nanos(2 * link.wire_latency_ns + link.switch_latency_ns)
+            + Nanos(nic.recv_packet_ns)
+            + Nanos(io.dma_setup_ns);
+        // Gap: the slowest per-message pipeline stage for small messages —
+        // in this stack the send-side host (o_send dominates the NIC and
+        // receive stages at small sizes).
+        let g = o_send.max(o_recv);
+        // Per-byte gap: the slowest per-byte stage. Send-side PIO is the
+        // calibrated bottleneck on both profiles; receive-side memcpy and
+        // DMA are faster, the link faster still.
+        let g_big = io
+            .pio_ns_per_kb
+            .max(io.dma_ns_per_kb.min(h.memcpy_ns_per_kb))
+            .max(link.ns_per_kb);
+        LogGp {
+            l,
+            o_send,
+            o_recv,
+            g,
+            g_big_ns_per_kb: g_big,
+        }
+    }
+
+    /// Predicted one-way latency for an `n`-byte message.
+    ///
+    /// Unlike streaming bandwidth — where pipeline stages overlap and only
+    /// the *max* per-byte stage matters — a single message traverses every
+    /// stage serially, so the per-byte costs of PIO, link serialization,
+    /// receive DMA, and the final host copy all add:
+    /// `o_s + n_wire·(PIO+link+DMA) + n·memcpy + L + o_r`, plus one gap
+    /// per extra packet.
+    pub fn latency(&self, profile: &MachineProfile, n: usize) -> Nanos {
+        let wire = n as u64 + crate::WIRE_HEADER_BYTES;
+        let packets = profile.packets_for(n) as u64;
+        let serial_per_byte = ns_for_bytes(profile.iobus.pio_ns_per_kb, wire)
+            + ns_for_bytes(profile.link.ns_per_kb, wire)
+            + ns_for_bytes(profile.iobus.dma_ns_per_kb, wire)
+            + ns_for_bytes(profile.host.memcpy_ns_per_kb, n as u64);
+        self.o_send + serial_per_byte + self.l + self.o_recv + self.g * (packets - 1)
+    }
+
+    /// Predicted streaming bandwidth at message size `n`: one message per
+    /// `max(g) + G·n_wire` at the bottleneck stage.
+    pub fn bandwidth(&self, profile: &MachineProfile, n: usize) -> Bandwidth {
+        let wire = n as u64 + crate::WIRE_HEADER_BYTES * profile.packets_for(n) as u64;
+        let per_msg = self.g + ns_for_bytes(self.g_big_ns_per_kb, wire);
+        Bandwidth::from_transfer(n as u64, per_msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameters_are_positive_and_ordered() {
+        for p in [MachineProfile::sparc_fm1(), MachineProfile::ppro200_fm2()] {
+            let m = LogGp::fm2(&p);
+            assert!(m.l > Nanos::ZERO);
+            assert!(m.o_send > Nanos::ZERO);
+            assert!(m.o_recv > Nanos::ZERO);
+            assert!(m.g >= m.o_send.min(m.o_recv));
+            assert!(m.g_big_ns_per_kb >= p.link.ns_per_kb);
+        }
+    }
+
+    #[test]
+    fn ppro_latency_prediction_matches_paper_scale() {
+        let p = MachineProfile::ppro200_fm2();
+        let m = LogGp::fm2(&p);
+        let lat = m.latency(&p, 16);
+        // The paper's 11 us; the DES measures ~10.2; the closed form must
+        // land in the same band.
+        assert!(
+            (8_000..14_000).contains(&lat.as_ns()),
+            "predicted FM2 latency {lat}"
+        );
+    }
+
+    #[test]
+    fn ppro_bandwidth_prediction_matches_paper_scale() {
+        let p = MachineProfile::ppro200_fm2();
+        let m = LogGp::fm2(&p);
+        let bw = m.bandwidth(&p, 2048).as_mbps();
+        assert!((60.0..90.0).contains(&bw), "predicted FM2 BW {bw:.1} MB/s");
+        // Small messages are overhead-bound.
+        let bw16 = m.bandwidth(&p, 16).as_mbps();
+        assert!(bw16 < 10.0, "16 B prediction {bw16:.1} MB/s");
+    }
+
+    #[test]
+    fn bandwidth_is_monotone_in_size() {
+        let p = MachineProfile::ppro200_fm2();
+        let m = LogGp::fm2(&p);
+        let mut last = 0.0;
+        for n in [16, 64, 256, 1024, 4096] {
+            let bw = m.bandwidth(&p, n).as_mbps();
+            assert!(bw > last);
+            last = bw;
+        }
+    }
+}

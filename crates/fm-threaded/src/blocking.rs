@@ -1,0 +1,181 @@
+//! Blocking convenience wrappers over the non-blocking engine API.
+//!
+//! The engines are non-blocking by design (the simulator needs `try_*` +
+//! yield). On real threads, blocking is just spin-with-progress: retry the
+//! operation, draining the network in between so flow-control credits keep
+//! circulating (this mirrors what the real FM library did inside
+//! `FM_send` — poll the NIC while waiting for credits, or risk deadlock).
+
+use fm_core::device::NetDevice;
+use fm_core::packet::HandlerId;
+use fm_core::{Fm1Engine, Fm2Engine, WouldBlock};
+
+/// Upper bound on fruitless spins before declaring the cluster wedged —
+/// generous, but turns a genuine deadlock into a diagnosis instead of a
+/// hang.
+const SPIN_LIMIT: u64 = 500_000_000;
+
+fn spin_or_die(spins: &mut u64, what: &str) {
+    *spins += 1;
+    assert!(
+        *spins < SPIN_LIMIT,
+        "blocking {what} spun {SPIN_LIMIT} times without progress — peer gone?"
+    );
+    std::thread::yield_now();
+}
+
+/// Blocking `FM_send` on FM 1.x: retries until credits and queue space
+/// admit the whole message.
+pub fn fm1_send<D: NetDevice>(fm: &mut Fm1Engine<D>, dst: usize, handler: HandlerId, data: &[u8]) {
+    let mut spins = 0;
+    loop {
+        match fm.try_send(dst, handler, data) {
+            Ok(()) => return,
+            Err(WouldBlock) => {
+                // Drain incoming traffic: that is what returns credits.
+                fm.extract();
+                spin_or_die(&mut spins, "FM_send");
+            }
+        }
+    }
+}
+
+/// Blocking gather-send on FM 2.x.
+pub fn fm2_send<D: NetDevice>(
+    fm: &Fm2Engine<D>,
+    dst: usize,
+    handler: HandlerId,
+    pieces: &[&[u8]],
+) {
+    let mut spins = 0;
+    loop {
+        match fm.try_send_message(dst, handler, pieces) {
+            Ok(()) => return,
+            Err(WouldBlock) => {
+                fm.extract_all();
+                spin_or_die(&mut spins, "FM_send_piece");
+            }
+        }
+    }
+}
+
+/// Extract (unbounded) until `done()` turns true; yields between polls.
+pub fn fm2_wait_until<D: NetDevice>(fm: &Fm2Engine<D>, mut done: impl FnMut() -> bool) {
+    let mut spins = 0;
+    while !done() {
+        if fm.extract_all() == 0 {
+            fm.progress();
+            spin_or_die(&mut spins, "FM_extract wait");
+        }
+    }
+}
+
+/// FM 1.x flavour of [`fm2_wait_until`].
+pub fn fm1_wait_until<D: NetDevice>(fm: &mut Fm1Engine<D>, mut done: impl FnMut() -> bool) {
+    let mut spins = 0;
+    while !done() {
+        if fm.extract() == 0 {
+            fm.progress();
+            spin_or_die(&mut spins, "FM_extract wait");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ThreadedCluster;
+    use fm_core::FmStream;
+    use fm_model::MachineProfile;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const H: HandlerId = HandlerId(1);
+
+    #[test]
+    fn fm2_blocking_transfer_across_threads() {
+        const MSGS: u32 = 200;
+        let results = ThreadedCluster::run(2, |i, dev| {
+            let fm = Fm2Engine::new(dev, MachineProfile::ppro200_fm2());
+            if i == 0 {
+                // Sender: MSGS messages, each [seq; payload].
+                for seq in 0..MSGS {
+                    let body = vec![seq as u8; 100];
+                    fm2_send(&fm, 1, H, &[&seq.to_le_bytes(), &body]);
+                }
+                Vec::new()
+            } else {
+                let got: Rc<RefCell<Vec<u32>>> = Rc::default();
+                let g = Rc::clone(&got);
+                fm.set_handler(H, move |stream: FmStream, _src| {
+                    let g = Rc::clone(&g);
+                    async move {
+                        let mut hdr = [0u8; 4];
+                        stream.receive(&mut hdr).await;
+                        let seq = u32::from_le_bytes(hdr);
+                        let body = stream.receive_vec(stream.msg_len() - 4).await;
+                        assert_eq!(body, vec![seq as u8; 100]);
+                        g.borrow_mut().push(seq);
+                    }
+                });
+                fm2_wait_until(&fm, || got.borrow().len() == MSGS as usize);
+                let v = got.borrow().clone();
+                v
+            }
+        });
+        assert_eq!(results[1], (0..MSGS).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn fm1_blocking_transfer_across_threads() {
+        const MSGS: usize = 100;
+        let results = ThreadedCluster::run(2, |i, dev| {
+            let mut fm = Fm1Engine::new(dev, MachineProfile::sparc_fm1());
+            if i == 0 {
+                for seq in 0..MSGS {
+                    fm1_send(&mut fm, 1, H, &vec![seq as u8; 300]);
+                }
+                0
+            } else {
+                let count: Rc<RefCell<usize>> = Rc::default();
+                let c = Rc::clone(&count);
+                fm.set_handler(
+                    H,
+                    Box::new(move |_eng, _src, data| {
+                        assert_eq!(data.len(), 300);
+                        *c.borrow_mut() += 1;
+                    }),
+                );
+                fm1_wait_until(&mut fm, || *count.borrow() == MSGS);
+                let n = *count.borrow();
+                n
+            }
+        });
+        assert_eq!(results[1], MSGS);
+    }
+
+    #[test]
+    fn bidirectional_blocking_traffic_no_deadlock() {
+        const MSGS: usize = 300;
+        let results = ThreadedCluster::run(2, |i, dev| {
+            let fm = Fm2Engine::new(dev, MachineProfile::ppro200_fm2());
+            let got: Rc<RefCell<usize>> = Rc::default();
+            let g = Rc::clone(&got);
+            fm.set_handler(H, move |stream: FmStream, _| {
+                let g = Rc::clone(&g);
+                async move {
+                    stream.skip(stream.msg_len()).await;
+                    *g.borrow_mut() += 1;
+                }
+            });
+            let peer = 1 - i;
+            for _ in 0..MSGS {
+                fm2_send(&fm, peer, H, &[&[0u8; 64][..]]);
+            }
+            fm2_wait_until(&fm, || *got.borrow() == MSGS);
+            let n = *got.borrow();
+            n
+        });
+        assert_eq!(results, vec![MSGS, MSGS]);
+    }
+}

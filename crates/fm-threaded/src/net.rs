@@ -1,0 +1,226 @@
+//! The threaded network: bounded channels as links.
+//!
+//! Topologically a full mesh: every ordered (src, dst) pair has its own
+//! bounded channel. Per-pair channels make `send_space` race-free (only
+//! the owning node pushes to its outgoing channels), which the FM engines
+//! rely on for all-or-nothing message admission. Bounded capacity is the
+//! back-pressure: a full channel means `try_send` fails and the engine
+//! retries after progress, exactly like a full NIC queue — nothing is
+//! dropped.
+
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use fm_core::device::{DeviceFull, NetDevice};
+use fm_core::FmPacket;
+use fm_model::Nanos;
+
+/// [`NetDevice`] backed by crossbeam channels; one per node thread.
+pub struct ThreadedDevice {
+    node: usize,
+    num_nodes: usize,
+    /// `out[d]` carries packets to node `d` (None for self).
+    out: Vec<Option<Sender<FmPacket>>>,
+    /// `inq[s]` carries packets from node `s` (None for self).
+    inq: Vec<Option<Receiver<FmPacket>>>,
+    /// Round-robin receive cursor for fairness among sources.
+    rr: usize,
+    /// Per-link capacity (for `send_space`).
+    capacity: usize,
+    epoch: Instant,
+}
+
+impl ThreadedDevice {
+    /// Build a fully-connected mesh of `num_nodes` devices with per-link
+    /// `capacity` packets.
+    pub fn mesh(num_nodes: usize, capacity: usize) -> Vec<ThreadedDevice> {
+        assert!(num_nodes >= 1 && capacity >= 1);
+        let epoch = Instant::now();
+        // senders[s][d] / receivers[d][s]
+        let mut senders: Vec<Vec<Option<Sender<FmPacket>>>> =
+            (0..num_nodes).map(|_| (0..num_nodes).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<FmPacket>>>> =
+            (0..num_nodes).map(|_| (0..num_nodes).map(|_| None).collect()).collect();
+        for s in 0..num_nodes {
+            for d in 0..num_nodes {
+                if s == d {
+                    continue;
+                }
+                let (tx, rx) = bounded(capacity);
+                senders[s][d] = Some(tx);
+                receivers[d][s] = Some(rx);
+            }
+        }
+        senders
+            .into_iter()
+            .zip(receivers)
+            .enumerate()
+            .map(|(node, (out, inq))| ThreadedDevice {
+                node,
+                num_nodes,
+                out,
+                inq,
+                rr: 0,
+                capacity,
+                epoch,
+            })
+            .collect()
+    }
+}
+
+impl NetDevice for ThreadedDevice {
+    fn node_id(&self) -> usize {
+        self.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn try_send(&mut self, pkt: FmPacket) -> Result<(), DeviceFull> {
+        let dst = pkt.header.dst as usize;
+        let tx = self.out[dst]
+            .as_ref()
+            .expect("engines deliver self-sends locally, not via the device");
+        match tx.try_send(pkt) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(DeviceFull),
+            // The peer thread has already finished and dropped its device.
+            // FM has no node-departure protocol; late traffic to a departed
+            // node (typically credit returns) is discarded, matching a
+            // powered-off workstation.
+            Err(TrySendError::Disconnected(_)) => Ok(()),
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<FmPacket> {
+        // Round-robin over sources so one chatty peer cannot starve others.
+        for i in 0..self.num_nodes {
+            let s = (self.rr + i) % self.num_nodes;
+            if let Some(rx) = &self.inq[s] {
+                if let Ok(pkt) = rx.try_recv() {
+                    self.rr = (s + 1) % self.num_nodes;
+                    return Some(pkt);
+                }
+            }
+        }
+        None
+    }
+
+    fn send_space(&self) -> usize {
+        // Conservative: the engine's all-or-nothing admission must hold for
+        // whichever destination it picks, so report the tightest link.
+        self.out
+            .iter()
+            .flatten()
+            .map(|tx| self.capacity - tx.len())
+            .min()
+            .unwrap_or(self.capacity)
+    }
+
+    fn now(&self) -> Nanos {
+        Nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn charge(&mut self, _cost: Nanos) {
+        // Real transport: cost is the actual CPU time already spent.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::packet::{HandlerId, PacketFlags, PacketHeader};
+
+    fn pkt(src: usize, dst: usize, tag: u8) -> FmPacket {
+        FmPacket {
+            header: PacketHeader {
+                src: src as u16,
+                dst: dst as u16,
+                handler: HandlerId(0),
+                msg_seq: 0,
+                pkt_seq: 0,
+                msg_len: 1,
+                flags: PacketFlags::FIRST | PacketFlags::LAST,
+                credits: 0,
+            },
+            payload: vec![tag],
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // s and d are both indices
+    fn mesh_connects_all_pairs() {
+        let mut devs = ThreadedDevice::mesh(3, 4);
+        for s in 0..3 {
+            for d in 0..3 {
+                if s == d {
+                    continue;
+                }
+                let p = pkt(s, d, (s * 3 + d) as u8);
+                devs[s].try_send(p).unwrap();
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // s above is also an index
+        for d in 0..3 {
+            let mut got = Vec::new();
+            while let Some(p) = devs[d].try_recv() {
+                got.push(p.payload[0]);
+            }
+            assert_eq!(got.len(), 2, "node {d} hears from both peers");
+        }
+    }
+
+    #[test]
+    fn capacity_limits_and_space_reports() {
+        let mut devs = ThreadedDevice::mesh(2, 2);
+        assert_eq!(devs[0].send_space(), 2);
+        devs[0].try_send(pkt(0, 1, 1)).unwrap();
+        assert_eq!(devs[0].send_space(), 1);
+        devs[0].try_send(pkt(0, 1, 2)).unwrap();
+        assert_eq!(devs[0].send_space(), 0);
+        assert_eq!(devs[0].try_send(pkt(0, 1, 3)), Err(DeviceFull));
+        // Draining restores space.
+        assert!(devs[1].try_recv().is_some());
+        assert_eq!(devs[0].send_space(), 1);
+    }
+
+    #[test]
+    fn per_pair_order_is_fifo() {
+        let mut devs = ThreadedDevice::mesh(2, 16);
+        for i in 0..10 {
+            devs[0].try_send(pkt(0, 1, i)).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(p) = devs[1].try_recv() {
+            got.push(p.payload[0]);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn round_robin_receive_is_fair() {
+        let mut devs = ThreadedDevice::mesh(3, 16);
+        // Node 1 and node 2 each queue 3 packets to node 0.
+        for i in 0..3 {
+            devs[1].try_send(pkt(1, 0, 10 + i)).unwrap();
+            devs[2].try_send(pkt(2, 0, 20 + i)).unwrap();
+        }
+        let mut sources = Vec::new();
+        while let Some(p) = devs[0].try_recv() {
+            sources.push(p.header.src);
+        }
+        assert_eq!(sources.len(), 6);
+        // Alternating sources, not all of one then all of the other.
+        assert_ne!(&sources[..3], &[1, 1, 1]);
+        assert_ne!(&sources[..3], &[2, 2, 2]);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let devs = ThreadedDevice::mesh(1, 1);
+        let t0 = devs[0].now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(devs[0].now() > t0);
+    }
+}

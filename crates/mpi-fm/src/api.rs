@@ -1,0 +1,381 @@
+//! The common MPI surface: non-blocking point-to-point (required methods)
+//! plus blocking operations and collectives (default methods).
+//!
+//! Collectives are classic binomial-tree / dissemination algorithms built
+//! purely on `isend`/`irecv`/`progress`, so they run identically over the
+//! FM 1.x and FM 2.x bindings — which is the point: the paper's efficiency
+//! gap is in the *binding*, not in MPI's algorithms.
+//!
+//! The blocking operations (and therefore the collectives) spin on
+//! `progress`; use them on the threaded transport. Discrete-event
+//! simulations drive the non-blocking API from their step functions
+//! instead.
+
+use crate::types::{RecvReq, SendReq, Status};
+
+/// Reduction operators for [`Mpi::reduce`] / [`Mpi::allreduce`].
+///
+/// Operands are byte buffers interpreted as little-endian arrays of the
+/// operator's element type; both sides must have equal length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise f64 sum.
+    SumF64,
+    /// Elementwise u64 sum (wrapping).
+    SumU64,
+    /// Elementwise f64 max.
+    MaxF64,
+    /// Elementwise f64 min.
+    MinF64,
+}
+
+impl ReduceOp {
+    /// `acc <- acc (op) other`.
+    pub fn apply(self, acc: &mut [u8], other: &[u8]) {
+        assert_eq!(acc.len(), other.len(), "reduce operands must match");
+        assert_eq!(acc.len() % 8, 0, "reduce operates on 8-byte elements");
+        for i in (0..acc.len()).step_by(8) {
+            let a = &mut acc[i..i + 8];
+            let b = &other[i..i + 8];
+            match self {
+                ReduceOp::SumF64 | ReduceOp::MaxF64 | ReduceOp::MinF64 => {
+                    let x = f64::from_le_bytes(a.try_into().unwrap());
+                    let y = f64::from_le_bytes(b.try_into().unwrap());
+                    let r = match self {
+                        ReduceOp::SumF64 => x + y,
+                        ReduceOp::MaxF64 => x.max(y),
+                        ReduceOp::MinF64 => x.min(y),
+                        ReduceOp::SumU64 => unreachable!(),
+                    };
+                    a.copy_from_slice(&r.to_le_bytes());
+                }
+                ReduceOp::SumU64 => {
+                    let x = u64::from_le_bytes(a.try_into().unwrap());
+                    let y = u64::from_le_bytes(b.try_into().unwrap());
+                    a.copy_from_slice(&x.wrapping_add(y).to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Collective kinds, used to partition the collective tag space.
+#[derive(Clone, Copy)]
+enum Coll {
+    Barrier = 1,
+    Bcast = 2,
+    Reduce = 3,
+    Gather = 4,
+    Scatter = 5,
+    Alltoall = 6,
+}
+
+/// Build a collective tag: high bit set (never collides with user tags,
+/// which must stay below [`Mpi::MAX_USER_TAG`]), plus kind, per-call
+/// sequence, and round.
+fn coll_tag(kind: Coll, seq: u32, round: u32) -> u32 {
+    0x8000_0000 | ((kind as u32) << 24) | ((seq & 0xFFF) << 12) | (round & 0xFFF)
+}
+
+/// The MPI subset implemented by both FM bindings.
+pub trait Mpi {
+    /// Largest tag available to applications; higher values are reserved
+    /// for collectives.
+    const MAX_USER_TAG: u32 = 0x7FFF_FFFF;
+
+    /// This process's rank in COMM_WORLD.
+    fn rank(&self) -> usize;
+    /// Number of ranks in COMM_WORLD.
+    fn size(&self) -> usize;
+    /// Non-blocking eager send. The buffer is owned by the request until
+    /// accepted by FM; completion means "handed to FM" (delivery is then
+    /// guaranteed by FM's flow control).
+    fn isend(&mut self, dst: usize, tag: u32, data: Vec<u8>) -> SendReq;
+    /// Non-blocking receive: matches on `(src, tag)` with `None` as
+    /// wildcard; `max_len` bounds the accepted message size.
+    fn irecv(&mut self, src: Option<usize>, tag: Option<u32>, max_len: usize) -> RecvReq;
+    /// Drive communication: flush deferred sends, extract from FM, run
+    /// handlers.
+    fn progress(&mut self);
+    /// Per-instance counter distinguishing successive collectives.
+    fn next_coll_seq(&mut self) -> u32;
+
+    // ---- blocking wrappers (threaded transport) ----
+
+    /// Block until `req` completes.
+    fn wait_send(&mut self, req: &SendReq) {
+        while !req.is_done() {
+            self.progress();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Block until `req` completes; returns the payload and status.
+    fn wait_recv(&mut self, req: &RecvReq) -> (Vec<u8>, Status) {
+        while !req.is_done() {
+            self.progress();
+            std::thread::yield_now();
+        }
+        let status = req.status().expect("completed");
+        (req.take().expect("completed"), status)
+    }
+
+    /// Blocking send.
+    fn send(&mut self, dst: usize, tag: u32, data: Vec<u8>) {
+        let r = self.isend(dst, tag, data);
+        self.wait_send(&r);
+    }
+
+    /// Blocking receive.
+    fn recv(&mut self, src: Option<usize>, tag: Option<u32>, max_len: usize) -> (Vec<u8>, Status) {
+        let r = self.irecv(src, tag, max_len);
+        self.wait_recv(&r)
+    }
+
+    // ---- collectives ----
+
+    /// Dissemination barrier: ⌈log₂ n⌉ rounds, each rank sends to
+    /// `rank + 2^k` and hears from `rank - 2^k`.
+    fn barrier(&mut self) {
+        let (rank, size) = (self.rank(), self.size());
+        if size <= 1 {
+            return;
+        }
+        let seq = self.next_coll_seq();
+        let mut k = 0u32;
+        let mut dist = 1usize;
+        while dist < size {
+            let dst = (rank + dist) % size;
+            let src = (rank + size - dist) % size;
+            let tag = coll_tag(Coll::Barrier, seq, k);
+            let s = self.isend(dst, tag, Vec::new());
+            let r = self.irecv(Some(src), Some(tag), 0);
+            self.wait_send(&s);
+            self.wait_recv(&r);
+            dist *= 2;
+            k += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast. The root passes `Some(data)`; everyone
+    /// else passes `None` and a `max_len` bound. Returns the data on every
+    /// rank.
+    fn bcast(&mut self, root: usize, data: Option<Vec<u8>>, max_len: usize) -> Vec<u8> {
+        let (rank, size) = (self.rank(), self.size());
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(Coll::Bcast, seq, 0);
+        let vr = (rank + size - root) % size;
+        let buf = if vr == 0 {
+            data.expect("root must supply the broadcast data")
+        } else {
+            // Receive from the binomial parent (vr with its lowest set bit
+            // cleared).
+            let lsb = vr & vr.wrapping_neg();
+            let parent = ((vr - lsb) + root) % size;
+            self.recv(Some(parent), Some(tag), max_len).0
+        };
+        // Send to children: vr + m for each power of two m below my lsb.
+        let lsb = if vr == 0 {
+            size.next_power_of_two()
+        } else {
+            vr & vr.wrapping_neg()
+        };
+        let mut m = lsb >> 1;
+        let mut pending = Vec::new();
+        while m > 0 {
+            let child_vr = vr + m;
+            if child_vr < size {
+                let child = (child_vr + root) % size;
+                pending.push(self.isend(child, tag, buf.clone()));
+            }
+            m >>= 1;
+        }
+        for s in &pending {
+            self.wait_send(s);
+        }
+        buf
+    }
+
+    /// Binomial-tree reduce. Returns `Some(result)` at the root, `None`
+    /// elsewhere. `contrib` must be the same length on every rank.
+    fn reduce(&mut self, root: usize, contrib: &[u8], op: ReduceOp) -> Option<Vec<u8>> {
+        let (rank, size) = (self.rank(), self.size());
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(Coll::Reduce, seq, 0);
+        let vr = (rank + size - root) % size;
+        let lsb = if vr == 0 {
+            size.next_power_of_two()
+        } else {
+            vr & vr.wrapping_neg()
+        };
+        let mut acc = contrib.to_vec();
+        // Gather from children (ascending mask = reverse of bcast order).
+        let mut m = 1usize;
+        while m < lsb {
+            let child_vr = vr + m;
+            if child_vr < size {
+                let child = (child_vr + root) % size;
+                let (data, _) = self.recv(Some(child), Some(tag), contrib.len());
+                op.apply(&mut acc, &data);
+            }
+            m <<= 1;
+        }
+        if vr == 0 {
+            Some(acc)
+        } else {
+            let parent = ((vr - lsb) + root) % size;
+            self.send(parent, tag, acc);
+            None
+        }
+    }
+
+    /// Reduce-to-root followed by broadcast; every rank gets the result.
+    fn allreduce(&mut self, contrib: &[u8], op: ReduceOp) -> Vec<u8> {
+        let len = contrib.len();
+        match self.reduce(0, contrib, op) {
+            Some(result) => self.bcast(0, Some(result), len),
+            None => self.bcast(0, None, len),
+        }
+    }
+
+    /// Gather every rank's buffer at the root (rank order). Returns
+    /// `Some(vec_of_buffers)` at the root, `None` elsewhere.
+    fn gather(&mut self, root: usize, data: Vec<u8>, max_len: usize) -> Option<Vec<Vec<u8>>> {
+        let (rank, size) = (self.rank(), self.size());
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(Coll::Gather, seq, 0);
+        if rank == root {
+            let mut reqs: Vec<Option<RecvReq>> = (0..size)
+                .map(|r| {
+                    if r == root {
+                        None
+                    } else {
+                        Some(self.irecv(Some(r), Some(tag), max_len))
+                    }
+                })
+                .collect();
+            let mut out = Vec::with_capacity(size);
+            for (r, req) in reqs.iter_mut().enumerate() {
+                match req.take() {
+                    None => out.push(data.clone()),
+                    Some(req) => {
+                        let _ = r;
+                        out.push(self.wait_recv(&req).0);
+                    }
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, data);
+            None
+        }
+    }
+
+    /// Scatter the root's per-rank chunks; returns this rank's chunk.
+    fn scatter(&mut self, root: usize, chunks: Option<Vec<Vec<u8>>>, max_len: usize) -> Vec<u8> {
+        let (rank, size) = (self.rank(), self.size());
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(Coll::Scatter, seq, 0);
+        if rank == root {
+            let chunks = chunks.expect("root must supply the chunks");
+            assert_eq!(chunks.len(), size, "one chunk per rank");
+            let mut mine = Vec::new();
+            let mut pending = Vec::new();
+            for (r, c) in chunks.into_iter().enumerate() {
+                if r == rank {
+                    mine = c;
+                } else {
+                    pending.push(self.isend(r, tag, c));
+                }
+            }
+            for s in &pending {
+                self.wait_send(s);
+            }
+            mine
+        } else {
+            self.recv(Some(root), Some(tag), max_len).0
+        }
+    }
+
+    /// Personalized all-to-all: `data[r]` goes to rank `r`; returns the
+    /// buffers received from every rank (rank order).
+    fn alltoall(&mut self, data: Vec<Vec<u8>>, max_len: usize) -> Vec<Vec<u8>> {
+        let (rank, size) = (self.rank(), self.size());
+        assert_eq!(data.len(), size, "one buffer per rank");
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(Coll::Alltoall, seq, 0);
+        let mut recvs: Vec<Option<RecvReq>> = (0..size)
+            .map(|r| {
+                if r == rank {
+                    None
+                } else {
+                    Some(self.irecv(Some(r), Some(tag), max_len))
+                }
+            })
+            .collect();
+        let mut mine = Vec::new();
+        let mut pending = Vec::new();
+        for (r, d) in data.into_iter().enumerate() {
+            if r == rank {
+                mine = d;
+            } else {
+                pending.push(self.isend(r, tag, d));
+            }
+        }
+        let mut out = Vec::with_capacity(size);
+        for (r, req) in recvs.iter_mut().enumerate() {
+            match req.take() {
+                None => {
+                    let _ = r;
+                    out.push(std::mem::take(&mut mine));
+                }
+                Some(req) => out.push(self.wait_recv(&req).0),
+            }
+        }
+        for s in &pending {
+            self.wait_send(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f64s(v: &[f64]) -> Vec<u8> {
+        v.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn reduce_ops_elementwise() {
+        let mut acc = f64s(&[1.0, 5.0]);
+        ReduceOp::SumF64.apply(&mut acc, &f64s(&[2.0, -1.0]));
+        assert_eq!(acc, f64s(&[3.0, 4.0]));
+        ReduceOp::MaxF64.apply(&mut acc, &f64s(&[10.0, 0.0]));
+        assert_eq!(acc, f64s(&[10.0, 4.0]));
+        ReduceOp::MinF64.apply(&mut acc, &f64s(&[-1.0, 100.0]));
+        assert_eq!(acc, f64s(&[-1.0, 4.0]));
+
+        let mut u = 7u64.to_le_bytes().to_vec();
+        ReduceOp::SumU64.apply(&mut u, &u64::MAX.to_le_bytes());
+        assert_eq!(u, 6u64.to_le_bytes(), "wrapping");
+    }
+
+    #[test]
+    #[should_panic(expected = "operands must match")]
+    fn reduce_length_mismatch_panics() {
+        ReduceOp::SumF64.apply(&mut [0u8; 8], &[0u8; 16]);
+    }
+
+    #[test]
+    fn coll_tags_have_high_bit_and_distinct_kinds() {
+        let a = coll_tag(Coll::Barrier, 1, 0);
+        let b = coll_tag(Coll::Bcast, 1, 0);
+        assert_ne!(a, b);
+        assert!(a & 0x8000_0000 != 0);
+        // Rounds and seqs distinguish too.
+        assert_ne!(coll_tag(Coll::Barrier, 1, 0), coll_tag(Coll::Barrier, 1, 1));
+        assert_ne!(coll_tag(Coll::Barrier, 1, 0), coll_tag(Coll::Barrier, 2, 0));
+    }
+}

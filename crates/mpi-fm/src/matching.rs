@@ -1,0 +1,261 @@
+//! MPI message matching: the posted-receive queue and the unexpected-
+//! message queue.
+//!
+//! MPI semantics implemented here:
+//! * a receive matches on (source, tag), either of which may be a wildcard;
+//! * posted receives are considered in **post order**;
+//! * unexpected messages are considered in **arrival order**;
+//! * messages between one (source, destination) pair with matching tags
+//!   are non-overtaking (guaranteed upstream by FM's in-order delivery
+//!   plus these FIFOs).
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::types::{RecvBox, RecvReq, Status};
+use std::cell::RefCell;
+
+/// A posted (pending) receive.
+pub(crate) struct Posted {
+    pub(crate) src: Option<usize>,
+    pub(crate) tag: Option<u32>,
+    pub(crate) max_len: usize,
+    pub(crate) slot: Rc<RefCell<RecvBox>>,
+}
+
+/// What an unexpected arrival consists of.
+pub(crate) enum UnexpectedBody {
+    /// Eager payload, already bounce-buffered.
+    Data(Vec<u8>),
+    /// A rendezvous announcement: the payload is still parked at the
+    /// sender, identified by `seq`.
+    Rts {
+        /// Sender's rendezvous sequence id.
+        seq: u32,
+        /// Announced payload length.
+        len: usize,
+    },
+}
+
+impl UnexpectedBody {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            UnexpectedBody::Data(d) => d.len(),
+            UnexpectedBody::Rts { len, .. } => *len,
+        }
+    }
+
+    /// The eager payload; panics on an RTS (callers that never generate
+    /// rendezvous traffic — MPI-FM 1.x — use this).
+    pub(crate) fn into_data(self) -> Vec<u8> {
+        match self {
+            UnexpectedBody::Data(d) => d,
+            UnexpectedBody::Rts { .. } => panic!("expected eager data, found an RTS"),
+        }
+    }
+}
+
+/// A message that arrived before a matching receive was posted.
+pub(crate) struct Unexpected {
+    pub(crate) src: usize,
+    pub(crate) tag: u32,
+    pub(crate) body: UnexpectedBody,
+}
+
+/// Matching state for one rank.
+#[derive(Default)]
+pub(crate) struct MatchQueues {
+    pub(crate) posted: VecDeque<Posted>,
+    pub(crate) unexpected: VecDeque<Unexpected>,
+    /// High-water mark of the unexpected queue (buffer-pool pressure; read
+    /// by the receiver-pacing ablation).
+    pub(crate) unexpected_high_water: usize,
+    /// Total messages that took the unexpected (extra-copy) path.
+    pub(crate) unexpected_total: u64,
+}
+
+impl MatchQueues {
+    /// Does `(src, tag)` satisfy the posted receive's pattern?
+    fn matches(p: &Posted, src: usize, tag: u32) -> bool {
+        p.src.is_none_or(|s| s == src) && p.tag.is_none_or(|t| t == tag)
+    }
+
+    /// An incoming message header: find and remove the first matching
+    /// posted receive (post order).
+    pub(crate) fn match_arrival(&mut self, src: usize, tag: u32) -> Option<Posted> {
+        let idx = self
+            .posted
+            .iter()
+            .position(|p| Self::matches(p, src, tag))?;
+        self.posted.remove(idx)
+    }
+
+    /// A new `irecv`: match the oldest unexpected message first (arrival
+    /// order); if none, post the receive.
+    pub(crate) fn post_or_match(
+        &mut self,
+        src: Option<usize>,
+        tag: Option<u32>,
+        max_len: usize,
+    ) -> (RecvReq, Option<Unexpected>) {
+        let req = RecvReq::new();
+        let probe = Posted {
+            src,
+            tag,
+            max_len,
+            slot: Rc::clone(&req.inner),
+        };
+        let idx = self
+            .unexpected
+            .iter()
+            .position(|u| Self::matches(&probe, u.src, u.tag));
+        match idx {
+            Some(i) => {
+                let u = self.unexpected.remove(i).expect("index valid");
+                assert!(
+                    u.body.len() <= max_len,
+                    "MPI truncation: {}-byte message for a {}-byte receive",
+                    u.body.len(),
+                    max_len
+                );
+                (req, Some(u))
+            }
+            None => {
+                self.posted.push_back(probe);
+                (req, None)
+            }
+        }
+    }
+
+    /// Record an unexpected eager arrival.
+    pub(crate) fn store_unexpected(&mut self, src: usize, tag: u32, data: Vec<u8>) {
+        self.store_unexpected_body(src, tag, UnexpectedBody::Data(data));
+    }
+
+    /// Record an unexpected arrival of any kind (eager data or RTS),
+    /// preserving arrival order across kinds — MPI's non-overtaking rule
+    /// spans protocols.
+    pub(crate) fn store_unexpected_body(&mut self, src: usize, tag: u32, body: UnexpectedBody) {
+        self.unexpected.push_back(Unexpected { src, tag, body });
+        self.unexpected_total += 1;
+        self.unexpected_high_water = self.unexpected_high_water.max(self.unexpected.len());
+    }
+
+    /// Complete a matched receive into its requester's slot.
+    pub(crate) fn complete(posted: &Posted, src: usize, tag: u32, data: Vec<u8>) {
+        assert!(
+            data.len() <= posted.max_len,
+            "MPI truncation: {}-byte message for a {}-byte receive",
+            data.len(),
+            posted.max_len
+        );
+        Self::fill_slot(&posted.slot, src, tag, data);
+    }
+
+    /// Fill a receive slot directly (length already validated).
+    pub(crate) fn fill_slot(slot: &Rc<RefCell<RecvBox>>, src: usize, tag: u32, data: Vec<u8>) {
+        let mut s = slot.borrow_mut();
+        s.status = Some(Status {
+            src,
+            tag,
+            len: data.len(),
+        });
+        s.data = Some(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> MatchQueues {
+        MatchQueues::default()
+    }
+
+    #[test]
+    fn exact_match_on_src_and_tag() {
+        let mut m = q();
+        let (_r1, u) = m.post_or_match(Some(2), Some(7), 64);
+        assert!(u.is_none());
+        assert!(m.match_arrival(1, 7).is_none(), "wrong src");
+        assert!(m.match_arrival(2, 8).is_none(), "wrong tag");
+        assert!(m.match_arrival(2, 7).is_some());
+        assert!(m.match_arrival(2, 7).is_none(), "consumed");
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let mut m = q();
+        let (_r, _) = m.post_or_match(None, None, 64);
+        assert!(m.match_arrival(5, 99).is_some());
+    }
+
+    #[test]
+    fn posted_receives_match_in_post_order() {
+        let mut m = q();
+        let (r1, _) = m.post_or_match(None, Some(1), 64);
+        let (r2, _) = m.post_or_match(None, Some(1), 64);
+        let p = m.match_arrival(0, 1).unwrap();
+        MatchQueues::complete(&p, 0, 1, vec![1]);
+        assert!(r1.is_done(), "first posted matches first");
+        assert!(!r2.is_done());
+    }
+
+    #[test]
+    fn unexpected_messages_match_in_arrival_order() {
+        let mut m = q();
+        m.store_unexpected(0, 5, vec![1]);
+        m.store_unexpected(0, 5, vec![2]);
+        let (_r, u) = m.post_or_match(Some(0), Some(5), 64);
+        assert_eq!(u.unwrap().body.into_data(), vec![1], "oldest first");
+        let (_r, u) = m.post_or_match(Some(0), Some(5), 64);
+        assert_eq!(u.unwrap().body.into_data(), vec![2]);
+    }
+
+    #[test]
+    fn unexpected_wildcard_scan_respects_pattern() {
+        let mut m = q();
+        m.store_unexpected(1, 10, vec![1]);
+        m.store_unexpected(2, 20, vec![2]);
+        let (_r, u) = m.post_or_match(Some(2), None, 64);
+        assert_eq!(u.unwrap().body.into_data(), vec![2], "skips non-matching older entry");
+        assert_eq!(m.unexpected.len(), 1);
+    }
+
+    #[test]
+    fn high_water_mark_tracks_pool_pressure() {
+        let mut m = q();
+        for i in 0..5 {
+            m.store_unexpected(0, i, vec![0]);
+        }
+        let (_r, _u) = m.post_or_match(Some(0), Some(0), 64);
+        assert_eq!(m.unexpected_high_water, 5);
+        assert_eq!(m.unexpected_total, 5);
+        assert_eq!(m.unexpected.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI truncation")]
+    fn oversized_message_panics() {
+        let mut m = q();
+        m.store_unexpected(0, 1, vec![0u8; 100]);
+        let _ = m.post_or_match(Some(0), Some(1), 10);
+    }
+
+    #[test]
+    fn complete_fills_slot() {
+        let mut m = q();
+        let (r, _) = m.post_or_match(None, None, 16);
+        let p = m.match_arrival(3, 9).unwrap();
+        MatchQueues::complete(&p, 3, 9, vec![7, 8]);
+        assert_eq!(
+            r.status(),
+            Some(Status {
+                src: 3,
+                tag: 9,
+                len: 2
+            })
+        );
+        assert_eq!(r.take(), Some(vec![7, 8]));
+    }
+}

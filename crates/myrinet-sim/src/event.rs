@@ -1,0 +1,147 @@
+//! The event queue: a time-ordered priority queue with deterministic
+//! tie-breaking.
+//!
+//! Determinism matters here: the whole point of reproducing the paper's
+//! figures on a simulator is that every run of a bench target prints the
+//! same numbers. Events at equal timestamps are ordered by insertion
+//! sequence number, so the heap order is a total order independent of
+//! allocation or hash state.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fm_model::Nanos;
+
+/// An entry in the event queue: a timestamp, a tie-breaking sequence
+/// number, and the event payload.
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // and earlier sequence numbers pop first among equals.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Pop the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), "c");
+        q.schedule(Nanos(10), "a");
+        q.schedule(Nanos(20), "b");
+        assert_eq!(q.pop(), Some((Nanos(10), "a")));
+        assert_eq!(q.pop(), Some((Nanos(20), "b")));
+        assert_eq!(q.pop(), Some((Nanos(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_timestamps_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Nanos(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Nanos(7), ());
+        assert_eq!(q.peek_time(), Some(Nanos(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(5), 0);
+        assert_eq!(q.pop(), Some((Nanos(5), 0)));
+        q.schedule(Nanos(7), 2);
+        q.schedule(Nanos(10), 3); // same time as event 1, scheduled later
+        assert_eq!(q.pop(), Some((Nanos(7), 2)));
+        assert_eq!(q.pop(), Some((Nanos(10), 1)));
+        assert_eq!(q.pop(), Some((Nanos(10), 3)));
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic fault injection.
+//!
+//! Myrinet's bit-error rate is "very low" (paper §3.1) — low enough that FM
+//! relies on the hardware CRC and does not retransmit. The simulator's
+//! default is therefore a perfect network. Fault models exist to *test*
+//! that reliance: the NIC's CRC check must catch every injected corruption
+//! (packets are dropped and counted, never delivered corrupted), and the
+//! failure-injection tests assert that FM surfaces the resulting sequence
+//! gap instead of silently delivering wrong data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A policy deciding which packets get corrupted in flight.
+#[derive(Debug, Clone)]
+pub enum FaultModel {
+    /// Perfect network (the Myrinet default).
+    None,
+    /// Corrupt every `n`-th packet (1-based: the `n`-th, `2n`-th, …).
+    EveryNth(u64),
+    /// Corrupt each packet independently with probability `p`, from a
+    /// seeded RNG — deterministic for a given seed.
+    BitError {
+        /// Per-packet corruption probability.
+        p: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Stateful applier for a [`FaultModel`].
+pub struct FaultInjector {
+    model: FaultModel,
+    count: u64,
+    rng: Option<StdRng>,
+}
+
+impl FaultInjector {
+    /// Build an injector for `model`.
+    pub fn new(model: FaultModel) -> Self {
+        let rng = match &model {
+            FaultModel::BitError { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
+            _ => None,
+        };
+        FaultInjector {
+            model,
+            count: 0,
+            rng,
+        }
+    }
+
+    /// Decide whether the next packet is corrupted.
+    pub fn corrupt_next(&mut self) -> bool {
+        self.count += 1;
+        match &self.model {
+            FaultModel::None => false,
+            FaultModel::EveryNth(n) => *n > 0 && self.count.is_multiple_of(*n),
+            FaultModel::BitError { p, .. } => {
+                let rng = self.rng.as_mut().expect("BitError carries an RNG");
+                rng.random::<f64>() < *p
+            }
+        }
+    }
+
+    /// Packets seen so far.
+    pub fn packets_seen(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_corrupts() {
+        let mut f = FaultInjector::new(FaultModel::None);
+        assert!((0..1000).all(|_| !f.corrupt_next()));
+        assert_eq!(f.packets_seen(), 1000);
+    }
+
+    #[test]
+    fn every_nth_hits_exactly() {
+        let mut f = FaultInjector::new(FaultModel::EveryNth(3));
+        let hits: Vec<bool> = (0..9).map(|_| f.corrupt_next()).collect();
+        assert_eq!(
+            hits,
+            [false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn every_zero_never_corrupts() {
+        let mut f = FaultInjector::new(FaultModel::EveryNth(0));
+        assert!((0..10).all(|_| !f.corrupt_next()));
+    }
+
+    #[test]
+    fn bit_error_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut f = FaultInjector::new(FaultModel::BitError { p: 0.1, seed });
+            (0..1000).map(|_| f.corrupt_next()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn bit_error_rate_is_roughly_p() {
+        let mut f = FaultInjector::new(FaultModel::BitError { p: 0.2, seed: 7 });
+        let hits = (0..10_000).filter(|_| f.corrupt_next()).count();
+        assert!((1_600..2_400).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,40 @@
+//! A deterministic discrete-event simulator of a Myrinet-like network.
+//!
+//! This crate is the hardware substitute for the paper's testbed (see
+//! `DESIGN.md` §2): it models the components whose costs the paper's
+//! performance story is made of —
+//!
+//! * **links** with serialization rate, propagation latency, and lossless
+//!   link-level back-pressure ([`topology`]),
+//! * a **cut-through crossbar switch** with per-port contention
+//!   ([`topology`]),
+//! * a **LANai-style NIC** with a send queue fed by host programmed I/O and
+//!   a receive path that DMAs packets into a pinned host region
+//!   ([`nic`], [`hostif`]),
+//! * **host programs** that run in virtual time, charging every software
+//!   action to the clock ([`sim`]),
+//! * optional **bit-error injection** with CRC detection ([`fault`]).
+//!
+//! All time is integer nanoseconds ([`fm_model::Nanos`]); two runs with the
+//! same inputs produce bit-identical event sequences.
+//!
+//! The simulator moves an arbitrary payload type `P` (the Fast Messages
+//! engine instantiates it with its packet type), so this crate has no
+//! knowledge of the FM protocol — it is purely the network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fault;
+pub mod hostif;
+pub mod nic;
+pub mod packet;
+pub mod sim;
+pub mod topology;
+pub mod trace;
+
+pub use hostif::HostInterface;
+pub use packet::SimPacket;
+pub use sim::{NodeId, Simulation, StepOutcome};
+pub use topology::Topology;

@@ -1,0 +1,77 @@
+//! The LANai-style network interface model.
+//!
+//! Each node has a NIC with two firmware paths:
+//!
+//! * **Send**: pulls host-produced packets from the (bounded) host send
+//!   queue in order, spends `send_packet_ns` of firmware time per packet,
+//!   and injects it into the fabric.
+//! * **Receive**: when a packet's tail arrives from the fabric, the
+//!   firmware checks CRC, claims a slot in the pinned host receive region,
+//!   and DMAs the packet up; if the region is full the packet is *parked* —
+//!   Myrinet's link-level back-pressure means it waits, it is never
+//!   dropped. Corrupted packets are dropped at the CRC check and counted.
+//!
+//! The NIC keeps per-path `free_at` horizons so firmware work serializes,
+//! which is what makes per-packet NIC cost show up as a pipeline stage in
+//! bandwidth curves.
+
+use std::collections::VecDeque;
+
+use fm_model::Nanos;
+
+use crate::packet::SimPacket;
+
+/// NIC state for one node.
+pub(crate) struct Nic<P> {
+    /// When the send-path firmware is next free.
+    pub(crate) send_free_at: Nanos,
+    /// When the receive-path firmware/DMA engine is next free.
+    pub(crate) recv_free_at: Nanos,
+    /// Occupied slots in the host receive region (claimed at DMA start,
+    /// released when the host drains packets).
+    pub(crate) recv_region_used: usize,
+    /// Receive region capacity in packets.
+    pub(crate) recv_region_capacity: usize,
+    /// Packets whose tail has arrived but which are waiting for a receive
+    /// region slot (back-pressured, in arrival order).
+    pub(crate) parked: VecDeque<SimPacket<P>>,
+    /// Earliest already-scheduled send-pull event, to avoid scheduling
+    /// duplicates.
+    pub(crate) send_pull_pending: Option<Nanos>,
+    /// Packets dropped by the CRC check (fault injection only).
+    pub(crate) crc_drops: u64,
+}
+
+impl<P> Nic<P> {
+    pub(crate) fn new(recv_region_capacity: usize) -> Self {
+        Nic {
+            send_free_at: Nanos::ZERO,
+            recv_free_at: Nanos::ZERO,
+            recv_region_used: 0,
+            recv_region_capacity,
+            parked: VecDeque::new(),
+            send_pull_pending: None,
+            crc_drops: 0,
+        }
+    }
+
+    /// True if a receive-region slot is available.
+    pub(crate) fn recv_slot_available(&self) -> bool {
+        self.recv_region_used < self.recv_region_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_accounting() {
+        let mut nic: Nic<u8> = Nic::new(2);
+        assert!(nic.recv_slot_available());
+        nic.recv_region_used = 2;
+        assert!(!nic.recv_slot_available());
+        nic.recv_region_used -= 1;
+        assert!(nic.recv_slot_available());
+    }
+}

@@ -1,0 +1,52 @@
+//! The unit the network moves: an opaque payload plus routing metadata.
+
+use crate::sim::NodeId;
+
+/// A packet in flight. `P` is the protocol payload (the FM engine's packet
+/// type); the simulator only looks at the routing fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimPacket<P> {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Bytes occupied on the wire (payload + protocol header + routing
+    /// header + CRC). Determines serialization and DMA times.
+    pub wire_bytes: u32,
+    /// True when fault injection corrupted the packet in flight; the
+    /// receiving NIC's CRC check will catch it (see [`crate::fault`]).
+    pub corrupted: bool,
+    /// Simulation-assigned serial (set at NIC injection; 0 before).
+    pub serial: u64,
+    /// The protocol payload.
+    pub payload: P,
+}
+
+impl<P> SimPacket<P> {
+    /// A fresh, uncorrupted packet.
+    pub fn new(src: NodeId, dst: NodeId, wire_bytes: u32, payload: P) -> Self {
+        SimPacket {
+            src,
+            dst,
+            wire_bytes,
+            corrupted: false,
+            serial: 0,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let p = SimPacket::new(NodeId(0), NodeId(1), 144, vec![1u8, 2, 3]);
+        assert_eq!(p.src, NodeId(0));
+        assert_eq!(p.dst, NodeId(1));
+        assert_eq!(p.wire_bytes, 144);
+        assert!(!p.corrupted);
+        assert_eq!(p.payload, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,369 @@
+//! Network fabrics: links, switches, and routes.
+//!
+//! Myrinet is a source-routed, cut-through network of crossbar switches.
+//! We model a fabric as a set of unidirectional links, each with a
+//! `busy_until` occupancy horizon; a packet's route is the ordered list of
+//! links it traverses. Cut-through is modeled by advancing the packet's
+//! *head* by only wire + switch latency per hop while each traversed link
+//! is reserved for the packet's full serialization time — so contention and
+//! pipelining behave like wormhole routing at packet granularity, without
+//! simulating individual flits.
+//!
+//! Link-level back-pressure (Myrinet's STOP/GO flow control) is modeled as
+//! losslessness: a link never drops; a busy link delays the packet instead.
+
+use fm_model::profile::LinkCosts;
+use fm_model::Nanos;
+
+use crate::sim::NodeId;
+
+/// Index of a unidirectional link in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// A fabric of links plus a routing function.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: Kind,
+    /// Occupancy horizon per link: the time at which the link becomes free.
+    busy_until: Vec<Nanos>,
+    /// Cumulative serialization time per link (for utilization reports).
+    busy_total: Vec<Nanos>,
+    /// Packets carried per link.
+    packets: Vec<u64>,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    /// All nodes on one crossbar switch. Link `i` is node `i`'s uplink
+    /// (host NIC → switch); link `n + i` is node `i`'s downlink.
+    SingleCrossbar { nodes: usize },
+    /// Nodes spread across a chain of crossbar switches with
+    /// `nodes_per_switch` hosts each; consecutive switches are joined by
+    /// one inter-switch link per direction. Exists to exercise multi-hop
+    /// routes and inter-switch contention.
+    SwitchChain {
+        nodes: usize,
+        nodes_per_switch: usize,
+    },
+}
+
+impl Topology {
+    /// All `nodes` hosts on a single crossbar (the paper's cluster shape
+    /// for its 2–8 node measurements).
+    pub fn single_crossbar(nodes: usize) -> Self {
+        assert!(nodes >= 1, "a fabric needs at least one node");
+        Topology {
+            kind: Kind::SingleCrossbar { nodes },
+            // n uplinks + n downlinks.
+            busy_until: vec![Nanos::ZERO; nodes * 2],
+            busy_total: vec![Nanos::ZERO; nodes * 2],
+            packets: vec![0; nodes * 2],
+        }
+    }
+
+    /// Hosts distributed over a chain of switches.
+    pub fn switch_chain(nodes: usize, nodes_per_switch: usize) -> Self {
+        assert!(nodes >= 1 && nodes_per_switch >= 1);
+        let switches = nodes.div_ceil(nodes_per_switch);
+        // n uplinks + n downlinks + (switches-1) links each direction.
+        let links = nodes * 2 + (switches.saturating_sub(1)) * 2;
+        Topology {
+            kind: Kind::SwitchChain {
+                nodes,
+                nodes_per_switch,
+            },
+            busy_until: vec![Nanos::ZERO; links],
+            busy_total: vec![Nanos::ZERO; links],
+            packets: vec![0; links],
+        }
+    }
+
+    /// Number of hosts.
+    pub fn nodes(&self) -> usize {
+        match self.kind {
+            Kind::SingleCrossbar { nodes } => nodes,
+            Kind::SwitchChain { nodes, .. } => nodes,
+        }
+    }
+
+    /// Number of switch hops between two hosts (1 for same switch).
+    pub fn switch_hops(&self, src: NodeId, dst: NodeId) -> usize {
+        match self.kind {
+            Kind::SingleCrossbar { .. } => 1,
+            Kind::SwitchChain {
+                nodes_per_switch, ..
+            } => {
+                let s = src.0 / nodes_per_switch;
+                let d = dst.0 / nodes_per_switch;
+                1 + s.abs_diff(d)
+            }
+        }
+    }
+
+    /// The ordered links from `src` to `dst`.
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        assert!(src.0 < self.nodes() && dst.0 < self.nodes());
+        assert_ne!(src, dst, "the fabric does not route loopback traffic");
+        match self.kind {
+            Kind::SingleCrossbar { nodes } => {
+                vec![LinkId(src.0), LinkId(nodes + dst.0)]
+            }
+            Kind::SwitchChain {
+                nodes,
+                nodes_per_switch,
+            } => {
+                let switches = nodes.div_ceil(nodes_per_switch);
+                let s = src.0 / nodes_per_switch;
+                let d = dst.0 / nodes_per_switch;
+                let mut links = vec![LinkId(src.0)];
+                // Inter-switch links: rightward links come first in the
+                // inter-switch block, then leftward.
+                let inter_base = nodes * 2;
+                let right = |i: usize| LinkId(inter_base + i); // switch i -> i+1
+                let left = |i: usize| LinkId(inter_base + (switches - 1) + i); // i+1 -> i
+                if s < d {
+                    for i in s..d {
+                        links.push(right(i));
+                    }
+                } else {
+                    for i in (d..s).rev() {
+                        links.push(left(i));
+                    }
+                }
+                links.push(LinkId(nodes + dst.0));
+                links
+            }
+        }
+    }
+
+    /// Send one packet of `wire_bytes` through the fabric, head ready to
+    /// enter the source uplink at `inject_ready`.
+    ///
+    /// Updates link occupancy and returns the time at which the packet's
+    /// *tail* arrives at the destination NIC.
+    pub fn transit(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        inject_ready: Nanos,
+        wire_bytes: u32,
+        costs: &LinkCosts,
+    ) -> Nanos {
+        let route = self.route(src, dst);
+        let ser = costs.serialize(wire_bytes as u64);
+        let mut head = inject_ready;
+        let mut last_depart = inject_ready;
+        for (hop, link) in route.iter().enumerate() {
+            if hop > 0 {
+                // Entering a switch between the previous link and this one.
+                head += Nanos(costs.switch_latency_ns);
+            }
+            let depart = head.max(self.busy_until[link.0]);
+            self.busy_until[link.0] = depart + ser;
+            self.busy_total[link.0] += ser;
+            self.packets[link.0] += 1;
+            last_depart = depart;
+            head = depart + Nanos(costs.wire_latency_ns);
+        }
+        // Cut-through: the tail trails the head by one serialization time.
+        last_depart + Nanos(costs.wire_latency_ns) + ser
+    }
+
+    /// Reset all occupancy (used between independent measurement runs).
+    pub fn reset(&mut self) {
+        for b in &mut self.busy_until {
+            *b = Nanos::ZERO;
+        }
+        for b in &mut self.busy_total {
+            *b = Nanos::ZERO;
+        }
+        for p in &mut self.packets {
+            *p = 0;
+        }
+    }
+
+    /// Number of links in the fabric.
+    pub fn num_links(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Utilization of link `l` over `elapsed`: fraction of time it was
+    /// serializing bits (0.0 – 1.0).
+    pub fn link_utilization(&self, l: LinkId, elapsed: Nanos) -> f64 {
+        if elapsed == Nanos::ZERO {
+            return 0.0;
+        }
+        (self.busy_total[l.0].as_ns() as f64 / elapsed.as_ns() as f64).min(1.0)
+    }
+
+    /// Packets carried by link `l`.
+    pub fn link_packets(&self, l: LinkId) -> u64 {
+        self.packets[l.0]
+    }
+
+    /// The uplink (host → switch) of `node` — the link its outgoing
+    /// traffic serializes on first.
+    pub fn uplink(&self, node: NodeId) -> LinkId {
+        LinkId(node.0)
+    }
+
+    /// The downlink (switch → host) of `node`.
+    pub fn downlink(&self, node: NodeId) -> LinkId {
+        LinkId(self.nodes() + node.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs() -> LinkCosts {
+        LinkCosts {
+            ns_per_kb: 6_400, // 160 MB/s -> 6.25 ns/B
+            wire_latency_ns: 100,
+            switch_latency_ns: 50,
+            slack_bytes: 512,
+        }
+    }
+
+    #[test]
+    fn crossbar_routes_have_two_links() {
+        let t = Topology::single_crossbar(4);
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.switch_hops(NodeId(0), NodeId(3)), 1);
+    }
+
+    #[test]
+    fn uncontended_transit_time() {
+        let mut t = Topology::single_crossbar(2);
+        // 1024 wire bytes at 6400 ns/KB = 6400 ns serialization.
+        let tail = t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &costs());
+        // depart uplink 0; head at switch 100; +50 switch; depart downlink
+        // at 150; tail = 150 + 100 + 6400.
+        assert_eq!(tail, Nanos(6650));
+    }
+
+    #[test]
+    fn back_to_back_packets_pipeline_at_link_rate() {
+        let mut t = Topology::single_crossbar(2);
+        let c = costs();
+        let tail1 = t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &c);
+        let tail2 = t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &c);
+        // The second packet waits for the uplink: exactly one serialization
+        // time behind the first.
+        assert_eq!(tail2 - tail1, Nanos(6400));
+    }
+
+    #[test]
+    fn output_port_contention_serializes() {
+        let mut t = Topology::single_crossbar(3);
+        let c = costs();
+        // Two sources target node 2 at the same instant; their uplinks are
+        // free but the downlink to node 2 must serialize them.
+        let a = t.transit(NodeId(0), NodeId(2), Nanos(0), 1024, &c);
+        let b = t.transit(NodeId(1), NodeId(2), Nanos(0), 1024, &c);
+        assert_eq!(b - a, Nanos(6400));
+    }
+
+    #[test]
+    fn distinct_destinations_do_not_contend() {
+        let mut t = Topology::single_crossbar(4);
+        let c = costs();
+        let a = t.transit(NodeId(0), NodeId(2), Nanos(0), 1024, &c);
+        let b = t.transit(NodeId(1), NodeId(3), Nanos(0), 1024, &c);
+        assert_eq!(a, b, "a crossbar switches disjoint pairs in parallel");
+    }
+
+    #[test]
+    fn switch_chain_hop_counts() {
+        let t = Topology::switch_chain(8, 2);
+        assert_eq!(t.switch_hops(NodeId(0), NodeId(1)), 1);
+        assert_eq!(t.switch_hops(NodeId(0), NodeId(2)), 2);
+        assert_eq!(t.switch_hops(NodeId(0), NodeId(7)), 4);
+        assert_eq!(t.switch_hops(NodeId(7), NodeId(0)), 4);
+    }
+
+    #[test]
+    fn more_hops_add_latency_not_bandwidth_loss() {
+        let c = costs();
+        let mut t = Topology::switch_chain(8, 2);
+        let near = t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &c);
+        t.reset();
+        let far = t.transit(NodeId(0), NodeId(7), Nanos(0), 1024, &c);
+        // 3 extra switch hops: 3 * (wire + switch) extra head latency.
+        assert_eq!(far - near, Nanos(3 * (100 + 50)));
+
+        // Bandwidth through the chain still pipelines at link rate.
+        t.reset();
+        let t1 = t.transit(NodeId(0), NodeId(7), Nanos(0), 1024, &c);
+        let t2 = t.transit(NodeId(0), NodeId(7), Nanos(0), 1024, &c);
+        assert_eq!(t2 - t1, Nanos(6400));
+    }
+
+    #[test]
+    fn reverse_route_uses_leftward_links() {
+        let mut t = Topology::switch_chain(4, 2);
+        let c = costs();
+        // 3 -> 0 crosses one inter-switch boundary leftward.
+        let tail = t.transit(NodeId(3), NodeId(0), Nanos(0), 1024, &c);
+        // uplink, inter-switch, downlink: 2 switch entries.
+        assert_eq!(tail, Nanos(100 + 50 + 100 + 50 + 100 + 6400));
+    }
+
+    #[test]
+    fn opposite_chain_directions_do_not_contend() {
+        let mut t = Topology::switch_chain(4, 2);
+        let c = costs();
+        let a = t.transit(NodeId(0), NodeId(3), Nanos(0), 1024, &c);
+        let b = t.transit(NodeId(3), NodeId(0), Nanos(0), 1024, &c);
+        assert_eq!(a, b, "each direction has its own inter-switch link");
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_is_not_routed() {
+        let mut t = Topology::single_crossbar(2);
+        let _ = t.transit(NodeId(1), NodeId(1), Nanos(0), 64, &costs());
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut t = Topology::single_crossbar(2);
+        let c = costs();
+        let a = t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &c);
+        t.reset();
+        let b = t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &c);
+        assert_eq!(a, b);
+        assert_eq!(t.link_packets(t.uplink(NodeId(0))), 1, "reset zeroed");
+    }
+
+    #[test]
+    fn utilization_accounts_serialization_time() {
+        let mut t = Topology::single_crossbar(2);
+        let c = costs();
+        // Two 1024 B packets = 2 * 6400 ns of serialization per link.
+        t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &c);
+        t.transit(NodeId(0), NodeId(1), Nanos(0), 1024, &c);
+        let up = t.uplink(NodeId(0));
+        let down = t.downlink(NodeId(1));
+        assert_eq!(t.link_packets(up), 2);
+        assert_eq!(t.link_packets(down), 2);
+        // Over a 25.6 us window, 12.8 us busy = 50%.
+        let u = t.link_utilization(up, Nanos(25_600));
+        assert!((u - 0.5).abs() < 1e-9, "utilization = {u}");
+        // Unused links are idle.
+        assert_eq!(t.link_utilization(t.uplink(NodeId(1)), Nanos(25_600)), 0.0);
+        // Degenerate window.
+        assert_eq!(t.link_utilization(up, Nanos::ZERO), 0.0);
+        // Saturation clamps at 1.
+        assert_eq!(t.link_utilization(up, Nanos(1)), 1.0);
+    }
+
+    #[test]
+    fn link_count_matches_fabric() {
+        assert_eq!(Topology::single_crossbar(4).num_links(), 8);
+        // 8 nodes, 2 per switch: 16 host links + 3 inter-switch each way.
+        assert_eq!(Topology::switch_chain(8, 2).num_links(), 22);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests of the simulator's determinism-critical pieces.
+
+use fm_model::profile::LinkCosts;
+use fm_model::Nanos;
+use myrinet_sim::event::EventQueue;
+use myrinet_sim::sim::NodeId;
+use myrinet_sim::topology::Topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The event queue is a stable priority queue: pops are nondecreasing
+    /// in time, and FIFO among equal timestamps.
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos(t), i);
+        }
+        let mut last: Option<(Nanos, usize)> = None;
+        let mut popped = 0;
+        while let Some((t, i)) = q.pop() {
+            popped += 1;
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "time order violated");
+                if t == lt {
+                    prop_assert!(i > li, "FIFO among equal timestamps violated");
+                }
+            }
+            prop_assert_eq!(times[i], t.as_ns(), "payload/time pairing intact");
+            last = Some((t, i));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Link transit is causal and work-conserving: packets injected in
+    /// time order on one path arrive in order, never earlier than the
+    /// uncontended latency, and back-to-back arrivals are at least one
+    /// serialization time apart.
+    #[test]
+    fn transit_is_causal_and_serializing(
+        sizes in proptest::collection::vec(1u32..4096, 2..40),
+        gaps in proptest::collection::vec(0u64..20_000, 2..40),
+    ) {
+        let costs = LinkCosts {
+            ns_per_kb: 6_400,
+            wire_latency_ns: 300,
+            switch_latency_ns: 200,
+            slack_bytes: 512,
+        };
+        let mut topo = Topology::single_crossbar(2);
+        let n = sizes.len().min(gaps.len());
+        let mut inject = Nanos::ZERO;
+        let mut last_arrival = Nanos::ZERO;
+        for k in 0..n {
+            inject += Nanos(gaps[k]);
+            let arr = topo.transit(NodeId(0), NodeId(1), inject, sizes[k], &costs);
+            // Causal: tail arrival after injection plus the minimum path.
+            let ser = costs.serialize(sizes[k] as u64);
+            let min_path = Nanos(300 + 200 + 300) + ser;
+            prop_assert!(arr >= inject + min_path, "packet {k} arrived too early");
+            // In order, and separated by at least its serialization time
+            // (two packets cannot overlap on the downlink).
+            if k > 0 {
+                prop_assert!(arr >= last_arrival + ser, "packet {k} overlaps predecessor");
+            }
+            last_arrival = arr;
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Global Arrays: block-distributed dense f64 arrays over shmem.
+//!
+//! A [`GlobalArray`] of `len` elements is block-distributed: PE `p` owns
+//! elements `[p*chunk, (p+1)*chunk)` (the last block may be short), stored
+//! at the same symmetric-heap offset on every PE. `get`/`put`/`acc`
+//! operate on arbitrary `[lo, hi)` element ranges and split themselves
+//! across owners transparently — the application never computes ownership.
+
+use fm_core::device::NetDevice;
+
+use crate::shmem::Shmem;
+
+/// A handle to one distributed array (plain metadata — creation is just
+/// arithmetic; all PEs must construct it with identical arguments, like a
+/// `GA_Create` collective).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalArray {
+    /// Total elements.
+    len: usize,
+    /// Byte offset of the local block in every PE's symmetric heap.
+    base_offset: usize,
+    /// Elements per PE block.
+    chunk: usize,
+}
+
+impl GlobalArray {
+    /// Describe a `len`-element array stored at `base_offset` across
+    /// `n_pes` PEs.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero or `n_pes` is zero.
+    pub fn new(len: usize, base_offset: usize, n_pes: usize) -> Self {
+        assert!(len > 0 && n_pes > 0);
+        GlobalArray {
+            len,
+            base_offset,
+            chunk: len.div_ceil(n_pes),
+        }
+    }
+
+    /// Total elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Elements per PE block.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Heap bytes each PE must reserve for this array.
+    pub fn bytes_per_pe(&self) -> usize {
+        self.chunk * 8
+    }
+
+    /// Owner PE and its local element index for global index `i`.
+    pub fn owner_of(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        (i / self.chunk, i % self.chunk)
+    }
+
+    /// Split `[lo, hi)` into per-owner (pe, local_lo, global_lo, count)
+    /// spans.
+    fn spans(&self, lo: usize, hi: usize) -> Vec<(usize, usize, usize, usize)> {
+        assert!(lo <= hi && hi <= self.len, "range [{lo},{hi}) out of bounds");
+        let mut out = Vec::new();
+        let mut g = lo;
+        while g < hi {
+            let (pe, local) = self.owner_of(g);
+            let run = (self.chunk - local).min(hi - g);
+            out.push((pe, local, g, run));
+            g += run;
+        }
+        out
+    }
+
+    /// Read elements `[lo, hi)` (blocking; crosses owners as needed).
+    pub fn get<D: NetDevice + 'static>(&self, sh: &Shmem<D>, lo: usize, hi: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(hi - lo);
+        for (pe, local, _g, run) in self.spans(lo, hi) {
+            let off = self.base_offset + local * 8;
+            let bytes = if pe == sh.my_pe() {
+                sh.local_read(off, run * 8)
+            } else {
+                sh.get(pe, off, run * 8)
+            };
+            out.extend(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+            );
+        }
+        out
+    }
+
+    /// Write `data` to elements `[lo, lo + data.len())`. Remotely visible
+    /// after [`Shmem::quiet`].
+    pub fn put<D: NetDevice + 'static>(&self, sh: &Shmem<D>, lo: usize, data: &[f64]) {
+        for (pe, local, g, run) in self.spans(lo, lo + data.len()) {
+            let off = self.base_offset + local * 8;
+            let bytes: Vec<u8> = data[g - lo..g - lo + run]
+                .iter()
+                .flat_map(|x| x.to_le_bytes())
+                .collect();
+            if pe == sh.my_pe() {
+                sh.local_write(off, &bytes);
+            } else {
+                sh.put(pe, off, &bytes);
+            }
+        }
+    }
+
+    /// Accumulate (elementwise add) `data` into elements
+    /// `[lo, lo + data.len())`. Atomic per element at each owner (the
+    /// owner's handler applies it). Remotely visible after
+    /// [`Shmem::quiet`].
+    pub fn acc<D: NetDevice + 'static>(&self, sh: &Shmem<D>, lo: usize, data: &[f64]) {
+        for (pe, local, g, run) in self.spans(lo, lo + data.len()) {
+            let off = self.base_offset + local * 8;
+            let contrib = &data[g - lo..g - lo + run];
+            if pe == sh.my_pe() {
+                // Apply locally with the same elementwise semantics.
+                let cur = sh.local_read(off, run * 8);
+                let mut new = Vec::with_capacity(run * 8);
+                for (c, x) in cur.chunks_exact(8).zip(contrib) {
+                    let v = f64::from_le_bytes(c.try_into().unwrap()) + x;
+                    new.extend_from_slice(&v.to_le_bytes());
+                }
+                sh.local_write(off, &new);
+            } else {
+                sh.accumulate_f64(pe, off, contrib);
+            }
+        }
+    }
+}
+
+/// A block-row-distributed dense 2-D f64 array: PE `p` owns rows
+/// `[p*row_chunk, (p+1)*row_chunk)`, stored row-major at a common
+/// symmetric-heap offset. Sections (`[row_lo,row_hi) × [col_lo,col_hi)`)
+/// can be read, written, and accumulated one-sidedly; each row segment of
+/// a section lives entirely on one owner, so a section op becomes one
+/// shmem op per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalArray2D {
+    rows: usize,
+    cols: usize,
+    base_offset: usize,
+    row_chunk: usize,
+}
+
+impl GlobalArray2D {
+    /// Describe a `rows × cols` array at `base_offset` across `n_pes` PEs.
+    pub fn new(rows: usize, cols: usize, base_offset: usize, n_pes: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && n_pes > 0);
+        GlobalArray2D {
+            rows,
+            cols,
+            base_offset,
+            row_chunk: rows.div_ceil(n_pes),
+        }
+    }
+
+    /// Array shape (rows, cols).
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Rows per PE block.
+    pub fn row_chunk(&self) -> usize {
+        self.row_chunk
+    }
+
+    /// Heap bytes each PE must reserve.
+    pub fn bytes_per_pe(&self) -> usize {
+        self.row_chunk * self.cols * 8
+    }
+
+    /// Owner PE and its local row index for global row `r`.
+    pub fn owner_of_row(&self, r: usize) -> (usize, usize) {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        (r / self.row_chunk, r % self.row_chunk)
+    }
+
+    fn check_section(&self, row_lo: usize, row_hi: usize, col_lo: usize, col_hi: usize) {
+        assert!(
+            row_lo <= row_hi && row_hi <= self.rows && col_lo <= col_hi && col_hi <= self.cols,
+            "section [{row_lo},{row_hi})x[{col_lo},{col_hi}) out of bounds \
+             ({}x{})",
+            self.rows,
+            self.cols
+        );
+    }
+
+    fn row_offset(&self, local_row: usize, col: usize) -> usize {
+        self.base_offset + (local_row * self.cols + col) * 8
+    }
+
+    /// Read a rectangular section (row-major order in the result).
+    pub fn get_section<D: NetDevice + 'static>(
+        &self,
+        sh: &Shmem<D>,
+        row_lo: usize,
+        row_hi: usize,
+        col_lo: usize,
+        col_hi: usize,
+    ) -> Vec<f64> {
+        self.check_section(row_lo, row_hi, col_lo, col_hi);
+        let width = col_hi - col_lo;
+        let mut out = Vec::with_capacity((row_hi - row_lo) * width);
+        for r in row_lo..row_hi {
+            let (pe, lr) = self.owner_of_row(r);
+            let off = self.row_offset(lr, col_lo);
+            let bytes = if pe == sh.my_pe() {
+                sh.local_read(off, width * 8)
+            } else {
+                sh.get(pe, off, width * 8)
+            };
+            out.extend(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap())),
+            );
+        }
+        out
+    }
+
+    /// Write a rectangular section (`data` row-major, length
+    /// `(row_hi-row_lo)*(col_hi-col_lo)`). Remotely visible after
+    /// [`Shmem::quiet`].
+    pub fn put_section<D: NetDevice + 'static>(
+        &self,
+        sh: &Shmem<D>,
+        row_lo: usize,
+        col_lo: usize,
+        row_hi: usize,
+        col_hi: usize,
+        data: &[f64],
+    ) {
+        self.check_section(row_lo, row_hi, col_lo, col_hi);
+        let width = col_hi - col_lo;
+        assert_eq!(data.len(), (row_hi - row_lo) * width, "section size mismatch");
+        for (i, r) in (row_lo..row_hi).enumerate() {
+            let (pe, lr) = self.owner_of_row(r);
+            let off = self.row_offset(lr, col_lo);
+            let row = &data[i * width..(i + 1) * width];
+            let bytes: Vec<u8> = row.iter().flat_map(|x| x.to_le_bytes()).collect();
+            if pe == sh.my_pe() {
+                sh.local_write(off, &bytes);
+            } else {
+                sh.put(pe, off, &bytes);
+            }
+        }
+    }
+
+    /// Accumulate (elementwise add) into a rectangular section. Atomic per
+    /// element at each owner. Remotely visible after [`Shmem::quiet`].
+    pub fn acc_section<D: NetDevice + 'static>(
+        &self,
+        sh: &Shmem<D>,
+        row_lo: usize,
+        col_lo: usize,
+        row_hi: usize,
+        col_hi: usize,
+        data: &[f64],
+    ) {
+        self.check_section(row_lo, row_hi, col_lo, col_hi);
+        let width = col_hi - col_lo;
+        assert_eq!(data.len(), (row_hi - row_lo) * width, "section size mismatch");
+        for (i, r) in (row_lo..row_hi).enumerate() {
+            let (pe, lr) = self.owner_of_row(r);
+            let off = self.row_offset(lr, col_lo);
+            let row = &data[i * width..(i + 1) * width];
+            if pe == sh.my_pe() {
+                let cur = sh.local_read(off, width * 8);
+                let mut new = Vec::with_capacity(width * 8);
+                for (c, x) in cur.chunks_exact(8).zip(row) {
+                    let v = f64::from_le_bytes(c.try_into().unwrap()) + x;
+                    new.extend_from_slice(&v.to_le_bytes());
+                }
+                sh.local_write(off, &new);
+            } else {
+                sh.accumulate_f64(pe, off, row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_block_distributed() {
+        let ga = GlobalArray::new(10, 0, 4); // chunk = 3
+        assert_eq!(ga.chunk(), 3);
+        assert_eq!(ga.owner_of(0), (0, 0));
+        assert_eq!(ga.owner_of(2), (0, 2));
+        assert_eq!(ga.owner_of(3), (1, 0));
+        assert_eq!(ga.owner_of(9), (3, 0));
+        assert_eq!(ga.bytes_per_pe(), 24);
+        assert_eq!(ga.len(), 10);
+        assert!(!ga.is_empty());
+    }
+
+    #[test]
+    fn spans_split_across_owners() {
+        let ga = GlobalArray::new(10, 0, 4);
+        // [2, 8) covers the tail of PE0, all of PE1, and head of PE2.
+        let s = ga.spans(2, 8);
+        assert_eq!(s, vec![(0, 2, 2, 1), (1, 0, 3, 3), (2, 0, 6, 2)]);
+        assert!(ga.spans(5, 5).is_empty(), "empty range");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_panics() {
+        let ga = GlobalArray::new(10, 0, 4);
+        let _ = ga.spans(5, 11);
+    }
+
+    #[test]
+    fn ga2d_row_ownership() {
+        let ga = GlobalArray2D::new(10, 6, 0, 3); // row_chunk = 4
+        assert_eq!(ga.shape(), (10, 6));
+        assert_eq!(ga.row_chunk(), 4);
+        assert_eq!(ga.owner_of_row(0), (0, 0));
+        assert_eq!(ga.owner_of_row(3), (0, 3));
+        assert_eq!(ga.owner_of_row(4), (1, 0));
+        assert_eq!(ga.owner_of_row(9), (2, 1));
+        assert_eq!(ga.bytes_per_pe(), 4 * 6 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn ga2d_section_bounds_checked() {
+        let ga = GlobalArray2D::new(4, 4, 0, 2);
+        ga.check_section(0, 5, 0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn ga2d_put_size_checked() {
+        use crate::shmem::Shmem;
+        use fm_core::device::LoopbackPair;
+        use fm_core::Fm2Engine;
+        use fm_model::MachineProfile;
+        let (d, _d2) = LoopbackPair::new(8);
+        let sh = Shmem::new(Fm2Engine::new(d, MachineProfile::ppro200_fm2()), 1024);
+        let ga = GlobalArray2D::new(4, 4, 0, 2);
+        ga.put_section(&sh, 0, 0, 2, 2, &[1.0; 3]); // needs 4
+    }
+}

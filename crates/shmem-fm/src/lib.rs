@@ -1,0 +1,25 @@
+//! Shmem-FM: one-sided put/get and a small Global Arrays layer over Fast
+//! Messages 2.x.
+//!
+//! The paper (§4.2) lists "Shmem Put/Get and Global Arrays (both global
+//! address space interfaces)" among the APIs implemented on FM 2.x to
+//! demonstrate its layering capabilities. This crate is that pair:
+//!
+//! * [`shmem::Shmem`] — a symmetric heap per node with one-sided `put`,
+//!   `get`, elementwise f64 `accumulate`, an atomic `fetch-add`, `quiet`
+//!   (put completion), and `barrier_all`. One-sidedness falls straight
+//!   out of FM's handler model: the target's handler performs the memory
+//!   operation; the target application never posts anything.
+//! * [`ga::GlobalArray`] — block-distributed dense f64 arrays on top of
+//!   shmem: `get`/`put`/`acc` over arbitrary index ranges, crossing
+//!   ownership boundaries transparently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ga;
+pub mod shmem;
+pub mod wire;
+
+pub use ga::{GlobalArray, GlobalArray2D};
+pub use shmem::Shmem;

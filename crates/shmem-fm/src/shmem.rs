@@ -1,0 +1,424 @@
+//! The symmetric heap and one-sided operations.
+//!
+//! Every node allocates a heap of identical size; remote operations name
+//! plain byte offsets into the target's heap. All remote memory access is
+//! performed *by the target's FM handler* during its `FM_extract` — the
+//! classic Active-Messages realization of one-sided semantics, which FM
+//! 2.x's handler model gives us directly.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use fm_core::device::NetDevice;
+use fm_core::packet::HandlerId;
+use fm_core::{Fm2Engine, FmStream};
+
+use crate::wire::{Op, OP_BYTES};
+
+/// FM handler id used by Shmem-FM.
+pub const SHMEM_HANDLER: HandlerId = HandlerId(120);
+
+struct ShState {
+    heap: Vec<u8>,
+    next_req: u32,
+    /// Completed get/fadd replies by request id.
+    get_replies: HashMap<u32, Vec<u8>>,
+    fadd_replies: HashMap<u32, i64>,
+    /// Put acknowledgements received (vs. puts issued, for `quiet`).
+    put_acks: u64,
+    /// Barrier notifications seen: (epoch, round, src).
+    barrier_seen: HashSet<(u64, u32, usize)>,
+}
+
+/// One node's shmem context.
+pub struct Shmem<D: NetDevice> {
+    fm: Fm2Engine<D>,
+    state: Rc<RefCell<ShState>>,
+    puts_issued: std::cell::Cell<u64>,
+    barrier_epoch: std::cell::Cell<u64>,
+}
+
+impl<D: NetDevice + 'static> Shmem<D> {
+    /// Create a shmem context with a `heap_bytes` symmetric heap and
+    /// install the FM handler. Every node must use the same size.
+    pub fn new(fm: Fm2Engine<D>, heap_bytes: usize) -> Self {
+        let state = Rc::new(RefCell::new(ShState {
+            heap: vec![0u8; heap_bytes],
+            next_req: 0,
+            get_replies: HashMap::new(),
+            fadd_replies: HashMap::new(),
+            put_acks: 0,
+            barrier_seen: HashSet::new(),
+        }));
+        let st = Rc::clone(&state);
+        let fm_h = fm.clone();
+        fm.set_handler(SHMEM_HANDLER, move |stream: FmStream, src| {
+            let st = Rc::clone(&st);
+            let fm = fm_h.clone();
+            async move {
+                let mut hdr = [0u8; OP_BYTES];
+                stream.receive(&mut hdr).await;
+                match Op::decode(&hdr) {
+                    Op::Put { offset } => {
+                        let len = stream.msg_len() - OP_BYTES;
+                        let o = offset as usize;
+                        assert!(
+                            o + len <= st.borrow().heap.len(),
+                            "put out of heap bounds"
+                        );
+                        // Stream into place chunk by chunk. The heap
+                        // borrow is never held across an await, so other
+                        // handlers (interleaved puts from other sources)
+                        // stay safe.
+                        let mut written = 0;
+                        let mut chunk = [0u8; 1024];
+                        while written < len {
+                            let want = (len - written).min(chunk.len());
+                            let n = stream.receive(&mut chunk[..want]).await;
+                            if n == 0 {
+                                break;
+                            }
+                            let mut s = st.borrow_mut();
+                            s.heap[o + written..o + written + n]
+                                .copy_from_slice(&chunk[..n]);
+                            written += n;
+                        }
+                        fm.send_from_handler(src, SHMEM_HANDLER, Op::PutAck.encode().to_vec());
+                    }
+                    Op::PutAck => {
+                        st.borrow_mut().put_acks += 1;
+                    }
+                    Op::GetReq { req, offset, len } => {
+                        let (o, l) = (offset as usize, len as usize);
+                        let mut reply = Op::GetReply { req }.encode().to_vec();
+                        {
+                            let s = st.borrow();
+                            assert!(o + l <= s.heap.len(), "get out of heap bounds");
+                            reply.extend_from_slice(&s.heap[o..o + l]);
+                        }
+                        fm.send_from_handler(src, SHMEM_HANDLER, reply);
+                    }
+                    Op::GetReply { req } => {
+                        let data = stream.receive_vec(stream.msg_len() - OP_BYTES).await;
+                        st.borrow_mut().get_replies.insert(req, data);
+                    }
+                    Op::AccF64 { offset } => {
+                        let len = stream.msg_len() - OP_BYTES;
+                        assert_eq!(len % 8, 0, "accumulate operates on f64s");
+                        let contrib = stream.receive_vec(len).await;
+                        let mut s = st.borrow_mut();
+                        let o = offset as usize;
+                        assert!(o + len <= s.heap.len(), "acc out of heap bounds");
+                        for (i, c) in contrib.chunks_exact(8).enumerate() {
+                            let at = o + i * 8;
+                            let cur =
+                                f64::from_le_bytes(s.heap[at..at + 8].try_into().unwrap());
+                            let add = f64::from_le_bytes(c.try_into().unwrap());
+                            s.heap[at..at + 8].copy_from_slice(&(cur + add).to_le_bytes());
+                        }
+                        drop(s);
+                        // Accumulates are acked like puts so `quiet`
+                        // covers them.
+                        fm.send_from_handler(src, SHMEM_HANDLER, Op::PutAck.encode().to_vec());
+                    }
+                    Op::Fadd { req, offset, delta } => {
+                        let old = {
+                            let mut s = st.borrow_mut();
+                            let o = offset as usize;
+                            assert!(o + 8 <= s.heap.len(), "fadd out of heap bounds");
+                            let cur =
+                                i64::from_le_bytes(s.heap[o..o + 8].try_into().unwrap());
+                            s.heap[o..o + 8]
+                                .copy_from_slice(&cur.wrapping_add(delta).to_le_bytes());
+                            cur
+                        };
+                        fm.send_from_handler(
+                            src,
+                            SHMEM_HANDLER,
+                            Op::FaddReply { req, old }.encode().to_vec(),
+                        );
+                    }
+                    Op::FaddReply { req, old } => {
+                        st.borrow_mut().fadd_replies.insert(req, old);
+                    }
+                    Op::Barrier { epoch, round } => {
+                        st.borrow_mut().barrier_seen.insert((epoch, round, src));
+                    }
+                }
+            }
+        });
+        Shmem {
+            fm,
+            state,
+            puts_issued: std::cell::Cell::new(0),
+            barrier_epoch: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The underlying FM engine.
+    pub fn fm(&self) -> &Fm2Engine<D> {
+        &self.fm
+    }
+
+    /// This node's id.
+    pub fn my_pe(&self) -> usize {
+        self.fm.node_id()
+    }
+
+    /// Number of nodes.
+    pub fn n_pes(&self) -> usize {
+        self.fm.num_nodes()
+    }
+
+    /// Heap size in bytes.
+    pub fn heap_len(&self) -> usize {
+        self.state.borrow().heap.len()
+    }
+
+    /// Read local heap bytes.
+    pub fn local_read(&self, offset: usize, len: usize) -> Vec<u8> {
+        self.state.borrow().heap[offset..offset + len].to_vec()
+    }
+
+    /// Write local heap bytes.
+    pub fn local_write(&self, offset: usize, data: &[u8]) {
+        self.state.borrow_mut().heap[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Drive communication.
+    pub fn progress(&self) {
+        self.fm.extract_all();
+        self.fm.progress();
+    }
+
+    fn send_op(&self, dst: usize, hdr: &[u8], payload: &[u8]) {
+        let mut spins = 0u64;
+        loop {
+            if self
+                .fm
+                .try_send_message(dst, SHMEM_HANDLER, &[hdr, payload])
+                .is_ok()
+            {
+                return;
+            }
+            self.progress();
+            spins += 1;
+            assert!(spins < 500_000_000, "shmem send wedged — peer gone?");
+            std::thread::yield_now();
+        }
+    }
+
+    /// One-sided put: write `data` into `dst`'s heap at `offset`.
+    /// Completion (remotely visible) is guaranteed only after
+    /// [`Shmem::quiet`].
+    pub fn put(&self, dst: usize, offset: usize, data: &[u8]) {
+        self.puts_issued.set(self.puts_issued.get() + 1);
+        self.send_op(dst, &Op::Put { offset: offset as u64 }.encode(), data);
+    }
+
+    /// Block until every put issued by this node has been applied at its
+    /// target.
+    pub fn quiet(&self) {
+        let want = self.puts_issued.get();
+        while self.state.borrow().put_acks < want {
+            self.progress();
+            std::thread::yield_now();
+        }
+    }
+
+    /// One-sided get: read `len` bytes from `dst`'s heap at `offset`
+    /// (blocking).
+    pub fn get(&self, dst: usize, offset: usize, len: usize) -> Vec<u8> {
+        let req = {
+            let mut s = self.state.borrow_mut();
+            s.next_req += 1;
+            s.next_req
+        };
+        self.send_op(
+            dst,
+            &Op::GetReq {
+                req,
+                offset: offset as u64,
+                len: len as u32,
+            }
+            .encode(),
+            &[],
+        );
+        loop {
+            if let Some(data) = self.state.borrow_mut().get_replies.remove(&req) {
+                return data;
+            }
+            self.progress();
+            std::thread::yield_now();
+        }
+    }
+
+    /// One-sided elementwise f64 accumulate into `dst`'s heap. Covered by
+    /// [`Shmem::quiet`] like a put.
+    pub fn accumulate_f64(&self, dst: usize, offset: usize, contrib: &[f64]) {
+        let bytes: Vec<u8> = contrib.iter().flat_map(|x| x.to_le_bytes()).collect();
+        self.puts_issued.set(self.puts_issued.get() + 1);
+        self.send_op(dst, &Op::AccF64 { offset: offset as u64 }.encode(), &bytes);
+    }
+
+    /// Atomic fetch-add on the i64 at `dst`'s heap `offset` (blocking;
+    /// atomicity holds because the target applies it in its single-
+    /// threaded handler).
+    pub fn fetch_add_i64(&self, dst: usize, offset: usize, delta: i64) -> i64 {
+        let req = {
+            let mut s = self.state.borrow_mut();
+            s.next_req += 1;
+            s.next_req
+        };
+        self.send_op(
+            dst,
+            &Op::Fadd {
+                req,
+                offset: offset as u64,
+                delta,
+            }
+            .encode(),
+            &[],
+        );
+        loop {
+            if let Some(old) = self.state.borrow_mut().fadd_replies.remove(&req) {
+                return old;
+            }
+            self.progress();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Block until the i64 at *local* heap `offset` satisfies `pred`
+    /// (classic `shmem_wait_until`): the standard point-to-point
+    /// synchronization where a peer puts data, calls [`Shmem::quiet`],
+    /// then puts a flag the waiter spins on. Progress is driven while
+    /// waiting, so the peer's puts land.
+    pub fn wait_until_i64(&self, offset: usize, pred: impl Fn(i64) -> bool) -> i64 {
+        let mut spins = 0u64;
+        loop {
+            let v = i64::from_le_bytes(self.local_read(offset, 8).try_into().expect("8 bytes"));
+            if pred(v) {
+                return v;
+            }
+            self.progress();
+            spins += 1;
+            assert!(spins < 500_000_000, "shmem wait_until wedged — peer gone?");
+            std::thread::yield_now();
+        }
+    }
+
+    /// Dissemination barrier across all PEs (blocking).
+    pub fn barrier_all(&self) {
+        let n = self.n_pes();
+        if n <= 1 {
+            return;
+        }
+        let epoch = self.barrier_epoch.get();
+        self.barrier_epoch.set(epoch + 1);
+        let me = self.my_pe();
+        let mut dist = 1usize;
+        let mut round = 0u32;
+        while dist < n {
+            let dst = (me + dist) % n;
+            let src = (me + n - dist) % n;
+            self.send_op(dst, &Op::Barrier { epoch, round }.encode(), &[]);
+            while !self
+                .state
+                .borrow()
+                .barrier_seen
+                .contains(&(epoch, round, src))
+            {
+                self.progress();
+                std::thread::yield_now();
+            }
+            self.state
+                .borrow_mut()
+                .barrier_seen
+                .remove(&(epoch, round, src));
+            dist *= 2;
+            round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::device::{LoopbackDevice, LoopbackPair};
+    use fm_model::MachineProfile;
+
+    fn pair() -> (Shmem<LoopbackDevice>, Shmem<LoopbackDevice>) {
+        let (a, b) = LoopbackPair::new(256);
+        let p = MachineProfile::ppro200_fm2();
+        (
+            Shmem::new(Fm2Engine::new(a, p), 4096),
+            Shmem::new(Fm2Engine::new(b, p), 4096),
+        )
+    }
+
+    fn pump(a: &Shmem<LoopbackDevice>, b: &Shmem<LoopbackDevice>) {
+        for _ in 0..6 {
+            a.progress();
+            b.progress();
+            let fa = a.fm().clone();
+            let fb = b.fm().clone();
+            fa.with_device(|da| fb.with_device(|db| LoopbackPair::deliver(da, db)));
+        }
+        a.progress();
+        b.progress();
+    }
+
+    #[test]
+    fn put_lands_in_remote_heap() {
+        let (a, b) = pair();
+        a.put(1, 100, &[1, 2, 3, 4]);
+        pump(&a, &b);
+        assert_eq!(b.local_read(100, 4), vec![1, 2, 3, 4]);
+        // Ack came back: quiet() returns immediately.
+        assert_eq!(a.state.borrow().put_acks, 1);
+    }
+
+    #[test]
+    fn local_read_write_round_trip() {
+        let (a, _b) = pair();
+        a.local_write(8, &[9, 9]);
+        assert_eq!(a.local_read(8, 2), vec![9, 9]);
+        assert_eq!(a.heap_len(), 4096);
+        assert_eq!(a.my_pe(), 0);
+        assert_eq!(a.n_pes(), 2);
+    }
+
+    #[test]
+    fn accumulate_adds_elementwise() {
+        let (a, b) = pair();
+        b.local_write(0, &1.5f64.to_le_bytes());
+        a.accumulate_f64(1, 0, &[2.25]);
+        pump(&a, &b);
+        let v = f64::from_le_bytes(b.local_read(0, 8).try_into().unwrap());
+        assert_eq!(v, 3.75);
+        // A second accumulate stacks.
+        a.accumulate_f64(1, 0, &[0.25]);
+        pump(&a, &b);
+        let v = f64::from_le_bytes(b.local_read(0, 8).try_into().unwrap());
+        assert_eq!(v, 4.0);
+    }
+
+    #[test]
+    fn multi_packet_put_is_intact() {
+        let (a, b) = pair();
+        let data: Vec<u8> = (0..3000u32).map(|i| (i % 256) as u8).collect();
+        a.put(1, 512, &data);
+        pump(&a, &b);
+        assert_eq!(b.local_read(512, 3000), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of heap bounds")]
+    fn put_beyond_heap_is_rejected_at_target() {
+        let (a, b) = pair();
+        a.put(1, 4090, &[0u8; 16]);
+        pump(&a, &b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Shmem and Global Arrays over real OS threads.
+
+use fm_core::Fm2Engine;
+use fm_model::MachineProfile;
+use fm_threaded::ThreadedCluster;
+use shmem_fm::{GlobalArray, Shmem};
+
+fn make(dev: fm_threaded::ThreadedDevice, heap: usize) -> Shmem<fm_threaded::ThreadedDevice> {
+    Shmem::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()), heap)
+}
+
+#[test]
+fn put_get_quiet_across_threads() {
+    let out = ThreadedCluster::run(2, |pe, dev| {
+        let sh = make(dev, 4096);
+        if pe == 0 {
+            sh.put(1, 64, b"remote write");
+            sh.quiet();
+            // Read it back one-sidedly — the target never cooperates
+            // beyond its handler.
+            let back = sh.get(1, 64, 12);
+            sh.barrier_all();
+            back
+        } else {
+            // Just serve traffic until the barrier.
+            sh.barrier_all();
+            sh.local_read(64, 12)
+        }
+    });
+    assert_eq!(out[0], b"remote write");
+    assert_eq!(out[1], b"remote write");
+}
+
+#[test]
+fn fetch_add_serializes_across_pes() {
+    const PES: usize = 4;
+    const INCS: usize = 50;
+    let out = ThreadedCluster::run(PES, |pe, dev| {
+        let sh = make(dev, 1024);
+        sh.barrier_all();
+        // Everyone hammers the counter at PE 0, offset 0.
+        let mut olds = Vec::new();
+        for _ in 0..INCS {
+            olds.push(sh.fetch_add_i64(0, 0, 1));
+        }
+        sh.barrier_all();
+        let total = if pe == 0 {
+            i64::from_le_bytes(sh.local_read(0, 8).try_into().unwrap())
+        } else {
+            -1
+        };
+        sh.barrier_all();
+        (olds, total)
+    });
+    assert_eq!(out[0].1, (PES * INCS) as i64, "every increment counted");
+    // Fetch-add returns unique pre-values: all olds distinct.
+    let mut all: Vec<i64> = out.iter().flat_map(|(o, _)| o.iter().copied()).collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), PES * INCS, "atomicity: no duplicated old value");
+}
+
+#[test]
+fn barrier_actually_synchronizes() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let flag = Arc::new(AtomicUsize::new(0));
+    let f2 = Arc::clone(&flag);
+    ThreadedCluster::run(3, move |pe, dev| {
+        let sh = make(dev, 256);
+        if pe == 1 {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            f2.fetch_add(1, Ordering::SeqCst);
+        }
+        sh.barrier_all();
+        // After the barrier everyone must observe pe 1's write.
+        assert_eq!(f2.load(Ordering::SeqCst), 1, "barrier leaked pe {pe}");
+    });
+}
+
+#[test]
+fn global_array_distributed_ops() {
+    const PES: usize = 4;
+    const N: usize = 100;
+    let out = ThreadedCluster::run(PES, |pe, dev| {
+        let sh = make(dev, 8192);
+        let ga = GlobalArray::new(N, 0, PES);
+        sh.barrier_all();
+        // PE 0 initializes the whole array to its index values.
+        if pe == 0 {
+            let init: Vec<f64> = (0..N).map(|i| i as f64).collect();
+            ga.put(&sh, 0, &init);
+            sh.quiet();
+        }
+        sh.barrier_all();
+        // Every PE accumulates +1 into a shared middle strip.
+        ga.acc(&sh, 40, &[1.0; 20]);
+        sh.quiet();
+        sh.barrier_all();
+        // Everyone reads everything.
+        let all = ga.get(&sh, 0, N);
+        sh.barrier_all();
+        all
+    });
+    for (pe, all) in out.iter().enumerate() {
+        for (i, v) in all.iter().enumerate() {
+            let expect = i as f64 + if (40..60).contains(&i) { PES as f64 } else { 0.0 };
+            assert_eq!(*v, expect, "pe {pe} element {i}");
+        }
+    }
+}
+
+#[test]
+fn cross_owner_ranges_work() {
+    const PES: usize = 3;
+    let out = ThreadedCluster::run(PES, |pe, dev| {
+        let sh = make(dev, 4096);
+        let ga = GlobalArray::new(30, 0, PES); // chunk 10
+        sh.barrier_all();
+        if pe == 2 {
+            // A put spanning all three owners.
+            let vals: Vec<f64> = (0..30).map(|i| (i * 2) as f64).collect();
+            ga.put(&sh, 0, &vals);
+            sh.quiet();
+        }
+        sh.barrier_all();
+        // A get spanning owner boundaries [5, 25).
+        let mid = ga.get(&sh, 5, 25);
+        sh.barrier_all();
+        mid
+    });
+    let expect: Vec<f64> = (5..25).map(|i| (i * 2) as f64).collect();
+    for all in out {
+        assert_eq!(all, expect);
+    }
+}
+
+#[test]
+fn global_array_2d_sections_across_pes() {
+    const PES: usize = 3;
+    const ROWS: usize = 9;
+    const COLS: usize = 8;
+    let out = ThreadedCluster::run(PES, |pe, dev| {
+        let sh = make(dev, 8192);
+        let ga = shmem_fm::GlobalArray2D::new(ROWS, COLS, 0, PES);
+        sh.barrier_all();
+        // PE 0 writes the whole matrix: a[r][c] = r*10 + c.
+        if pe == 0 {
+            let all: Vec<f64> = (0..ROWS * COLS)
+                .map(|i| ((i / COLS) * 10 + i % COLS) as f64)
+                .collect();
+            ga.put_section(&sh, 0, 0, ROWS, COLS, &all);
+            sh.quiet();
+        }
+        sh.barrier_all();
+        // Every PE accumulates +1 into an interior block spanning owners.
+        ga.acc_section(&sh, 2, 3, 7, 6, &[1.0; 5 * 3]);
+        sh.quiet();
+        sh.barrier_all();
+        // Everyone reads a section crossing all three owners.
+        let sect = ga.get_section(&sh, 1, 8, 2, 7);
+        sh.barrier_all();
+        sect
+    });
+    // Expected: base value + PES inside the accumulated block.
+    let expect: Vec<f64> = (1..8)
+        .flat_map(|r| {
+            (2..7).map(move |c| {
+                let base = (r * 10 + c) as f64;
+                let acc = if (2..7).contains(&r) && (3..6).contains(&c) {
+                    PES as f64
+                } else {
+                    0.0
+                };
+                base + acc
+            })
+        })
+        .collect();
+    for (pe, sect) in out.iter().enumerate() {
+        assert_eq!(sect, &expect, "pe {pe}");
+    }
+}
+
+#[test]
+fn wait_until_flag_synchronizes_data() {
+    // The canonical one-sided handoff: producer puts data, quiets, then
+    // puts a flag; the consumer spins on the flag and must then see the
+    // complete data (quiet-before-flag gives the ordering).
+    const DATA_OFF: usize = 64;
+    const FLAG_OFF: usize = 0;
+    let out = ThreadedCluster::run(2, |pe, dev| {
+        let sh = make(dev, 4096);
+        if pe == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            sh.put(1, DATA_OFF, &[0xABu8; 512]);
+            sh.quiet(); // data is remotely complete...
+            sh.put(1, FLAG_OFF, &1i64.to_le_bytes()); // ...then raise the flag
+            sh.quiet();
+            sh.barrier_all();
+            Vec::new()
+        } else {
+            let v = sh.wait_until_i64(FLAG_OFF, |v| v == 1);
+            assert_eq!(v, 1);
+            let data = sh.local_read(DATA_OFF, 512);
+            sh.barrier_all();
+            data
+        }
+    });
+    assert_eq!(out[1], vec![0xABu8; 512], "flag implies data visibility");
+}

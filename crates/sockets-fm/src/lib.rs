@@ -1,0 +1,25 @@
+//! Socket-FM: BSD-sockets-style byte streams over Fast Messages 2.x.
+//!
+//! The paper (§3.2, §4.2) used Berkeley sockets as the second test
+//! application for FM layering, and credits FM 2.x's receiver flow control
+//! with "zero-copy transfers in a significantly larger number of cases for
+//! both our Socket-FM and MPI-FM implementations". This crate is that
+//! layer: connection-oriented, reliable, in-order byte streams —
+//! `listen` / `connect` / `accept` / `send` / `recv` / `close` — built
+//! directly on the FM 2.x stream API.
+//!
+//! What FM's guarantees buy the socket layer (the paper's layering
+//! thesis): no retransmission, no sequencing, no checksums — FM already
+//! guarantees reliable in-order delivery. The socket layer only adds
+//! demultiplexing (connections), stream framing, and an end-to-end
+//! receive-window so a fast sender cannot balloon a slow receiver's
+//! buffers (FM's credits protect *packet* buffers; the socket window
+//! protects *stream* buffers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stack;
+pub mod wire;
+
+pub use stack::{ConnectionRefused, SocketId, SocketStack};

@@ -1,0 +1,24 @@
+//! Facade crate for the Fast Messages 2.x reproduction.
+//!
+//! Re-exports every crate in the workspace under one roof so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`model`] — cost models and analytic figures (Fig. 1, Fig. 2).
+//! * [`sim`] — the discrete-event Myrinet substrate.
+//! * [`fm`] — the Fast Messages library itself (FM 1.x and FM 2.x).
+//! * [`threaded`] — the real OS-thread transport.
+//! * [`mpi`] — MPI-FM.
+//! * [`sockets`] — Socket-FM.
+//! * [`shmem`] — Shmem/Global-Arrays-FM.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use fm_core as fm;
+pub use fm_model as model;
+pub use fm_threaded as threaded;
+pub use mpi_fm as mpi;
+pub use myrinet_sim as sim;
+pub use shmem_fm as shmem;
+pub use sockets_fm as sockets;

@@ -1,0 +1,241 @@
+//! Property-based tests of the stack's core invariants.
+//!
+//! These check the properties the paper's design depends on, under inputs
+//! a human would not think to write:
+//!
+//! * FM 2.x streams: *any* gather decomposition on the send side and
+//!   *any* scatter decomposition on the receive side reproduce the exact
+//!   byte stream — piece boundaries, packet boundaries, and read sizes
+//!   are all invisible (the gather/scatter contract).
+//! * FM 1.x: any message sequence arrives intact and in order.
+//! * MPI: tag matching delivers every message to the receive that names
+//!   it, regardless of posting order.
+//! * Socket-FM: any write chunking and read chunking preserve the byte
+//!   stream (the Berkeley sockets contract).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fast_messages::fm::device::{LoopbackDevice, LoopbackPair};
+use fast_messages::fm::packet::HandlerId;
+use fast_messages::fm::{Fm1Engine, Fm2Engine, FmStream};
+use fast_messages::model::MachineProfile;
+use fast_messages::mpi::{Mpi, Mpi2};
+use fast_messages::sockets::SocketStack;
+
+const H: HandlerId = HandlerId(1);
+
+fn pump2(a: &Fm2Engine<LoopbackDevice>, b: &Fm2Engine<LoopbackDevice>) {
+    for _ in 0..6 {
+        a.extract_all();
+        b.extract_all();
+        a.with_device(|da| b.with_device(|db| LoopbackPair::deliver(da, db)));
+    }
+    a.extract_all();
+    b.extract_all();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gather/scatter round trip: the receiver's reads see exactly the
+    /// concatenation of the sender's pieces, for arbitrary piece sizes and
+    /// arbitrary read sizes.
+    #[test]
+    fn fm2_gather_scatter_preserves_byte_stream(
+        pieces in vec(vec(any::<u8>(), 0..600), 1..8),
+        read_sizes in vec(1usize..700, 1..12),
+    ) {
+        let (da, db) = LoopbackPair::new(512);
+        let s = Fm2Engine::new(da, MachineProfile::ppro200_fm2());
+        let r = Fm2Engine::new(db, MachineProfile::ppro200_fm2());
+
+        let expected: Vec<u8> = pieces.iter().flatten().copied().collect();
+        let got: Rc<RefCell<Vec<u8>>> = Rc::default();
+        {
+            let got = Rc::clone(&got);
+            let read_sizes = read_sizes.clone();
+            r.set_handler(H, move |stream: FmStream, _| {
+                let got = Rc::clone(&got);
+                let read_sizes = read_sizes.clone();
+                async move {
+                    let mut out = Vec::new();
+                    let mut i = 0;
+                    // Cycle through the read sizes until the stream ends.
+                    loop {
+                        let want = read_sizes[i % read_sizes.len()];
+                        i += 1;
+                        let mut buf = vec![0u8; want];
+                        let n = stream.receive(&mut buf).await;
+                        out.extend_from_slice(&buf[..n]);
+                        if n < want {
+                            break;
+                        }
+                        if out.len() >= stream.msg_len() {
+                            break;
+                        }
+                    }
+                    *got.borrow_mut() = out;
+                }
+            });
+        }
+
+        // Send with the exact piece decomposition.
+        let total: usize = pieces.iter().map(Vec::len).sum();
+        let mut ss = s.begin_message(1, total, H);
+        for p in &pieces {
+            let mut off = 0;
+            while off < p.len() {
+                match s.try_send_piece(&mut ss, &p[off..]) {
+                    Ok(n) => off += n,
+                    Err(_) => pump2(&s, &r),
+                }
+            }
+        }
+        while s.try_end_message(&mut ss).is_err() {
+            pump2(&s, &r);
+        }
+        pump2(&s, &r);
+
+        prop_assert_eq!(&*got.borrow(), &expected);
+    }
+
+    /// FM 1.x: arbitrary message sequences arrive intact, in order.
+    #[test]
+    fn fm1_message_sequence_in_order(
+        msgs in vec(vec(any::<u8>(), 0..1200), 1..20),
+    ) {
+        let (da, db) = LoopbackPair::new(512);
+        let mut s = Fm1Engine::new(da, MachineProfile::sparc_fm1());
+        let mut r = Fm1Engine::new(db, MachineProfile::sparc_fm1());
+        let got: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
+        {
+            let g = Rc::clone(&got);
+            r.set_handler(H, Box::new(move |_e, _s, m| g.borrow_mut().push(m.to_vec())));
+        }
+        for m in &msgs {
+            while s.try_send(1, H, m).is_err() {
+                LoopbackPair::deliver(s.device_mut(), r.device_mut());
+                r.extract();
+                LoopbackPair::deliver(s.device_mut(), r.device_mut());
+                s.extract();
+            }
+        }
+        for _ in 0..6 {
+            LoopbackPair::deliver(s.device_mut(), r.device_mut());
+            r.extract();
+            LoopbackPair::deliver(s.device_mut(), r.device_mut());
+            s.extract();
+        }
+        prop_assert_eq!(&*got.borrow(), &msgs);
+    }
+
+    /// MPI tag matching: for any assignment of tags to messages and any
+    /// posting order, each receive obtains the payload sent under its tag
+    /// (tags unique per case).
+    #[test]
+    fn mpi_matching_by_tag_is_total(
+        sizes in vec(1usize..500, 1..10),
+        post_before in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (da, db) = LoopbackPair::new(512);
+        let mut s = Mpi2::new(Fm2Engine::new(da, MachineProfile::ppro200_fm2()));
+        let mut r = Mpi2::new(Fm2Engine::new(db, MachineProfile::ppro200_fm2()));
+
+        let n = sizes.len();
+        // A deterministic shuffle of posting order from the seed.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+
+        let pump = |s: &mut Mpi2<LoopbackDevice>, r: &mut Mpi2<LoopbackDevice>| {
+            for _ in 0..6 {
+                s.progress();
+                r.progress();
+                let fs = s.fm().clone();
+                let fr = r.fm().clone();
+                fs.with_device(|ds| fr.with_device(|dr| LoopbackPair::deliver(ds, dr)));
+            }
+            s.progress();
+            r.progress();
+        };
+
+        let mut reqs: Vec<Option<fast_messages::mpi::RecvReq>> = (0..n).map(|_| None).collect();
+        if post_before {
+            for &i in &order {
+                reqs[i] = Some(r.irecv(Some(0), Some(i as u32), 512));
+            }
+        }
+        for (i, &sz) in sizes.iter().enumerate() {
+            s.isend(1, i as u32, vec![i as u8; sz]);
+        }
+        pump(&mut s, &mut r);
+        if !post_before {
+            for &i in &order {
+                reqs[i] = Some(r.irecv(Some(0), Some(i as u32), 512));
+            }
+        }
+        pump(&mut s, &mut r);
+
+        for (i, req) in reqs.iter().enumerate() {
+            let req = req.as_ref().unwrap();
+            prop_assert!(req.is_done(), "recv {i} incomplete");
+            prop_assert_eq!(req.take().unwrap(), vec![i as u8; sizes[i]]);
+        }
+    }
+
+    /// Socket byte streams survive arbitrary write and read chunking.
+    #[test]
+    fn socket_stream_is_chunking_invariant(
+        data in vec(any::<u8>(), 1..20_000),
+        write_chunk in 1usize..4096,
+        read_chunk in 1usize..4096,
+    ) {
+        let (da, db) = LoopbackPair::new(512);
+        let a = SocketStack::new(Fm2Engine::new(da, MachineProfile::ppro200_fm2()));
+        let b = SocketStack::new(Fm2Engine::new(db, MachineProfile::ppro200_fm2()));
+        let pump = |a: &SocketStack<LoopbackDevice>, b: &SocketStack<LoopbackDevice>| {
+            for _ in 0..6 {
+                a.progress();
+                b.progress();
+                let fa = a.fm().clone();
+                let fb = b.fm().clone();
+                fa.with_device(|x| fb.with_device(|y| LoopbackPair::deliver(x, y)));
+            }
+            a.progress();
+            b.progress();
+        };
+
+        b.listen(1);
+        let ca = a.connect_start(1, 1);
+        pump(&a, &b);
+        let cb = b.try_accept(1).expect("accepted");
+        pump(&a, &b);
+
+        let mut off = 0;
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; read_chunk];
+        while out.len() < data.len() {
+            if off < data.len() {
+                let end = (off + write_chunk).min(data.len());
+                off += a.try_send(ca, &data[off..end]);
+            }
+            pump(&a, &b);
+            while let Some(n) = b.try_recv(cb, &mut buf) {
+                if n == 0 {
+                    break;
+                }
+                out.extend_from_slice(&buf[..n]);
+                pump(&a, &b);
+            }
+        }
+        prop_assert_eq!(&out, &data);
+    }
+}
