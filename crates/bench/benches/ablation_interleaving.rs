@@ -32,7 +32,10 @@ fn main() {
         "receive-side interleaved placement vs staged delivery",
     );
     for (name, p) in [
-        ("PPro-class memcpy (180 MB/s)", MachineProfile::ppro200_fm2()),
+        (
+            "PPro-class memcpy (180 MB/s)",
+            MachineProfile::ppro200_fm2(),
+        ),
         // Same FM 2.x engine, Sparc-era host costs: isolates the copy.
         ("Sparc-class memcpy (20 MB/s)", MachineProfile::sparc_fm1()),
     ] {

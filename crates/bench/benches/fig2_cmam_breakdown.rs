@@ -22,7 +22,10 @@ fn row(name: &str, c: &CostSplit) {
 }
 
 fn main() {
-    banner("Figure 2", "CM-5 Active Messages overhead breakdown (cycles)");
+    banner(
+        "Figure 2",
+        "CM-5 Active Messages overhead breakdown (cycles)",
+    );
     println!(
         "{:>22} {:>10} {:>12} {:>10} {:>13} {:>8}",
         "", "base", "buffer mgmt", "in-order", "fault-toler.", "total"

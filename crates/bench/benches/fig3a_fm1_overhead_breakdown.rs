@@ -22,7 +22,10 @@ fn sweep(stage: Fm1Stage) -> Vec<BandwidthPoint> {
 }
 
 fn main() {
-    banner("Figure 3a", "FM 1.x overhead breakdown (Sparc/SBus/Myrinet)");
+    banner(
+        "Figure 3a",
+        "FM 1.x overhead breakdown (Sparc/SBus/Myrinet)",
+    );
     let link = sweep(Fm1Stage::LinkOnly);
     let iobus = sweep(Fm1Stage::IoBus);
     let flow = sweep(Fm1Stage::FlowControl);

@@ -14,7 +14,10 @@ use fm_model::MachineProfile;
 const SIZES: [usize; 6] = [16, 32, 64, 128, 256, 512];
 
 fn main() {
-    banner("Figure 3b", "FM 1.x overall bandwidth (full implementation)");
+    banner(
+        "Figure 3b",
+        "FM 1.x overall bandwidth (full implementation)",
+    );
     let p = MachineProfile::sparc_fm1();
     let curve: Vec<BandwidthPoint> = SIZES
         .iter()

@@ -16,7 +16,10 @@ use fm_model::MachineProfile;
 const SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
 
 fn main() {
-    banner("Figure 4", "initial MPI-FM vs FM 1.x (absolute and % efficiency)");
+    banner(
+        "Figure 4",
+        "initial MPI-FM vs FM 1.x (absolute and % efficiency)",
+    );
     let p = MachineProfile::sparc_fm1();
     let fm: Vec<BandwidthPoint> = SIZES
         .iter()

@@ -4,7 +4,9 @@
 //! Paper endpoints: 11 us minimum latency, 77 MB/s peak bandwidth,
 //! N1/2 < 256 B.
 
-use fm_bench::{bandwidth_table, banner, compare, curve_summary, fm2_latency, fm2_stream, stream_count};
+use fm_bench::{
+    bandwidth_table, banner, compare, curve_summary, fm2_latency, fm2_stream, stream_count,
+};
 use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
 use fm_model::MachineProfile;
 

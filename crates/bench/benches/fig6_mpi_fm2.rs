@@ -15,7 +15,10 @@ use fm_model::MachineProfile;
 const SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
 
 fn main() {
-    banner("Figure 6", "MPI-FM 2.0 vs FM 2.0 (absolute and % efficiency)");
+    banner(
+        "Figure 6",
+        "MPI-FM 2.0 vs FM 2.0 (absolute and % efficiency)",
+    );
     let p = MachineProfile::ppro200_fm2();
     let fm: Vec<BandwidthPoint> = SIZES
         .iter()

@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks of the engine itself — real wall-clock cost
-//! of the hot paths on the machine running the bench (as opposed to the
-//! figure benches, which measure modeled 1998 hardware in virtual time).
+//! Microbenchmarks of the engine itself — real wall-clock cost of the hot
+//! paths on the machine running the bench (as opposed to the figure
+//! benches, which measure modeled 1998 hardware in virtual time).
+//!
+//! Self-timed with `std::time::Instant` (a short warmup, then a timed
+//! run), so the workspace needs no external bench harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::cell::Cell;
 use std::rc::Rc;
+use std::time::Instant;
 
 use fm_core::device::LoopbackPair;
 use fm_core::packet::HandlerId;
@@ -13,78 +16,57 @@ use fm_model::MachineProfile;
 
 const H: HandlerId = HandlerId(1);
 
+/// Warm up, then time `iters` calls of `f`, printing ns/op (and MB/s when
+/// `bytes_per_op > 0`).
+fn time_op(name: &str, bytes_per_op: usize, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    if bytes_per_op > 0 {
+        let mbps = bytes_per_op as f64 / ns_per_op * 1e9 / 1e6;
+        println!("{name:<40} {ns_per_op:>12.0} ns/op {mbps:>10.1} MB/s");
+    } else {
+        println!("{name:<40} {ns_per_op:>12.0} ns/op");
+    }
+}
+
 /// FM 1.x send+deliver round through the loopback device.
-fn bench_fm1_roundtrip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fm1_send_extract");
+fn bench_fm1_roundtrip() {
     for size in [16usize, 256, 2048] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let (da, db) = LoopbackPair::new(256);
-            let mut s = Fm1Engine::new(da, MachineProfile::sparc_fm1());
-            let mut r = Fm1Engine::new(db, MachineProfile::sparc_fm1());
-            let got = Rc::new(Cell::new(0usize));
-            {
-                let got = Rc::clone(&got);
-                r.set_handler(
-                    H,
-                    Box::new(move |_e, _s, m| {
-                        std::hint::black_box(m);
-                        got.set(got.get() + 1);
-                    }),
-                );
-            }
-            let data = vec![7u8; size];
-            b.iter(|| {
-                s.try_send(1, H, &data).expect("credits available");
-                LoopbackPair::deliver(s.device_mut(), r.device_mut());
-                r.extract();
-                LoopbackPair::deliver(s.device_mut(), r.device_mut());
-                s.extract(); // credits home
-            });
+        let (da, db) = LoopbackPair::new(256);
+        let mut s = Fm1Engine::new(da, MachineProfile::sparc_fm1());
+        let mut r = Fm1Engine::new(db, MachineProfile::sparc_fm1());
+        let got = Rc::new(Cell::new(0usize));
+        {
+            let got = Rc::clone(&got);
+            r.set_handler(
+                H,
+                Box::new(move |_e, _s, m| {
+                    std::hint::black_box(m);
+                    got.set(got.get() + 1);
+                }),
+            );
+        }
+        let data = vec![7u8; size];
+        time_op(&format!("fm1_send_extract/{size}"), size, 20_000, || {
+            s.try_send(1, H, &data).expect("credits available");
+            LoopbackPair::deliver(s.device_mut(), r.device_mut());
+            r.extract();
+            LoopbackPair::deliver(s.device_mut(), r.device_mut());
+            s.extract(); // credits home
         });
     }
-    g.finish();
 }
 
 /// FM 2.x gather-send + streamed receive round.
-fn bench_fm2_roundtrip(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fm2_send_extract");
+fn bench_fm2_roundtrip() {
     for size in [16usize, 256, 2048, 16384] {
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            let (da, db) = LoopbackPair::new(256);
-            let s = Fm2Engine::new(da, MachineProfile::ppro200_fm2());
-            let r = Fm2Engine::new(db, MachineProfile::ppro200_fm2());
-            let got = Rc::new(Cell::new(0usize));
-            {
-                let got = Rc::clone(&got);
-                r.set_handler(H, move |stream: FmStream, _| {
-                    let got = Rc::clone(&got);
-                    async move {
-                        let m = stream.receive_vec(stream.msg_len()).await;
-                        std::hint::black_box(&m);
-                        got.set(got.get() + 1);
-                    }
-                });
-            }
-            let hdr = [1u8; 24];
-            let data = vec![7u8; size];
-            b.iter(|| {
-                s.try_send_message(1, H, &[&hdr, &data]).expect("capacity");
-                s.with_device(|ds| r.with_device(|dr| LoopbackPair::deliver(ds, dr)));
-                r.extract_all();
-                r.with_device(|dr| s.with_device(|ds| LoopbackPair::deliver(ds, dr)));
-                s.extract_all();
-            });
-        });
-    }
-    g.finish();
-}
-
-/// Handler-task spawn + suspend + resume cost: a handler that must be
-/// resumed once per packet of a 4-packet message.
-fn bench_handler_interleaving(c: &mut Criterion) {
-    c.bench_function("fm2_handler_resume_4pkt", |b| {
         let (da, db) = LoopbackPair::new(256);
         let s = Fm2Engine::new(da, MachineProfile::ppro200_fm2());
         let r = Fm2Engine::new(db, MachineProfile::ppro200_fm2());
@@ -94,58 +76,86 @@ fn bench_handler_interleaving(c: &mut Criterion) {
             r.set_handler(H, move |stream: FmStream, _| {
                 let got = Rc::clone(&got);
                 async move {
-                    // Four reads of one packet each: three suspensions.
-                    for _ in 0..4 {
-                        let mut buf = vec![0u8; 1024];
-                        stream.receive(&mut buf).await;
-                        std::hint::black_box(&buf);
-                    }
+                    let m = stream.receive_vec(stream.msg_len()).await;
+                    std::hint::black_box(&m);
                     got.set(got.get() + 1);
                 }
             });
         }
-        let data = vec![7u8; 4096];
-        b.iter(|| {
-            s.try_send_message(1, H, &[&data]).expect("capacity");
-            // Deliver packet by packet, extracting in between, to force
-            // suspend/resume cycles.
-            for _ in 0..4 {
-                s.with_device(|ds| r.with_device(|dr| LoopbackPair::deliver_one(ds, dr)));
-                r.extract_all();
-            }
+        let hdr = [1u8; 24];
+        let data = vec![7u8; size];
+        time_op(&format!("fm2_send_extract/{size}"), size, 20_000, || {
+            s.try_send_message(1, H, &[&hdr, &data]).expect("capacity");
+            s.with_device(|ds| r.with_device(|dr| LoopbackPair::deliver(ds, dr)));
+            r.extract_all();
             r.with_device(|dr| s.with_device(|ds| LoopbackPair::deliver(ds, dr)));
             s.extract_all();
         });
+    }
+}
+
+/// Handler-task spawn + suspend + resume cost: a handler that must be
+/// resumed once per packet of a 4-packet message.
+fn bench_handler_interleaving() {
+    let (da, db) = LoopbackPair::new(256);
+    let s = Fm2Engine::new(da, MachineProfile::ppro200_fm2());
+    let r = Fm2Engine::new(db, MachineProfile::ppro200_fm2());
+    let got = Rc::new(Cell::new(0usize));
+    {
+        let got = Rc::clone(&got);
+        r.set_handler(H, move |stream: FmStream, _| {
+            let got = Rc::clone(&got);
+            async move {
+                // Four reads of one packet each: three suspensions.
+                for _ in 0..4 {
+                    let mut buf = vec![0u8; 1024];
+                    stream.receive(&mut buf).await;
+                    std::hint::black_box(&buf);
+                }
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    let data = vec![7u8; 4096];
+    time_op("fm2_handler_resume_4pkt", 0, 10_000, || {
+        s.try_send_message(1, H, &[&data]).expect("capacity");
+        // Deliver packet by packet, extracting in between, to force
+        // suspend/resume cycles.
+        for _ in 0..4 {
+            s.with_device(|ds| r.with_device(|dr| LoopbackPair::deliver_one(ds, dr)));
+            r.extract_all();
+        }
+        r.with_device(|dr| s.with_device(|ds| LoopbackPair::deliver(ds, dr)));
+        s.extract_all();
     });
 }
 
 /// MPI matching-queue operations: post + match a two-sided transfer
 /// through both engines in-process.
-fn bench_mpi2_pingpong(c: &mut Criterion) {
+fn bench_mpi2_pingpong() {
     use mpi_fm::{Mpi, Mpi2};
-    c.bench_function("mpi2_isend_irecv_match", |b| {
-        let (da, db) = LoopbackPair::new(256);
-        let mut s = Mpi2::new(Fm2Engine::new(da, MachineProfile::ppro200_fm2()));
-        let mut r = Mpi2::new(Fm2Engine::new(db, MachineProfile::ppro200_fm2()));
-        b.iter(|| {
-            let req = r.irecv(Some(0), Some(0), 64);
-            s.isend(1, 0, vec![1u8; 64]);
-            s.progress();
-            s.fm().with_device(|ds| r.fm().with_device(|dr| LoopbackPair::deliver(ds, dr)));
-            r.progress();
-            assert!(req.is_done());
-            std::hint::black_box(req.take());
-            r.fm().with_device(|dr| s.fm().with_device(|ds| LoopbackPair::deliver(ds, dr)));
-            s.progress();
-        });
+    let (da, db) = LoopbackPair::new(256);
+    let mut s = Mpi2::new(Fm2Engine::new(da, MachineProfile::ppro200_fm2()));
+    let mut r = Mpi2::new(Fm2Engine::new(db, MachineProfile::ppro200_fm2()));
+    time_op("mpi2_isend_irecv_match", 0, 10_000, || {
+        let req = r.irecv(Some(0), Some(0), 64);
+        s.isend(1, 0, vec![1u8; 64]);
+        s.progress();
+        s.fm()
+            .with_device(|ds| r.fm().with_device(|dr| LoopbackPair::deliver(ds, dr)));
+        r.progress();
+        assert!(req.is_done());
+        std::hint::black_box(req.take());
+        r.fm()
+            .with_device(|dr| s.fm().with_device(|ds| LoopbackPair::deliver(ds, dr)));
+        s.progress();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fm1_roundtrip,
-    bench_fm2_roundtrip,
-    bench_handler_interleaving,
-    bench_mpi2_pingpong
-);
-criterion_main!(benches);
+fn main() {
+    println!("== engine microbenchmarks (wall clock, this machine) ==");
+    bench_fm1_roundtrip();
+    bench_fm2_roundtrip();
+    bench_handler_interleaving();
+    bench_mpi2_pingpong();
+}

@@ -32,7 +32,10 @@ fn main() {
         &sizes,
     );
 
-    println!("{:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}", "size", "FM1", "MPI1", "FM2", "MPI2", "eff1%", "eff2%");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>7} {:>7}",
+        "size", "FM1", "MPI1", "FM2", "MPI2", "eff1%", "eff2%"
+    );
     for (i, s) in sizes.iter().enumerate() {
         println!(
             "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>7.1} {:>7.1}",
@@ -48,14 +51,44 @@ fn main() {
 
     println!();
     println!("metric                       paper      measured");
-    println!("FM1 peak BW                  17.6       {:.2} MB/s", peak(&fm1).as_mbps());
-    println!("FM1 N1/2                     54         {:?} B", half_power_point(&fm1).map(|x| x.round()));
-    println!("FM1 latency                  14 us      {}", fm1_latency(sparc, 16, 100));
-    println!("FM2 peak BW                  77         {:.2} MB/s", peak(&fm2).as_mbps());
-    println!("FM2 N1/2                     <256       {:?} B", half_power_point(&fm2).map(|x| x.round()));
-    println!("FM2 latency                  11 us      {}", fm2_latency(ppro, 16, 100));
-    println!("MPI-FM1 peak                 ~5.5(20-35%) {:.2} MB/s", peak(&mpi1).as_mbps());
-    println!("MPI-FM2 peak                 70         {:.2} MB/s", peak(&mpi2).as_mbps());
-    println!("MPI-FM2 latency              17 us      {}", mpi_latency(MpiBinding::OverFm2, ppro, 16, 100));
-    println!("MPI-FM1 latency              (n/a)      {}", mpi_latency(MpiBinding::OverFm1, sparc, 16, 100));
+    println!(
+        "FM1 peak BW                  17.6       {:.2} MB/s",
+        peak(&fm1).as_mbps()
+    );
+    println!(
+        "FM1 N1/2                     54         {:?} B",
+        half_power_point(&fm1).map(|x| x.round())
+    );
+    println!(
+        "FM1 latency                  14 us      {}",
+        fm1_latency(sparc, 16, 100)
+    );
+    println!(
+        "FM2 peak BW                  77         {:.2} MB/s",
+        peak(&fm2).as_mbps()
+    );
+    println!(
+        "FM2 N1/2                     <256       {:?} B",
+        half_power_point(&fm2).map(|x| x.round())
+    );
+    println!(
+        "FM2 latency                  11 us      {}",
+        fm2_latency(ppro, 16, 100)
+    );
+    println!(
+        "MPI-FM1 peak                 ~5.5(20-35%) {:.2} MB/s",
+        peak(&mpi1).as_mbps()
+    );
+    println!(
+        "MPI-FM2 peak                 70         {:.2} MB/s",
+        peak(&mpi2).as_mbps()
+    );
+    println!(
+        "MPI-FM2 latency              17 us      {}",
+        mpi_latency(MpiBinding::OverFm2, ppro, 16, 100)
+    );
+    println!(
+        "MPI-FM1 latency              (n/a)      {}",
+        mpi_latency(MpiBinding::OverFm1, sparc, 16, 100)
+    );
 }

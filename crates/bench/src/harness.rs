@@ -5,10 +5,12 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use fm_core::packet::HandlerId;
-use fm_core::{Fm1Engine, Fm2Engine, FmPacket, FmStream, SimDevice};
+use fm_core::stats::FmStats;
+use fm_core::{Fm1Engine, Fm2Engine, FmPacket, FmStream, Reliability, SimDevice};
 use fm_model::halfpower::BandwidthPoint;
 use fm_model::{Bandwidth, MachineProfile, Nanos};
 use mpi_fm::{Mpi, Mpi1, Mpi2};
+use myrinet_sim::fault::FaultModel;
 use myrinet_sim::{NodeId, Simulation, StepOutcome, Topology};
 
 pub use fm_core::fm1::Fm1Stage;
@@ -137,7 +139,11 @@ pub fn fm1_stream(
     }
 
     sim.run(Some(SIM_LIMIT));
-    assert!(sim.all_done(), "FM1 stream wedged: {}/{count} delivered", got.get());
+    assert!(
+        sim.all_done(),
+        "FM1 stream wedged: {}/{count} delivered",
+        got.get()
+    );
     StreamResult {
         bytes: (size * count) as u64,
         elapsed: done_at.get(),
@@ -292,6 +298,118 @@ pub fn fm2_stream(profile: MachineProfile, size: usize, count: usize) -> StreamR
     }
 }
 
+/// [`fm2_stream`] with an explicit reliability mode and (optional) fault
+/// models on the wire. Unlike the plain stream, the sender only counts as
+/// finished once every packet has been acknowledged (`unacked_packets()
+/// == 0` — trivially true in `TrustSubstrate` mode), so in Retransmit
+/// mode the measured time covers *confirmed* delivery, acks and
+/// retransmissions included. Returns the stream result plus the sender's
+/// and the receiver's final [`FmStats`] for overhead accounting
+/// (retransmissions live on the sender, ack traffic on the receiver).
+pub fn fm2_reliable_stream(
+    profile: MachineProfile,
+    size: usize,
+    count: usize,
+    reliability: Reliability,
+    faults: Vec<FaultModel>,
+) -> (StreamResult, FmStats, FmStats) {
+    let mut sim = two_node_sim(profile);
+    sim.set_fault_models(faults);
+
+    let fm_s = Fm2Engine::with_reliability(
+        SimDevice::new(sim.host_interface(NodeId(0))),
+        profile,
+        reliability.clone(),
+    );
+    let sender_done = Rc::new(Cell::new(false));
+    let sender_stats = Rc::new(Cell::new(FmStats::default()));
+    let data = vec![0xCDu8; size];
+    let mut sent = 0usize;
+    {
+        let fm_s = fm_s.clone();
+        let sender_done = Rc::clone(&sender_done);
+        let sender_stats = Rc::clone(&sender_stats);
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                fm_s.extract_all(); // acks in, retransmit timers serviced
+                while sent < count && fm_s.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok() {
+                    sent += 1;
+                }
+                if sent == count && fm_s.unacked_packets() == 0 {
+                    sender_stats.set(fm_s.stats());
+                    sender_done.set(true);
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    let fm_r = Fm2Engine::with_reliability(
+        SimDevice::new(sim.host_interface(NodeId(1))),
+        profile,
+        reliability,
+    );
+    let got = Rc::new(Cell::new(0usize));
+    {
+        let got = Rc::clone(&got);
+        fm_r.set_handler(BENCH_HANDLER, move |stream: FmStream, _src| {
+            let got = Rc::clone(&got);
+            async move {
+                let msg = stream.receive_vec(stream.msg_len()).await;
+                assert_eq!(msg.len(), size);
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    let done_at = Rc::new(Cell::new(Nanos::ZERO));
+    let recv_stats = Rc::new(Cell::new(FmStats::default()));
+    {
+        let got = Rc::clone(&got);
+        let done_at = Rc::clone(&done_at);
+        let recv_stats = Rc::clone(&recv_stats);
+        let fm_r = fm_r.clone();
+        let sender_done = Rc::clone(&sender_done);
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm_r.extract_all();
+                if got.get() >= count && done_at.get() == Nanos::ZERO {
+                    done_at.set(fm_r.now());
+                }
+                recv_stats.set(fm_r.stats());
+                // Keep acking until the sender has confirmed delivery, so
+                // the tail of the ack conversation is never stranded.
+                // (Once traffic stops, this node may simply stay parked in
+                // Wait — the sender's Done is the real completion signal.)
+                if got.get() >= count && sender_done.get() {
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(
+        sender_done.get() && got.get() >= count,
+        "FM2 reliable stream wedged: {}/{count} delivered, sender_done={}",
+        got.get(),
+        sender_done.get()
+    );
+    (
+        StreamResult {
+            bytes: (size * count) as u64,
+            elapsed: done_at.get(),
+            unexpected: 0,
+            recv_copied: recv_stats.get().bytes_copied,
+        },
+        sender_stats.get(),
+        recv_stats.get(),
+    )
+}
+
 /// One-way latency over FM 2.x.
 pub fn fm2_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos {
     let mut sim = two_node_sim(profile);
@@ -323,8 +441,7 @@ pub fn fm2_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
                     done_at.set(fm0.now());
                     return StepOutcome::Done;
                 }
-                if sent == pongs.get() && fm0.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok()
-                {
+                if sent == pongs.get() && fm0.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok() {
                     sent += 1;
                 }
                 StepOutcome::Wait
@@ -652,8 +769,7 @@ pub fn fm2_layered_stream(
                         fm_s.try_send_message(1, BENCH_HANDLER, &[&buf]).is_ok()
                     } else {
                         // FM 2.x gather: two pieces, no copy.
-                        fm_s
-                            .try_send_message(1, BENCH_HANDLER, &[&header, &payload])
+                        fm_s.try_send_message(1, BENCH_HANDLER, &[&header, &payload])
                             .is_ok()
                     }
                 };
@@ -1004,15 +1120,9 @@ mod tests {
     #[test]
     fn latencies_are_in_paper_range() {
         let l1 = fm1_latency(MachineProfile::sparc_fm1(), 16, 50);
-        assert!(
-            (8_000..22_000).contains(&l1.as_ns()),
-            "FM1 latency = {l1}"
-        );
+        assert!((8_000..22_000).contains(&l1.as_ns()), "FM1 latency = {l1}");
         let l2 = fm2_latency(MachineProfile::ppro200_fm2(), 16, 50);
-        assert!(
-            (7_000..16_000).contains(&l2.as_ns()),
-            "FM2 latency = {l2}"
-        );
+        assert!((7_000..16_000).contains(&l2.as_ns()), "FM2 latency = {l2}");
     }
 
     #[test]
@@ -1039,7 +1149,12 @@ mod dbg_tests {
 
     #[test]
     fn mpi2_stream_2048_does_not_wedge() {
-        let r = mpi_stream(MpiBinding::OverFm2, MachineProfile::ppro200_fm2(), 2048, stream_count(2048));
+        let r = mpi_stream(
+            MpiBinding::OverFm2,
+            MachineProfile::ppro200_fm2(),
+            2048,
+            stream_count(2048),
+        );
         println!("bw = {}", r.bandwidth());
     }
 }
@@ -1050,7 +1165,12 @@ mod dbg2_tests {
 
     #[test]
     fn mpi1_stream_2048_does_not_wedge() {
-        let r = mpi_stream(MpiBinding::OverFm1, MachineProfile::sparc_fm1(), 2048, stream_count(2048));
+        let r = mpi_stream(
+            MpiBinding::OverFm1,
+            MachineProfile::sparc_fm1(),
+            2048,
+            stream_count(2048),
+        );
         println!("bw = {}", r.bandwidth());
     }
 }

@@ -47,12 +47,11 @@ pub fn efficiency_table(layered: &[BandwidthPoint], substrate: &[BandwidthPoint]
 pub fn curve_summary(name: &str, pts: &[BandwidthPoint]) {
     let pk = peak(pts);
     match half_power_point(pts) {
-        Some(n12) => println!(
-            "{name}: peak {:.2} MB/s, N1/2 = {:.0} B",
-            pk.as_mbps(),
-            n12
+        Some(n12) => println!("{name}: peak {:.2} MB/s, N1/2 = {:.0} B", pk.as_mbps(), n12),
+        None => println!(
+            "{name}: peak {:.2} MB/s, N1/2 beyond measured range",
+            pk.as_mbps()
         ),
-        None => println!("{name}: peak {:.2} MB/s, N1/2 beyond measured range", pk.as_mbps()),
     }
 }
 

@@ -23,7 +23,10 @@ fn fm1_endpoints_stay_in_band() {
     let n12 = half_power_point(&curve).expect("curve reaches half power");
     assert!((40.0..80.0).contains(&n12), "FM1 N1/2 {n12:.0} (paper 54)");
     let lat = fm1_latency(p, 16, 200).as_us_f64();
-    assert!((12.0..16.0).contains(&lat), "FM1 latency {lat:.1} us (paper 14)");
+    assert!(
+        (12.0..16.0).contains(&lat),
+        "FM1 latency {lat:.1} us (paper 14)"
+    );
 }
 
 #[test]
@@ -35,7 +38,10 @@ fn fm2_endpoints_stay_in_band() {
     let n12 = half_power_point(&curve).expect("curve reaches half power");
     assert!(n12 < 256.0, "FM2 N1/2 {n12:.0} (paper < 256)");
     let lat = fm2_latency(p, 16, 200).as_us_f64();
-    assert!((9.0..13.0).contains(&lat), "FM2 latency {lat:.1} us (paper 11)");
+    assert!(
+        (9.0..13.0).contains(&lat),
+        "FM2 latency {lat:.1} us (paper 11)"
+    );
     // The generational leap: "nearly fourfold".
     let fm1 = sweep(|s| {
         fm1_stream(
@@ -47,7 +53,10 @@ fn fm2_endpoints_stay_in_band() {
         .point(s)
     });
     let leap = pk / peak(&fm1).as_mbps();
-    assert!((3.5..5.0).contains(&leap), "FM1->FM2 leap {leap:.1}x (paper ~4x)");
+    assert!(
+        (3.5..5.0).contains(&leap),
+        "FM1->FM2 leap {leap:.1}x (paper ~4x)"
+    );
 }
 
 #[test]
@@ -65,7 +74,10 @@ fn mpi_fm1_efficiency_stays_in_band() {
         );
     }
     let pk = peak(&mpi).as_mbps();
-    assert!((3.5..6.5).contains(&pk), "MPI-FM1 peak {pk:.2} (paper ~5.5)");
+    assert!(
+        (3.5..6.5).contains(&pk),
+        "MPI-FM1 peak {pk:.2} (paper ~5.5)"
+    );
 }
 
 #[test]
@@ -75,8 +87,16 @@ fn mpi_fm2_efficiency_stays_in_band() {
     let mpi = sweep(|s| mpi_stream(MpiBinding::OverFm2, p, s, stream_count(s)).point(s));
     let eff16 = mpi[0].bandwidth.as_mbps() / fm[0].bandwidth.as_mbps();
     let eff2k = mpi[7].bandwidth.as_mbps() / fm[7].bandwidth.as_mbps();
-    assert!((0.55..0.80).contains(&eff16), "MPI-FM2 @16B = {:.0}%", eff16 * 100.0);
-    assert!((0.85..0.97).contains(&eff2k), "MPI-FM2 @2KB = {:.0}%", eff2k * 100.0);
+    assert!(
+        (0.55..0.80).contains(&eff16),
+        "MPI-FM2 @16B = {:.0}%",
+        eff16 * 100.0
+    );
+    assert!(
+        (0.85..0.97).contains(&eff2k),
+        "MPI-FM2 @2KB = {:.0}%",
+        eff2k * 100.0
+    );
     // Efficiency must rise monotonically with size (Figure 6b's shape).
     let effs: Vec<f64> = fm
         .iter()
@@ -88,9 +108,15 @@ fn mpi_fm2_efficiency_stays_in_band() {
         "efficiency curve not rising: {effs:?}"
     );
     let pk = peak(&mpi).as_mbps();
-    assert!((63.0..77.0).contains(&pk), "MPI-FM2 peak {pk:.2} (paper 70)");
+    assert!(
+        (63.0..77.0).contains(&pk),
+        "MPI-FM2 peak {pk:.2} (paper 70)"
+    );
     let lat = mpi_latency(MpiBinding::OverFm2, p, 16, 200).as_us_f64();
-    assert!((12.0..20.0).contains(&lat), "MPI-FM2 latency {lat:.1} us (paper 17)");
+    assert!(
+        (12.0..20.0).contains(&lat),
+        "MPI-FM2 latency {lat:.1} us (paper 17)"
+    );
 }
 
 #[test]

@@ -41,6 +41,15 @@ pub trait NetDevice {
     /// Account host compute cost (virtual time; no-op on real transports,
     /// where the cost is the real CPU time actually spent).
     fn charge(&mut self, cost: Nanos);
+    /// Ask the substrate to re-poll the engine's owner at (or after) time
+    /// `at` even if nothing arrives — a timer alarm. The reliability
+    /// sublayer uses this so retransmit timeouts fire on an otherwise
+    /// quiet network. Default: no-op (real transports are polled by
+    /// spinning callers; the simulator overrides it to schedule a wake
+    /// event).
+    fn request_wake(&mut self, at: Nanos) {
+        let _ = at;
+    }
 }
 
 /// [`NetDevice`] over the discrete-event simulator.
@@ -89,6 +98,10 @@ impl NetDevice for SimDevice {
 
     fn charge(&mut self, cost: Nanos) {
         self.iface.charge(cost);
+    }
+
+    fn request_wake(&mut self, at: Nanos) {
+        self.iface.request_wake(at);
     }
 }
 
@@ -221,6 +234,7 @@ mod tests {
                 msg_len: 1,
                 flags: PacketFlags::FIRST | PacketFlags::LAST,
                 credits: 0,
+                ack: 0,
             },
             payload: vec![n],
         }

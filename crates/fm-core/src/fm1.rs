@@ -37,6 +37,7 @@ use crate::device::NetDevice;
 use crate::error::{FmError, WouldBlock};
 use crate::flow::CreditLedger;
 use crate::packet::{FmPacket, HandlerId, PacketFlags, PacketHeader};
+use crate::reliable::{RecvDecision, Reliability, ReliableState};
 use crate::stats::FmStats;
 
 /// An FM 1.x message handler.
@@ -106,6 +107,9 @@ pub struct Fm1Engine<D: NetDevice> {
     deferred: VecDeque<(usize, HandlerId, Vec<u8>)>,
     /// Self-addressed messages (delivered on the next `extract`).
     local: VecDeque<FmPacket>,
+    /// Retransmission state (`Some` in [`Reliability::Retransmit`] mode,
+    /// where it replaces the credit ledger entirely).
+    reliable: Option<ReliableState>,
     errors: Vec<FmError>,
     stats: FmStats,
     in_extract: bool,
@@ -119,7 +123,29 @@ impl<D: NetDevice> Fm1Engine<D> {
 
     /// An engine at a particular implementation stage (Figure 3a).
     pub fn with_stage(device: D, profile: MachineProfile, stage: Fm1Stage) -> Self {
+        Self::build(device, profile, stage, Reliability::TrustSubstrate)
+    }
+
+    /// A full engine with an explicit reliability mode. With
+    /// [`Reliability::TrustSubstrate`] this is identical to
+    /// [`Fm1Engine::new`]; with [`Reliability::Retransmit`] the sliding
+    /// window replaces credit-based flow control and delivery survives a
+    /// lossy substrate. Both ends of a connection must use the same mode.
+    pub fn with_reliability(device: D, profile: MachineProfile, reliability: Reliability) -> Self {
+        Self::build(device, profile, Fm1Stage::Full, reliability)
+    }
+
+    fn build(
+        device: D,
+        profile: MachineProfile,
+        stage: Fm1Stage,
+        reliability: Reliability,
+    ) -> Self {
         let n = device.num_nodes();
+        let reliable = match reliability {
+            Reliability::TrustSubstrate => None,
+            Reliability::Retransmit(cfg) => Some(ReliableState::new(n, cfg)),
+        };
         Fm1Engine {
             device,
             profile,
@@ -132,6 +158,7 @@ impl<D: NetDevice> Fm1Engine<D> {
             assembly: (0..n).map(|_| None).collect(),
             deferred: VecDeque::new(),
             local: VecDeque::new(),
+            reliable,
             errors: Vec::new(),
             stats: FmStats::default(),
             in_extract: false,
@@ -205,19 +232,34 @@ impl<D: NetDevice> Fm1Engine<D> {
     /// flow-control credits or NIC queue space are insufficient for the
     /// whole message; retry after the next `extract`. FM 1.x hands whole
     /// messages to the NIC atomically.
-    pub fn try_send(&mut self, dst: usize, handler: HandlerId, data: &[u8]) -> Result<(), WouldBlock> {
+    pub fn try_send(
+        &mut self,
+        dst: usize,
+        handler: HandlerId,
+        data: &[u8],
+    ) -> Result<(), WouldBlock> {
         self.device.charge(Nanos(self.profile.host.send_call_ns));
         if dst == self.device.node_id() {
             return self.send_local(handler, data);
         }
         let mtu = self.profile.fm.mtu_payload;
-        let packets = if data.is_empty() { 1 } else { data.len().div_ceil(mtu) } as u32;
+        let packets = if data.is_empty() {
+            1
+        } else {
+            data.len().div_ceil(mtu)
+        } as u32;
 
         if self.device.send_space() < packets as usize {
             self.stats.device_stalls += 1;
             return Err(WouldBlock);
         }
-        if self.stage.flow_control() && !self.flow.try_reserve(dst, packets) {
+        if let Some(rel) = self.reliable.as_ref() {
+            // Retransmit mode: the sliding window is the flow control.
+            if !rel.can_send(dst, packets) {
+                self.stats.credit_stalls += 1;
+                return Err(WouldBlock);
+            }
+        } else if self.stage.flow_control() && !self.flow.try_reserve(dst, packets) {
             self.stats.credit_stalls += 1;
             return Err(WouldBlock);
         }
@@ -233,11 +275,12 @@ impl<D: NetDevice> Fm1Engine<D> {
             if i + 1 == total {
                 flags = flags | PacketFlags::LAST;
             }
-            let credits = if self.stage.flow_control() && i == 0 {
+            let credits = if self.reliable.is_none() && self.stage.flow_control() && i == 0 {
                 self.flow.take_owed(dst)
             } else {
                 0
             };
+            let ack = self.reliable.as_mut().map_or(0, |r| r.piggyback_ack(dst));
             let pkt = FmPacket {
                 header: PacketHeader {
                     src: self.device.node_id() as u16,
@@ -248,10 +291,15 @@ impl<D: NetDevice> Fm1Engine<D> {
                     msg_len: data.len() as u32,
                     flags,
                     credits,
+                    ack,
                 },
                 payload: chunk.to_vec(),
             };
             self.send_pkt_seq[dst] += 1;
+            let now = self.device.now();
+            if let Some(rel) = self.reliable.as_mut() {
+                rel.on_data_sent(dst, &pkt, now);
+            }
             self.charge_packet_send(pkt.wire_bytes());
             self.device
                 .try_send(pkt)
@@ -264,7 +312,12 @@ impl<D: NetDevice> Fm1Engine<D> {
     }
 
     /// `FM_send_4`: the four-word fast path.
-    pub fn try_send4(&mut self, dst: usize, handler: HandlerId, words: [u32; 4]) -> Result<(), WouldBlock> {
+    pub fn try_send4(
+        &mut self,
+        dst: usize,
+        handler: HandlerId,
+        words: [u32; 4],
+    ) -> Result<(), WouldBlock> {
         let mut buf = [0u8; 16];
         for (i, w) in words.iter().enumerate() {
             buf[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
@@ -289,7 +342,60 @@ impl<D: NetDevice> Fm1Engine<D> {
             }
         }
         self.return_explicit_credits();
+        self.reliability_poll();
         self.deferred.is_empty()
+    }
+
+    /// Retransmit-mode housekeeping: flush standalone acks, re-send timed
+    /// out rings, and arm the timer alarm. No-op in TrustSubstrate mode.
+    fn reliability_poll(&mut self) {
+        let Some(mut rel) = self.reliable.take() else {
+            return;
+        };
+        let me = self.device.node_id() as u16;
+        // Standalone acks for one-sided traffic (piggybacking already
+        // discharged the duty wherever reverse data flowed).
+        for (peer, ack) in rel.take_due_acks() {
+            if self.device.send_space() == 0 {
+                rel.mark_ack_due(peer); // retry next poll
+                continue;
+            }
+            let pkt = FmPacket::ack_only(me, peer as u16, ack);
+            self.charge_packet_send(pkt.wire_bytes());
+            self.device.try_send(pkt).expect("space checked");
+            self.stats.acks_sent += 1;
+        }
+        // Go-back-N: re-send every unacked packet of each timed-out peer.
+        let now = self.device.now();
+        for peer in rel.due_retransmits(now) {
+            for pkt in rel.ring_packets(peer) {
+                if self.device.send_space() == 0 {
+                    break; // rest of the ring waits for the next timeout
+                }
+                self.charge_packet_send(pkt.wire_bytes());
+                self.device.try_send(pkt).expect("space checked");
+                self.stats.retransmissions += 1;
+            }
+            rel.on_timeout_handled(peer, now, &mut self.stats);
+        }
+        // Make sure we get polled again even on a quiet network.
+        if let Some(at) = rel.next_deadline() {
+            self.device.request_wake(at);
+        }
+        self.reliable = Some(rel);
+    }
+
+    /// Data packets sent but not yet acknowledged (always 0 in
+    /// TrustSubstrate mode). Zero means every send is confirmed delivered.
+    pub fn unacked_packets(&self) -> usize {
+        self.reliable
+            .as_ref()
+            .map_or(0, ReliableState::unacked_packets)
+    }
+
+    fn report_error(&mut self, e: FmError) {
+        self.stats.errors_reported += 1;
+        self.errors.push(e);
     }
 
     fn send_local(&mut self, handler: HandlerId, data: &[u8]) -> Result<(), WouldBlock> {
@@ -305,6 +411,7 @@ impl<D: NetDevice> Fm1Engine<D> {
                 msg_len: data.len() as u32,
                 flags: PacketFlags::FIRST | PacketFlags::LAST,
                 credits: 0,
+                ack: 0,
             },
             payload: data.to_vec(),
         });
@@ -352,53 +459,85 @@ impl<D: NetDevice> Fm1Engine<D> {
     /// Panics if called from inside a handler (FM handlers must not
     /// recurse into extract).
     pub fn extract(&mut self) -> usize {
-        assert!(!self.in_extract, "FM_extract may not be called from a handler");
+        assert!(
+            !self.in_extract,
+            "FM_extract may not be called from a handler"
+        );
         self.device.charge(Nanos(self.profile.host.extract_poll_ns));
         let mut handled = 0;
 
         // Self-addressed messages first.
         while let Some(pkt) = self.local.pop_front() {
-            handled += self.dispatch_complete(
-                pkt.header.src as usize,
-                pkt.header.handler,
-                pkt.payload,
-            );
+            handled +=
+                self.dispatch_complete(pkt.header.src as usize, pkt.header.handler, pkt.payload);
         }
 
         while let Some(pkt) = self.device.try_recv() {
             self.device
                 .charge(Nanos(self.profile.host.per_packet_recv_ns));
             let src = pkt.header.src as usize;
-            if self.stage.flow_control() {
+            if self.reliable.is_some() {
+                // Retransmit mode: ack/window bookkeeping replaces the
+                // credit bookkeeping (same charge).
                 self.device.charge(Nanos(self.profile.host.flow_control_ns));
-                if pkt.header.credits > 0 {
-                    self.flow.credit_returned(src, pkt.header.credits as u32);
+                let now = self.device.now();
+                let rel = self.reliable.as_mut().expect("checked above");
+                let resend = if rel.on_ack(src, pkt.header.ack, now) {
+                    rel.head_packet(src)
+                } else {
+                    None
+                };
+                if let Some(head) = resend {
+                    // Duplicate-ack fast retransmit: the peer is stuck
+                    // waiting for exactly this packet.
+                    if self.device.send_space() > 0 {
+                        self.charge_packet_send(head.wire_bytes());
+                        self.device.try_send(head).expect("space checked");
+                        self.stats.retransmissions += 1;
+                    }
                 }
                 if !pkt.is_data() {
-                    continue;
+                    continue; // ACK_ONLY carries nothing else
                 }
-                self.flow.packet_drained(src);
-            } else if !pkt.is_data() {
-                continue;
-            }
-
-            // In-order guarantee check.
-            let expected = self.recv_pkt_seq[src];
-            if pkt.header.pkt_seq != expected {
-                self.errors.push(FmError::SequenceGap {
-                    src,
-                    expected,
-                    got: pkt.header.pkt_seq,
-                });
-                // Resynchronize and abandon any partial assembly.
-                self.recv_pkt_seq[src] = pkt.header.pkt_seq + 1;
-                self.assembly[src] = None;
-                // Can't trust mid-message data without its start.
-                if !pkt.header.flags.contains(PacketFlags::FIRST) {
+                // The in-order filter: duplicates and loss shadows are
+                // suppressed here, never surfaced as errors — go-back-N
+                // repairs them instead.
+                let rel = self.reliable.as_mut().expect("checked above");
+                if rel.accept(src, pkt.header.pkt_seq, &mut self.stats) != RecvDecision::Accept {
                     continue;
                 }
             } else {
-                self.recv_pkt_seq[src] = expected + 1;
+                if self.stage.flow_control() {
+                    self.device.charge(Nanos(self.profile.host.flow_control_ns));
+                    if pkt.header.credits > 0 {
+                        self.flow.credit_returned(src, pkt.header.credits as u32);
+                    }
+                    if !pkt.is_data() {
+                        continue;
+                    }
+                    self.flow.packet_drained(src);
+                } else if !pkt.is_data() {
+                    continue;
+                }
+
+                // In-order guarantee check.
+                let expected = self.recv_pkt_seq[src];
+                if pkt.header.pkt_seq != expected {
+                    self.report_error(FmError::SequenceGap {
+                        src,
+                        expected,
+                        got: pkt.header.pkt_seq,
+                    });
+                    // Resynchronize and abandon any partial assembly.
+                    self.recv_pkt_seq[src] = pkt.header.pkt_seq + 1;
+                    self.assembly[src] = None;
+                    // Can't trust mid-message data without its start.
+                    if !pkt.header.flags.contains(PacketFlags::FIRST) {
+                        continue;
+                    }
+                } else {
+                    self.recv_pkt_seq[src] = expected + 1;
+                }
             }
             self.stats.packets_received += 1;
 
@@ -417,7 +556,7 @@ impl<D: NetDevice> Fm1Engine<D> {
                 });
             }
             let Some(asm) = self.assembly[src].as_mut() else {
-                self.errors.push(FmError::OrphanPacket {
+                self.report_error(FmError::OrphanPacket {
                     src,
                     msg_seq: pkt.header.msg_seq,
                 });
@@ -448,7 +587,7 @@ impl<D: NetDevice> Fm1Engine<D> {
         let idx = handler.0 as usize;
         let slot = self.handlers.get_mut(idx).and_then(Option::take);
         let Some(mut h) = slot else {
-            self.errors.push(FmError::UnknownHandler { handler: handler.0 });
+            self.report_error(FmError::UnknownHandler { handler: handler.0 });
             return 0;
         };
         self.in_extract = true;
@@ -554,7 +693,10 @@ mod tests {
         r.extract();
         let data = &log.borrow()[0].1;
         assert_eq!(data.len(), 16);
-        assert_eq!(u32::from_le_bytes(data[12..16].try_into().unwrap()), 0xDEADBEEF);
+        assert_eq!(
+            u32::from_le_bytes(data[12..16].try_into().unwrap()),
+            0xDEADBEEF
+        );
     }
 
     #[test]
@@ -648,7 +790,11 @@ mod tests {
         assert_eq!(errs.len(), 1);
         assert!(matches!(
             errs[0],
-            FmError::SequenceGap { src: 0, expected: 1, got: 2 }
+            FmError::SequenceGap {
+                src: 0,
+                expected: 1,
+                got: 2
+            }
         ));
         assert!(r.take_errors().is_empty(), "errors drained");
         assert_eq!(log.borrow().len(), 2);
@@ -664,11 +810,16 @@ mod tests {
         deliver(&mut s, &mut r);
         assert_eq!(r.extract(), 0);
         let errs = r.take_errors();
-        // One gap; the orphaned middle packet is skipped after resync
-        // (non-FIRST), and the LAST packet is also orphaned.
+        // The gap is detected at the middle packet (skipped after resync,
+        // non-FIRST), and the LAST packet — in sequence again but with no
+        // open assembly — is reported as an orphan.
         assert!(errs
             .iter()
             .any(|e| matches!(e, FmError::SequenceGap { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, FmError::OrphanPacket { src: 0, .. })));
+        assert_eq!(r.stats().errors_reported, errs.len() as u64);
         assert!(log.borrow().is_empty());
     }
 
@@ -764,6 +915,75 @@ mod tests {
             assert!(s.try_send(1, H, &[i as u8]).is_ok());
         }
         assert_eq!(s.stats().credit_stalls, 0);
+    }
+
+    #[test]
+    fn retransmit_recovers_a_dropped_packet() {
+        use crate::reliable::{Reliability, RetransmitConfig};
+        let (a, b) = LoopbackPair::new(256);
+        let rel = || Reliability::Retransmit(RetransmitConfig::default());
+        let mut s = Fm1Engine::with_reliability(a, profile(), rel());
+        let mut r = Fm1Engine::with_reliability(b, profile(), rel());
+        let log = recording_handler(&mut r, H);
+        for i in 1..=3u8 {
+            s.try_send(1, H, &[i]).unwrap();
+        }
+        // Lose the middle packet below FM.
+        let dropped = s.device_out_remove_for_test(1);
+        assert_eq!(dropped.payload, vec![2]);
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 1, "only message 1 deliverable in order");
+        assert!(r.take_errors().is_empty(), "loss is repaired, not reported");
+        assert_eq!(r.stats().duplicates_dropped, 1, "loss shadow suppressed");
+        deliver(&mut r, &mut s); // cumulative ack for packet 0
+        s.extract();
+        assert_eq!(s.unacked_packets(), 2);
+        // Advance past the RTO; the poll re-sends the whole ring.
+        s.charge(Nanos(300_000));
+        s.progress();
+        assert_eq!(s.stats().retransmissions, 2);
+        assert_eq!(s.stats().retransmit_timeouts, 1);
+        deliver(&mut s, &mut r);
+        assert_eq!(r.extract(), 2, "messages 2 and 3 recovered in order");
+        deliver(&mut r, &mut s);
+        s.extract();
+        assert_eq!(s.unacked_packets(), 0, "everything confirmed delivered");
+        let got: Vec<u8> = log.borrow().iter().map(|(_, d)| d[0]).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(s.take_errors().is_empty() && r.take_errors().is_empty());
+        assert!(
+            r.stats().acks_sent > 0,
+            "one-sided traffic acked standalone"
+        );
+        assert_eq!(s.stats().errors_reported + r.stats().errors_reported, 0);
+    }
+
+    #[test]
+    fn retransmit_window_gates_sends_without_credits() {
+        use crate::reliable::{Reliability, RetransmitConfig};
+        let (a, b) = LoopbackPair::new(256);
+        let cfg = RetransmitConfig {
+            window: 4,
+            ..RetransmitConfig::default()
+        };
+        let mut s = Fm1Engine::with_reliability(a, profile(), Reliability::Retransmit(cfg));
+        let mut r = Fm1Engine::with_reliability(b, profile(), Reliability::Retransmit(cfg));
+        let _log = recording_handler(&mut r, H);
+        for i in 0..4u8 {
+            s.try_send(1, H, &[i]).unwrap();
+        }
+        assert_eq!(s.try_send(1, H, &[9]), Err(WouldBlock), "window closed");
+        assert_eq!(s.stats().credit_stalls, 1);
+        deliver(&mut s, &mut r);
+        r.extract();
+        deliver(&mut r, &mut s); // acks reopen the window
+        s.extract();
+        assert!(s.try_send(1, H, &[9]).is_ok());
+        assert_eq!(
+            s.stats().credit_packets_sent + r.stats().credit_packets_sent,
+            0,
+            "retransmit mode sends no credit packets"
+        );
     }
 
     // --- test-only accessors ---

@@ -21,6 +21,7 @@ use crate::device::NetDevice;
 use crate::error::{FmError, WouldBlock};
 use crate::flow::CreditLedger;
 use crate::packet::{FmPacket, HandlerId, PacketFlags, PacketHeader};
+use crate::reliable::{RecvDecision, Reliability, ReliableState};
 use crate::stats::FmStats;
 
 use super::sendstream::SendStream;
@@ -68,6 +69,9 @@ struct Inner<D: NetDevice> {
     /// cannot collide with network messages (self never sends to itself
     /// over the wire).
     local_task_counter: u32,
+    /// Retransmission state (`Some` in [`Reliability::Retransmit`] mode,
+    /// where it replaces the credit ledger entirely).
+    reliable: Option<ReliableState>,
     errors: Vec<FmError>,
     stats: FmStats,
     in_extract: bool,
@@ -90,7 +94,20 @@ impl<D: NetDevice> Clone for Fm2Engine<D> {
 impl<D: NetDevice> Fm2Engine<D> {
     /// An FM 2.x engine over `device`, charging costs per `profile`.
     pub fn new(device: D, profile: MachineProfile) -> Self {
+        Self::with_reliability(device, profile, Reliability::TrustSubstrate)
+    }
+
+    /// An engine with an explicit reliability mode. With
+    /// [`Reliability::TrustSubstrate`] this is identical to
+    /// [`Fm2Engine::new`]; with [`Reliability::Retransmit`] the sliding
+    /// window replaces credit-based flow control and delivery survives a
+    /// lossy substrate. Both ends of a connection must use the same mode.
+    pub fn with_reliability(device: D, profile: MachineProfile, reliability: Reliability) -> Self {
         let n = device.num_nodes();
+        let reliable = match reliability {
+            Reliability::TrustSubstrate => None,
+            Reliability::Retransmit(cfg) => Some(ReliableState::new(n, cfg)),
+        };
         Fm2Engine {
             inner: Rc::new(RefCell::new(Inner {
                 device,
@@ -104,6 +121,7 @@ impl<D: NetDevice> Fm2Engine<D> {
                 deferred: VecDeque::new(),
                 local: VecDeque::new(),
                 local_task_counter: 0,
+                reliable,
                 errors: Vec::new(),
                 stats: FmStats::default(),
                 in_extract: false,
@@ -252,10 +270,9 @@ impl<D: NetDevice> Fm2Engine<D> {
         let mtu = { self.inner.borrow().profile.fm.mtu_payload };
         let mut offset = 0;
         while offset < data.len() {
-            if ss.pending.len() == mtu
-                && !self.flush_packet(ss, false) {
-                    break;
-                }
+            if ss.pending.len() == mtu && !self.flush_packet(ss, false) {
+                break;
+            }
             let space = mtu - ss.pending.len();
             let take = space.min(data.len() - offset);
             ss.pending.extend_from_slice(&data[offset..offset + take]);
@@ -263,10 +280,8 @@ impl<D: NetDevice> Fm2Engine<D> {
             // staging — per-byte I/O bus cost, but no host memcpy.
             {
                 let mut inner = self.inner.borrow_mut();
-                let c = fm_model::time::ns_for_bytes(
-                    inner.profile.iobus.pio_ns_per_kb,
-                    take as u64,
-                );
+                let c =
+                    fm_model::time::ns_for_bytes(inner.profile.iobus.pio_ns_per_kb, take as u64);
                 inner.device.charge(c);
             }
             offset += take;
@@ -322,7 +337,13 @@ impl<D: NetDevice> Fm2Engine<D> {
             inner.stats.device_stalls += 1;
             return false;
         }
-        if !inner.flow.try_reserve(ss.dst, 1) {
+        if let Some(rel) = inner.reliable.as_ref() {
+            // Retransmit mode: the sliding window is the flow control.
+            if !rel.can_send(ss.dst, 1) {
+                inner.stats.credit_stalls += 1;
+                return false;
+            }
+        } else if !inner.flow.try_reserve(ss.dst, 1) {
             inner.stats.credit_stalls += 1;
             return false;
         }
@@ -333,7 +354,15 @@ impl<D: NetDevice> Fm2Engine<D> {
         if last {
             flags = flags | PacketFlags::LAST;
         }
-        let credits = inner.flow.take_owed(ss.dst);
+        let credits = if inner.reliable.is_some() {
+            0
+        } else {
+            inner.flow.take_owed(ss.dst)
+        };
+        let ack = inner
+            .reliable
+            .as_mut()
+            .map_or(0, |r| r.piggyback_ack(ss.dst));
         let pkt_seq = inner.send_pkt_seq[ss.dst];
         inner.send_pkt_seq[ss.dst] += 1;
         let pkt = FmPacket {
@@ -346,17 +375,19 @@ impl<D: NetDevice> Fm2Engine<D> {
                 msg_len: ss.msg_len,
                 flags,
                 credits,
+                ack,
             },
             payload: std::mem::take(&mut ss.pending),
         };
+        let now = inner.device.now();
+        if let Some(rel) = inner.reliable.as_mut() {
+            rel.on_data_sent(ss.dst, &pkt, now);
+        }
         let cost = Nanos(inner.profile.host.per_packet_send_ns)
             + Nanos(inner.profile.iobus.pio_setup_ns)
             + Nanos(inner.profile.host.flow_control_ns);
         inner.device.charge(cost);
-        inner
-            .device
-            .try_send(pkt)
-            .expect("space was checked above");
+        inner.device.try_send(pkt).expect("space was checked above");
         inner.stats.packets_sent += 1;
         ss.first_flushed = true;
         true
@@ -377,9 +408,11 @@ impl<D: NetDevice> Fm2Engine<D> {
             if dst != inner.device.node_id() {
                 let mtu = inner.profile.fm.mtu_payload;
                 let packets = if total == 0 { 1 } else { total.div_ceil(mtu) } as u32;
-                if inner.device.send_space() < packets as usize
-                    || inner.flow.available(dst) < packets
-                {
+                let flow_ok = match inner.reliable.as_ref() {
+                    Some(rel) => rel.can_send(dst, packets),
+                    None => inner.flow.available(dst) >= packets,
+                };
+                if inner.device.send_space() < packets as usize || !flow_ok {
                     return Err(WouldBlock);
                 }
             }
@@ -460,7 +493,61 @@ impl<D: NetDevice> Fm2Engine<D> {
             break;
         }
         self.return_explicit_credits();
+        self.reliability_poll();
         self.inner.borrow().deferred.is_empty()
+    }
+
+    /// Retransmit-mode housekeeping: flush standalone acks, re-send timed
+    /// out rings, and arm the timer alarm. No-op in TrustSubstrate mode.
+    fn reliability_poll(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(mut rel) = inner.reliable.take() else {
+            return;
+        };
+        let me = inner.device.node_id() as u16;
+        let packet_cost =
+            Nanos(inner.profile.host.per_packet_send_ns) + Nanos(inner.profile.iobus.pio_setup_ns);
+        // Standalone acks for one-sided traffic (piggybacking already
+        // discharged the duty wherever reverse data flowed).
+        for (peer, ack) in rel.take_due_acks() {
+            if inner.device.send_space() == 0 {
+                rel.mark_ack_due(peer); // retry next poll
+                continue;
+            }
+            let pkt = FmPacket::ack_only(me, peer as u16, ack);
+            inner.device.charge(packet_cost);
+            inner.device.try_send(pkt).expect("space checked");
+            inner.stats.acks_sent += 1;
+        }
+        // Go-back-N: re-send every unacked packet of each timed-out peer.
+        let now = inner.device.now();
+        let retrans_cost = packet_cost + Nanos(inner.profile.host.flow_control_ns);
+        for peer in rel.due_retransmits(now) {
+            for pkt in rel.ring_packets(peer) {
+                if inner.device.send_space() == 0 {
+                    break; // rest of the ring waits for the next timeout
+                }
+                inner.device.charge(retrans_cost);
+                inner.device.try_send(pkt).expect("space checked");
+                inner.stats.retransmissions += 1;
+            }
+            rel.on_timeout_handled(peer, now, &mut inner.stats);
+        }
+        // Make sure we get polled again even on a quiet network.
+        if let Some(at) = rel.next_deadline() {
+            inner.device.request_wake(at);
+        }
+        inner.reliable = Some(rel);
+    }
+
+    /// Data packets sent but not yet acknowledged (always 0 in
+    /// TrustSubstrate mode). Zero means every send is confirmed delivered.
+    pub fn unacked_packets(&self) -> usize {
+        self.inner
+            .borrow()
+            .reliable
+            .as_ref()
+            .map_or(0, ReliableState::unacked_packets)
     }
 
     fn return_explicit_credits(&self) {
@@ -510,7 +597,9 @@ impl<D: NetDevice> Fm2Engine<D> {
         // Self-addressed messages first (they bypass the NIC).
         while processed < budget {
             let next = self.inner.borrow_mut().local.pop_front();
-            let Some((handler, payload)) = next else { break };
+            let Some((handler, payload)) = next else {
+                break;
+            };
             processed += payload.len();
             self.deliver_local(handler, payload);
         }
@@ -532,23 +621,58 @@ impl<D: NetDevice> Fm2Engine<D> {
                 let mut inner = self.inner.borrow_mut();
                 let fc = Nanos(inner.profile.host.flow_control_ns);
                 inner.device.charge(fc);
-                if pkt.header.credits > 0 {
-                    inner.flow.credit_returned(src, pkt.header.credits as u32);
-                }
-                if !pkt.is_data() {
-                    continue;
-                }
-                inner.flow.packet_drained(src);
-                let expected = inner.recv_pkt_seq[src];
-                if pkt.header.pkt_seq != expected {
-                    inner.errors.push(FmError::SequenceGap {
-                        src,
-                        expected,
-                        got: pkt.header.pkt_seq,
-                    });
-                    inner.recv_pkt_seq[src] = pkt.header.pkt_seq + 1;
+                if inner.reliable.is_some() {
+                    // Retransmit mode: ack/window bookkeeping replaces the
+                    // credit bookkeeping (same charge).
+                    let now = inner.device.now();
+                    let i = &mut *inner;
+                    let rel = i.reliable.as_mut().expect("checked above");
+                    let resend = if rel.on_ack(src, pkt.header.ack, now) {
+                        rel.head_packet(src)
+                    } else {
+                        None
+                    };
+                    if let Some(head) = resend {
+                        // Duplicate-ack fast retransmit: the peer is stuck
+                        // waiting for exactly this packet.
+                        if i.device.send_space() > 0 {
+                            let cost = Nanos(i.profile.host.per_packet_send_ns)
+                                + Nanos(i.profile.iobus.pio_setup_ns)
+                                + Nanos(i.profile.host.flow_control_ns);
+                            i.device.charge(cost);
+                            i.device.try_send(head).expect("space checked");
+                            i.stats.retransmissions += 1;
+                        }
+                    }
+                    if !pkt.is_data() {
+                        continue; // ACK_ONLY carries nothing else
+                    }
+                    // The in-order filter: duplicates and loss shadows are
+                    // suppressed here, never surfaced as errors —
+                    // go-back-N repairs them instead.
+                    if rel.accept(src, pkt.header.pkt_seq, &mut i.stats) != RecvDecision::Accept {
+                        continue;
+                    }
                 } else {
-                    inner.recv_pkt_seq[src] = expected + 1;
+                    if pkt.header.credits > 0 {
+                        inner.flow.credit_returned(src, pkt.header.credits as u32);
+                    }
+                    if !pkt.is_data() {
+                        continue;
+                    }
+                    inner.flow.packet_drained(src);
+                    let expected = inner.recv_pkt_seq[src];
+                    if pkt.header.pkt_seq != expected {
+                        inner.errors.push(FmError::SequenceGap {
+                            src,
+                            expected,
+                            got: pkt.header.pkt_seq,
+                        });
+                        inner.stats.errors_reported += 1;
+                        inner.recv_pkt_seq[src] = pkt.header.pkt_seq + 1;
+                    } else {
+                        inner.recv_pkt_seq[src] = expected + 1;
+                    }
                 }
                 inner.stats.packets_received += 1;
             }
@@ -641,6 +765,7 @@ impl<D: NetDevice> Fm2Engine<D> {
                         src,
                         msg_seq: pkt.header.msg_seq,
                     });
+                    inner.stats.errors_reported += 1;
                     false
                 }
             }
@@ -676,10 +801,11 @@ impl<D: NetDevice> Fm2Engine<D> {
                 Some(f(fm_stream, src))
             }
             None => {
-                self.inner
-                    .borrow_mut()
+                let mut inner = self.inner.borrow_mut();
+                inner
                     .errors
                     .push(FmError::UnknownHandler { handler: handler.0 });
+                inner.stats.errors_reported += 1;
                 None // sink task: bytes drain into the void
             }
         };
@@ -700,7 +826,9 @@ impl<D: NetDevice> Fm2Engine<D> {
     fn poll_task(&self, key: (usize, u32)) {
         let taken = {
             let mut inner = self.inner.borrow_mut();
-            let Some(task) = inner.tasks.get_mut(&key) else { return };
+            let Some(task) = inner.tasks.get_mut(&key) else {
+                return;
+            };
             task.future.take().map(|f| (f, Rc::clone(&task.charge)))
         };
         if let Some((mut future, charge)) = taken {
@@ -832,11 +960,12 @@ mod tests {
     fn gather_send_scatter_receive_round_trip() {
         let (s, r, pump) = pair();
         let log = recording_handler(&r, H, 7); // deliberately odd read size
-        // Gather from three differently-sized pieces.
+                                               // Gather from three differently-sized pieces.
         let header = [1u8, 2, 3, 4];
         let body: Vec<u8> = (0..100).collect();
         let trailer = [9u8; 5];
-        s.try_send_message(1, H, &[&header, &body, &trailer]).unwrap();
+        s.try_send_message(1, H, &[&header, &body, &trailer])
+            .unwrap();
         pump.deliver();
         r.extract_all();
         let expect: Vec<u8> = header
@@ -999,7 +1128,10 @@ mod tests {
         assert_eq!(accepted, window * mtu + mtu);
         assert_eq!(s.stats().packets_sent as usize, window);
         // No more can go: zero progress now reports WouldBlock.
-        assert_eq!(s.try_send_piece(&mut ss, &huge[accepted..]), Err(WouldBlock));
+        assert_eq!(
+            s.try_send_piece(&mut ss, &huge[accepted..]),
+            Err(WouldBlock)
+        );
         assert!(s.stats().credit_stalls > 0);
     }
 
@@ -1083,7 +1215,8 @@ mod tests {
     fn self_send_delivers_locally() {
         let (a, _b, _pump) = pair();
         let log = recording_handler(&a, H, 64);
-        a.try_send_message(0, H, &[&[1u8, 2][..], &[3u8][..]]).unwrap();
+        a.try_send_message(0, H, &[&[1u8, 2][..], &[3u8][..]])
+            .unwrap();
         a.extract_all();
         assert_eq!(*log.borrow(), vec![(0, vec![1, 2, 3])]);
         assert_eq!(a.stats().packets_sent, 0, "no wire traffic");
@@ -1104,7 +1237,8 @@ mod tests {
     #[test]
     fn unknown_handler_becomes_sink_with_error() {
         let (s, r, pump) = pair();
-        s.try_send_message(1, HandlerId(9), &[&[1u8; 2000][..]]).unwrap();
+        s.try_send_message(1, HandlerId(9), &[&[1u8; 2000][..]])
+            .unwrap();
         s.try_send_message(1, H, &[&[5u8][..]]).unwrap();
         let log = recording_handler(&r, H, 8);
         pump.deliver();
@@ -1167,7 +1301,11 @@ mod tests {
         let errs = r.take_errors();
         assert!(matches!(
             errs[0],
-            FmError::SequenceGap { src: 0, expected: 0, got: 1 }
+            FmError::SequenceGap {
+                src: 0,
+                expected: 0,
+                got: 1
+            }
         ));
         assert_eq!(*log.borrow(), vec![(0, vec![2])], "later message survives");
     }
@@ -1178,7 +1316,9 @@ mod tests {
         let log = recording_handler(&r, H, 64);
         let mut sent = 0u32;
         while sent < 100 {
-            if s.try_send_message(1, H, &[&sent.to_le_bytes()[..]]).is_err() {
+            if s.try_send_message(1, H, &[&sent.to_le_bytes()[..]])
+                .is_err()
+            {
                 pump.deliver();
                 r.extract_all();
                 pump.deliver();
@@ -1213,6 +1353,42 @@ mod edge_tests {
 
     fn deliver(a: &Fm2Engine<LoopbackDevice>, b: &Fm2Engine<LoopbackDevice>) {
         a.with_device(|da| b.with_device(|db| LoopbackPair::deliver(da, db)));
+    }
+
+    #[test]
+    fn dropped_first_packet_is_reported_as_orphan() {
+        // TrustSubstrate mode: losing the FIRST packet of a multi-packet
+        // message leaves the rest with no open stream — a sequence gap at
+        // the next packet, then orphan reports for the in-sequence tail.
+        let (s, r) = pair();
+        let hits: Rc<RefCell<u32>> = Rc::default();
+        {
+            let h = Rc::clone(&hits);
+            r.set_handler(H, move |stream: FmStream, _| {
+                let h = Rc::clone(&h);
+                async move {
+                    stream.skip(stream.msg_len()).await;
+                    *h.borrow_mut() += 1;
+                }
+            });
+        }
+        let mtu = s.profile().fm.mtu_payload;
+        let big = vec![9u8; 3 * mtu];
+        s.try_send_message(1, H, &[&big]).unwrap();
+        s.with_device(|d| {
+            let _ = d.out_remove_for_test(0); // lose FIRST in flight
+        });
+        deliver(&s, &r);
+        r.extract_all();
+        let errs = r.take_errors();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, FmError::SequenceGap { src: 0, .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, FmError::OrphanPacket { src: 0, .. })));
+        assert_eq!(r.stats().errors_reported, errs.len() as u64);
+        assert_eq!(*hits.borrow(), 0, "no partial delivery");
     }
 
     #[test]
@@ -1318,5 +1494,97 @@ mod edge_tests {
         e.set_handler(H, |stream: FmStream, _| async move {
             stream.skip(stream.msg_len()).await;
         });
+    }
+
+    #[test]
+    fn retransmit_recovers_a_dropped_packet() {
+        use crate::reliable::{Reliability, RetransmitConfig};
+        let (a, b) = LoopbackPair::new(256);
+        let p = MachineProfile::ppro200_fm2();
+        let rel = || Reliability::Retransmit(RetransmitConfig::default());
+        let s = Fm2Engine::with_reliability(a, p, rel());
+        let r = Fm2Engine::with_reliability(b, p, rel());
+        let log: Rc<RefCell<Vec<u8>>> = Rc::default();
+        {
+            let l = Rc::clone(&log);
+            r.set_handler(H, move |stream: FmStream, _| {
+                let l = Rc::clone(&l);
+                async move {
+                    let m = stream.receive_vec(stream.msg_len()).await;
+                    l.borrow_mut().push(m[0]);
+                }
+            });
+        }
+        for i in 1..=3u8 {
+            s.try_send_message(1, H, &[&[i][..]]).unwrap();
+        }
+        // Lose the middle packet below FM.
+        s.with_device(|d| {
+            let dropped = d.out_remove_for_test(1);
+            assert_eq!(dropped.payload, vec![2]);
+        });
+        deliver(&s, &r);
+        r.extract_all();
+        assert!(r.take_errors().is_empty(), "loss is repaired, not reported");
+        assert_eq!(r.stats().duplicates_dropped, 1, "loss shadow suppressed");
+        deliver(&r, &s); // cumulative ack for packet 0
+        s.extract_all();
+        assert_eq!(s.unacked_packets(), 2);
+        // Advance past the RTO; the poll re-sends the whole ring.
+        s.charge(Nanos(300_000));
+        s.progress();
+        assert_eq!(s.stats().retransmissions, 2);
+        assert_eq!(s.stats().retransmit_timeouts, 1);
+        deliver(&s, &r);
+        r.extract_all();
+        deliver(&r, &s);
+        s.extract_all();
+        assert_eq!(s.unacked_packets(), 0, "everything confirmed delivered");
+        assert_eq!(*log.borrow(), vec![1, 2, 3], "recovered in order");
+        assert!(s.take_errors().is_empty() && r.take_errors().is_empty());
+        assert!(
+            r.stats().acks_sent > 0,
+            "one-sided traffic acked standalone"
+        );
+        assert_eq!(
+            s.stats().credit_packets_sent + r.stats().credit_packets_sent,
+            0,
+            "retransmit mode sends no credit packets"
+        );
+    }
+
+    #[test]
+    fn retransmit_window_bounds_streaming_sends() {
+        use crate::reliable::{Reliability, RetransmitConfig};
+        let (a, b) = LoopbackPair::new(256);
+        let p = MachineProfile::ppro200_fm2();
+        let cfg = RetransmitConfig {
+            window: 4,
+            ..RetransmitConfig::default()
+        };
+        let s = Fm2Engine::with_reliability(a, p, Reliability::Retransmit(cfg));
+        let r = Fm2Engine::with_reliability(b, p, Reliability::Retransmit(cfg));
+        recording(&r);
+        // A message bigger than the whole window streams through it.
+        let mtu = p.fm.mtu_payload;
+        let big = vec![7u8; 6 * mtu];
+        let mut ss = s.begin_message(1, big.len(), H);
+        let first = s.try_send_piece(&mut ss, &big).unwrap();
+        assert!(first < big.len(), "window must close mid-message");
+        assert!(s.stats().credit_stalls > 0);
+        let mut sent = first;
+        while sent < big.len() || s.try_end_message(&mut ss).is_err() {
+            deliver(&s, &r);
+            r.extract_all();
+            deliver(&r, &s);
+            s.extract_all();
+            if sent < big.len() {
+                sent += s.try_send_piece(&mut ss, &big[sent..]).unwrap_or(0);
+            }
+        }
+        deliver(&s, &r);
+        r.extract_all();
+        assert_eq!(r.stats().messages_received, 1);
+        assert_eq!(r.stats().bytes_received, big.len() as u64);
     }
 }

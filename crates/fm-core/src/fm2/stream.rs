@@ -77,7 +77,9 @@ impl StreamState {
     fn copy_out(&mut self, out: &mut [u8]) -> usize {
         let mut filled = 0;
         while filled < out.len() {
-            let Some(front) = self.segments.front() else { break };
+            let Some(front) = self.segments.front() else {
+                break;
+            };
             let avail = &front[self.front_offset..];
             let n = avail.len().min(out.len() - filled);
             out[filled..filled + n].copy_from_slice(&avail[..n]);
@@ -96,7 +98,9 @@ impl StreamState {
     fn discard(&mut self, n: usize) -> usize {
         let mut dropped = 0;
         while dropped < n {
-            let Some(front) = self.segments.front() else { break };
+            let Some(front) = self.segments.front() else {
+                break;
+            };
             let avail = front.len() - self.front_offset;
             let take = avail.min(n - dropped);
             dropped += take;

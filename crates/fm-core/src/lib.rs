@@ -78,6 +78,7 @@ pub mod flow;
 pub mod fm1;
 pub mod fm2;
 pub mod packet;
+pub mod reliable;
 pub mod stats;
 
 pub use device::{NetDevice, SimDevice};
@@ -85,4 +86,5 @@ pub use error::{FmError, WouldBlock};
 pub use fm1::Fm1Engine;
 pub use fm2::{Fm2Engine, FmStream};
 pub use packet::{FmPacket, HandlerId, PacketHeader, HEADER_WIRE_BYTES};
+pub use reliable::{Reliability, RetransmitConfig};
 pub use stats::FmStats;

@@ -56,6 +56,9 @@ bitflags_lite! {
         const LAST = 2;
         /// Carries no message data: exists only to return credits.
         const CREDIT_ONLY = 4;
+        /// Carries no message data: exists only to carry a cumulative
+        /// acknowledgement (reliability sublayer, one-sided traffic).
+        const ACK_ONLY = 8;
     }
 }
 
@@ -82,6 +85,12 @@ pub struct PacketHeader {
     pub flags: PacketFlags,
     /// Piggybacked flow-control credits being returned to `dst`.
     pub credits: u16,
+    /// Piggybacked cumulative acknowledgement: the sender of this packet
+    /// has received every data packet from `dst` with `pkt_seq < ack`.
+    /// Only meaningful in `Reliability::Retransmit` mode; 0 otherwise.
+    /// Like `credits`, it rides inside [`HEADER_WIRE_BYTES`] — wire size
+    /// and therefore timing are unchanged.
+    pub ack: u32,
 }
 
 /// A full FM packet: header plus payload bytes.
@@ -111,6 +120,27 @@ impl FmPacket {
                 msg_len: 0,
                 flags: PacketFlags::CREDIT_ONLY,
                 credits,
+                ack: 0,
+            },
+            payload: Vec::new(),
+        }
+    }
+
+    /// An ack-only packet carrying the cumulative acknowledgement `ack`
+    /// from `src` to `dst` (reliability sublayer; sent when there is no
+    /// reverse data traffic to piggyback on).
+    pub fn ack_only(src: u16, dst: u16, ack: u32) -> FmPacket {
+        FmPacket {
+            header: PacketHeader {
+                src,
+                dst,
+                handler: HandlerId(0),
+                msg_seq: 0,
+                pkt_seq: 0, // ack packets sit outside the data sequence
+                msg_len: 0,
+                flags: PacketFlags::ACK_ONLY,
+                credits: 0,
+                ack,
             },
             payload: Vec::new(),
         }
@@ -120,6 +150,7 @@ impl FmPacket {
     /// data packet sequence).
     pub fn is_data(&self) -> bool {
         !self.header.flags.contains(PacketFlags::CREDIT_ONLY)
+            && !self.header.flags.contains(PacketFlags::ACK_ONLY)
     }
 }
 
@@ -149,6 +180,7 @@ mod tests {
                 msg_len: 100,
                 flags: PacketFlags::FIRST,
                 credits: 0,
+                ack: 0,
             },
             payload: vec![0u8; 100],
         };
@@ -163,6 +195,17 @@ mod tests {
         assert_eq!(p.header.dst, 5);
         assert_eq!(p.header.credits, 7);
         assert!(p.header.flags.contains(PacketFlags::CREDIT_ONLY));
+        assert!(!p.is_data());
+        assert_eq!(p.wire_bytes(), HEADER_WIRE_BYTES);
+    }
+
+    #[test]
+    fn ack_only_packets() {
+        let p = FmPacket::ack_only(3, 4, 17);
+        assert_eq!(p.header.src, 3);
+        assert_eq!(p.header.dst, 4);
+        assert_eq!(p.header.ack, 17);
+        assert!(p.header.flags.contains(PacketFlags::ACK_ONLY));
         assert!(!p.is_data());
         assert_eq!(p.wire_bytes(), HEADER_WIRE_BYTES);
     }

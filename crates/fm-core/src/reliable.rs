@@ -1,0 +1,522 @@
+//! The opt-in reliability sublayer: sliding-window go-back-N.
+//!
+//! The paper's FM deliberately does **not** retransmit — Myrinet's
+//! bit-error rate is near zero and the hardware CRC catches what little
+//! there is (§3.1), so FM's reliability guarantee *trusts the substrate*
+//! and spends zero cycles on recovery. That is
+//! [`Reliability::TrustSubstrate`], the default, and it is bit-identical
+//! to the engines' historical behaviour.
+//!
+//! [`Reliability::Retransmit`] makes the same in-order-delivery guarantee
+//! hold on lossy substrates. The design is classic go-back-N, shared by
+//! both engines ([`crate::Fm1Engine`] and [`crate::Fm2Engine`]):
+//!
+//! * **Sender**, per destination: a ring of unacknowledged data-packet
+//!   clones, bounded by a window (which *replaces* credit-based flow
+//!   control — credits are not idempotent under duplication, while
+//!   cumulative acks are; the window bounds receive-buffer usage exactly
+//!   as credits did). A retransmit timer with exponential backoff re-sends
+//!   the whole ring when the oldest packet goes unacknowledged too long.
+//! * **Receiver**, per source: accepts exactly the next expected
+//!   `pkt_seq`; anything older is a duplicate (dropped, but forces an ack
+//!   so a sender stuck retransmitting learns quickly), anything newer is
+//!   an out-of-order arrival or loss shadow (dropped; go-back-N re-sends
+//!   it in order).
+//! * **Acks** are cumulative (`ack` = next expected seq, i.e. everything
+//!   below is delivered) and piggybacked on every outgoing packet; when
+//!   traffic is one-sided, standalone [`crate::FmPacket::ack_only`]
+//!   packets carry them.
+//!
+//! The header's `ack` field rides inside the fixed
+//! [`crate::HEADER_WIRE_BYTES`] framing, so enabling the sublayer does not
+//! change wire timing — only the extra packets (retransmissions, acks) do.
+
+use std::collections::VecDeque;
+
+use fm_model::Nanos;
+
+use crate::packet::FmPacket;
+use crate::stats::FmStats;
+
+/// Duplicate cumulative acks (same value, ring non-empty) before the head
+/// packet is fast-retransmitted without waiting for the timer. Dup acks
+/// only arise from duplicate/out-of-order receipt (`force_ack`), so they
+/// are a genuine loss signal. Besides cutting recovery latency, the
+/// one-packet resend is what breaks *periodic* loss: a whole-ring resend
+/// advances a deterministic drop counter by the ring length every round
+/// (identical phase each time — the same position can be swallowed
+/// forever), while each head resend shifts the phase by one.
+const DUP_ACKS_FOR_FAST_RETRANSMIT: u32 = 3;
+
+/// Floor for [`RetransmitConfig::rto_ns`]. A nanosecond-scale RTO (far
+/// below any round trip) turns every poll into a timeout: the sender
+/// saturates the wire with duplicates of the head packet and goodput
+/// collapses ~50x while still (very slowly) progressing. Clamping to a
+/// microsecond keeps a degenerate config merely noisy instead of
+/// pathological.
+pub const MIN_RTO_NS: u64 = 1_000;
+
+/// How an engine guarantees reliable in-order delivery.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Reliability {
+    /// Trust the substrate (the paper's choice): no retransmission, no
+    /// acks, credit-based flow control. Loss is *detected* (sequence
+    /// gaps surface as [`crate::FmError`]) but never repaired. Default.
+    #[default]
+    TrustSubstrate,
+    /// Go-back-N retransmission: delivery survives packet drop,
+    /// duplication, and reordering at the cost of ack traffic and
+    /// sender-side buffering.
+    Retransmit(RetransmitConfig),
+}
+
+/// Tuning knobs for [`Reliability::Retransmit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetransmitConfig {
+    /// Max unacknowledged data packets per destination (the sliding
+    /// window; also the sender-side buffering bound). Plays the role the
+    /// credit window plays in TrustSubstrate mode.
+    pub window: u32,
+    /// Initial retransmit timeout in nanoseconds (of `NetDevice::now()`
+    /// time — virtual in the simulator, wall-clock on real transports).
+    /// Clamped up to [`MIN_RTO_NS`]: an RTO orders of magnitude below the
+    /// round trip makes every poll a timeout and drowns the wire in
+    /// duplicate re-sends.
+    pub rto_ns: u64,
+    /// Cap on exponential backoff: the effective timeout is
+    /// `rto_ns << min(consecutive_timeouts, max_backoff_exp)`.
+    pub max_backoff_exp: u32,
+    /// Send a standalone ack once this many data packets are received
+    /// without an outgoing packet to piggyback on. 1 = ack immediately
+    /// (fewest retransmit stalls, most ack packets).
+    pub ack_every: u32,
+}
+
+impl Default for RetransmitConfig {
+    fn default() -> Self {
+        RetransmitConfig {
+            window: 32,
+            rto_ns: 200_000, // 200 µs: a few round trips on the modeled fabric
+            max_backoff_exp: 6,
+            ack_every: 1,
+        }
+    }
+}
+
+/// What the receive filter decided about an incoming data packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvDecision {
+    /// The next expected packet: deliver it.
+    Accept,
+    /// Already delivered (seq below expected): drop, force an ack.
+    Duplicate,
+    /// Beyond the next expected seq (a loss shadow or reordering): drop;
+    /// go-back-N will re-send it in order.
+    OutOfOrder,
+}
+
+#[derive(Debug, Default)]
+struct PeerSend {
+    /// Unacked data packets in seq order (clones for retransmission).
+    ring: VecDeque<FmPacket>,
+    /// Everything with `pkt_seq <` this is acknowledged.
+    cum_acked: u32,
+    /// When the retransmit timer fires (armed while the ring is
+    /// non-empty).
+    deadline: Option<Nanos>,
+    /// Consecutive timeouts without ack progress (backoff exponent).
+    timeouts: u32,
+    /// Consecutive duplicate cumulative acks since the last progress
+    /// (fast-retransmit trigger).
+    dup_acks: u32,
+}
+
+#[derive(Debug, Default)]
+struct PeerRecv {
+    /// Next expected `pkt_seq` from this peer — also the cumulative ack
+    /// we owe them.
+    expected: u32,
+    /// Data packets accepted since we last sent any ack.
+    owed: u32,
+    /// A duplicate or out-of-order arrival demands an immediate ack
+    /// (the peer is, or soon will be, retransmitting).
+    force_ack: bool,
+}
+
+/// Per-engine state of the retransmission protocol. Owned by an engine;
+/// `None` in TrustSubstrate mode.
+#[derive(Debug)]
+pub(crate) struct ReliableState {
+    cfg: RetransmitConfig,
+    send: Vec<PeerSend>,
+    recv: Vec<PeerRecv>,
+}
+
+impl ReliableState {
+    pub(crate) fn new(num_nodes: usize, mut cfg: RetransmitConfig) -> Self {
+        assert!(cfg.window >= 1, "a zero window can never send");
+        cfg.rto_ns = cfg.rto_ns.max(MIN_RTO_NS);
+        assert!(
+            cfg.ack_every >= 1,
+            "ack_every is a divisor of received packets"
+        );
+        ReliableState {
+            cfg,
+            send: (0..num_nodes).map(|_| PeerSend::default()).collect(),
+            recv: (0..num_nodes).map(|_| PeerRecv::default()).collect(),
+        }
+    }
+
+    /// Data packets that can still go to `dst` before the window closes.
+    pub(crate) fn send_budget(&self, dst: usize) -> u32 {
+        self.cfg.window - self.send[dst].ring.len() as u32
+    }
+
+    /// Can `extra` more data packets to `dst` fit in the window right now?
+    pub(crate) fn can_send(&self, dst: usize, extra: u32) -> bool {
+        extra <= self.send_budget(dst)
+    }
+
+    /// The cumulative ack to piggyback on a packet headed to `dst` (and
+    /// mark the ack duty to that peer as discharged).
+    pub(crate) fn piggyback_ack(&mut self, dst: usize) -> u32 {
+        let pr = &mut self.recv[dst];
+        pr.owed = 0;
+        pr.force_ack = false;
+        pr.expected
+    }
+
+    /// Record a data packet handed to the device: clone it into the
+    /// retransmit ring and arm the timer if idle.
+    pub(crate) fn on_data_sent(&mut self, dst: usize, pkt: &FmPacket, now: Nanos) {
+        let ps = &mut self.send[dst];
+        ps.ring.push_back(pkt.clone());
+        if ps.deadline.is_none() {
+            ps.deadline = Some(now + Nanos(self.cfg.rto_ns));
+        }
+    }
+
+    /// Process a cumulative ack from `src` (who has received everything
+    /// with `pkt_seq < ack` that we sent them).
+    ///
+    /// Returns `true` when enough duplicate acks have accumulated that the
+    /// caller should fast-retransmit [`ReliableState::head_packet`] now
+    /// instead of waiting for the timer.
+    pub(crate) fn on_ack(&mut self, src: usize, ack: u32, now: Nanos) -> bool {
+        let ps = &mut self.send[src];
+        if ack < ps.cum_acked {
+            return false; // ancient ack, reordered in transit
+        }
+        if ack == ps.cum_acked {
+            // Duplicate: the peer is repeating "still waiting for seq
+            // `ack`" — it saw something out of order.
+            if ps.ring.is_empty() {
+                return false; // nothing outstanding; just a quiet peer
+            }
+            ps.dup_acks += 1;
+            if ps.dup_acks >= DUP_ACKS_FOR_FAST_RETRANSMIT {
+                ps.dup_acks = 0;
+                // Push the timer back: the fast resend is in flight, give
+                // it a chance before the whole-ring timeout fires.
+                ps.deadline = Some(now + Nanos(self.cfg.rto_ns << ps.timeouts));
+                return true;
+            }
+            return false;
+        }
+        ps.cum_acked = ack;
+        while ps.ring.front().is_some_and(|p| p.header.pkt_seq < ack) {
+            ps.ring.pop_front();
+        }
+        // Ack progress: reset backoff and restart the timer for whatever
+        // is still outstanding.
+        ps.timeouts = 0;
+        ps.dup_acks = 0;
+        ps.deadline = if ps.ring.is_empty() {
+            None
+        } else {
+            Some(now + Nanos(self.cfg.rto_ns))
+        };
+        false
+    }
+
+    /// Run an incoming data packet from `src` through the in-order filter.
+    pub(crate) fn accept(&mut self, src: usize, pkt_seq: u32, stats: &mut FmStats) -> RecvDecision {
+        let pr = &mut self.recv[src];
+        if pkt_seq == pr.expected {
+            pr.expected += 1;
+            pr.owed += 1;
+            RecvDecision::Accept
+        } else if pkt_seq < pr.expected {
+            stats.duplicates_dropped += 1;
+            pr.force_ack = true;
+            RecvDecision::Duplicate
+        } else {
+            stats.duplicates_dropped += 1;
+            // Re-ack what we do have so the sender can tighten its window
+            // accounting while it times out and goes back.
+            pr.force_ack = true;
+            RecvDecision::OutOfOrder
+        }
+    }
+
+    /// Re-arm the standalone-ack duty for `peer` (used when the device
+    /// queue was full at flush time — retry on the next poll).
+    pub(crate) fn mark_ack_due(&mut self, peer: usize) {
+        self.recv[peer].force_ack = true;
+    }
+
+    /// Peers we owe a standalone ack (no outgoing packet piggybacked it
+    /// first): ack duty is `owed >= ack_every` or an explicit force.
+    /// Returns `(peer, ack)` pairs and discharges the duty.
+    pub(crate) fn take_due_acks(&mut self) -> Vec<(usize, u32)> {
+        let ack_every = self.cfg.ack_every;
+        let mut due = Vec::new();
+        for (peer, pr) in self.recv.iter_mut().enumerate() {
+            if pr.owed >= ack_every || pr.force_ack {
+                pr.owed = 0;
+                pr.force_ack = false;
+                due.push((peer, pr.expected));
+            }
+        }
+        due
+    }
+
+    /// Peers whose retransmit timer has expired at `now`. For each, the
+    /// caller re-sends [`ReliableState::ring_packets`] and then calls
+    /// [`ReliableState::on_timeout_handled`].
+    pub(crate) fn due_retransmits(&self, now: Nanos) -> Vec<usize> {
+        self.send
+            .iter()
+            .enumerate()
+            .filter(|(_, ps)| ps.deadline.is_some_and(|d| d <= now))
+            .map(|(peer, _)| peer)
+            .collect()
+    }
+
+    /// Clones of the unacked packets to `dst`, oldest first, with their
+    /// piggybacked ack refreshed to the current value (the stored clone's
+    /// ack may be stale).
+    pub(crate) fn ring_packets(&mut self, dst: usize) -> Vec<FmPacket> {
+        let ack = self.recv[dst].expected;
+        self.send[dst]
+            .ring
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                p.header.ack = ack;
+                p
+            })
+            .collect()
+    }
+
+    /// A clone of the oldest unacked packet to `dst` (ack refreshed), for
+    /// duplicate-ack fast retransmission. The head is the only packet the
+    /// peer's in-order filter can accept, so resending it alone suffices.
+    pub(crate) fn head_packet(&mut self, dst: usize) -> Option<FmPacket> {
+        let ack = self.recv[dst].expected;
+        self.send[dst].ring.front().map(|p| {
+            let mut p = p.clone();
+            p.header.ack = ack;
+            p
+        })
+    }
+
+    /// Apply exponential backoff and re-arm the timer after a timeout on
+    /// `dst` was handled (ring re-sent, fully or partially).
+    pub(crate) fn on_timeout_handled(&mut self, dst: usize, now: Nanos, stats: &mut FmStats) {
+        let ps = &mut self.send[dst];
+        stats.retransmit_timeouts += 1;
+        ps.timeouts = (ps.timeouts + 1).min(self.cfg.max_backoff_exp);
+        let rto = Nanos(self.cfg.rto_ns << ps.timeouts);
+        ps.deadline = Some(now + rto);
+    }
+
+    /// The earliest armed retransmit deadline across all peers, for
+    /// [`crate::device::NetDevice::request_wake`].
+    pub(crate) fn next_deadline(&self) -> Option<Nanos> {
+        self.send.iter().filter_map(|ps| ps.deadline).min()
+    }
+
+    /// Total unacknowledged data packets across all peers. Zero means
+    /// every send has been confirmed delivered.
+    pub(crate) fn unacked_packets(&self) -> usize {
+        self.send.iter().map(|ps| ps.ring.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{HandlerId, PacketFlags, PacketHeader};
+
+    #[test]
+    fn sub_microsecond_rto_is_clamped() {
+        let st = ReliableState::new(
+            2,
+            RetransmitConfig {
+                rto_ns: 1,
+                ..RetransmitConfig::default()
+            },
+        );
+        assert_eq!(st.cfg.rto_ns, MIN_RTO_NS);
+        // At or above the floor the configured value is kept.
+        let st = ReliableState::new(
+            2,
+            RetransmitConfig {
+                rto_ns: MIN_RTO_NS + 5,
+                ..RetransmitConfig::default()
+            },
+        );
+        assert_eq!(st.cfg.rto_ns, MIN_RTO_NS + 5);
+    }
+
+    fn data_pkt(dst: u16, pkt_seq: u32) -> FmPacket {
+        FmPacket {
+            header: PacketHeader {
+                src: 0,
+                dst,
+                handler: HandlerId(1),
+                msg_seq: 0,
+                pkt_seq,
+                msg_len: 4,
+                flags: PacketFlags::FIRST | PacketFlags::LAST,
+                credits: 0,
+                ack: 0,
+            },
+            payload: vec![0; 4],
+        }
+    }
+
+    fn state() -> ReliableState {
+        ReliableState::new(
+            2,
+            RetransmitConfig {
+                window: 4,
+                rto_ns: 1000,
+                max_backoff_exp: 3,
+                ack_every: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn window_bounds_outstanding_packets() {
+        let mut r = state();
+        for seq in 0..4 {
+            assert!(r.can_send(1, 1));
+            r.on_data_sent(1, &data_pkt(1, seq), Nanos(0));
+        }
+        assert!(!r.can_send(1, 1), "window full");
+        assert_eq!(r.unacked_packets(), 4);
+        r.on_ack(1, 2, Nanos(10));
+        assert_eq!(r.unacked_packets(), 2);
+        assert!(r.can_send(1, 2));
+        assert!(!r.can_send(1, 3));
+    }
+
+    #[test]
+    fn cumulative_acks_release_and_rearm() {
+        let mut r = state();
+        r.on_data_sent(1, &data_pkt(1, 0), Nanos(0));
+        r.on_data_sent(1, &data_pkt(1, 1), Nanos(5));
+        assert_eq!(r.next_deadline(), Some(Nanos(1000)), "armed at first send");
+        r.on_ack(1, 1, Nanos(500));
+        assert_eq!(r.unacked_packets(), 1);
+        assert_eq!(
+            r.next_deadline(),
+            Some(Nanos(1500)),
+            "restarted on progress"
+        );
+        r.on_ack(1, 2, Nanos(800));
+        assert_eq!(r.unacked_packets(), 0);
+        assert_eq!(r.next_deadline(), None, "disarmed when ring empties");
+        // Stale ack is ignored.
+        r.on_ack(1, 1, Nanos(900));
+        assert_eq!(r.unacked_packets(), 0);
+    }
+
+    #[test]
+    fn receive_filter_accepts_in_order_only() {
+        let mut r = state();
+        let mut stats = FmStats::default();
+        assert_eq!(r.accept(1, 0, &mut stats), RecvDecision::Accept);
+        assert_eq!(r.accept(1, 1, &mut stats), RecvDecision::Accept);
+        assert_eq!(r.accept(1, 1, &mut stats), RecvDecision::Duplicate);
+        assert_eq!(r.accept(1, 5, &mut stats), RecvDecision::OutOfOrder);
+        assert_eq!(r.accept(1, 2, &mut stats), RecvDecision::Accept);
+        assert_eq!(stats.duplicates_dropped, 2);
+    }
+
+    #[test]
+    fn ack_duty_piggyback_and_standalone() {
+        let mut r = state();
+        let mut stats = FmStats::default();
+        r.accept(1, 0, &mut stats);
+        // Piggybacking discharges the duty...
+        assert_eq!(r.piggyback_ack(1), 1);
+        assert!(r.take_due_acks().is_empty());
+        // ...otherwise a standalone ack is due (ack_every = 1).
+        r.accept(1, 1, &mut stats);
+        assert_eq!(r.take_due_acks(), vec![(1, 2)]);
+        assert!(r.take_due_acks().is_empty(), "duty discharged");
+        // A duplicate forces an ack even with nothing newly accepted.
+        r.accept(1, 0, &mut stats);
+        assert_eq!(r.take_due_acks(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn duplicate_acks_trigger_fast_retransmit() {
+        let mut r = state();
+        for seq in 0..3 {
+            r.on_data_sent(1, &data_pkt(1, seq), Nanos(0));
+        }
+        assert!(!r.on_ack(1, 1, Nanos(10)), "progress, not a duplicate");
+        assert!(!r.on_ack(1, 1, Nanos(20)), "first duplicate");
+        assert!(!r.on_ack(1, 1, Nanos(30)), "second duplicate");
+        assert!(r.on_ack(1, 1, Nanos(40)), "third duplicate fires");
+        let head = r.head_packet(1).unwrap();
+        assert_eq!(head.header.pkt_seq, 1, "the oldest unacked packet");
+        // The trigger resets; progress also resets it.
+        assert!(!r.on_ack(1, 1, Nanos(50)));
+        assert!(!r.on_ack(1, 2, Nanos(60)), "progress");
+        assert!(!r.on_ack(1, 2, Nanos(70)));
+        assert!(!r.on_ack(1, 2, Nanos(80)));
+        assert!(r.on_ack(1, 2, Nanos(90)), "re-armed after progress");
+        // With nothing outstanding, duplicates are just a quiet peer.
+        r.on_ack(1, 3, Nanos(100));
+        assert_eq!(r.unacked_packets(), 0);
+        for t in [110, 120, 130] {
+            assert!(!r.on_ack(1, 3, Nanos(t)));
+        }
+        assert!(r.head_packet(1).is_none());
+    }
+
+    #[test]
+    fn timeouts_back_off_exponentially_and_refresh_acks() {
+        let mut r = state();
+        let mut stats = FmStats::default();
+        r.on_data_sent(1, &data_pkt(1, 0), Nanos(0));
+        // Receive something so the refreshed piggyback ack is non-zero.
+        r.accept(1, 0, &mut stats);
+
+        assert!(r.due_retransmits(Nanos(999)).is_empty());
+        assert_eq!(r.due_retransmits(Nanos(1000)), vec![1]);
+        let ring = r.ring_packets(1);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring[0].header.ack, 1, "stale stored ack refreshed");
+        r.on_timeout_handled(1, Nanos(1000), &mut stats);
+        assert_eq!(stats.retransmit_timeouts, 1);
+        assert_eq!(r.next_deadline(), Some(Nanos(1000 + 2000)), "rto doubled");
+        r.on_timeout_handled(1, Nanos(3000), &mut stats);
+        assert_eq!(r.next_deadline(), Some(Nanos(3000 + 4000)));
+        // Backoff caps at max_backoff_exp.
+        for _ in 0..10 {
+            r.on_timeout_handled(1, Nanos(0), &mut stats);
+        }
+        assert_eq!(r.next_deadline(), Some(Nanos(1000 << 3)));
+        // Progress resets the backoff.
+        r.on_data_sent(1, &data_pkt(1, 1), Nanos(0));
+        r.on_ack(1, 1, Nanos(50_000));
+        assert_eq!(r.next_deadline(), Some(Nanos(51_000)), "plain rto again");
+    }
+}

@@ -32,6 +32,96 @@ pub struct FmStats {
     pub device_stalls: u64,
     /// Handler invocations (FM 1.x) or handler task spawns (FM 2.x).
     pub handlers_run: u64,
+    /// Data packets re-sent by the reliability sublayer (go-back-N).
+    pub retransmissions: u64,
+    /// Standalone ACK_ONLY packets sent (piggybacked acks are free).
+    pub acks_sent: u64,
+    /// Received data packets discarded as duplicates or out-of-window
+    /// (reliability sublayer's in-order filter).
+    pub duplicates_dropped: u64,
+    /// Retransmit timer expirations (each may re-send several packets).
+    pub retransmit_timeouts: u64,
+    /// Protocol errors surfaced to the application (`FmError`s queued).
+    pub errors_reported: u64,
+}
+
+impl FmStats {
+    /// Every `(label, value)` pair, in declaration order.
+    fn fields(&self) -> [(&'static str, u64); 16] {
+        [
+            ("messages_sent", self.messages_sent),
+            ("bytes_sent", self.bytes_sent),
+            ("messages_received", self.messages_received),
+            ("bytes_received", self.bytes_received),
+            ("packets_sent", self.packets_sent),
+            ("packets_received", self.packets_received),
+            ("credit_packets_sent", self.credit_packets_sent),
+            ("bytes_copied", self.bytes_copied),
+            ("credit_stalls", self.credit_stalls),
+            ("device_stalls", self.device_stalls),
+            ("handlers_run", self.handlers_run),
+            ("retransmissions", self.retransmissions),
+            ("acks_sent", self.acks_sent),
+            ("duplicates_dropped", self.duplicates_dropped),
+            ("retransmit_timeouts", self.retransmit_timeouts),
+            ("errors_reported", self.errors_reported),
+        ]
+    }
+
+    /// Field-wise difference `self - earlier` (saturating), for reporting
+    /// what happened between two snapshots.
+    pub fn delta(&self, earlier: &FmStats) -> FmStats {
+        FmStats {
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            messages_received: self
+                .messages_received
+                .saturating_sub(earlier.messages_received),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
+            packets_sent: self.packets_sent.saturating_sub(earlier.packets_sent),
+            packets_received: self
+                .packets_received
+                .saturating_sub(earlier.packets_received),
+            credit_packets_sent: self
+                .credit_packets_sent
+                .saturating_sub(earlier.credit_packets_sent),
+            bytes_copied: self.bytes_copied.saturating_sub(earlier.bytes_copied),
+            credit_stalls: self.credit_stalls.saturating_sub(earlier.credit_stalls),
+            device_stalls: self.device_stalls.saturating_sub(earlier.device_stalls),
+            handlers_run: self.handlers_run.saturating_sub(earlier.handlers_run),
+            retransmissions: self.retransmissions.saturating_sub(earlier.retransmissions),
+            acks_sent: self.acks_sent.saturating_sub(earlier.acks_sent),
+            duplicates_dropped: self
+                .duplicates_dropped
+                .saturating_sub(earlier.duplicates_dropped),
+            retransmit_timeouts: self
+                .retransmit_timeouts
+                .saturating_sub(earlier.retransmit_timeouts),
+            errors_reported: self.errors_reported.saturating_sub(earlier.errors_reported),
+        }
+    }
+}
+
+impl std::fmt::Display for FmStats {
+    /// One `label=value` pair per non-zero counter, space-separated (all
+    /// zeros formats as `"(all zero)"`). Benches and examples print this
+    /// instead of hand-formatting each field.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut any = false;
+        for (label, value) in self.fields() {
+            if value != 0 {
+                if any {
+                    write!(f, " ")?;
+                }
+                write!(f, "{label}={value}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "(all zero)")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -44,5 +134,36 @@ mod tests {
         assert_eq!(s.messages_sent, 0);
         assert_eq!(s.bytes_copied, 0);
         assert_eq!(s, FmStats::default());
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let early = FmStats {
+            packets_sent: 10,
+            retransmissions: 2,
+            ..FmStats::default()
+        };
+        let late = FmStats {
+            packets_sent: 25,
+            retransmissions: 5,
+            acks_sent: 3,
+            ..FmStats::default()
+        };
+        let d = late.delta(&early);
+        assert_eq!(d.packets_sent, 15);
+        assert_eq!(d.retransmissions, 3);
+        assert_eq!(d.acks_sent, 3);
+        assert_eq!(d.messages_sent, 0);
+    }
+
+    #[test]
+    fn display_shows_only_nonzero() {
+        let s = FmStats {
+            messages_sent: 2,
+            duplicates_dropped: 1,
+            ..FmStats::default()
+        };
+        assert_eq!(s.to_string(), "messages_sent=2 duplicates_dropped=1");
+        assert_eq!(FmStats::default().to_string(), "(all zero)");
     }
 }

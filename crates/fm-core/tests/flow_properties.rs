@@ -1,9 +1,10 @@
-//! Model-based property tests of the flow-control ledger: a reference
+//! Model-based randomized tests of the flow-control ledger: a reference
 //! model tracks what the credit state must be; the ledger must agree
-//! after any operation sequence.
+//! after any operation sequence. Cases are drawn from the workspace's
+//! seeded [`DetRng`] so every failure is reproducible.
 
 use fm_core::flow::CreditLedger;
-use proptest::prelude::*;
+use fm_model::rng::DetRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -13,18 +14,24 @@ enum Op {
     DrainAndReturn(u32),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u32..20).prop_map(Op::Reserve),
-        (1u32..20).prop_map(Op::DrainAndReturn),
-    ]
+fn random_op(rng: &mut DetRng) -> Op {
+    let n = 1 + rng.below(19) as u32;
+    if rng.chance(0.5) {
+        Op::Reserve(n)
+    } else {
+        Op::DrainAndReturn(n)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn ledger_matches_reference_model() {
+    let mut rng = DetRng::seed_from_u64(0xF10A);
+    for case in 0..256 {
+        let window = 1 + rng.below(63) as u32;
+        let ops: Vec<Op> = (0..rng.range_usize(1, 100))
+            .map(|_| random_op(&mut rng))
+            .collect();
 
-    #[test]
-    fn ledger_matches_reference_model(window in 1u32..64, ops in proptest::collection::vec(op_strategy(), 1..100)) {
         let mut ledger = CreditLedger::new(2, window);
         // Reference: credits available to us, packets in flight toward
         // the peer (drained but unacked bookkeeping happens atomically in
@@ -37,7 +44,7 @@ proptest! {
                 Op::Reserve(n) => {
                     let expect_ok = avail >= n;
                     let got_ok = ledger.try_reserve(0, n);
-                    prop_assert_eq!(got_ok, expect_ok);
+                    assert_eq!(got_ok, expect_ok, "case {case}");
                     if expect_ok {
                         avail -= n;
                         in_flight += n;
@@ -57,27 +64,34 @@ proptest! {
                 }
             }
             // Invariants after every step.
-            prop_assert_eq!(ledger.available(0), avail);
-            prop_assert!(avail <= window);
-            prop_assert!(avail + in_flight == window, "credits are conserved");
+            assert_eq!(ledger.available(0), avail, "case {case}");
+            assert!(avail <= window, "case {case}");
+            assert!(
+                avail + in_flight == window,
+                "case {case}: credits are conserved"
+            );
         }
     }
+}
 
-    /// Owed-credit accounting: drains accumulate, take_owed empties, and
-    /// the explicit-return threshold fires at half the window.
-    #[test]
-    fn owed_accounting(window in 2u32..64, drains in 0u32..200) {
+/// Owed-credit accounting: drains accumulate, take_owed empties, and the
+/// explicit-return threshold fires at half the window.
+#[test]
+fn owed_accounting() {
+    let mut rng = DetRng::seed_from_u64(0xF10B);
+    for case in 0..256 {
+        let window = 2 + rng.below(62) as u32;
+        let drains = (rng.below(200) as u32).min(window); // can't owe more than the window
         let mut ledger = CreditLedger::new(2, window);
-        let drains = drains.min(window); // can't owe more than the window
         for _ in 0..drains {
             ledger.packet_drained(1);
         }
-        prop_assert_eq!(ledger.owed(1), drains);
+        assert_eq!(ledger.owed(1), drains, "case {case}");
         let threshold = (window / 2).max(1);
         let flagged = ledger.needs_explicit_return().any(|p| p == 1);
-        prop_assert_eq!(flagged, drains >= threshold);
-        prop_assert_eq!(u32::from(ledger.take_owed(1)), drains);
-        prop_assert_eq!(ledger.owed(1), 0);
-        prop_assert_eq!(ledger.needs_explicit_return().count(), 0);
+        assert_eq!(flagged, drains >= threshold, "case {case}");
+        assert_eq!(u32::from(ledger.take_owed(1)), drains, "case {case}");
+        assert_eq!(ledger.owed(1), 0, "case {case}");
+        assert_eq!(ledger.needs_explicit_return().count(), 0, "case {case}");
     }
 }

@@ -24,6 +24,7 @@ pub mod halfpower;
 pub mod legacy;
 pub mod logp;
 pub mod profile;
+pub mod rng;
 pub mod time;
 
 pub use halfpower::{half_power_point, BandwidthPoint};

@@ -46,7 +46,10 @@ impl LogGp {
         // Send overhead: begin_message + one send_piece + per-packet fixed
         // costs (descriptor + PIO setup + flow control).
         let o_send = Nanos(
-            h.send_call_ns + h.piece_call_ns + h.per_packet_send_ns + io.pio_setup_ns
+            h.send_call_ns
+                + h.piece_call_ns
+                + h.per_packet_send_ns
+                + io.pio_setup_ns
                 + h.flow_control_ns,
         );
         // Receive overhead: extract poll + per-packet processing + flow

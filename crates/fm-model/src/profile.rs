@@ -294,16 +294,21 @@ mod tests {
         let mbps = p.fm.mtu_payload as f64 / per_pkt.as_ns() as f64 * 1e3;
         // Headers add ~19% wire overhead on 128 B packets, pulling the
         // delivered payload rate down to the measured 16-18 MB/s.
-        assert!((15.0..23.0).contains(&mbps), "FM1 pipeline stage = {mbps} MB/s");
+        assert!(
+            (15.0..23.0).contains(&mbps),
+            "FM1 pipeline stage = {mbps} MB/s"
+        );
     }
 
     #[test]
     fn pci_pio_is_fm2_bottleneck() {
         let p = MachineProfile::ppro200_fm2();
-        let per_pkt = p.iobus.pio(p.fm.mtu_payload as u64)
-            + Nanos(p.host.per_packet_send_ns);
+        let per_pkt = p.iobus.pio(p.fm.mtu_payload as u64) + Nanos(p.host.per_packet_send_ns);
         let mbps = p.fm.mtu_payload as f64 / per_pkt.as_ns() as f64 * 1e3;
-        assert!((68.0..88.0).contains(&mbps), "FM2 pipeline stage = {mbps} MB/s");
+        assert!(
+            (68.0..88.0).contains(&mbps),
+            "FM2 pipeline stage = {mbps} MB/s"
+        );
     }
 
     #[test]
@@ -312,8 +317,7 @@ mod tests {
         let ppro = MachineProfile::ppro200_fm2();
         // The x86 migration made copies ~9x cheaper; this ratio is what
         // separates Figure 4's collapse from Figure 6's mild penalty.
-        let ratio =
-            sparc.host.memcpy_ns_per_kb as f64 / ppro.host.memcpy_ns_per_kb as f64;
+        let ratio = sparc.host.memcpy_ns_per_kb as f64 / ppro.host.memcpy_ns_per_kb as f64;
         assert!(ratio > 5.0 && ratio < 15.0, "memcpy ratio = {ratio}");
     }
 

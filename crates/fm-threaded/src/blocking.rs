@@ -41,12 +41,7 @@ pub fn fm1_send<D: NetDevice>(fm: &mut Fm1Engine<D>, dst: usize, handler: Handle
 }
 
 /// Blocking gather-send on FM 2.x.
-pub fn fm2_send<D: NetDevice>(
-    fm: &Fm2Engine<D>,
-    dst: usize,
-    handler: HandlerId,
-    pieces: &[&[u8]],
-) {
+pub fn fm2_send<D: NetDevice>(fm: &Fm2Engine<D>, dst: usize, handler: HandlerId, pieces: &[&[u8]]) {
     let mut spins = 0;
     loop {
         match fm.try_send_message(dst, handler, pieces) {

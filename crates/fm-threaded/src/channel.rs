@@ -1,0 +1,176 @@
+//! A minimal bounded MPSC channel on `std` primitives.
+//!
+//! The threaded transport needs exactly three operations per link:
+//! non-blocking `try_send` with back-pressure, non-blocking `try_recv`,
+//! and an exact queue-length read for race-free `send_space` reporting
+//! (only the owning node pushes to a link, so length can only shrink
+//! under the sender's feet — reporting is conservative). The blocking
+//! wrappers in [`crate::blocking`] spin with progress, so no condvar or
+//! parking is needed; a `Mutex<VecDeque>` is all there is. Building it
+//! locally keeps the workspace free of registry dependencies.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Why a `try_send` failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError {
+    /// The channel is at capacity; retry after the receiver drains.
+    Full,
+    /// The receiver was dropped; the message can never be delivered.
+    Disconnected,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    rx_alive: bool,
+}
+
+/// The sending half of a bounded channel. Cheap to clone.
+pub struct Sender<T> {
+    state: Arc<Mutex<State<T>>>,
+    capacity: usize,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            state: Arc::clone(&self.state),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The receiving half of a bounded channel. Dropping it disconnects the
+/// channel: senders get [`TrySendError::Disconnected`] from then on.
+pub struct Receiver<T> {
+    state: Arc<Mutex<State<T>>>,
+}
+
+/// A bounded channel of `capacity` messages.
+///
+/// # Panics
+/// Panics if `capacity` is 0.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "a zero-capacity link cannot carry packets");
+    let state = Arc::new(Mutex::new(State {
+        buf: VecDeque::with_capacity(capacity),
+        rx_alive: true,
+    }));
+    (
+        Sender {
+            state: Arc::clone(&state),
+            capacity,
+        },
+        Receiver { state },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value` if there is space and a receiver.
+    pub fn try_send(&self, value: T) -> Result<(), (TrySendError, T)> {
+        let mut s = self.state.lock().expect("channel lock poisoned");
+        if !s.rx_alive {
+            return Err((TrySendError::Disconnected, value));
+        }
+        if s.buf.len() >= self.capacity {
+            return Err((TrySendError::Full, value));
+        }
+        s.buf.push_back(value);
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("channel lock poisoned").buf.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the oldest message, if any.
+    pub fn try_recv(&self) -> Option<T> {
+        self.state
+            .lock()
+            .expect("channel lock poisoned")
+            .buf
+            .pop_front()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.lock().expect("channel lock poisoned");
+        s.rx_alive = false;
+        s.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (tx, rx) = bounded(3);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), None);
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn full_then_drain_restores_space() {
+        let (tx, rx) = bounded(1);
+        tx.try_send("a").unwrap();
+        assert_eq!(tx.try_send("b"), Err((TrySendError::Full, "b")));
+        assert_eq!(rx.try_recv(), Some("a"));
+        tx.try_send("b").unwrap();
+    }
+
+    #[test]
+    fn dropping_receiver_disconnects() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(2), Err((TrySendError::Disconnected, 2)));
+        assert_eq!(tx.len(), 0, "undeliverable backlog is discarded");
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (tx, rx) = bounded(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u32 {
+                let mut v = i;
+                loop {
+                    match tx.try_send(v) {
+                        Ok(()) => break,
+                        Err((TrySendError::Full, back)) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                        Err((TrySendError::Disconnected, _)) => return,
+                    }
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 1000 {
+            if let Some(v) = rx.try_recv() {
+                got.push(v);
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<u32>>());
+    }
+}

@@ -84,6 +84,7 @@ mod tests {
                     msg_len: 1,
                     flags: PacketFlags::FIRST | PacketFlags::LAST,
                     credits: 0,
+                    ack: 0,
                 },
                 payload: vec![i as u8],
             };

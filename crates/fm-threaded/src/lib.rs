@@ -2,7 +2,7 @@
 //!
 //! The simulator proves the *performance* claims in virtual time; this
 //! crate proves the *library* is a real messaging layer: each node is an
-//! OS thread, packets move through bounded lock-free channels (back-
+//! OS thread, packets move through bounded in-process channels (back-
 //! pressure, never loss), and the same FM engines, MPI, sockets, and shmem
 //! code run unmodified on top (they are generic over
 //! [`fm_core::NetDevice`]).
@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod blocking;
+pub mod channel;
 pub mod cluster;
 pub mod net;
 

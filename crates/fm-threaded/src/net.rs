@@ -10,12 +10,13 @@
 
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crate::channel::{bounded, Receiver, Sender, TrySendError};
 use fm_core::device::{DeviceFull, NetDevice};
 use fm_core::FmPacket;
 use fm_model::Nanos;
 
-/// [`NetDevice`] backed by crossbeam channels; one per node thread.
+/// [`NetDevice`] backed by bounded in-process channels; one per node
+/// thread.
 pub struct ThreadedDevice {
     node: usize,
     num_nodes: usize,
@@ -37,10 +38,12 @@ impl ThreadedDevice {
         assert!(num_nodes >= 1 && capacity >= 1);
         let epoch = Instant::now();
         // senders[s][d] / receivers[d][s]
-        let mut senders: Vec<Vec<Option<Sender<FmPacket>>>> =
-            (0..num_nodes).map(|_| (0..num_nodes).map(|_| None).collect()).collect();
-        let mut receivers: Vec<Vec<Option<Receiver<FmPacket>>>> =
-            (0..num_nodes).map(|_| (0..num_nodes).map(|_| None).collect()).collect();
+        let mut senders: Vec<Vec<Option<Sender<FmPacket>>>> = (0..num_nodes)
+            .map(|_| (0..num_nodes).map(|_| None).collect())
+            .collect();
+        let mut receivers: Vec<Vec<Option<Receiver<FmPacket>>>> = (0..num_nodes)
+            .map(|_| (0..num_nodes).map(|_| None).collect())
+            .collect();
         for s in 0..num_nodes {
             for d in 0..num_nodes {
                 if s == d {
@@ -84,12 +87,12 @@ impl NetDevice for ThreadedDevice {
             .expect("engines deliver self-sends locally, not via the device");
         match tx.try_send(pkt) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(DeviceFull),
+            Err((TrySendError::Full, _)) => Err(DeviceFull),
             // The peer thread has already finished and dropped its device.
             // FM has no node-departure protocol; late traffic to a departed
             // node (typically credit returns) is discarded, matching a
             // powered-off workstation.
-            Err(TrySendError::Disconnected(_)) => Ok(()),
+            Err((TrySendError::Disconnected, _)) => Ok(()),
         }
     }
 
@@ -98,7 +101,7 @@ impl NetDevice for ThreadedDevice {
         for i in 0..self.num_nodes {
             let s = (self.rr + i) % self.num_nodes;
             if let Some(rx) = &self.inq[s] {
-                if let Ok(pkt) = rx.try_recv() {
+                if let Some(pkt) = rx.try_recv() {
                     self.rr = (s + 1) % self.num_nodes;
                     return Some(pkt);
                 }
@@ -143,6 +146,7 @@ mod tests {
                 msg_len: 1,
                 flags: PacketFlags::FIRST | PacketFlags::LAST,
                 credits: 0,
+                ack: 0,
             },
             payload: vec![tag],
         }

@@ -218,7 +218,11 @@ mod tests {
         m.store_unexpected(1, 10, vec![1]);
         m.store_unexpected(2, 20, vec![2]);
         let (_r, u) = m.post_or_match(Some(2), None, 64);
-        assert_eq!(u.unwrap().body.into_data(), vec![2], "skips non-matching older entry");
+        assert_eq!(
+            u.unwrap().body.into_data(),
+            vec![2],
+            "skips non-matching older entry"
+        );
         assert_eq!(m.unexpected.len(), 1);
     }
 

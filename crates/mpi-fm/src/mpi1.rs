@@ -261,7 +261,8 @@ impl<D: NetDevice> Mpi for Mpi1<D> {
             segments.push(fbuf);
             off += n;
         }
-        self.fm.charge_memcpy(MPI_HEADER_BYTES * segments.len() + data.len());
+        self.fm
+            .charge_memcpy(MPI_HEADER_BYTES * segments.len() + data.len());
         drop(data);
 
         // The request completes when the LAST segment is handed to FM;
@@ -291,10 +292,7 @@ impl<D: NetDevice> Mpi for Mpi1<D> {
     }
 
     fn irecv(&mut self, src: Option<usize>, tag: Option<u32>, max_len: usize) -> RecvReq {
-        let (req, unexpected) = self
-            .queues
-            .borrow_mut()
-            .post_or_match(src, tag, max_len);
+        let (req, unexpected) = self.queues.borrow_mut().post_or_match(src, tag, max_len);
         if let Some(u) = unexpected {
             // Copy #4 for the unexpected path: bounce -> user. (MPI-FM 1.x
             // is eager-only, so the body is always data.)
@@ -328,7 +326,10 @@ mod tests {
     fn pair() -> (Mpi1<LoopbackDevice>, Mpi1<LoopbackDevice>) {
         let (a, b) = LoopbackPair::new(64);
         let p = MachineProfile::sparc_fm1();
-        (Mpi1::new(Fm1Engine::new(a, p)), Mpi1::new(Fm1Engine::new(b, p)))
+        (
+            Mpi1::new(Fm1Engine::new(a, p)),
+            Mpi1::new(Fm1Engine::new(b, p)),
+        )
     }
 
     fn pump(a: &mut Mpi1<LoopbackDevice>, b: &mut Mpi1<LoopbackDevice>) {
@@ -453,7 +454,10 @@ mod segmentation_tests {
     fn pair() -> (Mpi1<LoopbackDevice>, Mpi1<LoopbackDevice>) {
         let (a, b) = LoopbackPair::new(512);
         let p = MachineProfile::sparc_fm1();
-        (Mpi1::new(Fm1Engine::new(a, p)), Mpi1::new(Fm1Engine::new(b, p)))
+        (
+            Mpi1::new(Fm1Engine::new(a, p)),
+            Mpi1::new(Fm1Engine::new(b, p)),
+        )
     }
 
     fn pump(a: &mut Mpi1<LoopbackDevice>, b: &mut Mpi1<LoopbackDevice>) {

@@ -143,9 +143,9 @@ impl<D: NetDevice + 'static> Mpi2<D> {
                                         fm.charge_memcpy(user.len());
                                         MatchQueues::complete(&posted, src_rank, hdr.tag, user);
                                     }
-                                    None => q
-                                        .borrow_mut()
-                                        .store_unexpected(src_rank, hdr.tag, data),
+                                    None => {
+                                        q.borrow_mut().store_unexpected(src_rank, hdr.tag, data)
+                                    }
                                 }
                             }
                         }
@@ -407,10 +407,7 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
     }
 
     fn irecv(&mut self, src: Option<usize>, tag: Option<u32>, max_len: usize) -> RecvReq {
-        let (req, unexpected) = self
-            .queues
-            .borrow_mut()
-            .post_or_match(src, tag, max_len);
+        let (req, unexpected) = self.queues.borrow_mut().post_or_match(src, tag, max_len);
         if let Some(u) = unexpected {
             match u.body {
                 UnexpectedBody::Data(bounce) => {
@@ -430,10 +427,7 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
                         max_len,
                         slot: Rc::clone(&req.inner),
                     };
-                    self.rndv
-                        .borrow_mut()
-                        .expected
-                        .insert((u.src, seq), posted);
+                    self.rndv.borrow_mut().expected.insert((u.src, seq), posted);
                     send_cts(&self.fm, u.src, seq);
                     // Flush the CTS now — irecv runs outside extract, so
                     // nothing else would drain the deferred queue before

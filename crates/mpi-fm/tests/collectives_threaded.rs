@@ -39,7 +39,10 @@ fn exercise(mpi: &mut impl Mpi) -> Vec<String> {
     report.push("bcast ok".to_string());
 
     // Allreduce: sum of ranks and max of (rank squared).
-    let sum = mpi.allreduce(&f64s(&[rank as f64, (rank * rank) as f64]), ReduceOp::SumF64);
+    let sum = mpi.allreduce(
+        &f64s(&[rank as f64, (rank * rank) as f64]),
+        ReduceOp::SumF64,
+    );
     let expect_sum: f64 = (0..size).map(|r| r as f64).sum();
     let expect_sq: f64 = (0..size).map(|r| (r * r) as f64).sum();
     assert_eq!(to_f64s(&sum), vec![expect_sum, expect_sq]);

@@ -66,6 +66,10 @@ pub(crate) struct HostIfInner<P> {
     /// Set by the simulator when something host-visible happened while the
     /// program was waiting.
     pub(crate) activity: bool,
+    /// Earliest virtual time the program asked to be woken at regardless of
+    /// network activity (timer alarm); consumed by the simulator after each
+    /// step.
+    pub(crate) wake_request: Option<Nanos>,
     pub(crate) stats: NodeStats,
 }
 
@@ -96,6 +100,7 @@ impl<P> HostInterface<P> {
                 recv_queue: VecDeque::new(),
                 drained: 0,
                 activity: false,
+                wake_request: None,
                 stats: NodeStats::default(),
             })),
         }
@@ -164,6 +169,16 @@ impl<P> HostInterface<P> {
         self.inner.borrow().recv_queue.len()
     }
 
+    /// Ask the simulator to wake this node's program at (or after) virtual
+    /// time `at`, even if no network activity happens first. Multiple
+    /// requests within one step keep the earliest. Timeout-driven layers
+    /// (e.g. retransmission) use this so a program can [`StepOutcome::Wait`]
+    /// without sleeping through its own retransmit deadline.
+    pub fn request_wake(&self, at: Nanos) {
+        let mut b = self.inner.borrow_mut();
+        b.wake_request = Some(b.wake_request.map_or(at, |cur| cur.min(at)));
+    }
+
     /// Traffic counters.
     pub fn stats(&self) -> NodeStats {
         self.inner.borrow().stats
@@ -182,8 +197,10 @@ mod tests {
     fn send_respects_capacity() {
         let h = iface();
         assert_eq!(h.send_space(), 2);
-        h.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 1)).unwrap();
-        h.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 2)).unwrap();
+        h.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 1))
+            .unwrap();
+        h.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 2))
+            .unwrap();
         assert_eq!(h.send_space(), 0);
         assert_eq!(
             h.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 3)),
@@ -199,7 +216,8 @@ mod tests {
         h.inner.borrow_mut().wake_time = Nanos(100);
         h.charge(Nanos(50));
         assert_eq!(h.now(), Nanos(150));
-        h.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 1)).unwrap();
+        h.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 1))
+            .unwrap();
         let b = h.inner.borrow();
         assert_eq!(b.send_queue[0].0, Nanos(150));
         assert_eq!(b.new_send_ready, vec![Nanos(150)]);

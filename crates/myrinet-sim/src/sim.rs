@@ -23,12 +23,12 @@
 use fm_model::{MachineProfile, Nanos};
 
 use crate::event::EventQueue;
-use crate::fault::{FaultInjector, FaultModel};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::fault::{FaultAction, FaultInjector, FaultModel};
 use crate::hostif::{HostInterface, NodeStats};
 use crate::nic::Nic;
 use crate::packet::SimPacket;
 use crate::topology::Topology;
+use crate::trace::{Trace, TraceEvent, TraceKind};
 
 /// Identifies a host in the fabric (dense, 0-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -104,13 +104,20 @@ pub struct Simulation<P> {
     events: EventQueue<Event<P>>,
     clock: Nanos,
     fault: FaultInjector,
+    fault_drops: u64,
+    fault_dups: u64,
+    fault_reorders: u64,
     started: bool,
     done_count: usize,
     trace: Option<Trace>,
     next_serial: u64,
 }
 
-impl<P> Simulation<P> {
+/// Extra in-fabric delay applied to reordered packets: long enough that
+/// packets injected just after them overtake (several serialization times).
+const REORDER_DELAY_NS: u64 = 20_000;
+
+impl<P: Clone> Simulation<P> {
     /// A simulation of `topology` under `profile`'s costs, fault-free.
     pub fn new(profile: MachineProfile, topology: Topology) -> Self {
         let mut sim = Simulation {
@@ -120,6 +127,9 @@ impl<P> Simulation<P> {
             events: EventQueue::new(),
             clock: Nanos::ZERO,
             fault: FaultInjector::new(FaultModel::None),
+            fault_drops: 0,
+            fault_dups: 0,
+            fault_reorders: 0,
             started: false,
             done_count: 0,
             trace: None,
@@ -146,6 +156,12 @@ impl<P> Simulation<P> {
     /// Install a fault model (default: none).
     pub fn set_fault_model(&mut self, model: FaultModel) {
         self.fault = FaultInjector::new(model);
+    }
+
+    /// Install several fault models at once; they are consulted in order
+    /// and the first that fires on a packet decides its fate.
+    pub fn set_fault_models(&mut self, models: Vec<FaultModel>) {
+        self.fault = FaultInjector::compose(models);
     }
 
     /// Record packet-lifecycle events (at most `capacity` of them).
@@ -206,6 +222,22 @@ impl<P> Simulation<P> {
         self.nodes[node.0].nic.crc_drops
     }
 
+    /// Packets silently dropped in the fabric by fault injection
+    /// ([`FaultModel::Drop`] / [`FaultModel::DropEveryNth`]).
+    pub fn fault_drops(&self) -> u64 {
+        self.fault_drops
+    }
+
+    /// Packets duplicated in flight by fault injection.
+    pub fn fault_dups(&self) -> u64 {
+        self.fault_dups
+    }
+
+    /// Packets delayed out of order by fault injection.
+    pub fn fault_reorders(&self) -> u64 {
+        self.fault_reorders
+    }
+
     /// Fabric occupancy data (link utilization, per-link packet counts).
     pub fn topology(&self) -> &Topology {
         &self.topo
@@ -230,7 +262,8 @@ impl<P> Simulation<P> {
                     "node {i} has no program installed"
                 );
                 self.nodes[i].wake_scheduled = true;
-                self.events.schedule(Nanos::ZERO, Event::HostWake(NodeId(i)));
+                self.events
+                    .schedule(Nanos::ZERO, Event::HostWake(NodeId(i)));
             }
         }
         while let Some(t) = self.events.peek_time() {
@@ -280,13 +313,14 @@ impl<P> Simulation<P> {
         let outcome = program.step();
         self.nodes[n.0].program = Some(program);
 
-        let (charged, drained, new_ready, activity) = {
+        let (charged, drained, new_ready, activity, wake_request) = {
             let mut b = self.nodes[n.0].iface.inner.borrow_mut();
             (
                 b.charged,
                 b.drained,
                 std::mem::take(&mut b.new_send_ready),
                 b.activity,
+                b.wake_request.take(),
             )
         };
         self.nodes[n.0].busy_until = t + charged;
@@ -321,6 +355,18 @@ impl<P> Simulation<P> {
             StepOutcome::Done => {
                 self.nodes[n.0].done = true;
                 self.done_count += 1;
+            }
+        }
+
+        // Timer alarm (used by timeout-driven layers like retransmission):
+        // the program asked to be woken at a specific virtual time even if
+        // no network activity happens first. Scheduled *without* setting
+        // `wake_scheduled`, so earlier activity can still wake the program
+        // sooner; the alarm then fires as a harmless spurious wake.
+        if let Some(at) = wake_request {
+            if !self.nodes[n.0].done && !self.nodes[n.0].wake_scheduled {
+                let at = at.max(t + charged.max(Nanos(1)));
+                self.events.schedule(at, Event::HostWake(n));
             }
         }
     }
@@ -361,18 +407,67 @@ impl<P> Simulation<P> {
         self.nodes[n.0].nic.send_free_at = injected;
         pkt.serial = self.next_serial;
         self.next_serial += 1;
-        if self.fault.corrupt_next() {
+        let action = self.fault.next_action();
+        if action == FaultAction::Corrupt {
             pkt.corrupted = true;
         }
         self.record(injected, n, pkt.serial, TraceKind::Inject, pkt.wire_bytes);
-        let tail = self.topo.transit(
-            pkt.src,
-            pkt.dst,
-            injected,
-            pkt.wire_bytes,
-            &self.profile.link,
-        );
-        self.events.schedule(tail, Event::NicRecvArrive(pkt.dst, pkt));
+        match action {
+            FaultAction::Drop => {
+                // The packet vanished in the fabric: it consumed send-side
+                // firmware time but never arrives anywhere, and (unlike a
+                // CRC drop) the receiver sees nothing at all.
+                self.fault_drops += 1;
+            }
+            FaultAction::Duplicate => {
+                self.fault_dups += 1;
+                let copy = pkt.clone();
+                let tail = self.topo.transit(
+                    pkt.src,
+                    pkt.dst,
+                    injected,
+                    pkt.wire_bytes,
+                    &self.profile.link,
+                );
+                self.events
+                    .schedule(tail, Event::NicRecvArrive(pkt.dst, pkt));
+                // The second copy transits right behind the first; running
+                // it through the topology again serializes it after the
+                // original on the same links.
+                let tail2 = self.topo.transit(
+                    copy.src,
+                    copy.dst,
+                    injected,
+                    copy.wire_bytes,
+                    &self.profile.link,
+                );
+                self.events
+                    .schedule(tail2, Event::NicRecvArrive(copy.dst, copy));
+            }
+            FaultAction::Reorder => {
+                self.fault_reorders += 1;
+                let tail = self.topo.transit(
+                    pkt.src,
+                    pkt.dst,
+                    injected,
+                    pkt.wire_bytes,
+                    &self.profile.link,
+                ) + Nanos(REORDER_DELAY_NS);
+                self.events
+                    .schedule(tail, Event::NicRecvArrive(pkt.dst, pkt));
+            }
+            FaultAction::Deliver | FaultAction::Corrupt => {
+                let tail = self.topo.transit(
+                    pkt.src,
+                    pkt.dst,
+                    injected,
+                    pkt.wire_bytes,
+                    &self.profile.link,
+                );
+                self.events
+                    .schedule(tail, Event::NicRecvArrive(pkt.dst, pkt));
+            }
+        }
         // The firmware is busy until `injected`; pick up the next entry
         // then.
         if self.nodes[n.0]
@@ -438,11 +533,12 @@ impl<P> Simulation<P> {
             // Unpark back-pressured packets in arrival order, claiming a
             // slot and scheduling the DMA for each while space remains.
             while nic.recv_slot_available() {
-                let Some(pkt) = nic.parked.pop_front() else { break };
+                let Some(pkt) = nic.parked.pop_front() else {
+                    break;
+                };
                 nic.recv_region_used += 1;
                 let start = at.max(nic.recv_free_at);
-                let done =
-                    start + Nanos(recv_packet_ns) + dma.dma(pkt.wire_bytes as u64);
+                let done = start + Nanos(recv_packet_ns) + dma.dma(pkt.wire_bytes as u64);
                 nic.recv_free_at = done;
                 scheduled.push((done, pkt));
             }
@@ -471,10 +567,7 @@ mod tests {
     use std::rc::Rc;
 
     fn two_node_sim() -> Simulation<u64> {
-        Simulation::new(
-            MachineProfile::ppro200_fm2(),
-            Topology::single_crossbar(2),
-        )
+        Simulation::new(MachineProfile::ppro200_fm2(), Topology::single_crossbar(2))
     }
 
     /// Sender pushes `count` packets (charging `cost_per_pkt` each),
@@ -593,7 +686,9 @@ mod tests {
             NodeId(0),
             Box::new(move || {
                 while next < count {
-                    if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next)).is_err() {
+                    if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next))
+                        .is_err()
+                    {
                         return StepOutcome::Wait;
                     }
                     next += 1;
@@ -640,7 +735,9 @@ mod tests {
                 Box::new(move || {
                     while next < 100 {
                         s.charge(Nanos(200));
-                        if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next)).is_err() {
+                        if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next))
+                            .is_err()
+                        {
                             return StepOutcome::Wait;
                         }
                         next += 1;
@@ -732,8 +829,7 @@ mod tests {
                 Box::new(move || {
                     while sent < 50 {
                         iface.charge(Nanos(300));
-                        let pkt =
-                            SimPacket::new(NodeId(me), NodeId(peer), 128, sent);
+                        let pkt = SimPacket::new(NodeId(me), NodeId(peer), 128, sent);
                         if iface.try_send(pkt).is_err() {
                             return StepOutcome::Wait;
                         }
@@ -754,5 +850,171 @@ mod tests {
         assert!(sim.all_done());
         assert_eq!(sim.stats(NodeId(0)).packets_received, 50);
         assert_eq!(sim.stats(NodeId(1)).packets_received, 50);
+    }
+
+    #[test]
+    fn dropped_packets_never_arrive_and_are_counted() {
+        let mut sim = two_node_sim();
+        sim.set_fault_model(FaultModel::DropEveryNth(10));
+        let s = sim.host_interface(NodeId(0));
+        let r = sim.host_interface(NodeId(1));
+        let mut next = 0u64;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                while next < 100 {
+                    s.charge(Nanos(200));
+                    if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next))
+                        .is_err()
+                    {
+                        return StepOutcome::Wait;
+                    }
+                    next += 1;
+                }
+                StepOutcome::Done
+            }),
+        );
+        let mut got = 0u64;
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                while r.try_recv().is_some() {
+                    got += 1;
+                }
+                if got >= 90 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Wait
+                }
+            }),
+        );
+        sim.run(Some(Nanos::from_ms(100)));
+        assert!(sim.all_done());
+        assert_eq!(sim.stats(NodeId(1)).packets_received, 90);
+        assert_eq!(sim.fault_drops(), 10);
+        assert_eq!(sim.crc_drops(NodeId(1)), 0, "drops are not CRC events");
+    }
+
+    #[test]
+    fn duplicated_packets_arrive_twice() {
+        let mut sim = two_node_sim();
+        sim.set_fault_model(FaultModel::Duplicate { p: 1.0, seed: 1 });
+        let s = sim.host_interface(NodeId(0));
+        let r = sim.host_interface(NodeId(1));
+        let mut next = 0u64;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                while next < 10 {
+                    s.charge(Nanos(300));
+                    if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next))
+                        .is_err()
+                    {
+                        return StepOutcome::Wait;
+                    }
+                    next += 1;
+                }
+                StepOutcome::Done
+            }),
+        );
+        let mut got = 0u64;
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                while r.try_recv().is_some() {
+                    got += 1;
+                }
+                if got >= 20 {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Wait
+                }
+            }),
+        );
+        sim.run(Some(Nanos::from_ms(100)));
+        assert!(sim.all_done());
+        assert_eq!(sim.stats(NodeId(1)).packets_received, 20);
+        assert_eq!(sim.fault_dups(), 10);
+    }
+
+    #[test]
+    fn reordered_packets_all_arrive_but_out_of_order() {
+        let mut sim = two_node_sim();
+        sim.set_fault_model(FaultModel::Reorder { p: 0.2, seed: 3 });
+        let s = sim.host_interface(NodeId(0));
+        let r = sim.host_interface(NodeId(1));
+        let count = 100u64;
+        let mut next = 0u64;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                while next < count {
+                    s.charge(Nanos(300));
+                    if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next))
+                        .is_err()
+                    {
+                        return StepOutcome::Wait;
+                    }
+                    next += 1;
+                }
+                StepOutcome::Done
+            }),
+        );
+        let order: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let seen = Rc::clone(&order);
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                while let Some(pkt) = r.try_recv() {
+                    seen.borrow_mut().push(pkt.payload);
+                }
+                if seen.borrow().len() >= count as usize {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Wait
+                }
+            }),
+        );
+        sim.run(Some(Nanos::from_ms(100)));
+        assert!(sim.all_done(), "reordering must not lose packets");
+        assert!(sim.fault_reorders() > 0);
+        let order = order.borrow();
+        assert_eq!(order.len(), count as usize);
+        assert!(
+            order.windows(2).any(|w| w[0] > w[1]),
+            "some packet must actually be overtaken"
+        );
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..count).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn requested_wake_fires_without_activity() {
+        let mut sim = two_node_sim();
+        let iface = sim.host_interface(NodeId(0));
+        let woken: Rc<RefCell<Vec<Nanos>>> = Rc::default();
+        let log = Rc::clone(&woken);
+        let mut steps = 0;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                log.borrow_mut().push(iface.now());
+                steps += 1;
+                if steps == 1 {
+                    // No traffic anywhere: only the alarm can wake us.
+                    iface.request_wake(Nanos::from_us(50));
+                    StepOutcome::Wait
+                } else {
+                    StepOutcome::Done
+                }
+            }),
+        );
+        sim.set_program(NodeId(1), Box::new(move || StepOutcome::Done));
+        let end = sim.run(None);
+        assert!(sim.all_done());
+        assert_eq!(woken.borrow().len(), 2);
+        assert_eq!(woken.borrow()[1], Nanos::from_us(50));
+        assert_eq!(end, Nanos::from_us(50));
     }
 }

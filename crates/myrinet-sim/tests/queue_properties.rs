@@ -1,19 +1,23 @@
-//! Property tests of the simulator's determinism-critical pieces.
+//! Randomized tests of the simulator's determinism-critical pieces,
+//! driven by the workspace's seeded [`DetRng`] so every case is
+//! reproducible.
 
 use fm_model::profile::LinkCosts;
+use fm_model::rng::DetRng;
 use fm_model::Nanos;
 use myrinet_sim::event::EventQueue;
 use myrinet_sim::sim::NodeId;
 use myrinet_sim::topology::Topology;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The event queue is a stable priority queue: pops are nondecreasing
-    /// in time, and FIFO among equal timestamps.
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in proptest::collection::vec(0u64..50, 1..200)) {
+/// The event queue is a stable priority queue: pops are nondecreasing in
+/// time, and FIFO among equal timestamps.
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    let mut rng = DetRng::seed_from_u64(0xE0_01);
+    for case in 0..128 {
+        let times: Vec<u64> = (0..rng.range_usize(1, 200))
+            .map(|_| rng.below(50))
+            .collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Nanos(t), i);
@@ -23,26 +27,34 @@ proptest! {
         while let Some((t, i)) = q.pop() {
             popped += 1;
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt, "time order violated");
+                assert!(t >= lt, "case {case}: time order violated");
                 if t == lt {
-                    prop_assert!(i > li, "FIFO among equal timestamps violated");
+                    assert!(i > li, "case {case}: FIFO among equal timestamps violated");
                 }
             }
-            prop_assert_eq!(times[i], t.as_ns(), "payload/time pairing intact");
+            assert_eq!(
+                times[i],
+                t.as_ns(),
+                "case {case}: payload/time pairing intact"
+            );
             last = Some((t, i));
         }
-        prop_assert_eq!(popped, times.len());
+        assert_eq!(popped, times.len(), "case {case}");
     }
+}
 
-    /// Link transit is causal and work-conserving: packets injected in
-    /// time order on one path arrive in order, never earlier than the
-    /// uncontended latency, and back-to-back arrivals are at least one
-    /// serialization time apart.
-    #[test]
-    fn transit_is_causal_and_serializing(
-        sizes in proptest::collection::vec(1u32..4096, 2..40),
-        gaps in proptest::collection::vec(0u64..20_000, 2..40),
-    ) {
+/// Link transit is causal and work-conserving: packets injected in time
+/// order on one path arrive in order, never earlier than the uncontended
+/// latency, and back-to-back arrivals are at least one serialization time
+/// apart.
+#[test]
+fn transit_is_causal_and_serializing() {
+    let mut rng = DetRng::seed_from_u64(0xE0_02);
+    for case in 0..128 {
+        let n = rng.range_usize(2, 40);
+        let sizes: Vec<u32> = (0..n).map(|_| 1 + rng.below(4095) as u32).collect();
+        let gaps: Vec<u64> = (0..n).map(|_| rng.below(20_000)).collect();
+
         let costs = LinkCosts {
             ns_per_kb: 6_400,
             wire_latency_ns: 300,
@@ -50,7 +62,6 @@ proptest! {
             slack_bytes: 512,
         };
         let mut topo = Topology::single_crossbar(2);
-        let n = sizes.len().min(gaps.len());
         let mut inject = Nanos::ZERO;
         let mut last_arrival = Nanos::ZERO;
         for k in 0..n {
@@ -59,11 +70,17 @@ proptest! {
             // Causal: tail arrival after injection plus the minimum path.
             let ser = costs.serialize(sizes[k] as u64);
             let min_path = Nanos(300 + 200 + 300) + ser;
-            prop_assert!(arr >= inject + min_path, "packet {k} arrived too early");
+            assert!(
+                arr >= inject + min_path,
+                "case {case}: packet {k} arrived too early"
+            );
             // In order, and separated by at least its serialization time
             // (two packets cannot overlap on the downlink).
             if k > 0 {
-                prop_assert!(arr >= last_arrival + ser, "packet {k} overlaps predecessor");
+                assert!(
+                    arr >= last_arrival + ser,
+                    "case {case}: packet {k} overlaps predecessor"
+                );
             }
             last_arrival = arr;
         }

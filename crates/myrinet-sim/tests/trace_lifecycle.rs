@@ -7,10 +7,8 @@ use myrinet_sim::{NodeId, SimPacket, Simulation, StepOutcome, Topology};
 #[test]
 fn every_packet_traverses_inject_tail_deliver_in_order() {
     const COUNT: u64 = 50;
-    let mut sim: Simulation<u64> = Simulation::new(
-        MachineProfile::ppro200_fm2(),
-        Topology::single_crossbar(2),
-    );
+    let mut sim: Simulation<u64> =
+        Simulation::new(MachineProfile::ppro200_fm2(), Topology::single_crossbar(2));
     sim.enable_trace(10_000);
 
     let s = sim.host_interface(NodeId(0));
@@ -21,7 +19,9 @@ fn every_packet_traverses_inject_tail_deliver_in_order() {
         Box::new(move || {
             while next < COUNT {
                 s.charge(Nanos(400));
-                if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 512, next)).is_err() {
+                if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 512, next))
+                    .is_err()
+                {
                     return StepOutcome::Wait;
                 }
                 next += 1;
@@ -67,9 +67,16 @@ fn every_packet_traverses_inject_tail_deliver_in_order() {
     // the future of the event that recorded it), so global order is only
     // approximately sorted — but per-stage streams are monotone.
     let all = trace.events();
-    for kind in [TraceKind::Inject, TraceKind::TailArrive, TraceKind::Delivered] {
+    for kind in [
+        TraceKind::Inject,
+        TraceKind::TailArrive,
+        TraceKind::Delivered,
+    ] {
         let stamps: Vec<_> = all.iter().filter(|e| e.kind == kind).map(|e| e.t).collect();
-        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{kind:?} stream sorted");
+        assert!(
+            stamps.windows(2).all(|w| w[0] <= w[1]),
+            "{kind:?} stream sorted"
+        );
         assert_eq!(stamps.len() as u64, COUNT);
     }
     assert_eq!(all.len() as u64, COUNT * 3);
@@ -77,10 +84,8 @@ fn every_packet_traverses_inject_tail_deliver_in_order() {
 
 #[test]
 fn trace_capacity_is_respected() {
-    let mut sim: Simulation<u64> = Simulation::new(
-        MachineProfile::ppro200_fm2(),
-        Topology::single_crossbar(2),
-    );
+    let mut sim: Simulation<u64> =
+        Simulation::new(MachineProfile::ppro200_fm2(), Topology::single_crossbar(2));
     sim.enable_trace(10); // far fewer than the traffic generates
 
     let s = sim.host_interface(NodeId(0));
@@ -91,7 +96,9 @@ fn trace_capacity_is_respected() {
         Box::new(move || {
             while next < 30 {
                 s.charge(Nanos(400));
-                if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next)).is_err() {
+                if s.try_send(SimPacket::new(NodeId(0), NodeId(1), 64, next))
+                    .is_err()
+                {
                     return StepOutcome::Wait;
                 }
                 next += 1;

@@ -67,7 +67,10 @@ impl GlobalArray {
     /// Split `[lo, hi)` into per-owner (pe, local_lo, global_lo, count)
     /// spans.
     fn spans(&self, lo: usize, hi: usize) -> Vec<(usize, usize, usize, usize)> {
-        assert!(lo <= hi && hi <= self.len, "range [{lo},{hi}) out of bounds");
+        assert!(
+            lo <= hi && hi <= self.len,
+            "range [{lo},{hi}) out of bounds"
+        );
         let mut out = Vec::new();
         let mut g = lo;
         while g < hi {
@@ -243,7 +246,11 @@ impl GlobalArray2D {
     ) {
         self.check_section(row_lo, row_hi, col_lo, col_hi);
         let width = col_hi - col_lo;
-        assert_eq!(data.len(), (row_hi - row_lo) * width, "section size mismatch");
+        assert_eq!(
+            data.len(),
+            (row_hi - row_lo) * width,
+            "section size mismatch"
+        );
         for (i, r) in (row_lo..row_hi).enumerate() {
             let (pe, lr) = self.owner_of_row(r);
             let off = self.row_offset(lr, col_lo);
@@ -270,7 +277,11 @@ impl GlobalArray2D {
     ) {
         self.check_section(row_lo, row_hi, col_lo, col_hi);
         let width = col_hi - col_lo;
-        assert_eq!(data.len(), (row_hi - row_lo) * width, "section size mismatch");
+        assert_eq!(
+            data.len(),
+            (row_hi - row_lo) * width,
+            "section size mismatch"
+        );
         for (i, r) in (row_lo..row_hi).enumerate() {
             let (pe, lr) = self.owner_of_row(r);
             let off = self.row_offset(lr, col_lo);

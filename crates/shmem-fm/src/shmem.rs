@@ -63,10 +63,7 @@ impl<D: NetDevice + 'static> Shmem<D> {
                     Op::Put { offset } => {
                         let len = stream.msg_len() - OP_BYTES;
                         let o = offset as usize;
-                        assert!(
-                            o + len <= st.borrow().heap.len(),
-                            "put out of heap bounds"
-                        );
+                        assert!(o + len <= st.borrow().heap.len(), "put out of heap bounds");
                         // Stream into place chunk by chunk. The heap
                         // borrow is never held across an await, so other
                         // handlers (interleaved puts from other sources)
@@ -80,8 +77,7 @@ impl<D: NetDevice + 'static> Shmem<D> {
                                 break;
                             }
                             let mut s = st.borrow_mut();
-                            s.heap[o + written..o + written + n]
-                                .copy_from_slice(&chunk[..n]);
+                            s.heap[o + written..o + written + n].copy_from_slice(&chunk[..n]);
                             written += n;
                         }
                         fm.send_from_handler(src, SHMEM_HANDLER, Op::PutAck.encode().to_vec());
@@ -112,8 +108,7 @@ impl<D: NetDevice + 'static> Shmem<D> {
                         assert!(o + len <= s.heap.len(), "acc out of heap bounds");
                         for (i, c) in contrib.chunks_exact(8).enumerate() {
                             let at = o + i * 8;
-                            let cur =
-                                f64::from_le_bytes(s.heap[at..at + 8].try_into().unwrap());
+                            let cur = f64::from_le_bytes(s.heap[at..at + 8].try_into().unwrap());
                             let add = f64::from_le_bytes(c.try_into().unwrap());
                             s.heap[at..at + 8].copy_from_slice(&(cur + add).to_le_bytes());
                         }
@@ -127,8 +122,7 @@ impl<D: NetDevice + 'static> Shmem<D> {
                             let mut s = st.borrow_mut();
                             let o = offset as usize;
                             assert!(o + 8 <= s.heap.len(), "fadd out of heap bounds");
-                            let cur =
-                                i64::from_le_bytes(s.heap[o..o + 8].try_into().unwrap());
+                            let cur = i64::from_le_bytes(s.heap[o..o + 8].try_into().unwrap());
                             s.heap[o..o + 8]
                                 .copy_from_slice(&cur.wrapping_add(delta).to_le_bytes());
                             cur
@@ -214,7 +208,14 @@ impl<D: NetDevice + 'static> Shmem<D> {
     /// [`Shmem::quiet`].
     pub fn put(&self, dst: usize, offset: usize, data: &[u8]) {
         self.puts_issued.set(self.puts_issued.get() + 1);
-        self.send_op(dst, &Op::Put { offset: offset as u64 }.encode(), data);
+        self.send_op(
+            dst,
+            &Op::Put {
+                offset: offset as u64,
+            }
+            .encode(),
+            data,
+        );
     }
 
     /// Block until every put issued by this node has been applied at its
@@ -259,7 +260,14 @@ impl<D: NetDevice + 'static> Shmem<D> {
     pub fn accumulate_f64(&self, dst: usize, offset: usize, contrib: &[f64]) {
         let bytes: Vec<u8> = contrib.iter().flat_map(|x| x.to_le_bytes()).collect();
         self.puts_issued.set(self.puts_issued.get() + 1);
-        self.send_op(dst, &Op::AccF64 { offset: offset as u64 }.encode(), &bytes);
+        self.send_op(
+            dst,
+            &Op::AccF64 {
+                offset: offset as u64,
+            }
+            .encode(),
+            &bytes,
+        );
     }
 
     /// Atomic fetch-add on the i64 at `dst`'s heap `offset` (blocking;

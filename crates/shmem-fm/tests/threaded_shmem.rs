@@ -104,7 +104,12 @@ fn global_array_distributed_ops() {
     });
     for (pe, all) in out.iter().enumerate() {
         for (i, v) in all.iter().enumerate() {
-            let expect = i as f64 + if (40..60).contains(&i) { PES as f64 } else { 0.0 };
+            let expect = i as f64
+                + if (40..60).contains(&i) {
+                    PES as f64
+                } else {
+                    0.0
+                };
             assert_eq!(*v, expect, "pe {pe} element {i}");
         }
     }

@@ -166,8 +166,7 @@ impl<D: NetDevice + 'static> SocketStack<D> {
                             debug_assert!(!c.recv_closed, "data after FIN");
                             c.recv_buffered += data.len();
                             c.recv_segments.push_back(data);
-                            let total: usize =
-                                s.conns.values().map(|c| c.recv_buffered).sum();
+                            let total: usize = s.conns.values().map(|c| c.recv_buffered).sum();
                             s.buffered_high_water = s.buffered_high_water.max(total);
                         }
                     }
@@ -254,11 +253,7 @@ impl<D: NetDevice + 'static> SocketStack<D> {
             consumed_unreported: 0,
         });
         let mut buf = [0u8; MAX_CTL_BYTES];
-        let n = Ctl::Syn {
-            port,
-            src_conn: id,
-        }
-        .encode(&mut buf);
+        let n = Ctl::Syn { port, src_conn: id }.encode(&mut buf);
         self.send_ctl(node, &buf[..n], &[]);
         SocketId(id)
     }
@@ -342,7 +337,11 @@ impl<D: NetDevice + 'static> SocketStack<D> {
             .encode(&mut hdr);
             if self
                 .fm
-                .try_send_message(peer_node, SOCKET_HANDLER, &[&hdr[..n], &data[sent..sent + seg]])
+                .try_send_message(
+                    peer_node,
+                    SOCKET_HANDLER,
+                    &[&hdr[..n], &data[sent..sent + seg]],
+                )
                 .is_err()
             {
                 break;
@@ -381,7 +380,9 @@ impl<D: NetDevice + 'static> SocketStack<D> {
         }
         let mut filled = 0;
         while filled < buf.len() {
-            let Some(front) = c.recv_segments.front() else { break };
+            let Some(front) = c.recv_segments.front() else {
+                break;
+            };
             let avail = &front[c.recv_front_offset..];
             let n = avail.len().min(buf.len() - filled);
             buf[filled..filled + n].copy_from_slice(&avail[..n]);
@@ -437,7 +438,11 @@ impl<D: NetDevice + 'static> SocketStack<D> {
     /// The subset of `socks` that are readable right now (poll/select over
     /// several connections, e.g. a server multiplexing clients).
     pub fn poll_readable(&self, socks: &[SocketId]) -> Vec<SocketId> {
-        socks.iter().copied().filter(|&s| self.readable(s)).collect()
+        socks
+            .iter()
+            .copied()
+            .filter(|&s| self.readable(s))
+            .collect()
     }
 
     /// Bytes currently buffered for reading on `sock`.

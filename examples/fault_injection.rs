@@ -6,7 +6,10 @@
 //! packets in flight and shows that (a) the NIC's CRC catches every one,
 //! (b) FM surfaces the resulting sequence gaps as explicit errors instead
 //! of delivering garbage, and (c) the packet trace pinpoints where each
-//! surviving packet spent its time.
+//! surviving packet spent its time. A second act re-runs the stream over
+//! a silently-dropping wire under both reliability modes: the paper's
+//! `TrustSubstrate` loses messages loudly, the opt-in `Retransmit`
+//! sublayer repairs every loss.
 //!
 //! Run with: `cargo run --release --example fault_injection`
 
@@ -14,7 +17,9 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use fast_messages::fm::packet::HandlerId;
-use fast_messages::fm::{Fm2Engine, FmPacket, FmStream, SimDevice};
+use fast_messages::fm::{
+    Fm2Engine, FmPacket, FmStats, FmStream, Reliability, RetransmitConfig, SimDevice,
+};
 use fast_messages::model::{MachineProfile, Nanos};
 use fast_messages::sim::fault::FaultModel;
 use fast_messages::sim::trace::TraceKind;
@@ -23,10 +28,90 @@ use fast_messages::sim::{NodeId, Simulation, StepOutcome, Topology};
 const H: HandlerId = HandlerId(1);
 const MSGS: usize = 200;
 
+/// Act 2 workload: the same 200-message stream over a wire that silently
+/// *drops* 2% of packets (no CRC to catch these — the packet just never
+/// arrives). Returns (delivered, errors reported, sender stats).
+fn lossy_stream(reliability: Reliability) -> (usize, usize, FmStats) {
+    let profile = MachineProfile::ppro200_fm2();
+    let mut sim: Simulation<FmPacket> = Simulation::new(profile, Topology::single_crossbar(2));
+    sim.set_fault_model(FaultModel::Drop { p: 0.02, seed: 7 });
+
+    let fm_s = Fm2Engine::with_reliability(
+        SimDevice::new(sim.host_interface(NodeId(0))),
+        profile,
+        reliability.clone(),
+    );
+    let sender_done = Rc::new(Cell::new(false));
+    let sender_stats = Rc::new(Cell::new(FmStats::default()));
+    {
+        let fm_s = fm_s.clone();
+        let sender_done = Rc::clone(&sender_done);
+        let sender_stats = Rc::clone(&sender_stats);
+        let data = [7u8; 256];
+        let mut sent = 0usize;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                fm_s.extract_all(); // acks in, retransmit timers serviced
+                while sent < MSGS && fm_s.try_send_message(1, H, &[&data]).is_ok() {
+                    sent += 1;
+                }
+                // In Retransmit mode "done" means every packet was
+                // acknowledged; in TrustSubstrate it just means sent.
+                if sent == MSGS && fm_s.unacked_packets() == 0 {
+                    sender_stats.set(fm_s.stats());
+                    sender_done.set(true);
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    let fm_r = Fm2Engine::with_reliability(
+        SimDevice::new(sim.host_interface(NodeId(1))),
+        profile,
+        reliability,
+    );
+    let got = Rc::new(Cell::new(0usize));
+    let errors = Rc::new(Cell::new(0usize));
+    {
+        let got = Rc::clone(&got);
+        fm_r.set_handler(H, move |stream: FmStream, _| {
+            let got = Rc::clone(&got);
+            async move {
+                let m = stream.receive_vec(stream.msg_len()).await;
+                if m.len() == 256 && m.iter().all(|&b| b == 7) {
+                    got.set(got.get() + 1);
+                }
+            }
+        });
+    }
+    {
+        let got = Rc::clone(&got);
+        let errors = Rc::clone(&errors);
+        let fm_r = fm_r.clone();
+        let sender_done = Rc::clone(&sender_done);
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm_r.extract_all();
+                errors.set(errors.get() + fm_r.take_errors().len());
+                if got.get() >= MSGS && sender_done.get() {
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(Nanos::from_ms(500)));
+    (got.get(), errors.get(), sender_stats.get())
+}
+
 fn main() {
     let profile = MachineProfile::ppro200_fm2();
-    let mut sim: Simulation<FmPacket> =
-        Simulation::new(profile, Topology::single_crossbar(2));
+    let mut sim: Simulation<FmPacket> = Simulation::new(profile, Topology::single_crossbar(2));
     sim.set_fault_model(FaultModel::EveryNth(23));
     sim.enable_trace(50_000);
 
@@ -39,7 +124,10 @@ fn main() {
             NodeId(0),
             Box::new(move || {
                 while sent < MSGS {
-                    if fm_s.try_send_message(1, H, &[&[sent as u8; 256][..]]).is_ok() {
+                    if fm_s
+                        .try_send_message(1, H, &[&[sent as u8; 256][..]])
+                        .is_ok()
+                    {
                         sent += 1;
                         continue;
                     }
@@ -47,7 +135,10 @@ fn main() {
                     // sleeping (sleeping right after draining them would
                     // be a lost wake-up).
                     fm_s.extract_all();
-                    if fm_s.try_send_message(1, H, &[&[sent as u8; 256][..]]).is_ok() {
+                    if fm_s
+                        .try_send_message(1, H, &[&[sent as u8; 256][..]])
+                        .is_ok()
+                    {
                         sent += 1;
                         continue;
                     }
@@ -105,8 +196,15 @@ fn main() {
     println!("sent            : {MSGS} messages (256 B each)");
     println!("delivered intact: {}", got.get());
     println!("CRC drops at NIC: {drops}");
-    println!("sequence gaps   : {} (reported by FM, not silent)", errors.get());
-    assert_eq!(got.get() + drops as usize, MSGS, "every message accounted for");
+    println!(
+        "sequence gaps   : {} (reported by FM, not silent)",
+        errors.get()
+    );
+    assert_eq!(
+        got.get() + drops as usize,
+        MSGS,
+        "every message accounted for"
+    );
     assert!(errors.get() > 0, "losses must be loud");
 
     // Trace: reconstruct the pipeline timing of the first packet.
@@ -119,10 +217,31 @@ fn main() {
             TraceKind::TailArrive => "tail at dst NIC   ",
             TraceKind::Delivered => "DMA'd to host     ",
         };
-        println!("  t={:>10}  {stage}  ({} wire bytes)", format!("{}", ev.t), ev.wire_bytes);
+        println!(
+            "  t={:>10}  {stage}  ({} wire bytes)",
+            format!("{}", ev.t),
+            ev.wire_bytes
+        );
     }
     let wire_time = first[1].t - first[0].t;
     let dma_time = first[2].t - first[1].t;
     println!("  wire+switch: {wire_time}, NIC+DMA: {dma_time}");
+
+    // Act 2 — the same stream over a silently-dropping wire, with and
+    // without the retransmission sublayer. TrustSubstrate (the paper's
+    // mode) loses messages and reports the gaps; Retransmit repairs them.
+    println!("\n--- silent 2% packet drop: TrustSubstrate vs Retransmit ---");
+    let (got_t, errs_t, stats_t) = lossy_stream(Reliability::TrustSubstrate);
+    let (got_r, errs_r, stats_r) =
+        lossy_stream(Reliability::Retransmit(RetransmitConfig::default()));
+    println!("TrustSubstrate : {got_t}/{MSGS} delivered, {errs_t} errors reported");
+    println!("  sender stats : {stats_t}");
+    println!("Retransmit     : {got_r}/{MSGS} delivered, {errs_r} errors reported");
+    println!("  sender stats : {stats_r}");
+    println!("  stats delta  : {}", stats_r.delta(&stats_t));
+    assert!(got_t < MSGS, "TrustSubstrate must lose messages here");
+    assert!(errs_t > 0, "and the losses must be loud");
+    assert_eq!((got_r, errs_r), (MSGS, 0), "Retransmit repairs silently");
+    assert!(stats_r.retransmissions > 0);
     println!("fault_injection: ok");
 }

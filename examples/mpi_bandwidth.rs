@@ -54,7 +54,9 @@ fn main() {
                 // Wait for the echo of completion.
                 let _ = mpi.recv(Some(peer), Some(3), 0);
             } else {
-                let reqs: Vec<_> = (0..count).map(|_| mpi.irecv(Some(peer), Some(2), size)).collect();
+                let reqs: Vec<_> = (0..count)
+                    .map(|_| mpi.irecv(Some(peer), Some(2), size))
+                    .collect();
                 for r in &reqs {
                     mpi.wait_recv(r);
                 }

@@ -38,15 +38,27 @@ fn main() {
 
         for _ in 0..STEPS {
             // One-sided halo read: neighbours' edge cells.
-            let left = if lo > 0 { ga.get(&sh, lo - 1, lo)[0] } else { 0.0 };
-            let right = if hi < CELLS { ga.get(&sh, hi, hi + 1)[0] } else { 0.0 };
+            let left = if lo > 0 {
+                ga.get(&sh, lo - 1, lo)[0]
+            } else {
+                0.0
+            };
+            let right = if hi < CELLS {
+                ga.get(&sh, hi, hi + 1)[0]
+            } else {
+                0.0
+            };
             let mine = ga.get(&sh, lo, hi);
 
             // Explicit Euler step on the owned block.
             let mut next = mine.clone();
             for i in 0..mine.len() {
                 let l = if i == 0 { left } else { mine[i - 1] };
-                let r = if i + 1 == mine.len() { right } else { mine[i + 1] };
+                let r = if i + 1 == mine.len() {
+                    right
+                } else {
+                    mine[i + 1]
+                };
                 next[i] = mine[i] + ALPHA * (l - 2.0 * mine[i] + r);
             }
             // Everyone must finish *reading* step k before anyone *writes*

@@ -23,8 +23,7 @@ const H: HandlerId = HandlerId(1);
 
 fn main() {
     let profile = MachineProfile::ppro200_fm2();
-    let mut sim: Simulation<FmPacket> =
-        Simulation::new(profile, Topology::single_crossbar(NODES));
+    let mut sim: Simulation<FmPacket> = Simulation::new(profile, Topology::single_crossbar(NODES));
 
     let mut done_counters = Vec::new();
     for n in 0..NODES {

@@ -36,7 +36,10 @@ fn fm1_and_fm2_deliver_identical_corpora() {
     let got1: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
     {
         let g = Rc::clone(&got1);
-        r1.set_handler(H, Box::new(move |_e, _s, m| g.borrow_mut().push(m.to_vec())));
+        r1.set_handler(
+            H,
+            Box::new(move |_e, _s, m| g.borrow_mut().push(m.to_vec())),
+        );
     }
     for msg in &corpus {
         while s1.try_send(1, H, msg).is_err() {

@@ -48,13 +48,15 @@ fn all_pairs_exchange_on_four_nodes() {
                         // Payload encodes (src, dst) so misrouting is
                         // detectable.
                         recvs.push((peer, mpi.irecv(Some(peer), Some(me as u32), SIZE)));
-                        sends.push(mpi.isend(peer, peer as u32, vec![(me * 16 + peer) as u8; SIZE]));
+                        sends.push(mpi.isend(
+                            peer,
+                            peer as u32,
+                            vec![(me * 16 + peer) as u8; SIZE],
+                        ));
                     }
                 }
                 mpi.progress();
-                if sends.iter().all(|s| s.is_done())
-                    && recvs.iter().all(|(_, r)| r.is_done())
-                {
+                if sends.iter().all(|s| s.is_done()) && recvs.iter().all(|(_, r)| r.is_done()) {
                     for (peer, r) in &recvs {
                         let data = r.take().expect("done");
                         assert_eq!(data, vec![(peer * 16 + me) as u8; SIZE]);
@@ -156,7 +158,10 @@ fn incast_contention_slows_but_never_drops() {
     let down = topo.link_utilization(topo.downlink(NodeId(0)), end);
     let up1 = topo.link_utilization(topo.uplink(NodeId(1)), end);
     assert!(down > 0.4, "incast downlink utilization = {down:.2}");
-    assert!(down > 3.0 * up1, "downlink {down:.2} vs one uplink {up1:.2}");
+    assert!(
+        down > 3.0 * up1,
+        "downlink {down:.2} vs one uplink {up1:.2}"
+    );
 }
 
 #[test]
@@ -239,28 +244,27 @@ fn fm1_assembles_interleaved_multi_packet_messages_per_source() {
         Simulation::new(profile, Topology::single_crossbar(SENDERS + 1));
 
     for s in 1..=SENDERS {
-        let mut fm = Fm1Engine::new(
-            SimDevice::new(sim.host_interface(NodeId(s))),
-            profile,
-        );
+        let mut fm = Fm1Engine::new(SimDevice::new(sim.host_interface(NodeId(s))), profile);
         let mut sent = 0usize;
         sim.set_program(
             NodeId(s),
             Box::new(move || {
                 while sent < MSGS {
                     // Payload identifies (sender, message index).
-                    let data: Vec<u8> = (0..SIZE)
-                        .map(|i| (s * 64 + sent + i) as u8)
-                        .collect();
-                    if fm.try_send(0, fast_messages::fm::packet::HandlerId(1), &data).is_ok() {
+                    let data: Vec<u8> = (0..SIZE).map(|i| (s * 64 + sent + i) as u8).collect();
+                    if fm
+                        .try_send(0, fast_messages::fm::packet::HandlerId(1), &data)
+                        .is_ok()
+                    {
                         sent += 1;
                         continue;
                     }
                     fm.extract();
-                    let data2: Vec<u8> = (0..SIZE)
-                        .map(|i| (s * 64 + sent + i) as u8)
-                        .collect();
-                    if fm.try_send(0, fast_messages::fm::packet::HandlerId(1), &data2).is_ok() {
+                    let data2: Vec<u8> = (0..SIZE).map(|i| (s * 64 + sent + i) as u8).collect();
+                    if fm
+                        .try_send(0, fast_messages::fm::packet::HandlerId(1), &data2)
+                        .is_ok()
+                    {
                         sent += 1;
                         continue;
                     }

@@ -1,4 +1,4 @@
-//! Property-based tests of the stack's core invariants.
+//! Randomized property tests of the stack's core invariants.
 //!
 //! These check the properties the paper's design depends on, under inputs
 //! a human would not think to write:
@@ -12,15 +12,17 @@
 //!   it, regardless of posting order.
 //! * Socket-FM: any write chunking and read chunking preserve the byte
 //!   stream (the Berkeley sockets contract).
+//!
+//! Inputs are drawn from the workspace's seeded [`DetRng`] (fixed seeds,
+//! many cases per test), so every failure is reproducible by case index.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use fast_messages::fm::device::{LoopbackDevice, LoopbackPair};
 use fast_messages::fm::packet::HandlerId;
 use fast_messages::fm::{Fm1Engine, Fm2Engine, FmStream};
+use fast_messages::model::rng::DetRng;
 use fast_messages::model::MachineProfile;
 use fast_messages::mpi::{Mpi, Mpi2};
 use fast_messages::sockets::SocketStack;
@@ -37,17 +39,23 @@ fn pump2(a: &Fm2Engine<LoopbackDevice>, b: &Fm2Engine<LoopbackDevice>) {
     b.extract_all();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Gather/scatter round trip: the receiver's reads see exactly the
+/// concatenation of the sender's pieces, for arbitrary piece sizes and
+/// arbitrary read sizes.
+#[test]
+fn fm2_gather_scatter_preserves_byte_stream() {
+    let mut rng = DetRng::seed_from_u64(0xF2_57_12);
+    for case in 0..64 {
+        let pieces: Vec<Vec<u8>> = (0..rng.range_usize(1, 8))
+            .map(|_| {
+                let len = rng.range_usize(0, 600);
+                rng.bytes(len)
+            })
+            .collect();
+        let read_sizes: Vec<usize> = (0..rng.range_usize(1, 12))
+            .map(|_| rng.range_usize(1, 700))
+            .collect();
 
-    /// Gather/scatter round trip: the receiver's reads see exactly the
-    /// concatenation of the sender's pieces, for arbitrary piece sizes and
-    /// arbitrary read sizes.
-    #[test]
-    fn fm2_gather_scatter_preserves_byte_stream(
-        pieces in vec(vec(any::<u8>(), 0..600), 1..8),
-        read_sizes in vec(1usize..700, 1..12),
-    ) {
         let (da, db) = LoopbackPair::new(512);
         let s = Fm2Engine::new(da, MachineProfile::ppro200_fm2());
         let r = Fm2Engine::new(db, MachineProfile::ppro200_fm2());
@@ -99,21 +107,32 @@ proptest! {
         }
         pump2(&s, &r);
 
-        prop_assert_eq!(&*got.borrow(), &expected);
+        assert_eq!(&*got.borrow(), &expected, "case {case}");
     }
+}
 
-    /// FM 1.x: arbitrary message sequences arrive intact, in order.
-    #[test]
-    fn fm1_message_sequence_in_order(
-        msgs in vec(vec(any::<u8>(), 0..1200), 1..20),
-    ) {
+/// FM 1.x: arbitrary message sequences arrive intact, in order.
+#[test]
+fn fm1_message_sequence_in_order() {
+    let mut rng = DetRng::seed_from_u64(0xF1_0D_E2);
+    for case in 0..64 {
+        let msgs: Vec<Vec<u8>> = (0..rng.range_usize(1, 20))
+            .map(|_| {
+                let len = rng.range_usize(0, 1200);
+                rng.bytes(len)
+            })
+            .collect();
+
         let (da, db) = LoopbackPair::new(512);
         let mut s = Fm1Engine::new(da, MachineProfile::sparc_fm1());
         let mut r = Fm1Engine::new(db, MachineProfile::sparc_fm1());
         let got: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
         {
             let g = Rc::clone(&got);
-            r.set_handler(H, Box::new(move |_e, _s, m| g.borrow_mut().push(m.to_vec())));
+            r.set_handler(
+                H,
+                Box::new(move |_e, _s, m| g.borrow_mut().push(m.to_vec())),
+            );
         }
         for m in &msgs {
             while s.try_send(1, H, m).is_err() {
@@ -129,31 +148,30 @@ proptest! {
             LoopbackPair::deliver(s.device_mut(), r.device_mut());
             s.extract();
         }
-        prop_assert_eq!(&*got.borrow(), &msgs);
+        assert_eq!(&*got.borrow(), &msgs, "case {case}");
     }
+}
 
-    /// MPI tag matching: for any assignment of tags to messages and any
-    /// posting order, each receive obtains the payload sent under its tag
-    /// (tags unique per case).
-    #[test]
-    fn mpi_matching_by_tag_is_total(
-        sizes in vec(1usize..500, 1..10),
-        post_before in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// MPI tag matching: for any assignment of tags to messages and any
+/// posting order, each receive obtains the payload sent under its tag
+/// (tags unique per case).
+#[test]
+fn mpi_matching_by_tag_is_total() {
+    let mut rng = DetRng::seed_from_u64(0x3A6);
+    for case in 0..64 {
+        let sizes: Vec<usize> = (0..rng.range_usize(1, 10))
+            .map(|_| rng.range_usize(1, 500))
+            .collect();
+        let post_before = rng.chance(0.5);
+
         let (da, db) = LoopbackPair::new(512);
         let mut s = Mpi2::new(Fm2Engine::new(da, MachineProfile::ppro200_fm2()));
         let mut r = Mpi2::new(Fm2Engine::new(db, MachineProfile::ppro200_fm2()));
 
         let n = sizes.len();
-        // A deterministic shuffle of posting order from the seed.
+        // A random posting order per case.
         let mut order: Vec<usize> = (0..n).collect();
-        let mut state = seed;
-        for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
-            order.swap(i, j);
-        }
+        rng.shuffle(&mut order);
 
         let pump = |s: &mut Mpi2<LoopbackDevice>, r: &mut Mpi2<LoopbackDevice>| {
             for _ in 0..6 {
@@ -186,18 +204,24 @@ proptest! {
 
         for (i, req) in reqs.iter().enumerate() {
             let req = req.as_ref().unwrap();
-            prop_assert!(req.is_done(), "recv {i} incomplete");
-            prop_assert_eq!(req.take().unwrap(), vec![i as u8; sizes[i]]);
+            assert!(req.is_done(), "case {case}: recv {i} incomplete");
+            assert_eq!(req.take().unwrap(), vec![i as u8; sizes[i]], "case {case}");
         }
     }
+}
 
-    /// Socket byte streams survive arbitrary write and read chunking.
-    #[test]
-    fn socket_stream_is_chunking_invariant(
-        data in vec(any::<u8>(), 1..20_000),
-        write_chunk in 1usize..4096,
-        read_chunk in 1usize..4096,
-    ) {
+/// Socket byte streams survive arbitrary write and read chunking.
+#[test]
+fn socket_stream_is_chunking_invariant() {
+    let mut rng = DetRng::seed_from_u64(0x50C6E7);
+    for case in 0..24 {
+        let data = {
+            let len = rng.range_usize(1, 20_000);
+            rng.bytes(len)
+        };
+        let write_chunk = rng.range_usize(1, 4096);
+        let read_chunk = rng.range_usize(1, 4096);
+
         let (da, db) = LoopbackPair::new(512);
         let a = SocketStack::new(Fm2Engine::new(da, MachineProfile::ppro200_fm2()));
         let b = SocketStack::new(Fm2Engine::new(db, MachineProfile::ppro200_fm2()));
@@ -236,6 +260,6 @@ proptest! {
                 pump(&a, &b);
             }
         }
-        prop_assert_eq!(&out, &data);
+        assert_eq!(out, data, "case {case}");
     }
 }
