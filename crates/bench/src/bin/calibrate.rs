@@ -3,9 +3,11 @@
 //! command (`cargo run -p fm-bench --bin calibrate --release`).
 
 use fm_bench::{
-    fm1_latency, fm1_stream, fm2_latency, fm2_stream, mpi_latency, mpi_stream, stream_count,
+    fm1_latency, fm1_latency_dist, fm1_stream, fm2_latency, fm2_latency_dist, fm2_stream,
+    fm2_stream_dist, latency_table, mpi_latency, mpi_stream, size_bandwidth_table, stream_count,
     Fm1Stage, MpiBinding,
 };
+use fm_core::obs::SizeHistograms;
 use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
 use fm_model::MachineProfile;
 
@@ -91,4 +93,24 @@ fn main() {
         "MPI-FM1 latency              (n/a)      {}",
         mpi_latency(MpiBinding::OverFm1, sparc, 16, 100)
     );
+
+    // Latency distributions: the mean the paper quotes next to the
+    // percentiles the histograms expose.
+    println!();
+    let l1 = fm1_latency_dist(sparc, 16, 100, None);
+    let l2 = fm2_latency_dist(ppro, 16, 100, None);
+    latency_table(&[
+        ("FM1 16B one-way", l1.mean, &l1.one_way_ns),
+        ("FM2 16B one-way", l2.mean, &l2.one_way_ns),
+    ]);
+
+    // Per-message-size delivered bandwidth distribution over the FM 2.x
+    // sweep (one log2 size class per measured size).
+    println!();
+    let mut by_size = SizeHistograms::new();
+    for &s in &sizes {
+        let d = fm2_stream_dist(ppro, s, stream_count(s), None);
+        by_size.merge_class(s as u64, &d.per_message_kbps);
+    }
+    size_bandwidth_table(&by_size);
 }

@@ -6,7 +6,9 @@ use std::rc::Rc;
 
 use fm_core::packet::HandlerId;
 use fm_core::stats::FmStats;
-use fm_core::{Fm1Engine, Fm2Engine, FmPacket, FmStream, Reliability, SimDevice};
+use fm_core::{
+    Fm1Engine, Fm2Engine, FmPacket, FmStream, LogHistogram, ObsSink, Reliability, SimDevice,
+};
 use fm_model::halfpower::BandwidthPoint;
 use fm_model::{Bandwidth, MachineProfile, Nanos};
 use mpi_fm::{Mpi, Mpi1, Mpi2};
@@ -62,6 +64,30 @@ impl StreamResult {
     }
 }
 
+/// A latency measurement with its full per-round distribution: `mean` is
+/// the classic aggregate (total time over `2 * rounds`), `one_way_ns` the
+/// histogram of individual one-way round samples, so tail behaviour
+/// (p99 vs p50) is visible instead of averaged away.
+#[derive(Debug, Clone)]
+pub struct LatencyDist {
+    /// Aggregate one-way latency (identical to the plain latency probes).
+    pub mean: Nanos,
+    /// Per-round one-way latencies, in nanoseconds.
+    pub one_way_ns: LogHistogram,
+}
+
+/// A stream measurement plus the distribution of per-message delivered
+/// bandwidth (KB/s per message, from inter-completion gaps at the
+/// receiver) — the aggregate hides pipeline warm-up and stalls; the
+/// histogram shows them.
+#[derive(Debug, Clone)]
+pub struct StreamDist {
+    /// The aggregate result (identical to the plain stream probes).
+    pub result: StreamResult,
+    /// Per-message bandwidth samples in KB/s.
+    pub per_message_kbps: LogHistogram,
+}
+
 // ---------------------------------------------------------------------
 // Raw FM 1.x
 // ---------------------------------------------------------------------
@@ -74,6 +100,20 @@ pub fn fm1_stream(
     size: usize,
     count: usize,
 ) -> StreamResult {
+    fm1_stream_obs(profile, stage, size, count, None)
+}
+
+/// [`fm1_stream`] with optional observability sinks attached to the
+/// (sender, receiver) engines. Recording never charges virtual time, so
+/// the measured result is identical with or without sinks — the overhead
+/// regression test pins that down.
+pub fn fm1_stream_obs(
+    profile: MachineProfile,
+    stage: Fm1Stage,
+    size: usize,
+    count: usize,
+    obs: Option<(ObsSink, ObsSink)>,
+) -> StreamResult {
     let mut sim = two_node_sim(profile);
 
     // Sender.
@@ -82,6 +122,9 @@ pub fn fm1_stream(
         profile,
         stage,
     );
+    if let Some((s, _)) = &obs {
+        fm_s.attach_obs(s.clone());
+    }
     let data = vec![0xABu8; size];
     let mut sent = 0usize;
     sim.set_program(
@@ -110,6 +153,9 @@ pub fn fm1_stream(
         profile,
         stage,
     );
+    if let Some((_, r)) = &obs {
+        fm_r.attach_obs(r.clone());
+    }
     let got = Rc::new(Cell::new(0usize));
     let done_at = Rc::new(Cell::new(Nanos::ZERO));
     {
@@ -154,10 +200,25 @@ pub fn fm1_stream(
 
 /// One-way latency over FM 1.x: half the average ping-pong round trip.
 pub fn fm1_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos {
+    fm1_latency_dist(profile, size, rounds, None).mean
+}
+
+/// [`fm1_latency`] with the per-round distribution and optional
+/// observability sinks on the (pinger, echoer) engines.
+pub fn fm1_latency_dist(
+    profile: MachineProfile,
+    size: usize,
+    rounds: usize,
+    obs: Option<(ObsSink, ObsSink)>,
+) -> LatencyDist {
     let mut sim = two_node_sim(profile);
+    let hist = Rc::new(RefCell::new(LogHistogram::new()));
 
     // Node 0: sends ping, waits for pong (handler 2 counts pongs).
     let mut fm0 = Fm1Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    if let Some((s, _)) = &obs {
+        fm0.attach_obs(s.clone());
+    }
     let pongs = Rc::new(Cell::new(0usize));
     {
         let pongs = Rc::clone(&pongs);
@@ -170,19 +231,31 @@ pub fn fm1_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
     {
         let pongs = Rc::clone(&pongs);
         let done_at = Rc::clone(&done_at);
+        let hist = Rc::clone(&hist);
         let data = vec![7u8; size];
         let mut sent = 0usize;
+        let mut recorded = 0usize;
+        let mut round_start = 0u64;
         sim.set_program(
             NodeId(0),
             Box::new(move || {
                 fm0.extract();
+                if pongs.get() > recorded {
+                    // The pong for the outstanding ping just arrived:
+                    // record this round's one-way latency.
+                    recorded = pongs.get();
+                    hist.borrow_mut()
+                        .record((fm0.now().as_ns() - round_start) / 2);
+                }
                 if pongs.get() >= rounds {
                     done_at.set(fm0.now());
                     return StepOutcome::Done;
                 }
                 // Send the next ping only after the previous pong.
+                let t0 = fm0.now().as_ns();
                 if sent == pongs.get() && fm0.try_send(1, BENCH_HANDLER, &data).is_ok() {
                     sent += 1;
+                    round_start = t0; // round includes the send itself
                 }
                 StepOutcome::Wait
             }),
@@ -192,6 +265,9 @@ pub fn fm1_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
     // Node 1: handler echoes; the node is done once it has echoed every
     // round and flushed the replies.
     let mut fm1 = Fm1Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    if let Some((_, r)) = &obs {
+        fm1.attach_obs(r.clone());
+    }
     let echoed = Rc::new(Cell::new(0usize));
     {
         let echoed = Rc::clone(&echoed);
@@ -216,7 +292,11 @@ pub fn fm1_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
 
     sim.run(Some(SIM_LIMIT));
     assert!(sim.all_done(), "FM1 ping-pong wedged");
-    done_at.get() / (2 * rounds as u64)
+    let one_way_ns = hist.borrow().clone();
+    LatencyDist {
+        mean: done_at.get() / (2 * rounds as u64),
+        one_way_ns,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -227,9 +307,26 @@ pub fn fm1_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
 /// receiving handler consumes the stream into a scratch buffer (the
 /// minimal realistic receive: one `FM_receive` per message).
 pub fn fm2_stream(profile: MachineProfile, size: usize, count: usize) -> StreamResult {
+    fm2_stream_dist(profile, size, count, None).result
+}
+
+/// [`fm2_stream`] returning the per-message bandwidth distribution as
+/// well, with optional observability sinks on the (sender, receiver)
+/// engines. Histogram recording happens host-side (no virtual-time
+/// charge), so `result` is identical to the plain stream's.
+pub fn fm2_stream_dist(
+    profile: MachineProfile,
+    size: usize,
+    count: usize,
+    obs: Option<(ObsSink, ObsSink)>,
+) -> StreamDist {
     let mut sim = two_node_sim(profile);
+    let per_msg = Rc::new(RefCell::new(LogHistogram::new()));
 
     let fm_s = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    if let Some((s, _)) = &obs {
+        fm_s.attach_obs(s.clone());
+    }
     let data = vec![0xCDu8; size];
     let mut sent = 0usize;
     {
@@ -255,14 +352,32 @@ pub fn fm2_stream(profile: MachineProfile, size: usize, count: usize) -> StreamR
     }
 
     let fm_r = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    if let Some((_, r)) = &obs {
+        fm_r.attach_obs(r.clone());
+    }
     let got = Rc::new(Cell::new(0usize));
     {
         let got = Rc::clone(&got);
+        let per_msg = Rc::clone(&per_msg);
+        let fm_h = fm_r.clone();
+        let last_done = Rc::new(Cell::new(0u64));
         fm_r.set_handler(BENCH_HANDLER, move |stream: FmStream, _src| {
             let got = Rc::clone(&got);
+            let per_msg = Rc::clone(&per_msg);
+            let last_done = Rc::clone(&last_done);
+            let fm = fm_h.clone();
             async move {
                 let msg = stream.receive_vec(stream.msg_len()).await;
                 assert_eq!(msg.len(), size);
+                // Per-message delivered bandwidth from the gap since the
+                // previous completion (the first gap, from t=0, folds the
+                // pipeline ramp into the distribution's tail).
+                let t = fm.now().as_ns();
+                let gap = t - last_done.get();
+                last_done.set(t);
+                if gap > 0 {
+                    per_msg.borrow_mut().record(size as u64 * 1_000_000 / gap);
+                }
                 got.set(got.get() + 1);
             }
         });
@@ -290,11 +405,15 @@ pub fn fm2_stream(profile: MachineProfile, size: usize, count: usize) -> StreamR
 
     sim.run(Some(SIM_LIMIT));
     assert!(sim.all_done(), "FM2 stream wedged: {}/{count}", got.get());
-    StreamResult {
-        bytes: (size * count) as u64,
-        elapsed: done_at.get(),
-        unexpected: 0,
-        recv_copied: copied.get(),
+    let per_message_kbps = per_msg.borrow().clone();
+    StreamDist {
+        result: StreamResult {
+            bytes: (size * count) as u64,
+            elapsed: done_at.get(),
+            unexpected: 0,
+            recv_copied: copied.get(),
+        },
+        per_message_kbps,
     }
 }
 
@@ -412,9 +531,24 @@ pub fn fm2_reliable_stream(
 
 /// One-way latency over FM 2.x.
 pub fn fm2_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos {
+    fm2_latency_dist(profile, size, rounds, None).mean
+}
+
+/// [`fm2_latency`] with the per-round distribution and optional
+/// observability sinks on the (pinger, echoer) engines.
+pub fn fm2_latency_dist(
+    profile: MachineProfile,
+    size: usize,
+    rounds: usize,
+    obs: Option<(ObsSink, ObsSink)>,
+) -> LatencyDist {
     let mut sim = two_node_sim(profile);
+    let hist = Rc::new(RefCell::new(LogHistogram::new()));
 
     let fm0 = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    if let Some((s, _)) = &obs {
+        fm0.attach_obs(s.clone());
+    }
     let pongs = Rc::new(Cell::new(0usize));
     {
         let pongs = Rc::clone(&pongs);
@@ -430,19 +564,29 @@ pub fn fm2_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
     {
         let pongs = Rc::clone(&pongs);
         let done_at = Rc::clone(&done_at);
+        let hist = Rc::clone(&hist);
         let data = vec![7u8; size];
         let mut sent = 0usize;
+        let mut recorded = 0usize;
+        let mut round_start = 0u64;
         let fm0 = fm0.clone();
         sim.set_program(
             NodeId(0),
             Box::new(move || {
                 fm0.extract_all();
+                if pongs.get() > recorded {
+                    recorded = pongs.get();
+                    hist.borrow_mut()
+                        .record((fm0.now().as_ns() - round_start) / 2);
+                }
                 if pongs.get() >= rounds {
                     done_at.set(fm0.now());
                     return StepOutcome::Done;
                 }
+                let t0 = fm0.now().as_ns();
                 if sent == pongs.get() && fm0.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok() {
                     sent += 1;
+                    round_start = t0; // round includes the send itself
                 }
                 StepOutcome::Wait
             }),
@@ -450,6 +594,9 @@ pub fn fm2_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
     }
 
     let fm1 = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    if let Some((_, r)) = &obs {
+        fm1.attach_obs(r.clone());
+    }
     let echoed = Rc::new(Cell::new(0usize));
     {
         let fm_h = fm1.clone();
@@ -480,7 +627,11 @@ pub fn fm2_latency(profile: MachineProfile, size: usize, rounds: usize) -> Nanos
 
     sim.run(Some(SIM_LIMIT));
     assert!(sim.all_done(), "FM2 ping-pong wedged");
-    done_at.get() / (2 * rounds as u64)
+    let one_way_ns = hist.borrow().clone();
+    LatencyDist {
+        mean: done_at.get() / (2 * rounds as u64),
+        one_way_ns,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1123,6 +1274,46 @@ mod tests {
         assert!((8_000..22_000).contains(&l1.as_ns()), "FM1 latency = {l1}");
         let l2 = fm2_latency(MachineProfile::ppro200_fm2(), 16, 50);
         assert!((7_000..16_000).contains(&l2.as_ns()), "FM2 latency = {l2}");
+    }
+
+    #[test]
+    fn latency_distributions_record_every_round_and_match_the_mean() {
+        let profile = MachineProfile::ppro200_fm2();
+        let d = fm2_latency_dist(profile, 16, 50, None);
+        assert_eq!(d.one_way_ns.count(), 50, "one sample per round");
+        assert_eq!(d.mean, fm2_latency(profile, 16, 50), "wrapper is the mean");
+        // The median sits within the histogram's factor-of-two bucket
+        // resolution of the mean, and the tail is ordered.
+        let p50 = d.one_way_ns.p50();
+        assert!(
+            p50 >= d.mean.as_ns() / 2 && p50 <= d.mean.as_ns() * 2,
+            "p50 = {p50}, mean = {}",
+            d.mean
+        );
+        assert!(d.one_way_ns.p99() >= p50);
+
+        let d1 = fm1_latency_dist(MachineProfile::sparc_fm1(), 16, 50, None);
+        assert_eq!(d1.one_way_ns.count(), 50);
+        assert_eq!(d1.mean, fm1_latency(MachineProfile::sparc_fm1(), 16, 50));
+    }
+
+    #[test]
+    fn stream_dist_collects_per_message_bandwidth() {
+        let d = fm2_stream_dist(MachineProfile::ppro200_fm2(), 2048, 200, None);
+        let h = &d.per_message_kbps;
+        assert!(
+            h.count() >= 100,
+            "most messages yield a sample, got {}",
+            h.count()
+        );
+        // The per-message median agrees with the aggregate bandwidth to
+        // within the log-bucket resolution (plus ramp-up skew).
+        let agg_kbps = d.result.bandwidth().as_mbps() * 1000.0;
+        let p50 = h.p50() as f64;
+        assert!(
+            p50 > agg_kbps / 4.0 && p50 < agg_kbps * 4.0,
+            "p50 = {p50} KB/s vs aggregate {agg_kbps} KB/s"
+        );
     }
 
     #[test]

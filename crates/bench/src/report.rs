@@ -5,7 +5,9 @@
 //! to the paper's numbers, so `cargo bench` output doubles as the
 //! EXPERIMENTS.md evidence.
 
+use fm_core::obs::{LogHistogram, SizeHistograms};
 use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
+use fm_model::Nanos;
 
 /// Print a figure banner.
 pub fn banner(fig: &str, caption: &str) {
@@ -60,6 +62,46 @@ pub fn compare(metric: &str, paper: &str, measured: String) {
     println!("  {metric:<38} paper: {paper:<18} measured: {measured}");
 }
 
+/// Print a latency table with mean / p50 / p99 columns, one row per
+/// `(name, mean, per-round one-way histogram)` series. Percentiles carry
+/// the log-bucket resolution of [`LogHistogram`] (a factor of two), which
+/// is enough to tell a tight distribution from a heavy tail.
+pub fn latency_table(rows: &[(&str, Nanos, &LogHistogram)]) {
+    println!(
+        "{:>24} {:>10} {:>10} {:>10} {:>8}",
+        "series", "mean", "p50", "p99", "rounds"
+    );
+    for (name, mean, hist) in rows {
+        println!(
+            "{:>24} {:>8.2}us {:>8.2}us {:>8.2}us {:>8}",
+            name,
+            mean.as_ns() as f64 / 1000.0,
+            hist.p50() as f64 / 1000.0,
+            hist.p99() as f64 / 1000.0,
+            hist.count()
+        );
+    }
+}
+
+/// Print a per-message-size bandwidth distribution table: one row per
+/// size class, with p50/p99 of the per-message delivered bandwidth
+/// (KB/s samples, printed as MB/s).
+pub fn size_bandwidth_table(hists: &SizeHistograms) {
+    println!(
+        "{:>10} {:>8} {:>12} {:>12}",
+        "size", "msgs", "p50(MB/s)", "p99(MB/s)"
+    );
+    for (class, hist) in hists.iter() {
+        println!(
+            "{:>10} {:>8} {:>12.2} {:>12.2}",
+            SizeHistograms::class_label(class),
+            hist.count(),
+            hist.p50() as f64 / 1000.0,
+            hist.p99() as f64 / 1000.0
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +124,14 @@ mod tests {
         efficiency_table(&b, &a);
         curve_summary("one", &a);
         compare("peak", "2 MB/s", "2.0 MB/s".into());
+
+        let mut h = LogHistogram::new();
+        h.record(10_000);
+        h.record(12_000);
+        latency_table(&[("fm2 16B", Nanos(11_000), &h)]);
+        let mut s = SizeHistograms::new();
+        s.record(2048, 70_000);
+        size_bandwidth_table(&s);
     }
 
     #[test]

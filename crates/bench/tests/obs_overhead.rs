@@ -1,0 +1,83 @@
+//! Observability must be free: attaching sinks (enabled or disabled)
+//! never changes a virtual-time measurement. Recording happens outside
+//! the modeled machine — like a logic analyzer on the bus — so every
+//! calibration figure must be bit-identical with tracing on, off, or
+//! absent.
+
+use fm_bench::{
+    fm1_latency, fm1_latency_dist, fm1_stream, fm1_stream_obs, fm2_latency, fm2_latency_dist,
+    fm2_stream, fm2_stream_dist, Fm1Stage, StreamResult,
+};
+use fm_core::ObsSink;
+use fm_model::MachineProfile;
+
+fn sinks() -> (ObsSink, ObsSink) {
+    (ObsSink::new(1 << 20), ObsSink::new(1 << 20))
+}
+
+fn assert_same(a: &StreamResult, b: &StreamResult, what: &str) {
+    assert_eq!(a.bytes, b.bytes, "{what}: bytes");
+    assert_eq!(a.elapsed, b.elapsed, "{what}: elapsed virtual time");
+    assert_eq!(a.unexpected, b.unexpected, "{what}: unexpected count");
+    assert_eq!(a.recv_copied, b.recv_copied, "{what}: bytes_copied");
+}
+
+#[test]
+fn fm2_stream_is_bit_identical_with_tracing_on_off_and_absent() {
+    let p = MachineProfile::ppro200_fm2();
+    let baseline = fm2_stream(p, 2048, 200);
+
+    // Enabled sinks: record everything, change nothing.
+    let enabled = sinks();
+    let traced = fm2_stream_dist(p, 2048, 200, Some(enabled.clone()));
+    assert_same(&baseline, &traced.result, "enabled sinks");
+    assert!(
+        enabled.0.len() + enabled.1.len() > 0,
+        "enabled sinks did record"
+    );
+
+    // Disabled sinks: attached but silent.
+    let disabled = sinks();
+    disabled.0.set_enabled(false);
+    disabled.1.set_enabled(false);
+    let silent = fm2_stream_dist(p, 2048, 200, Some(disabled.clone()));
+    assert_same(&baseline, &silent.result, "disabled sinks");
+    assert!(
+        disabled.0.is_empty() && disabled.1.is_empty(),
+        "disabled sinks recorded nothing"
+    );
+}
+
+#[test]
+fn fm1_stream_is_bit_identical_with_tracing_attached() {
+    let p = MachineProfile::sparc_fm1();
+    let baseline = fm1_stream(p, Fm1Stage::Full, 512, 200);
+    let obs = sinks();
+    let traced = fm1_stream_obs(p, Fm1Stage::Full, 512, 200, Some(obs.clone()));
+    assert_same(&baseline, &traced, "fm1 enabled sinks");
+    assert!(obs.0.len() + obs.1.len() > 0);
+}
+
+#[test]
+fn latencies_are_bit_identical_with_tracing_attached() {
+    let sparc = MachineProfile::sparc_fm1();
+    let ppro = MachineProfile::ppro200_fm2();
+
+    let l1 = fm1_latency(sparc, 16, 50);
+    let l1_traced = fm1_latency_dist(sparc, 16, 50, Some(sinks()));
+    assert_eq!(l1, l1_traced.mean, "fm1 latency with sinks");
+
+    let l2 = fm2_latency(ppro, 16, 50);
+    let l2_traced = fm2_latency_dist(ppro, 16, 50, Some(sinks()));
+    assert_eq!(l2, l2_traced.mean, "fm2 latency with sinks");
+
+    // The per-round histograms agree between traced and untraced runs
+    // too (they are computed host-side from the same virtual clock).
+    let l2_plain = fm2_latency_dist(ppro, 16, 50, None);
+    assert_eq!(
+        l2_plain.one_way_ns.p50(),
+        l2_traced.one_way_ns.p50(),
+        "distribution unchanged by sinks"
+    );
+    assert_eq!(l2_plain.one_way_ns.p99(), l2_traced.one_way_ns.p99());
+}

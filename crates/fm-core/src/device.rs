@@ -50,6 +50,19 @@ pub trait NetDevice {
     fn request_wake(&mut self, at: Nanos) {
         let _ = at;
     }
+    /// Substrate serial of the packet accepted by the most recent
+    /// successful [`NetDevice::try_send`], when the substrate stamps one
+    /// (the simulator does; serials join engine observability events with
+    /// the packet-lifecycle trace). Default: `None` — substrates without
+    /// serials need no code.
+    fn last_sent_serial(&self) -> Option<u64> {
+        None
+    }
+    /// Substrate serial of the packet returned by the most recent
+    /// [`NetDevice::try_recv`], when known. Default: `None`.
+    fn last_recv_serial(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// [`NetDevice`] over the discrete-event simulator.
@@ -102,6 +115,14 @@ impl NetDevice for SimDevice {
 
     fn request_wake(&mut self, at: Nanos) {
         self.iface.request_wake(at);
+    }
+
+    fn last_sent_serial(&self) -> Option<u64> {
+        self.iface.last_sent_serial()
+    }
+
+    fn last_recv_serial(&self) -> Option<u64> {
+        self.iface.last_recv_serial()
     }
 }
 

@@ -51,6 +51,13 @@ pub enum FmError {
         /// Message sequence number with no open stream.
         msg_seq: u32,
     },
+    /// A wire header could not be decoded (truncated buffer, reserved flag
+    /// bits, contradictory flags) or a header's fields do not fit the wire
+    /// encoding. Malformed input is rejected, never panicked on.
+    MalformedHeader {
+        /// What was wrong, in words.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for FmError {
@@ -67,6 +74,9 @@ impl fmt::Display for FmError {
                 f,
                 "packet for unknown message {msg_seq} from node {src} (FIRST packet missing)"
             ),
+            FmError::MalformedHeader { reason } => {
+                write!(f, "malformed packet header: {reason}")
+            }
         }
     }
 }
@@ -95,5 +105,10 @@ mod tests {
             .to_string()
             .contains("message 4"));
         assert!(WouldBlock.to_string().contains("would block"));
+        assert!(FmError::MalformedHeader {
+            reason: "truncated"
+        }
+        .to_string()
+        .contains("truncated"));
     }
 }

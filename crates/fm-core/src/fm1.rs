@@ -36,6 +36,7 @@ use fm_model::{MachineProfile, Nanos};
 use crate::device::NetDevice;
 use crate::error::{FmError, WouldBlock};
 use crate::flow::CreditLedger;
+use crate::obs::{ObsEvent, ObsSink, SpanKind};
 use crate::packet::{FmPacket, HandlerId, PacketFlags, PacketHeader};
 use crate::reliable::{RecvDecision, Reliability, ReliableState};
 use crate::stats::FmStats;
@@ -83,6 +84,7 @@ impl Fm1Stage {
 /// In-progress multi-packet message from one source.
 struct Assembly {
     handler: HandlerId,
+    msg_seq: u32,
     msg_len: u32,
     buf: Vec<u8>,
 }
@@ -113,6 +115,9 @@ pub struct Fm1Engine<D: NetDevice> {
     errors: Vec<FmError>,
     stats: FmStats,
     in_extract: bool,
+    /// Observability sink (`None` by default: recording is opt-in and a
+    /// single branch per site when absent).
+    obs: Option<ObsSink>,
 }
 
 impl<D: NetDevice> Fm1Engine<D> {
@@ -162,6 +167,30 @@ impl<D: NetDevice> Fm1Engine<D> {
             errors: Vec::new(),
             stats: FmStats::default(),
             in_extract: false,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability sink: every send, extract, handler and
+    /// reliability action is recorded into it as an [`ObsEvent`] from now
+    /// on. Recording never charges the device clock, so attaching a sink
+    /// does not perturb virtual-time measurements.
+    pub fn attach_obs(&mut self, sink: ObsSink) {
+        self.obs = Some(sink);
+    }
+
+    /// The attached observability sink, if any.
+    pub fn obs(&self) -> Option<&ObsSink> {
+        self.obs.as_ref()
+    }
+
+    /// Record an event if a sink is attached. The closure receives the
+    /// device clock and this node's id; it only runs when recording, so
+    /// the disabled path is a single `is_some` branch.
+    #[inline]
+    fn obs_emit(&self, make: impl FnOnce(Nanos, u16) -> ObsEvent) {
+        if let Some(obs) = &self.obs {
+            obs.record(make(self.device.now(), self.device.node_id() as u16));
         }
     }
 
@@ -251,21 +280,38 @@ impl<D: NetDevice> Fm1Engine<D> {
 
         if self.device.send_space() < packets as usize {
             self.stats.device_stalls += 1;
+            self.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::DeviceStall)
+                    .peer(dst as u16)
+                    .bytes(data.len() as u32)
+            });
             return Err(WouldBlock);
         }
-        if let Some(rel) = self.reliable.as_ref() {
+        let window_closed = if let Some(rel) = self.reliable.as_ref() {
             // Retransmit mode: the sliding window is the flow control.
-            if !rel.can_send(dst, packets) {
-                self.stats.credit_stalls += 1;
-                return Err(WouldBlock);
-            }
-        } else if self.stage.flow_control() && !self.flow.try_reserve(dst, packets) {
+            !rel.can_send(dst, packets)
+        } else {
+            self.stage.flow_control() && !self.flow.try_reserve(dst, packets)
+        };
+        if window_closed {
             self.stats.credit_stalls += 1;
+            self.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::CreditStall)
+                    .peer(dst as u16)
+                    .bytes(data.len() as u32)
+            });
             return Err(WouldBlock);
         }
 
         let msg_seq = self.send_msg_seq[dst];
         self.send_msg_seq[dst] += 1;
+        self.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::BeginMessage)
+                .peer(dst as u16)
+                .handler(handler.0)
+                .msg_seq(msg_seq)
+                .bytes(data.len() as u32)
+        });
         let total = packets as usize;
         for (i, chunk) in chunks_or_empty(data, mtu).enumerate() {
             let mut flags = PacketFlags::EMPTY;
@@ -300,14 +346,31 @@ impl<D: NetDevice> Fm1Engine<D> {
             if let Some(rel) = self.reliable.as_mut() {
                 rel.on_data_sent(dst, &pkt, now);
             }
+            let (pkt_seq, payload_len) = (pkt.header.pkt_seq, pkt.payload.len() as u32);
             self.charge_packet_send(pkt.wire_bytes());
             self.device
                 .try_send(pkt)
                 .expect("space was checked before reserving");
             self.stats.packets_sent += 1;
+            self.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::PacketSend)
+                    .peer(dst as u16)
+                    .handler(handler.0)
+                    .msg_seq(msg_seq)
+                    .seq(pkt_seq)
+                    .serial_opt(self.device.last_sent_serial())
+                    .bytes(payload_len)
+            });
         }
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
+        self.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::EndMessage)
+                .peer(dst as u16)
+                .handler(handler.0)
+                .msg_seq(msg_seq)
+                .bytes(data.len() as u32)
+        });
         Ok(())
     }
 
@@ -364,17 +427,33 @@ impl<D: NetDevice> Fm1Engine<D> {
             self.charge_packet_send(pkt.wire_bytes());
             self.device.try_send(pkt).expect("space checked");
             self.stats.acks_sent += 1;
+            self.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::AckSend)
+                    .peer(peer as u16)
+                    .seq(ack)
+                    .serial_opt(self.device.last_sent_serial())
+            });
         }
         // Go-back-N: re-send every unacked packet of each timed-out peer.
         let now = self.device.now();
         for peer in rel.due_retransmits(now) {
+            self.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::RetransmitTimeout).peer(peer as u16)
+            });
             for pkt in rel.ring_packets(peer) {
                 if self.device.send_space() == 0 {
                     break; // rest of the ring waits for the next timeout
                 }
+                let pkt_seq = pkt.header.pkt_seq;
                 self.charge_packet_send(pkt.wire_bytes());
                 self.device.try_send(pkt).expect("space checked");
                 self.stats.retransmissions += 1;
+                self.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::Retransmit)
+                        .peer(peer as u16)
+                        .seq(pkt_seq)
+                        .serial_opt(self.device.last_sent_serial())
+                });
             }
             rel.on_timeout_handled(peer, now, &mut self.stats);
         }
@@ -401,6 +480,13 @@ impl<D: NetDevice> Fm1Engine<D> {
     fn send_local(&mut self, handler: HandlerId, data: &[u8]) -> Result<(), WouldBlock> {
         // Self-sends bypass the NIC entirely (no credits, no packets on the
         // wire) and are delivered at the next extract.
+        self.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::BeginMessage)
+                .peer(me)
+                .handler(handler.0)
+                .msg_seq(0)
+                .bytes(data.len() as u32)
+        });
         self.local.push_back(FmPacket {
             header: PacketHeader {
                 src: self.device.node_id() as u16,
@@ -417,6 +503,13 @@ impl<D: NetDevice> Fm1Engine<D> {
         });
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
+        self.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::EndMessage)
+                .peer(me)
+                .handler(handler.0)
+                .msg_seq(0)
+                .bytes(data.len() as u32)
+        });
         Ok(())
     }
 
@@ -464,18 +557,32 @@ impl<D: NetDevice> Fm1Engine<D> {
             "FM_extract may not be called from a handler"
         );
         self.device.charge(Nanos(self.profile.host.extract_poll_ns));
+        self.obs_emit(|t, me| ObsEvent::new(t, me, SpanKind::ExtractPoll));
         let mut handled = 0;
 
         // Self-addressed messages first.
         while let Some(pkt) = self.local.pop_front() {
-            handled +=
-                self.dispatch_complete(pkt.header.src as usize, pkt.header.handler, pkt.payload);
+            handled += self.dispatch_complete(
+                pkt.header.src as usize,
+                pkt.header.handler,
+                pkt.header.msg_seq,
+                pkt.payload,
+            );
         }
 
         while let Some(pkt) = self.device.try_recv() {
             self.device
                 .charge(Nanos(self.profile.host.per_packet_recv_ns));
             let src = pkt.header.src as usize;
+            self.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::PacketRecv)
+                    .peer(src as u16)
+                    .handler(pkt.header.handler.0)
+                    .msg_seq(pkt.header.msg_seq)
+                    .seq(pkt.header.pkt_seq)
+                    .serial_opt(self.device.last_recv_serial())
+                    .bytes(pkt.payload.len() as u32)
+            });
             if self.reliable.is_some() {
                 // Retransmit mode: ack/window bookkeeping replaces the
                 // credit bookkeeping (same charge).
@@ -491,12 +598,25 @@ impl<D: NetDevice> Fm1Engine<D> {
                     // Duplicate-ack fast retransmit: the peer is stuck
                     // waiting for exactly this packet.
                     if self.device.send_space() > 0 {
+                        let head_seq = head.header.pkt_seq;
                         self.charge_packet_send(head.wire_bytes());
                         self.device.try_send(head).expect("space checked");
                         self.stats.retransmissions += 1;
+                        self.obs_emit(|t, me| {
+                            ObsEvent::new(t, me, SpanKind::Retransmit)
+                                .peer(src as u16)
+                                .seq(head_seq)
+                                .serial_opt(self.device.last_sent_serial())
+                        });
                     }
                 }
                 if !pkt.is_data() {
+                    self.obs_emit(|t, me| {
+                        ObsEvent::new(t, me, SpanKind::AckRecv)
+                            .peer(src as u16)
+                            .seq(pkt.header.ack)
+                            .serial_opt(self.device.last_recv_serial())
+                    });
                     continue; // ACK_ONLY carries nothing else
                 }
                 // The in-order filter: duplicates and loss shadows are
@@ -504,6 +624,12 @@ impl<D: NetDevice> Fm1Engine<D> {
                 // repairs them instead.
                 let rel = self.reliable.as_mut().expect("checked above");
                 if rel.accept(src, pkt.header.pkt_seq, &mut self.stats) != RecvDecision::Accept {
+                    self.obs_emit(|t, me| {
+                        ObsEvent::new(t, me, SpanKind::DuplicateDrop)
+                            .peer(src as u16)
+                            .seq(pkt.header.pkt_seq)
+                            .serial_opt(self.device.last_recv_serial())
+                    });
                     continue;
                 }
             } else {
@@ -545,12 +671,18 @@ impl<D: NetDevice> Fm1Engine<D> {
             let last = pkt.header.flags.contains(PacketFlags::LAST);
             if first && last {
                 // Single-packet message: deliver in place, no staging copy.
-                handled += self.dispatch_complete(src, pkt.header.handler, pkt.payload);
+                handled += self.dispatch_complete(
+                    src,
+                    pkt.header.handler,
+                    pkt.header.msg_seq,
+                    pkt.payload,
+                );
                 continue;
             }
             if first {
                 self.assembly[src] = Some(Assembly {
                     handler: pkt.header.handler,
+                    msg_seq: pkt.header.msg_seq,
                     msg_len: pkt.header.msg_len,
                     buf: Vec::with_capacity(pkt.header.msg_len as usize),
                 });
@@ -572,7 +704,7 @@ impl<D: NetDevice> Fm1Engine<D> {
             if last {
                 let asm = self.assembly[src].take().expect("just appended");
                 debug_assert_eq!(asm.buf.len(), asm.msg_len as usize);
-                handled += self.dispatch_complete(src, asm.handler, asm.buf);
+                handled += self.dispatch_complete(src, asm.handler, asm.msg_seq, asm.buf);
             }
         }
 
@@ -581,7 +713,13 @@ impl<D: NetDevice> Fm1Engine<D> {
         handled
     }
 
-    fn dispatch_complete(&mut self, src: usize, handler: HandlerId, data: Vec<u8>) -> usize {
+    fn dispatch_complete(
+        &mut self,
+        src: usize,
+        handler: HandlerId,
+        msg_seq: u32,
+        data: Vec<u8>,
+    ) -> usize {
         self.device
             .charge(Nanos(self.profile.host.handler_dispatch_ns));
         let idx = handler.0 as usize;
@@ -590,6 +728,13 @@ impl<D: NetDevice> Fm1Engine<D> {
             self.report_error(FmError::UnknownHandler { handler: handler.0 });
             return 0;
         };
+        self.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::HandlerStart)
+                .peer(src as u16)
+                .handler(handler.0)
+                .msg_seq(msg_seq)
+                .bytes(data.len() as u32)
+        });
         self.in_extract = true;
         h(self, src, &data);
         self.in_extract = false;
@@ -597,6 +742,13 @@ impl<D: NetDevice> Fm1Engine<D> {
         self.stats.handlers_run += 1;
         self.stats.messages_received += 1;
         self.stats.bytes_received += data.len() as u64;
+        self.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::HandlerEnd)
+                .peer(src as u16)
+                .handler(handler.0)
+                .msg_seq(msg_seq)
+                .bytes(data.len() as u32)
+        });
         1
     }
 }
@@ -984,6 +1136,58 @@ mod tests {
             0,
             "retransmit mode sends no credit packets"
         );
+    }
+
+    #[test]
+    fn obs_records_send_and_receive_lifecycle() {
+        use crate::obs::{ObsSink, SpanKind};
+        let (mut s, mut r) = pair();
+        let _log = recording_handler(&mut r, H);
+        let sink_s = ObsSink::new(1024);
+        let sink_r = ObsSink::new(1024);
+        s.attach_obs(sink_s.clone());
+        r.attach_obs(sink_r.clone());
+        s.try_send(1, H, &vec![5u8; 300]).unwrap(); // 3 packets
+        deliver(&mut s, &mut r);
+        r.extract();
+        let sk: Vec<SpanKind> = sink_s.events().iter().map(|e| e.kind).collect();
+        assert!(sk.contains(&SpanKind::BeginMessage));
+        assert_eq!(sk.iter().filter(|k| **k == SpanKind::PacketSend).count(), 3);
+        assert!(sk.contains(&SpanKind::EndMessage));
+        let rk: Vec<SpanKind> = sink_r.events().iter().map(|e| e.kind).collect();
+        assert!(rk.contains(&SpanKind::ExtractPoll));
+        assert_eq!(rk.iter().filter(|k| **k == SpanKind::PacketRecv).count(), 3);
+        assert!(rk.contains(&SpanKind::HandlerStart));
+        assert!(rk.contains(&SpanKind::HandlerEnd));
+        // Begin precedes every packet send, which precede the end.
+        let begin = sk
+            .iter()
+            .position(|k| *k == SpanKind::BeginMessage)
+            .unwrap();
+        let end = sk.iter().position(|k| *k == SpanKind::EndMessage).unwrap();
+        for (i, k) in sk.iter().enumerate() {
+            if *k == SpanKind::PacketSend {
+                assert!(begin < i && i < end);
+            }
+        }
+    }
+
+    #[test]
+    fn obs_records_stalls_and_is_absent_by_default() {
+        use crate::obs::{ObsSink, SpanKind};
+        let (mut s, r) = pair();
+        assert!(s.obs().is_none() && r.obs().is_none());
+        let sink = ObsSink::new(64);
+        s.attach_obs(sink.clone());
+        let window = profile().fm.credits_per_peer;
+        for i in 0..window {
+            s.try_send(1, H, &[i as u8]).unwrap();
+        }
+        assert_eq!(s.try_send(1, H, &[99]), Err(WouldBlock));
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| e.kind == SpanKind::CreditStall && e.peer == 1));
     }
 
     // --- test-only accessors ---

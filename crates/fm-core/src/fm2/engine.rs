@@ -20,6 +20,7 @@ use fm_model::{MachineProfile, Nanos};
 use crate::device::NetDevice;
 use crate::error::{FmError, WouldBlock};
 use crate::flow::CreditLedger;
+use crate::obs::{ObsEvent, ObsSink, SpanKind};
 use crate::packet::{FmPacket, HandlerId, PacketFlags, PacketHeader};
 use crate::reliable::{RecvDecision, Reliability, ReliableState};
 use crate::stats::FmStats;
@@ -51,6 +52,13 @@ struct Task {
     future: Option<Pin<Box<dyn Future<Output = ()>>>>,
     stream: Rc<RefCell<StreamState>>,
     charge: Rc<RefCell<ChargeCell>>,
+    /// Which handler runs this message (observability).
+    handler: HandlerId,
+    /// Sending node (observability).
+    src: usize,
+    /// Times the future has been polled — poll 0 is the handler start,
+    /// later polls are resumptions after an `FM_receive` suspension.
+    polls: u32,
 }
 
 struct Inner<D: NetDevice> {
@@ -75,6 +83,22 @@ struct Inner<D: NetDevice> {
     errors: Vec<FmError>,
     stats: FmStats,
     in_extract: bool,
+    /// Observability sink (`None` by default: recording is opt-in and a
+    /// single branch per site when absent).
+    obs: Option<ObsSink>,
+}
+
+impl<D: NetDevice> Inner<D> {
+    /// Record an event if a sink is attached. The closure receives the
+    /// device clock and this node's id; it only runs when recording, so
+    /// the disabled path is a single `is_some` branch. Recording never
+    /// charges the device clock.
+    #[inline]
+    fn obs_emit(&self, make: impl FnOnce(Nanos, u16) -> ObsEvent) {
+        if let Some(obs) = &self.obs {
+            obs.record(make(self.device.now(), self.device.node_id() as u16));
+        }
+    }
 }
 
 /// The FM 2.x engine for one node. Clone freely — all clones are the same
@@ -125,8 +149,22 @@ impl<D: NetDevice> Fm2Engine<D> {
                 errors: Vec::new(),
                 stats: FmStats::default(),
                 in_extract: false,
+                obs: None,
             })),
         }
+    }
+
+    /// Attach an observability sink: every send, extract, handler and
+    /// reliability action is recorded into it as an [`ObsEvent`] from now
+    /// on. Recording never charges the device clock, so attaching a sink
+    /// does not perturb virtual-time measurements.
+    pub fn attach_obs(&self, sink: ObsSink) {
+        self.inner.borrow_mut().obs = Some(sink);
+    }
+
+    /// A handle to the attached observability sink, if any.
+    pub fn obs(&self) -> Option<ObsSink> {
+        self.inner.borrow().obs.clone()
     }
 
     /// This node's id.
@@ -223,6 +261,13 @@ impl<D: NetDevice> Fm2Engine<D> {
             inner.send_msg_seq[dst] += 1;
             s
         };
+        inner.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::BeginMessage)
+                .peer(dst as u16)
+                .handler(handler.0)
+                .msg_seq(msg_seq)
+                .bytes(len as u32)
+        });
         SendStream {
             dst,
             handler,
@@ -265,6 +310,13 @@ impl<D: NetDevice> Fm2Engine<D> {
         if ss.local {
             ss.pending.extend_from_slice(data);
             ss.accepted += data.len();
+            self.inner.borrow().obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::SendPiece)
+                    .peer(me)
+                    .handler(ss.handler.0)
+                    .msg_seq(ss.msg_seq)
+                    .bytes(data.len() as u32)
+            });
             return Ok(data.len());
         }
         let mtu = { self.inner.borrow().profile.fm.mtu_payload };
@@ -290,6 +342,13 @@ impl<D: NetDevice> Fm2Engine<D> {
         if offset == 0 && !data.is_empty() {
             return Err(WouldBlock);
         }
+        self.inner.borrow().obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::SendPiece)
+                .peer(ss.dst as u16)
+                .handler(ss.handler.0)
+                .msg_seq(ss.msg_seq)
+                .bytes(offset as u32)
+        });
         Ok(offset)
     }
 
@@ -316,6 +375,13 @@ impl<D: NetDevice> Fm2Engine<D> {
             inner.local.push_back((ss.handler, payload));
             inner.stats.messages_sent += 1;
             inner.stats.bytes_sent += ss.msg_len as u64;
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::EndMessage)
+                    .peer(me)
+                    .handler(ss.handler.0)
+                    .msg_seq(ss.msg_seq)
+                    .bytes(ss.msg_len)
+            });
             ss.ended = true;
             return Ok(());
         }
@@ -325,6 +391,13 @@ impl<D: NetDevice> Fm2Engine<D> {
         let mut inner = self.inner.borrow_mut();
         inner.stats.messages_sent += 1;
         inner.stats.bytes_sent += ss.msg_len as u64;
+        inner.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::EndMessage)
+                .peer(ss.dst as u16)
+                .handler(ss.handler.0)
+                .msg_seq(ss.msg_seq)
+                .bytes(ss.msg_len)
+        });
         ss.ended = true;
         Ok(())
     }
@@ -335,16 +408,26 @@ impl<D: NetDevice> Fm2Engine<D> {
         let mut inner = self.inner.borrow_mut();
         if inner.device.send_space() == 0 {
             inner.stats.device_stalls += 1;
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::DeviceStall)
+                    .peer(ss.dst as u16)
+                    .msg_seq(ss.msg_seq)
+            });
             return false;
         }
-        if let Some(rel) = inner.reliable.as_ref() {
+        let window_closed = if let Some(rel) = inner.reliable.as_ref() {
             // Retransmit mode: the sliding window is the flow control.
-            if !rel.can_send(ss.dst, 1) {
-                inner.stats.credit_stalls += 1;
-                return false;
-            }
-        } else if !inner.flow.try_reserve(ss.dst, 1) {
+            !rel.can_send(ss.dst, 1)
+        } else {
+            !inner.flow.try_reserve(ss.dst, 1)
+        };
+        if window_closed {
             inner.stats.credit_stalls += 1;
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::CreditStall)
+                    .peer(ss.dst as u16)
+                    .msg_seq(ss.msg_seq)
+            });
             return false;
         }
         let mut flags = PacketFlags::EMPTY;
@@ -386,9 +469,19 @@ impl<D: NetDevice> Fm2Engine<D> {
         let cost = Nanos(inner.profile.host.per_packet_send_ns)
             + Nanos(inner.profile.iobus.pio_setup_ns)
             + Nanos(inner.profile.host.flow_control_ns);
+        let payload_len = pkt.payload.len() as u32;
         inner.device.charge(cost);
         inner.device.try_send(pkt).expect("space was checked above");
         inner.stats.packets_sent += 1;
+        inner.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::PacketSend)
+                .peer(ss.dst as u16)
+                .handler(ss.handler.0)
+                .msg_seq(ss.msg_seq)
+                .seq(pkt_seq)
+                .serial_opt(inner.device.last_sent_serial())
+                .bytes(payload_len)
+        });
         ss.first_flushed = true;
         true
     }
@@ -518,18 +611,34 @@ impl<D: NetDevice> Fm2Engine<D> {
             inner.device.charge(packet_cost);
             inner.device.try_send(pkt).expect("space checked");
             inner.stats.acks_sent += 1;
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::AckSend)
+                    .peer(peer as u16)
+                    .seq(ack)
+                    .serial_opt(inner.device.last_sent_serial())
+            });
         }
         // Go-back-N: re-send every unacked packet of each timed-out peer.
         let now = inner.device.now();
         let retrans_cost = packet_cost + Nanos(inner.profile.host.flow_control_ns);
         for peer in rel.due_retransmits(now) {
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::RetransmitTimeout).peer(peer as u16)
+            });
             for pkt in rel.ring_packets(peer) {
                 if inner.device.send_space() == 0 {
                     break; // rest of the ring waits for the next timeout
                 }
+                let pkt_seq = pkt.header.pkt_seq;
                 inner.device.charge(retrans_cost);
                 inner.device.try_send(pkt).expect("space checked");
                 inner.stats.retransmissions += 1;
+                inner.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::Retransmit)
+                        .peer(peer as u16)
+                        .seq(pkt_seq)
+                        .serial_opt(inner.device.last_sent_serial())
+                });
             }
             rel.on_timeout_handled(peer, now, &mut inner.stats);
         }
@@ -591,6 +700,10 @@ impl<D: NetDevice> Fm2Engine<D> {
             );
             let c = Nanos(inner.profile.host.extract_poll_ns);
             inner.device.charge(c);
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::ExtractPoll)
+                    .bytes(budget.min(u32::MAX as usize) as u32)
+            });
         }
         let mut processed = 0usize;
 
@@ -621,16 +734,27 @@ impl<D: NetDevice> Fm2Engine<D> {
                 let mut inner = self.inner.borrow_mut();
                 let fc = Nanos(inner.profile.host.flow_control_ns);
                 inner.device.charge(fc);
+                inner.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::PacketRecv)
+                        .peer(src as u16)
+                        .handler(pkt.header.handler.0)
+                        .msg_seq(pkt.header.msg_seq)
+                        .seq(pkt.header.pkt_seq)
+                        .serial_opt(inner.device.last_recv_serial())
+                        .bytes(pkt.payload.len() as u32)
+                });
                 if inner.reliable.is_some() {
                     // Retransmit mode: ack/window bookkeeping replaces the
                     // credit bookkeeping (same charge).
                     let now = inner.device.now();
                     let i = &mut *inner;
-                    let rel = i.reliable.as_mut().expect("checked above");
-                    let resend = if rel.on_ack(src, pkt.header.ack, now) {
-                        rel.head_packet(src)
-                    } else {
-                        None
+                    let resend = {
+                        let rel = i.reliable.as_mut().expect("checked above");
+                        if rel.on_ack(src, pkt.header.ack, now) {
+                            rel.head_packet(src)
+                        } else {
+                            None
+                        }
                     };
                     if let Some(head) = resend {
                         // Duplicate-ack fast retransmit: the peer is stuck
@@ -639,18 +763,38 @@ impl<D: NetDevice> Fm2Engine<D> {
                             let cost = Nanos(i.profile.host.per_packet_send_ns)
                                 + Nanos(i.profile.iobus.pio_setup_ns)
                                 + Nanos(i.profile.host.flow_control_ns);
+                            let head_seq = head.header.pkt_seq;
                             i.device.charge(cost);
                             i.device.try_send(head).expect("space checked");
                             i.stats.retransmissions += 1;
+                            i.obs_emit(|t, me| {
+                                ObsEvent::new(t, me, SpanKind::Retransmit)
+                                    .peer(src as u16)
+                                    .seq(head_seq)
+                                    .serial_opt(i.device.last_sent_serial())
+                            });
                         }
                     }
                     if !pkt.is_data() {
+                        i.obs_emit(|t, me| {
+                            ObsEvent::new(t, me, SpanKind::AckRecv)
+                                .peer(src as u16)
+                                .seq(pkt.header.ack)
+                                .serial_opt(i.device.last_recv_serial())
+                        });
                         continue; // ACK_ONLY carries nothing else
                     }
                     // The in-order filter: duplicates and loss shadows are
                     // suppressed here, never surfaced as errors —
                     // go-back-N repairs them instead.
+                    let rel = i.reliable.as_mut().expect("checked above");
                     if rel.accept(src, pkt.header.pkt_seq, &mut i.stats) != RecvDecision::Accept {
+                        i.obs_emit(|t, me| {
+                            ObsEvent::new(t, me, SpanKind::DuplicateDrop)
+                                .peer(src as u16)
+                                .seq(pkt.header.pkt_seq)
+                                .serial_opt(i.device.last_recv_serial())
+                        });
                         continue;
                     }
                 } else {
@@ -811,12 +955,23 @@ impl<D: NetDevice> Fm2Engine<D> {
         };
         let mut inner = self.inner.borrow_mut();
         inner.stats.handlers_run += 1;
+        let msg_len = stream.borrow().msg_len;
+        inner.obs_emit(|t, me| {
+            ObsEvent::new(t, me, SpanKind::HandlerStart)
+                .peer(src as u16)
+                .handler(handler.0)
+                .msg_seq(key.1)
+                .bytes(msg_len)
+        });
         inner.tasks.insert(
             key,
             Task {
                 future,
                 stream,
                 charge,
+                handler,
+                src,
+                polls: 0,
             },
         );
     }
@@ -829,9 +984,24 @@ impl<D: NetDevice> Fm2Engine<D> {
             let Some(task) = inner.tasks.get_mut(&key) else {
                 return;
             };
-            task.future.take().map(|f| (f, Rc::clone(&task.charge)))
+            let meta = (task.handler, task.src, task.polls);
+            let fut = task.future.take().map(|f| (f, Rc::clone(&task.charge)));
+            if fut.is_some() {
+                task.polls += 1;
+            }
+            fut.map(|f| (f, meta))
         };
-        if let Some((mut future, charge)) = taken {
+        if let Some(((mut future, charge), (handler, src, polls))) = taken {
+            if polls > 0 {
+                // Poll 0 was already recorded as HandlerStart by spawn_task;
+                // later polls mean new bytes resumed a suspended handler.
+                self.inner.borrow().obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::HandlerResume)
+                        .peer(src as u16)
+                        .handler(handler.0)
+                        .msg_seq(key.1)
+                });
+            }
             let waker = Waker::noop();
             let mut cx = Context::from_waker(waker);
             // The engine is not borrowed here: the handler may call engine
@@ -851,6 +1021,17 @@ impl<D: NetDevice> Fm2Engine<D> {
             inner.in_extract = false;
             inner.device.charge(pending);
             inner.stats.bytes_copied += copied;
+            let kind = if ready {
+                SpanKind::HandlerEnd
+            } else {
+                SpanKind::HandlerSuspend
+            };
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, kind)
+                    .peer(src as u16)
+                    .handler(handler.0)
+                    .msg_seq(key.1)
+            });
             if !ready {
                 if let Some(task) = inner.tasks.get_mut(&key) {
                     task.future = Some(future);
@@ -1494,6 +1675,61 @@ mod edge_tests {
         e.set_handler(H, |stream: FmStream, _| async move {
             stream.skip(stream.msg_len()).await;
         });
+    }
+
+    #[test]
+    fn obs_records_streaming_lifecycle_with_suspension() {
+        use crate::obs::{ObsSink, SpanKind};
+        let (s, r) = pair();
+        assert!(s.obs().is_none(), "no sink by default");
+        let sink_s = ObsSink::new(1024);
+        let sink_r = ObsSink::new(1024);
+        s.attach_obs(sink_s.clone());
+        r.attach_obs(sink_r.clone());
+        let done: Rc<RefCell<bool>> = Rc::default();
+        {
+            let d = Rc::clone(&done);
+            r.set_handler(H, move |stream: FmStream, _| {
+                let d = Rc::clone(&d);
+                async move {
+                    stream.skip(stream.msg_len()).await;
+                    *d.borrow_mut() = true;
+                }
+            });
+        }
+        let mtu = s.profile().fm.mtu_payload;
+        let data = vec![3u8; 2 * mtu + 10]; // 3 packets
+        s.try_send_message(1, H, &[&data]).unwrap();
+        // Deliver one packet at a time so the handler suspends mid-message.
+        while s.with_device(|da| r.with_device(|db| LoopbackPair::deliver_one(da, db))) > 0 {
+            r.extract_all();
+        }
+        assert!(*done.borrow());
+        let sk: Vec<SpanKind> = sink_s.events().iter().map(|e| e.kind).collect();
+        assert!(sk.contains(&SpanKind::BeginMessage));
+        assert!(sk.contains(&SpanKind::SendPiece));
+        assert_eq!(sk.iter().filter(|k| **k == SpanKind::PacketSend).count(), 3);
+        assert!(sk.contains(&SpanKind::EndMessage));
+        let rk: Vec<SpanKind> = sink_r.events().iter().map(|e| e.kind).collect();
+        assert!(rk.contains(&SpanKind::HandlerStart));
+        assert!(rk.contains(&SpanKind::HandlerSuspend), "handler waited");
+        assert!(rk.contains(&SpanKind::HandlerResume), "and was resumed");
+        assert!(rk.contains(&SpanKind::HandlerEnd));
+        // Start → (suspend → resume)* → end, in that order.
+        let start = rk
+            .iter()
+            .position(|k| *k == SpanKind::HandlerStart)
+            .unwrap();
+        let end = rk.iter().rposition(|k| *k == SpanKind::HandlerEnd).unwrap();
+        let suspend = rk
+            .iter()
+            .position(|k| *k == SpanKind::HandlerSuspend)
+            .unwrap();
+        let resume = rk
+            .iter()
+            .position(|k| *k == SpanKind::HandlerResume)
+            .unwrap();
+        assert!(start < suspend && suspend < resume && resume < end);
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod error;
 pub mod flow;
 pub mod fm1;
 pub mod fm2;
+pub mod obs;
 pub mod packet;
 pub mod reliable;
 pub mod stats;
@@ -85,6 +86,7 @@ pub use device::{NetDevice, SimDevice};
 pub use error::{FmError, WouldBlock};
 pub use fm1::Fm1Engine;
 pub use fm2::{Fm2Engine, FmStream};
+pub use obs::{LogHistogram, ObsEvent, ObsSink, SpanKind};
 pub use packet::{FmPacket, HandlerId, PacketHeader, HEADER_WIRE_BYTES};
 pub use reliable::{Reliability, RetransmitConfig};
 pub use stats::FmStats;

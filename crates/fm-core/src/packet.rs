@@ -4,6 +4,16 @@
 //! what the receive path needs to reassemble byte streams, dispatch
 //! handlers, enforce in-order delivery, and return flow-control credits
 //! without extra wire traffic (piggybacking).
+//!
+//! [`PacketHeader::encode`]/[`PacketHeader::decode`] define the concrete
+//! 24-byte wire form of the header ([`HEADER_WIRE_BYTES`]) — the in-memory
+//! struct is wider than the wire, so two fields are narrowed on encode
+//! (handler to 16 bits, credits to 12 bits packed beside the 4 flag bits)
+//! and the codec is fallible in both directions: headers that do not fit
+//! and buffers that do not parse come back as
+//! [`FmError::MalformedHeader`], never a panic.
+
+use crate::error::FmError;
 
 /// Identifies a registered message handler on the receiving node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,6 +101,102 @@ pub struct PacketHeader {
     /// Like `credits`, it rides inside [`HEADER_WIRE_BYTES`] — wire size
     /// and therefore timing are unchanged.
     pub ack: u32,
+}
+
+/// Union of all defined flag bits — anything outside is reserved and
+/// rejected by [`PacketHeader::decode`].
+const FLAGS_MASK: u8 = 0xF;
+/// Widest credit count the 12-bit wire field can carry.
+const MAX_WIRE_CREDITS: u16 = (1 << 12) - 1;
+
+impl PacketHeader {
+    /// Byte offsets within the 24-byte encoding (little-endian fields):
+    /// `src:2 dst:2 handler:2 flags₄·credits₁₂:2 msg_seq:4 pkt_seq:4
+    /// msg_len:4 ack:4`.
+    const ENCODED_LEN: usize = HEADER_WIRE_BYTES as usize;
+
+    /// Encode into the canonical 24-byte wire form.
+    ///
+    /// Fails (rather than truncating) when a field exceeds its wire width:
+    /// handler ids above `u16::MAX` or credit counts above 4095. Both are
+    /// far outside anything the engines produce — the check exists so the
+    /// codec is total, not because the limits bind in practice.
+    pub fn encode(&self) -> Result<[u8; HEADER_WIRE_BYTES as usize], FmError> {
+        if self.handler.0 > u16::MAX as u32 {
+            return Err(FmError::MalformedHeader {
+                reason: "handler id exceeds 16-bit wire field",
+            });
+        }
+        if self.credits > MAX_WIRE_CREDITS {
+            return Err(FmError::MalformedHeader {
+                reason: "credit count exceeds 12-bit wire field",
+            });
+        }
+        if self.flags.0 & !FLAGS_MASK != 0 {
+            return Err(FmError::MalformedHeader {
+                reason: "reserved flag bits set",
+            });
+        }
+        Self::validate_flags(self.flags)?;
+        let mut out = [0u8; Self::ENCODED_LEN];
+        out[0..2].copy_from_slice(&self.src.to_le_bytes());
+        out[2..4].copy_from_slice(&self.dst.to_le_bytes());
+        out[4..6].copy_from_slice(&(self.handler.0 as u16).to_le_bytes());
+        let packed = ((self.flags.0 as u16) << 12) | self.credits;
+        out[6..8].copy_from_slice(&packed.to_le_bytes());
+        out[8..12].copy_from_slice(&self.msg_seq.to_le_bytes());
+        out[12..16].copy_from_slice(&self.pkt_seq.to_le_bytes());
+        out[16..20].copy_from_slice(&self.msg_len.to_le_bytes());
+        out[20..24].copy_from_slice(&self.ack.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Decode a header from the first 24 bytes of `buf`.
+    ///
+    /// Rejects truncated buffers and structurally impossible flag
+    /// combinations (a packet cannot be both credit-only and ack-only, and
+    /// a service packet carries no data-framing flags) as
+    /// [`FmError::MalformedHeader`]. Any accepted buffer re-encodes to the
+    /// same 24 bytes (the encoding is canonical).
+    pub fn decode(buf: &[u8]) -> Result<PacketHeader, FmError> {
+        let Some(b) = buf.get(..Self::ENCODED_LEN) else {
+            return Err(FmError::MalformedHeader {
+                reason: "truncated: fewer than 24 header bytes",
+            });
+        };
+        let le16 = |i: usize| u16::from_le_bytes([b[i], b[i + 1]]);
+        let le32 = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        let packed = le16(6);
+        let flags = PacketFlags((packed >> 12) as u8);
+        Self::validate_flags(flags)?;
+        Ok(PacketHeader {
+            src: le16(0),
+            dst: le16(2),
+            handler: HandlerId(le16(4) as u32),
+            msg_seq: le32(8),
+            pkt_seq: le32(12),
+            msg_len: le32(16),
+            flags,
+            credits: packed & MAX_WIRE_CREDITS,
+            ack: le32(20),
+        })
+    }
+
+    fn validate_flags(flags: PacketFlags) -> Result<(), FmError> {
+        let service =
+            flags.contains(PacketFlags::CREDIT_ONLY) || flags.contains(PacketFlags::ACK_ONLY);
+        if flags.contains(PacketFlags::CREDIT_ONLY) && flags.contains(PacketFlags::ACK_ONLY) {
+            return Err(FmError::MalformedHeader {
+                reason: "packet cannot be both credit-only and ack-only",
+            });
+        }
+        if service && (flags.contains(PacketFlags::FIRST) || flags.contains(PacketFlags::LAST)) {
+            return Err(FmError::MalformedHeader {
+                reason: "service packet carries data-framing flags",
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A full FM packet: header plus payload bytes.
@@ -197,6 +303,59 @@ mod tests {
         assert!(p.header.flags.contains(PacketFlags::CREDIT_ONLY));
         assert!(!p.is_data());
         assert_eq!(p.wire_bytes(), HEADER_WIRE_BYTES);
+    }
+
+    #[test]
+    fn header_roundtrips_through_wire_form() {
+        let h = PacketHeader {
+            src: 3,
+            dst: 917,
+            handler: HandlerId(65_535),
+            msg_seq: 0xDEAD_BEEF,
+            pkt_seq: 7,
+            msg_len: 1 << 20,
+            flags: PacketFlags::FIRST | PacketFlags::LAST,
+            credits: 4095,
+            ack: u32::MAX,
+        };
+        let wire = h.encode().unwrap();
+        assert_eq!(wire.len(), HEADER_WIRE_BYTES as usize);
+        assert_eq!(PacketHeader::decode(&wire).unwrap(), h);
+        // Extra trailing bytes (the payload) do not confuse decode.
+        let mut framed = wire.to_vec();
+        framed.extend_from_slice(b"payload");
+        assert_eq!(PacketHeader::decode(&framed).unwrap(), h);
+    }
+
+    #[test]
+    fn oversized_fields_fail_to_encode() {
+        let mut h = FmPacket::credit_only(0, 1, 5).header;
+        h.handler = HandlerId(1 << 16);
+        assert!(matches!(
+            h.encode(),
+            Err(crate::FmError::MalformedHeader { .. })
+        ));
+        let mut h = FmPacket::credit_only(0, 1, 5).header;
+        h.credits = 4096;
+        assert!(matches!(
+            h.encode(),
+            Err(crate::FmError::MalformedHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_contradictory_headers_are_rejected() {
+        let wire = FmPacket::ack_only(0, 1, 9).header.encode().unwrap();
+        for len in 0..wire.len() {
+            assert!(
+                PacketHeader::decode(&wire[..len]).is_err(),
+                "accepted {len}-byte prefix"
+            );
+        }
+        // credit-only + ack-only is impossible on the wire.
+        let mut bad = wire;
+        bad[7] |= 0xC0; // both service bits in the flags nibble
+        assert!(PacketHeader::decode(&bad).is_err());
     }
 
     #[test]

@@ -56,6 +56,18 @@ const DUP_ACKS_FOR_FAST_RETRANSMIT: u32 = 3;
 /// pathological.
 pub const MIN_RTO_NS: u64 = 1_000;
 
+/// Serial-number comparison in the 32-bit sequence space (RFC 1982
+/// flavour): `a` precedes `b` when the forward wrapping distance from `a`
+/// to `b` is less than half the space. Sequence numbers are *serials*, not
+/// integers — a long-lived connection wraps `u32` and plain `<` would then
+/// declare fresh acks "ancient" and freeze the window forever. The window
+/// (≤ 2³¹ by construction) keeps live sequences well inside the half-space
+/// where this ordering is total.
+#[inline]
+pub(crate) fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < (1 << 31)
+}
+
 /// How an engine guarantees reliable in-order delivery.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub enum Reliability {
@@ -204,7 +216,7 @@ impl ReliableState {
     /// instead of waiting for the timer.
     pub(crate) fn on_ack(&mut self, src: usize, ack: u32, now: Nanos) -> bool {
         let ps = &mut self.send[src];
-        if ack < ps.cum_acked {
+        if seq_lt(ack, ps.cum_acked) {
             return false; // ancient ack, reordered in transit
         }
         if ack == ps.cum_acked {
@@ -224,7 +236,11 @@ impl ReliableState {
             return false;
         }
         ps.cum_acked = ack;
-        while ps.ring.front().is_some_and(|p| p.header.pkt_seq < ack) {
+        while ps
+            .ring
+            .front()
+            .is_some_and(|p| seq_lt(p.header.pkt_seq, ack))
+        {
             ps.ring.pop_front();
         }
         // Ack progress: reset backoff and restart the timer for whatever
@@ -243,10 +259,10 @@ impl ReliableState {
     pub(crate) fn accept(&mut self, src: usize, pkt_seq: u32, stats: &mut FmStats) -> RecvDecision {
         let pr = &mut self.recv[src];
         if pkt_seq == pr.expected {
-            pr.expected += 1;
+            pr.expected = pr.expected.wrapping_add(1);
             pr.owed += 1;
             RecvDecision::Accept
-        } else if pkt_seq < pr.expected {
+        } else if seq_lt(pkt_seq, pr.expected) {
             stats.duplicates_dropped += 1;
             pr.force_ack = true;
             RecvDecision::Duplicate
@@ -342,12 +358,374 @@ impl ReliableState {
     pub(crate) fn unacked_packets(&self) -> usize {
         self.send.iter().map(|ps| ps.ring.len()).sum()
     }
+
+    /// Test-only: a state whose send and receive sequence spaces start at
+    /// `start` instead of 0, so wraparound behaviour can be exercised
+    /// without sending 2³² packets first.
+    #[cfg(test)]
+    pub(crate) fn with_start_seq(num_nodes: usize, cfg: RetransmitConfig, start: u32) -> Self {
+        let mut st = ReliableState::new(num_nodes, cfg);
+        for ps in &mut st.send {
+            ps.cum_acked = start;
+        }
+        for pr in &mut st.recv {
+            pr.expected = start;
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    //! Property battery for the window arithmetic: model-based random
+    //! interleavings of send / deliver / drop / duplicate / reorder /
+    //! ack / timeout events, cross-checked against a reference model —
+    //! including across `u32` sequence wraparound. Deterministic
+    //! ([`DetRng`], seed printed in every assertion); case count follows
+    //! the `PROPTEST_CASES` environment variable (CI raises it to 1024).
+
+    use super::*;
+    use crate::packet::{HandlerId, PacketFlags, PacketHeader};
+    use fm_model::rng::{env_cases, DetRng};
+
+    const WINDOW: u32 = 8;
+
+    fn cfg() -> RetransmitConfig {
+        RetransmitConfig {
+            window: WINDOW,
+            rto_ns: 1_000,
+            max_backoff_exp: 4,
+            ack_every: 1,
+        }
+    }
+
+    fn data_pkt(seq: u32) -> FmPacket {
+        FmPacket {
+            header: PacketHeader {
+                src: 0,
+                dst: 1,
+                handler: HandlerId(1),
+                msg_seq: 0,
+                pkt_seq: seq,
+                msg_len: 4,
+                flags: PacketFlags::FIRST | PacketFlags::LAST,
+                credits: 0,
+                ack: 0,
+            },
+            payload: vec![0; 4],
+        }
+    }
+
+    /// One sender (node 0) streaming to one receiver (node 1) over a
+    /// hostile channel the test controls packet by packet, with a
+    /// reference model (`next_seq` / `model_expected` / `last_ack`)
+    /// checked at every event.
+    struct World {
+        s: ReliableState,
+        r: ReliableState,
+        stats: FmStats,
+        wire: Vec<FmPacket>,
+        acks: Vec<u32>,
+        now: Nanos,
+        next_seq: u32,
+        model_expected: u32,
+        last_ack: u32,
+        case: usize,
+    }
+
+    impl World {
+        fn new(start: u32, case: usize) -> World {
+            World {
+                s: ReliableState::with_start_seq(2, cfg(), start),
+                r: ReliableState::with_start_seq(2, cfg(), start),
+                stats: FmStats::default(),
+                wire: Vec::new(),
+                acks: Vec::new(),
+                now: Nanos(0),
+                next_seq: start,
+                model_expected: start,
+                last_ack: start,
+                case,
+            }
+        }
+
+        fn try_send(&mut self) {
+            if self.s.can_send(1, 1) {
+                let pkt = data_pkt(self.next_seq);
+                self.s.on_data_sent(1, &pkt, self.now);
+                self.wire.push(pkt);
+                self.next_seq = self.next_seq.wrapping_add(1);
+            }
+            assert!(
+                self.s.unacked_packets() <= WINDOW as usize,
+                "case {}: window exceeded",
+                self.case
+            );
+        }
+
+        /// Deliver the `idx`-th in-flight data packet and check the filter
+        /// decision against the model.
+        fn deliver(&mut self, idx: usize) {
+            let pkt = self.wire.remove(idx);
+            let seq = pkt.header.pkt_seq;
+            let decision = self.r.accept(0, seq, &mut self.stats);
+            match decision {
+                RecvDecision::Accept => {
+                    assert_eq!(
+                        seq, self.model_expected,
+                        "case {}: accepted out of order",
+                        self.case
+                    );
+                    self.model_expected = self.model_expected.wrapping_add(1);
+                }
+                RecvDecision::Duplicate => assert!(
+                    seq_lt(seq, self.model_expected),
+                    "case {}: seq {seq} classified Duplicate but not below expected {}",
+                    self.case,
+                    self.model_expected
+                ),
+                RecvDecision::OutOfOrder => assert!(
+                    !seq_lt(seq, self.model_expected) && seq != self.model_expected,
+                    "case {}: seq {seq} classified OutOfOrder at expected {}",
+                    self.case,
+                    self.model_expected
+                ),
+            }
+            self.collect_acks();
+        }
+
+        /// Move acks the receiver owes onto the ack channel, checking
+        /// cumulative-ack monotonicity (in serial order).
+        fn collect_acks(&mut self) {
+            for (peer, ack) in self.r.take_due_acks() {
+                assert_eq!(peer, 0);
+                assert!(
+                    !seq_lt(ack, self.last_ack),
+                    "case {}: cumulative ack went backwards ({} after {})",
+                    self.case,
+                    ack,
+                    self.last_ack
+                );
+                self.last_ack = ack;
+                self.acks.push(ack);
+            }
+        }
+
+        fn deliver_ack(&mut self, idx: usize) {
+            let ack = self.acks.remove(idx);
+            let before = self.s.send[1].cum_acked;
+            let fast = self.s.on_ack(1, ack, self.now);
+            let after = self.s.send[1].cum_acked;
+            assert!(
+                !seq_lt(after, before),
+                "case {}: cum_acked went backwards",
+                self.case
+            );
+            if fast {
+                if let Some(head) = self.s.head_packet(1) {
+                    self.wire.push(head);
+                }
+            }
+        }
+
+        fn fire_timeouts(&mut self) {
+            for peer in self.s.due_retransmits(self.now) {
+                let ring = self.s.ring_packets(peer);
+                self.wire.extend(ring);
+                self.s.on_timeout_handled(peer, self.now, &mut self.stats);
+            }
+        }
+
+        /// Lossless-from-here-on: push everything through until the
+        /// sender has nothing outstanding and the receiver accepted every
+        /// sequence exactly once.
+        fn drain(&mut self) {
+            let mut guard = 0u32;
+            while self.s.unacked_packets() > 0
+                || self.model_expected != self.next_seq
+                || !self.wire.is_empty()
+                || !self.acks.is_empty()
+            {
+                guard += 1;
+                assert!(guard < 100_000, "case {}: failed to drain", self.case);
+                if !self.wire.is_empty() {
+                    self.deliver(0);
+                } else if !self.acks.is_empty() {
+                    self.deliver_ack(0);
+                } else if self.s.unacked_packets() > 0 {
+                    self.now = self
+                        .s
+                        .next_deadline()
+                        .expect("outstanding packets arm the timer")
+                        .max(self.now);
+                    self.fire_timeouts();
+                } else {
+                    self.try_send();
+                }
+            }
+            assert_eq!(self.model_expected, self.next_seq, "case {}", self.case);
+            assert_eq!(
+                self.s.send[1].cum_acked, self.next_seq,
+                "case {}: final cumulative ack",
+                self.case
+            );
+            assert_eq!(self.r.recv[0].expected, self.next_seq, "case {}", self.case);
+        }
+    }
+
+    /// Start points that matter: zero, mid-range, and straddling the u32
+    /// wraparound boundary.
+    fn start_seq(rng: &mut DetRng, case: usize) -> u32 {
+        match case % 3 {
+            0 => 0,
+            1 => u32::MAX - rng.below(2 * WINDOW as u64 + 4) as u32,
+            _ => rng.next_u64() as u32,
+        }
+    }
+
+    #[test]
+    fn prop_window_and_acks_hold_under_arbitrary_interleavings() {
+        for case in 0..env_cases(64) {
+            let mut rng = DetRng::seed_from_u64(0x5E9_0000_u64 ^ case as u64);
+            let mut w = World::new(start_seq(&mut rng, case), case);
+            for _ in 0..rng.range_usize(20, 200) {
+                match rng.below(100) {
+                    // Weighted op mix: mostly send/deliver, some hostility.
+                    0..=34 => w.try_send(),
+                    35..=64 => {
+                        if !w.wire.is_empty() {
+                            let idx = w.rng_index(&mut rng);
+                            w.deliver(idx); // random index = reordering
+                        }
+                    }
+                    65..=74 => {
+                        if !w.wire.is_empty() {
+                            let idx = w.rng_index(&mut rng);
+                            w.wire.remove(idx); // drop
+                        }
+                    }
+                    75..=84 => {
+                        if !w.wire.is_empty() {
+                            let idx = w.rng_index(&mut rng);
+                            let copy = w.wire[idx].clone();
+                            w.wire.push(copy); // duplicate
+                        }
+                    }
+                    85..=94 => {
+                        if !w.acks.is_empty() {
+                            let idx = rng.range_usize(0, w.acks.len());
+                            w.deliver_ack(idx);
+                        }
+                    }
+                    _ => {
+                        w.now = w.now + Nanos(rng.below(2_000));
+                        w.fire_timeouts();
+                    }
+                }
+            }
+            w.drain();
+        }
+    }
+
+    impl World {
+        fn rng_index(&self, rng: &mut DetRng) -> usize {
+            rng.range_usize(0, self.wire.len())
+        }
+    }
+
+    #[test]
+    fn prop_sequence_wraparound_in_order_delivery() {
+        // Lossless in-order channel crossing the u32 boundary: every
+        // packet accepted exactly once, in order, and the cumulative ack
+        // follows across the wrap.
+        for case in 0..env_cases(64) {
+            let mut rng = DetRng::seed_from_u64(0xA11_0000_u64 ^ case as u64);
+            let start = u32::MAX - rng.below(40) as u32;
+            let count = rng.range_usize(50, 120);
+            let mut w = World::new(start, case);
+            for _ in 0..count {
+                w.try_send();
+                if rng.chance(0.7) && !w.wire.is_empty() {
+                    w.deliver(0);
+                }
+                if rng.chance(0.7) && !w.acks.is_empty() {
+                    w.deliver_ack(0);
+                }
+            }
+            w.drain();
+            assert!(
+                seq_lt(u32::MAX - 45, w.next_seq) || w.next_seq < 200,
+                "case {case}: did not cross the boundary (next_seq {})",
+                w.next_seq
+            );
+        }
+    }
+
+    #[test]
+    fn prop_duplicate_and_out_of_window_suppression() {
+        // A channel that re-delivers every packet several times and mixes
+        // in stale acks: each sequence must be accepted exactly once and
+        // everything else suppressed.
+        for case in 0..env_cases(64) {
+            let mut rng = DetRng::seed_from_u64(0xD0B_0000_u64 ^ case as u64);
+            let mut w = World::new(start_seq(&mut rng, case), case);
+            let start = w.model_expected;
+            for _ in 0..rng.range_usize(30, 120) {
+                w.try_send();
+                if !w.wire.is_empty() {
+                    // Deliver the front packet up to 3 times.
+                    for _ in 0..rng.range_usize(1, 4) {
+                        if w.wire.is_empty() {
+                            break;
+                        }
+                        let copy = w.wire[0].clone();
+                        w.deliver(0);
+                        if rng.chance(0.6) {
+                            w.wire.insert(0, copy.clone());
+                        }
+                        if rng.chance(0.3) {
+                            w.wire.push(copy.clone()); // late straggler
+                        }
+                    }
+                }
+                if rng.chance(0.5) && !w.acks.is_empty() {
+                    // Acks may arrive duplicated and reordered too.
+                    let idx = rng.range_usize(0, w.acks.len());
+                    let stale = w.acks[idx];
+                    w.deliver_ack(idx);
+                    if rng.chance(0.4) {
+                        w.acks.push(stale);
+                    }
+                }
+            }
+            w.drain();
+            let sent = w.next_seq.wrapping_sub(start);
+            assert!(
+                w.stats.duplicates_dropped > 0 || sent < 2,
+                "case {case}: hostile channel produced no suppressions"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::packet::{HandlerId, PacketFlags, PacketHeader};
+
+    #[test]
+    fn seq_lt_is_a_serial_order() {
+        assert!(seq_lt(0, 1));
+        assert!(!seq_lt(1, 0));
+        assert!(!seq_lt(5, 5));
+        // Across the wrap: MAX precedes 0, 1, ... (forward distance small).
+        assert!(seq_lt(u32::MAX, 0));
+        assert!(seq_lt(u32::MAX - 3, 2));
+        assert!(!seq_lt(2, u32::MAX - 3));
+        // Half-space boundary.
+        assert!(seq_lt(0, (1 << 31) - 1));
+        assert!(!seq_lt(0, 1 << 31));
+    }
 
     #[test]
     fn sub_microsecond_rto_is_clamped() {

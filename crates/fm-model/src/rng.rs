@@ -73,6 +73,17 @@ impl DetRng {
     }
 }
 
+/// Number of cases a hand-rolled property test should run: the
+/// `PROPTEST_CASES` environment variable when set (CI raises it to shake
+/// out rarer interleavings), otherwise `default`. Shared by every
+/// property-test battery in the workspace so one knob controls them all.
+pub fn env_cases(default: usize) -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

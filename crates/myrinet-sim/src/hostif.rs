@@ -17,7 +17,7 @@
 //! the NIC at `t + c`). This models a serial host CPU without needing an
 //! instruction-level simulation.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -71,6 +71,16 @@ pub(crate) struct HostIfInner<P> {
     /// step.
     pub(crate) wake_request: Option<Nanos>,
     pub(crate) stats: NodeStats,
+    /// Packet serial counter shared by every interface of one simulation;
+    /// a serial is stamped onto each packet as it enters the send queue, so
+    /// upper layers can correlate their own records with the simulator's
+    /// packet-lifecycle trace.
+    pub(crate) serials: Rc<Cell<u64>>,
+    /// Serial stamped by the most recent successful [`HostInterface::try_send`].
+    pub(crate) last_sent_serial: Option<u64>,
+    /// Serial of the packet returned by the most recent
+    /// [`HostInterface::try_recv`].
+    pub(crate) last_recv_serial: Option<u64>,
 }
 
 /// Shared host-side handle to one simulated node. Cheap to clone.
@@ -87,7 +97,12 @@ impl<P> Clone for HostInterface<P> {
 }
 
 impl<P> HostInterface<P> {
-    pub(crate) fn new(node: NodeId, num_nodes: usize, send_capacity: usize) -> Self {
+    pub(crate) fn new(
+        node: NodeId,
+        num_nodes: usize,
+        send_capacity: usize,
+        serials: Rc<Cell<u64>>,
+    ) -> Self {
         HostInterface {
             inner: Rc::new(RefCell::new(HostIfInner {
                 node,
@@ -102,6 +117,9 @@ impl<P> HostInterface<P> {
                 activity: false,
                 wake_request: None,
                 stats: NodeStats::default(),
+                serials,
+                last_sent_serial: None,
+                last_recv_serial: None,
             })),
         }
     }
@@ -135,17 +153,37 @@ impl<P> HostInterface<P> {
     /// The caller is expected to have already charged the host-side cost of
     /// producing the packet (API overhead + PIO) — the interface itself adds
     /// nothing.
-    pub fn try_send(&self, pkt: SimPacket<P>) -> Result<(), SendQueueFull> {
+    pub fn try_send(&self, mut pkt: SimPacket<P>) -> Result<(), SendQueueFull> {
         let mut b = self.inner.borrow_mut();
         if b.send_queue.len() >= b.send_capacity {
             return Err(SendQueueFull);
         }
+        // Stamp the simulation-wide packet serial here — at the moment the
+        // host hands the packet over — so the sender can read it back
+        // ([`HostInterface::last_sent_serial`]) and correlate its own
+        // records with the lifecycle trace.
+        pkt.serial = b.serials.get();
+        b.serials.set(pkt.serial + 1);
+        b.last_sent_serial = Some(pkt.serial);
         let ready = b.wake_time + b.charged;
         b.stats.packets_sent += 1;
         b.stats.wire_bytes_sent += pkt.wire_bytes as u64;
         b.send_queue.push_back((ready, pkt));
         b.new_send_ready.push(ready);
         Ok(())
+    }
+
+    /// Serial stamped on the packet accepted by the most recent successful
+    /// [`HostInterface::try_send`], if any. Serials are unique across the
+    /// whole simulation and match [`crate::trace::TraceEvent::serial`].
+    pub fn last_sent_serial(&self) -> Option<u64> {
+        self.inner.borrow().last_sent_serial
+    }
+
+    /// Serial of the packet returned by the most recent
+    /// [`HostInterface::try_recv`], if any.
+    pub fn last_recv_serial(&self) -> Option<u64> {
+        self.inner.borrow().last_recv_serial
     }
 
     /// Free slots in the NIC send queue.
@@ -158,6 +196,7 @@ impl<P> HostInterface<P> {
     pub fn try_recv(&self) -> Option<SimPacket<P>> {
         let mut b = self.inner.borrow_mut();
         let pkt = b.recv_queue.pop_front()?;
+        b.last_recv_serial = Some(pkt.serial);
         b.drained += 1;
         b.stats.packets_received += 1;
         b.stats.wire_bytes_received += pkt.wire_bytes as u64;
@@ -190,7 +229,7 @@ mod tests {
     use super::*;
 
     fn iface() -> HostInterface<u32> {
-        HostInterface::new(NodeId(0), 2, 2)
+        HostInterface::new(NodeId(0), 2, 2, Rc::new(Cell::new(0)))
     }
 
     #[test]
@@ -236,6 +275,32 @@ mod tests {
         assert_eq!(h.inner.borrow().drained, 1);
         assert_eq!(h.try_recv(), None);
         assert_eq!(h.stats().packets_received, 1);
+    }
+
+    #[test]
+    fn serials_stamped_at_send_and_shared() {
+        let counter = Rc::new(Cell::new(0));
+        let a: HostInterface<u32> = HostInterface::new(NodeId(0), 2, 4, Rc::clone(&counter));
+        let b: HostInterface<u32> = HostInterface::new(NodeId(1), 2, 4, Rc::clone(&counter));
+        assert_eq!(a.last_sent_serial(), None);
+        a.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 1))
+            .unwrap();
+        assert_eq!(a.last_sent_serial(), Some(0));
+        b.try_send(SimPacket::new(NodeId(1), NodeId(0), 10, 2))
+            .unwrap();
+        assert_eq!(b.last_sent_serial(), Some(1), "counter is simulation-wide");
+        a.try_send(SimPacket::new(NodeId(0), NodeId(1), 10, 3))
+            .unwrap();
+        assert_eq!(a.last_sent_serial(), Some(2));
+        assert_eq!(a.inner.borrow().send_queue[0].1.serial, 0);
+        assert_eq!(a.inner.borrow().send_queue[1].1.serial, 2);
+
+        let mut pkt = SimPacket::new(NodeId(1), NodeId(0), 10, 9);
+        pkt.serial = 42;
+        a.inner.borrow_mut().recv_queue.push_back(pkt);
+        assert_eq!(a.last_recv_serial(), None);
+        a.try_recv().unwrap();
+        assert_eq!(a.last_recv_serial(), Some(42));
     }
 
     #[test]

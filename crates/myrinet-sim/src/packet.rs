@@ -16,7 +16,11 @@ pub struct SimPacket<P> {
     /// True when fault injection corrupted the packet in flight; the
     /// receiving NIC's CRC check will catch it (see [`crate::fault`]).
     pub corrupted: bool,
-    /// Simulation-assigned serial (set at NIC injection; 0 before).
+    /// Simulation-assigned serial, unique across the whole fabric (stamped
+    /// when the host pushes the packet into the NIC send queue; 0 before).
+    /// Duplicated packets share the original's serial. Matches
+    /// [`crate::trace::TraceEvent::serial`] and is readable by the sender
+    /// via `HostInterface::last_sent_serial`.
     pub serial: u64,
     /// The protocol payload.
     pub payload: P,

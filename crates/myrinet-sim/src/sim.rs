@@ -110,7 +110,6 @@ pub struct Simulation<P> {
     started: bool,
     done_count: usize,
     trace: Option<Trace>,
-    next_serial: u64,
 }
 
 /// Extra in-fabric delay applied to reordered packets: long enough that
@@ -133,14 +132,18 @@ impl<P: Clone> Simulation<P> {
             started: false,
             done_count: 0,
             trace: None,
-            next_serial: 0,
         };
+        // One serial counter for the whole fabric: packets are stamped as
+        // hosts push them (see `HostInterface::try_send`), so trace serials
+        // are globally unique and visible to the sending layer.
+        let serials = std::rc::Rc::new(std::cell::Cell::new(0u64));
         for i in 0..sim.topo.nodes() {
             sim.nodes.push(NodeSlot {
                 iface: HostInterface::new(
                     NodeId(i),
                     sim.topo.nodes(),
                     profile.nic.send_queue_packets,
+                    std::rc::Rc::clone(&serials),
                 ),
                 program: None,
                 nic: Nic::new(profile.nic.recv_queue_packets),
@@ -405,8 +408,6 @@ impl<P: Clone> Simulation<P> {
         };
         let injected = t + Nanos(self.profile.nic.send_packet_ns);
         self.nodes[n.0].nic.send_free_at = injected;
-        pkt.serial = self.next_serial;
-        self.next_serial += 1;
         let action = self.fault.next_action();
         if action == FaultAction::Corrupt {
             pkt.corrupted = true;

@@ -16,9 +16,10 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
+use fast_messages::fm::obs::chrome::chrome_trace_json;
 use fast_messages::fm::packet::HandlerId;
 use fast_messages::fm::{
-    Fm2Engine, FmPacket, FmStats, FmStream, Reliability, RetransmitConfig, SimDevice,
+    Fm2Engine, FmPacket, FmStats, FmStream, ObsSink, Reliability, RetransmitConfig, SimDevice,
 };
 use fast_messages::model::{MachineProfile, Nanos};
 use fast_messages::sim::fault::FaultModel;
@@ -115,8 +116,12 @@ fn main() {
     sim.set_fault_model(FaultModel::EveryNth(23));
     sim.enable_trace(50_000);
 
-    // Sender: 200 single-packet messages.
+    // Sender: 200 single-packet messages. Both engines feed observability
+    // sinks so the whole act can be replayed as a Perfetto timeline.
+    let obs_s = ObsSink::new(16_384);
+    let obs_r = ObsSink::new(16_384);
     let fm_s = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    fm_s.attach_obs(obs_s.clone());
     {
         let fm_s = fm_s.clone();
         let mut sent = 0usize;
@@ -152,6 +157,7 @@ fn main() {
     // Receiver: counts messages and collects FM's guarantee-violation
     // reports.
     let fm_r = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    fm_r.attach_obs(obs_r.clone());
     let got = Rc::new(Cell::new(0usize));
     let errors = Rc::new(Cell::new(0usize));
     {
@@ -226,6 +232,22 @@ fn main() {
     let wire_time = first[1].t - first[0].t;
     let dma_time = first[2].t - first[1].t;
     println!("  wire+switch: {wire_time}, NIC+DMA: {dma_time}");
+
+    // Export the whole act as a chrome://tracing timeline: engine events
+    // from both nodes' sinks plus the simulator's wire-level trace, joined
+    // by packet serial. Load the file at https://ui.perfetto.dev.
+    let mut engine_events = obs_s.take_events();
+    engine_events.extend(obs_r.take_events());
+    let json = chrome_trace_json(&engine_events, trace.events());
+    let out_path = std::env::temp_dir().join("fm_fault_injection_trace.json");
+    std::fs::write(&out_path, &json).expect("write trace file");
+    println!(
+        "\nchrome trace    : {} ({} engine events, {} wire events, {} bytes)",
+        out_path.display(),
+        engine_events.len(),
+        trace.events().len(),
+        json.len()
+    );
 
     // Act 2 — the same stream over a silently-dropping wire, with and
     // without the retransmission sublayer. TrustSubstrate (the paper's

@@ -1,0 +1,154 @@
+//! Chrome-trace export smoke test: replicate the `fault_injection`
+//! example's traced act through the library, export the timeline, and
+//! validate the JSON with the bundled parser — at least one event per
+//! lifecycle stage, and duration spans for the matched pairs.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use fast_messages::fm::obs::chrome::chrome_trace_json;
+use fast_messages::fm::obs::json::{parse, JsonValue};
+use fast_messages::fm::packet::HandlerId;
+use fast_messages::fm::{Fm2Engine, FmPacket, FmStream, ObsSink, SimDevice};
+use fast_messages::model::{MachineProfile, Nanos};
+use fast_messages::sim::{NodeId, Simulation, StepOutcome, Topology};
+
+const H: HandlerId = HandlerId(1);
+const MSGS: usize = 20;
+const SIZE: usize = 4000; // multi-packet: handlers suspend and resume
+
+#[test]
+fn exported_timeline_parses_and_covers_every_lifecycle_stage() {
+    let profile = MachineProfile::ppro200_fm2();
+    let mut sim: Simulation<FmPacket> = Simulation::new(profile, Topology::single_crossbar(2));
+    sim.enable_trace(50_000);
+
+    let obs_s = ObsSink::new(50_000);
+    let obs_r = ObsSink::new(50_000);
+
+    let fm_s = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    fm_s.attach_obs(obs_s.clone());
+    {
+        let fm_s = fm_s.clone();
+        let data = vec![0x5Au8; SIZE];
+        let mut sent = 0usize;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || loop {
+                if sent == MSGS {
+                    return StepOutcome::Done;
+                }
+                if fm_s.try_send_message(1, H, &[&data]).is_ok() {
+                    sent += 1;
+                    continue;
+                }
+                fm_s.extract_all();
+                if fm_s.try_send_message(1, H, &[&data]).is_ok() {
+                    sent += 1;
+                    continue;
+                }
+                return StepOutcome::Wait;
+            }),
+        );
+    }
+
+    let fm_r = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    fm_r.attach_obs(obs_r.clone());
+    let got = Rc::new(Cell::new(0usize));
+    {
+        let got = Rc::clone(&got);
+        fm_r.set_handler(H, move |stream: FmStream, _| {
+            let got = Rc::clone(&got);
+            async move {
+                let m = stream.receive_vec(stream.msg_len()).await;
+                assert_eq!(m.len(), SIZE);
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    {
+        let got = Rc::clone(&got);
+        let fm_r = fm_r.clone();
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm_r.extract_all();
+                if got.get() >= MSGS {
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(Nanos::from_ms(200)));
+    assert!(sim.all_done(), "smoke run wedged");
+
+    let mut engine = obs_s.take_events();
+    engine.extend(obs_r.take_events());
+    let wire = sim.trace().expect("tracing enabled").events();
+    let json = chrome_trace_json(&engine, wire);
+
+    let doc = parse(&json).expect("export is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let names_of = |ph: &str| -> Vec<&str> {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some(ph))
+            .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+            .collect()
+    };
+
+    // At least one instant event per lifecycle stage, engine and wire.
+    let instants = names_of("i");
+    for stage in [
+        "begin_message",
+        "send_piece",
+        "end_message",
+        "packet_send",
+        "extract_poll",
+        "packet_recv",
+        "handler_start",
+        "handler_suspend",
+        "handler_resume",
+        "handler_end",
+        "inject",
+        "tail_arrive",
+        "delivered",
+    ] {
+        assert!(
+            instants.iter().filter(|n| **n == stage).count() >= 1,
+            "no '{stage}' instant in the export"
+        );
+    }
+
+    // Matched pairs became duration spans — one per message on each side.
+    let durations = names_of("X");
+    assert_eq!(
+        durations.iter().filter(|n| **n == "message").count(),
+        MSGS,
+        "one 'message' span per sent message"
+    );
+    assert_eq!(
+        durations.iter().filter(|n| **n == "handler").count(),
+        MSGS,
+        "one 'handler' span per delivered message"
+    );
+
+    // Process metadata names both nodes' engine and wire tracks.
+    assert_eq!(names_of("M").len(), 4, "2 nodes x (engine, wire) threads");
+
+    // Spans carry non-negative durations and timestamps.
+    for e in events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+    {
+        assert!(e.get("ts").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+        assert!(e.get("dur").and_then(JsonValue::as_f64).unwrap() >= 0.0);
+    }
+}
