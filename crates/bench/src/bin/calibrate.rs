@@ -1,11 +1,23 @@
 //! Calibration probe: prints every headline metric next to the paper's
 //! number. Used while tuning the machine profiles; kept as a quick sanity
 //! command (`cargo run -p fm-bench --bin calibrate --release`).
+//!
+//! Flags:
+//!
+//! * `--transport sim|udp|all` — which substrate to measure. `sim`
+//!   (default) runs the virtual-time probes against the modeled 1998
+//!   hardware; `udp` runs the same measurement shapes as wall-clock
+//!   probes over the real loopback UDP transport (two processes' worth
+//!   of stack on this machine); `all` runs both.
+//! * `--json <path>` — additionally write machine-readable results
+//!   (headline + p50/p99 per size class). With one transport the file
+//!   goes exactly to `<path>`; with `--transport all`, one file per
+//!   transport is written as `BENCH_<transport>.json` next to `<path>`.
 
 use fm_bench::{
     fm1_latency, fm1_latency_dist, fm1_stream, fm2_latency, fm2_latency_dist, fm2_stream,
     fm2_stream_dist, latency_table, mpi_latency, mpi_stream, size_bandwidth_table, stream_count,
-    Fm1Stage, MpiBinding,
+    udp_latency_dist, udp_stream_dist, BenchReport, Fm1Stage, MpiBinding,
 };
 use fm_core::obs::SizeHistograms;
 use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
@@ -15,7 +27,58 @@ fn sweep(f: impl Fn(usize) -> BandwidthPoint, sizes: &[usize]) -> Vec<BandwidthP
     sizes.iter().map(|&s| f(s)).collect()
 }
 
+fn usage() -> ! {
+    eprintln!("usage: calibrate [--transport sim|udp|all] [--json <path>]");
+    std::process::exit(2)
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut transport = "sim".to_string();
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--transport" => transport = it.next().unwrap_or_else(|| usage()).clone(),
+            "--json" => json = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+    let both = transport == "all";
+    if !both && transport != "sim" && transport != "udp" {
+        usage();
+    }
+
+    let mut reports = Vec::new();
+    if both || transport == "sim" {
+        reports.push(calibrate_sim());
+    }
+    if both || transport == "udp" {
+        reports.push(calibrate_udp());
+    }
+
+    if let Some(path) = json {
+        for r in &reports {
+            let target = if both {
+                // One file per transport, next to the requested path.
+                let dir = std::path::Path::new(&path)
+                    .parent()
+                    .filter(|p| !p.as_os_str().is_empty())
+                    .map(|p| p.to_path_buf())
+                    .unwrap_or_else(|| std::path::PathBuf::from("."));
+                dir.join(format!("BENCH_{}.json", r.transport))
+            } else {
+                std::path::PathBuf::from(&path)
+            };
+            std::fs::write(&target, r.to_json()).expect("write JSON report");
+            println!("wrote {}", target.display());
+        }
+    }
+}
+
+/// Virtual-time calibration on the simulated Myrinet cluster, with every
+/// headline printed next to the paper's number.
+fn calibrate_sim() -> BenchReport {
     let sizes: Vec<usize> = (4..=11).map(|p| 1usize << p).collect(); // 16..2048
     let sparc = MachineProfile::sparc_fm1();
     let ppro = MachineProfile::ppro200_fm2();
@@ -108,9 +171,70 @@ fn main() {
     // sweep (one log2 size class per measured size).
     println!();
     let mut by_size = SizeHistograms::new();
+    let mut size_classes = Vec::new();
     for &s in &sizes {
         let d = fm2_stream_dist(ppro, s, stream_count(s), None);
         by_size.merge_class(s as u64, &d.per_message_kbps);
+        size_classes.push((s, d.result.bandwidth().as_mbps(), d.per_message_kbps));
     }
     size_bandwidth_table(&by_size);
+
+    BenchReport {
+        transport: "sim".into(),
+        headline: vec![
+            ("fm1_peak_bandwidth_mbps".into(), peak(&fm1).as_mbps()),
+            ("fm2_peak_bandwidth_mbps".into(), peak(&fm2).as_mbps()),
+            ("mpi1_peak_bandwidth_mbps".into(), peak(&mpi1).as_mbps()),
+            ("mpi2_peak_bandwidth_mbps".into(), peak(&mpi2).as_mbps()),
+            ("fm1_latency_16b_one_way_ns".into(), l1.mean.as_ns() as f64),
+            ("fm2_latency_16b_one_way_ns".into(), l2.mean.as_ns() as f64),
+        ],
+        latency: vec![
+            ("fm1_16B_one_way".into(), l1.mean, l1.one_way_ns),
+            ("fm2_16B_one_way".into(), l2.mean, l2.one_way_ns),
+        ],
+        size_classes,
+    }
+}
+
+/// Wall-clock calibration over the real loopback UDP transport: the same
+/// measurement shapes, run on this machine's kernel instead of the
+/// modeled NIC. No paper column — the paper never had this hardware.
+fn calibrate_udp() -> BenchReport {
+    let sizes: Vec<usize> = (4..=11).map(|p| 1usize << p).collect();
+    println!();
+    println!("--- UDP loopback (wall clock, this machine, FM2 + Retransmit) ---");
+
+    let mut size_classes = Vec::new();
+    let mut by_size = SizeHistograms::new();
+    let mut pts = Vec::new();
+    for &s in &sizes {
+        let d = udp_stream_dist(s, stream_count(s), 0.0);
+        by_size.merge_class(s as u64, &d.per_message_kbps);
+        pts.push(d.result.point(s));
+        size_classes.push((s, d.result.bandwidth().as_mbps(), d.per_message_kbps));
+    }
+    println!("{:>8} {:>12}", "size", "UDP-FM2");
+    for (s, p) in sizes.iter().zip(&pts) {
+        println!("{:>8} {:>9.2} MB/s", s, p.bandwidth.as_mbps());
+    }
+
+    let lat = udp_latency_dist(16, 1_000, 0.0);
+    println!();
+    latency_table(&[("UDP-FM2 16B one-way", lat.mean, &lat.one_way_ns)]);
+    println!();
+    size_bandwidth_table(&by_size);
+
+    BenchReport {
+        transport: "udp".into(),
+        headline: vec![
+            ("udp_fm2_peak_bandwidth_mbps".into(), peak(&pts).as_mbps()),
+            (
+                "udp_fm2_latency_16b_one_way_ns".into(),
+                lat.mean.as_ns() as f64,
+            ),
+        ],
+        latency: vec![("udp_fm2_16B_one_way".into(), lat.mean, lat.one_way_ns)],
+        size_classes,
+    }
 }

@@ -375,8 +375,8 @@ pub fn fm2_stream_dist(
                 let t = fm.now().as_ns();
                 let gap = t - last_done.get();
                 last_done.set(t);
-                if gap > 0 {
-                    per_msg.borrow_mut().record(size as u64 * 1_000_000 / gap);
+                if let Some(kbps) = (size as u64 * 1_000_000).checked_div(gap) {
+                    per_msg.borrow_mut().record(kbps);
                 }
                 got.set(got.get() + 1);
             }

@@ -102,6 +102,78 @@ pub fn size_bandwidth_table(hists: &SizeHistograms) {
     }
 }
 
+/// Machine-readable calibration results for one transport — what
+/// `calibrate --json` writes to `BENCH_<transport>.json`. Rendered by
+/// hand (the workspace takes no serialization dependency) and kept flat
+/// enough that a shell script can grep it.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// Which substrate the numbers come from (`"sim"` or `"udp"`).
+    pub transport: String,
+    /// Headline scalars, e.g. `("fm2_peak_bandwidth_mbps", 77.1)`.
+    pub headline: Vec<(String, f64)>,
+    /// Latency rows: name, mean, and the per-round one-way histogram.
+    pub latency: Vec<(String, Nanos, LogHistogram)>,
+    /// Per-size rows: message size, aggregate delivered bandwidth, and
+    /// the per-message bandwidth histogram (KB/s samples).
+    pub size_classes: Vec<(usize, f64, LogHistogram)>,
+}
+
+impl BenchReport {
+    /// Render as a JSON document. Numbers are emitted finite (a NaN or
+    /// infinity would poison the whole file for strict parsers); any
+    /// non-finite value is reported as `null`.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"transport\": \"{}\",\n", self.transport));
+        s.push_str("  \"headline\": {");
+        for (i, (k, v)) in self.headline.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{k}\": {}", num(*v)));
+        }
+        s.push_str("\n  },\n  \"latency\": [");
+        for (i, (name, mean, hist)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"name\": \"{name}\", \"mean_ns\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"rounds\": {}}}",
+                mean.as_ns(),
+                hist.p50(),
+                hist.p99(),
+                hist.count()
+            ));
+        }
+        s.push_str("\n  ],\n  \"size_classes\": [");
+        for (i, (size, mbps, hist)) in self.size_classes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"size_bytes\": {size}, \"bandwidth_mbps\": {}, \
+                 \"per_message_kbps_p50\": {}, \"per_message_kbps_p99\": {}, \
+                 \"messages\": {}}}",
+                num(*mbps),
+                hist.p50(),
+                hist.p99(),
+                hist.count()
+            ));
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +212,41 @@ mod tests {
         let sizes = [16usize];
         let a = [pt(32, 1.0)];
         bandwidth_table(&sizes, &[("bad", &a)]);
+    }
+
+    #[test]
+    fn bench_report_renders_valid_json() {
+        use fm_core::obs::json::parse;
+        let mut h = LogHistogram::new();
+        h.record(10_000);
+        h.record(50_000);
+        let report = BenchReport {
+            transport: "udp".into(),
+            headline: vec![
+                ("peak_bandwidth_mbps".into(), 93.5),
+                ("broken_metric".into(), f64::NAN),
+            ],
+            latency: vec![("fm2 16B one-way".into(), Nanos(18_000), h.clone())],
+            size_classes: vec![(1024, 88.25, h)],
+        };
+        let doc = parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("transport").unwrap().as_str(), Some("udp"));
+        let headline = doc.get("headline").unwrap();
+        assert_eq!(
+            headline.get("peak_bandwidth_mbps").unwrap().as_f64(),
+            Some(93.5)
+        );
+        // Non-finite values must degrade to null, not break the file.
+        assert_eq!(
+            headline.get("broken_metric"),
+            Some(&fm_core::obs::json::JsonValue::Null)
+        );
+        let sizes = doc.get("size_classes").unwrap().as_arr().unwrap();
+        assert_eq!(sizes.len(), 1);
+        assert_eq!(sizes[0].get("size_bytes").unwrap().as_f64(), Some(1024.0));
+        assert!(sizes[0].get("bandwidth_mbps").unwrap().as_f64().unwrap() > 0.0);
+        let lat = doc.get("latency").unwrap().as_arr().unwrap();
+        assert_eq!(lat[0].get("mean_ns").unwrap().as_f64(), Some(18_000.0));
+        assert!(lat[0].get("p99_ns").unwrap().as_f64().unwrap() > 0.0);
     }
 }

@@ -50,6 +50,15 @@ pub trait NetDevice {
     fn request_wake(&mut self, at: Nanos) {
         let _ = at;
     }
+    /// True when this substrate can genuinely drop, duplicate, or reorder
+    /// packets (real datagram networks; `fm-udp`). The engine constructors
+    /// refuse to run [`crate::Reliability::TrustSubstrate`] over a lossy
+    /// device — FM's reliability guarantee would be a lie there. Default:
+    /// `false` (the simulator without injected faults, bounded in-process
+    /// channels, and loopback queues never lose anything).
+    fn is_lossy(&self) -> bool {
+        false
+    }
     /// Substrate serial of the packet accepted by the most recent
     /// successful [`NetDevice::try_send`], when the substrate stamps one
     /// (the simulator does; serials join engine observability events with

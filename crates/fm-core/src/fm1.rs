@@ -151,6 +151,12 @@ impl<D: NetDevice> Fm1Engine<D> {
             Reliability::TrustSubstrate => None,
             Reliability::Retransmit(cfg) => Some(ReliableState::new(n, cfg)),
         };
+        assert!(
+            reliable.is_some() || !device.is_lossy(),
+            "this device really drops/reorders packets; construct the engine \
+             with Reliability::Retransmit (TrustSubstrate would break FM's \
+             delivery guarantee)"
+        );
         Fm1Engine {
             device,
             profile,

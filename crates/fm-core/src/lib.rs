@@ -72,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocking;
 pub mod device;
 pub mod error;
 pub mod flow;
@@ -87,6 +88,8 @@ pub use error::{FmError, WouldBlock};
 pub use fm1::Fm1Engine;
 pub use fm2::{Fm2Engine, FmStream};
 pub use obs::{LogHistogram, ObsEvent, ObsSink, SpanKind};
-pub use packet::{FmPacket, HandlerId, PacketHeader, HEADER_WIRE_BYTES};
+pub use packet::{
+    FmPacket, HandlerId, PacketHeader, HEADER_WIRE_BYTES, MAX_FRAME_PAYLOAD, MAX_WIRE_FRAME,
+};
 pub use reliable::{Reliability, RetransmitConfig};
 pub use stats::FmStats;

@@ -23,6 +23,21 @@ pub struct HandlerId(pub u32);
 /// (FM's real header was ~4 words; routing bytes and CRC add the rest.)
 pub const HEADER_WIRE_BYTES: u32 = 24;
 
+/// Hard ceiling on one encoded FM wire packet (header + payload), shared
+/// by the codec and every real transport that frames packets into
+/// datagrams. Sized so a `fm-udp` transport frame (16-byte preamble +
+/// packet) fits in the widest UDP payload an IPv4 datagram can carry
+/// (65,535 − 20 IP − 8 UDP = 65,507 bytes): anything larger cannot cross
+/// a real socket in one datagram, so [`FmPacket::encode_wire`] *rejects*
+/// it instead of letting the socket layer silently truncate. Engines
+/// never get close (their MTUs are 128–1024 bytes); the constant exists
+/// to make the boundary explicit and testable.
+pub const MAX_WIRE_FRAME: usize = 65_507 - 16;
+
+/// Widest payload a single wire packet may carry under
+/// [`MAX_WIRE_FRAME`].
+pub const MAX_FRAME_PAYLOAD: usize = MAX_WIRE_FRAME - HEADER_WIRE_BYTES as usize;
+
 /// Tiny local stand-in for the `bitflags` crate (not on the approved
 /// dependency list) — just the operations the engine needs.
 macro_rules! bitflags_lite {
@@ -252,6 +267,42 @@ impl FmPacket {
         }
     }
 
+    /// Encode the full packet (header + payload) into its canonical wire
+    /// frame, the form real transports put on a socket.
+    ///
+    /// Fails — like [`PacketHeader::encode`], rather than truncating —
+    /// when the packet would exceed [`MAX_WIRE_FRAME`] and therefore
+    /// could not cross a UDP socket in one datagram.
+    pub fn encode_wire(&self) -> Result<Vec<u8>, FmError> {
+        if self.payload.len() > MAX_FRAME_PAYLOAD {
+            return Err(FmError::MalformedHeader {
+                reason: "packet exceeds MAX_WIRE_FRAME",
+            });
+        }
+        let mut out = Vec::with_capacity(HEADER_WIRE_BYTES as usize + self.payload.len());
+        out.extend_from_slice(&self.header.encode()?);
+        out.extend_from_slice(&self.payload);
+        Ok(out)
+    }
+
+    /// Decode a full packet from a wire frame produced by
+    /// [`FmPacket::encode_wire`]: the first 24 bytes are the header,
+    /// everything after is the payload. Rejects frames longer than
+    /// [`MAX_WIRE_FRAME`] (they cannot have come from `encode_wire`) and
+    /// anything the header codec rejects.
+    pub fn decode_wire(buf: &[u8]) -> Result<FmPacket, FmError> {
+        if buf.len() > MAX_WIRE_FRAME {
+            return Err(FmError::MalformedHeader {
+                reason: "frame exceeds MAX_WIRE_FRAME",
+            });
+        }
+        let header = PacketHeader::decode(buf)?;
+        Ok(FmPacket {
+            header,
+            payload: buf[HEADER_WIRE_BYTES as usize..].to_vec(),
+        })
+    }
+
     /// True if this packet carries message data (i.e. participates in the
     /// data packet sequence).
     pub fn is_data(&self) -> bool {
@@ -356,6 +407,48 @@ mod tests {
         let mut bad = wire;
         bad[7] |= 0xC0; // both service bits in the flags nibble
         assert!(PacketHeader::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn wire_frame_roundtrips_and_rejects_oversize() {
+        let p = FmPacket {
+            header: PacketHeader {
+                src: 1,
+                dst: 2,
+                handler: HandlerId(9),
+                msg_seq: 3,
+                pkt_seq: 4,
+                msg_len: 5,
+                flags: PacketFlags::FIRST,
+                credits: 0,
+                ack: 0,
+            },
+            payload: b"frame me".to_vec(),
+        };
+        let wire = p.encode_wire().unwrap();
+        assert_eq!(wire.len(), p.wire_bytes() as usize);
+        assert_eq!(FmPacket::decode_wire(&wire).unwrap(), p);
+
+        // Exactly at the boundary: fine.
+        let mut max = p.clone();
+        max.payload = vec![0xAA; MAX_FRAME_PAYLOAD];
+        let wire = max.encode_wire().unwrap();
+        assert_eq!(wire.len(), MAX_WIRE_FRAME);
+        assert_eq!(FmPacket::decode_wire(&wire).unwrap(), max);
+
+        // One byte over: rejected, never truncated.
+        let mut over = p.clone();
+        over.payload = vec![0xAA; MAX_FRAME_PAYLOAD + 1];
+        assert!(matches!(
+            over.encode_wire(),
+            Err(crate::FmError::MalformedHeader { .. })
+        ));
+        let mut long = wire;
+        long.push(0);
+        assert!(matches!(
+            FmPacket::decode_wire(&long),
+            Err(crate::FmError::MalformedHeader { .. })
+        ));
     }
 
     #[test]

@@ -618,7 +618,7 @@ mod prop_tests {
                         }
                     }
                     _ => {
-                        w.now = w.now + Nanos(rng.below(2_000));
+                        w.now += Nanos(rng.below(2_000));
                         w.fire_timeouts();
                     }
                 }

@@ -7,7 +7,10 @@
 //! Case count follows `PROPTEST_CASES` (see `fm_model::rng::env_cases`).
 
 use fm_core::error::FmError;
-use fm_core::packet::{HandlerId, PacketFlags, PacketHeader, HEADER_WIRE_BYTES};
+use fm_core::packet::{
+    FmPacket, HandlerId, PacketFlags, PacketHeader, HEADER_WIRE_BYTES, MAX_FRAME_PAYLOAD,
+    MAX_WIRE_FRAME,
+};
 use fm_model::rng::{env_cases, DetRng};
 
 /// Every flag combination the validator accepts.
@@ -146,6 +149,65 @@ fn contradictory_flag_combinations_are_rejected() {
             ),
             "flags {bad:?} must not decode"
         );
+    }
+}
+
+#[test]
+fn prop_wire_frames_roundtrip_and_oversize_is_an_error_not_a_truncation() {
+    // The full-packet codec shares one size ceiling (MAX_WIRE_FRAME) with
+    // every real transport. The property: any payload length up to the
+    // ceiling round-trips byte-exactly; anything past it is *refused* on
+    // both paths — an oversize packet never encodes into a frame, and an
+    // oversize frame never decodes into a packet. Silent truncation on
+    // either side would surface as corrupt message reassembly far away.
+    let cases = env_cases(256);
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0xF8A3_0000 ^ case as u64);
+        let flags = legal_flag_sets()[rng.range_usize(0, legal_flag_sets().len())];
+        let header = PacketHeader {
+            src: rng.next_u64() as u16,
+            dst: rng.next_u64() as u16,
+            handler: HandlerId(rng.below(u16::MAX as u64 + 1) as u32),
+            msg_seq: rng.next_u64() as u32,
+            pkt_seq: rng.next_u64() as u32,
+            msg_len: rng.next_u64() as u32,
+            flags,
+            credits: rng.below(1 << 12) as u16,
+            ack: rng.next_u64() as u32,
+        };
+        // Bias toward the interesting region: mostly small, sometimes
+        // within a few bytes of the ceiling on either side.
+        let len = match rng.range_usize(0, 4) {
+            0..=1 => rng.range_usize(0, 4 * 1024),
+            2 => rng.range_usize(MAX_FRAME_PAYLOAD - 3, MAX_FRAME_PAYLOAD + 1),
+            _ => rng.range_usize(MAX_FRAME_PAYLOAD + 1, MAX_FRAME_PAYLOAD + 512),
+        };
+        let pkt = FmPacket {
+            header,
+            payload: rng.bytes(len),
+        };
+        if len <= MAX_FRAME_PAYLOAD {
+            let wire = pkt.encode_wire().expect("legal frame encodes");
+            assert!(wire.len() <= MAX_WIRE_FRAME);
+            assert_eq!(wire.len(), HEADER_WIRE_BYTES as usize + len);
+            let back = FmPacket::decode_wire(&wire).expect("own encoding decodes");
+            assert_eq!(back, pkt, "case {case}: frame round-trip must be lossless");
+        } else {
+            assert!(
+                matches!(pkt.encode_wire(), Err(FmError::MalformedHeader { .. })),
+                "case {case}: payload {len} over the ceiling must refuse to encode"
+            );
+            // And a frame of that size arriving anyway is rejected whole.
+            let mut wire = pkt.header.encode().expect("header alone is legal").to_vec();
+            wire.extend_from_slice(&pkt.payload);
+            assert!(
+                matches!(
+                    FmPacket::decode_wire(&wire),
+                    Err(FmError::MalformedHeader { .. })
+                ),
+                "case {case}: oversize frame must refuse to decode"
+            );
+        }
     }
 }
 

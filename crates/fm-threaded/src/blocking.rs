@@ -1,86 +1,19 @@
 //! Blocking convenience wrappers over the non-blocking engine API.
 //!
-//! The engines are non-blocking by design (the simulator needs `try_*` +
-//! yield). On real threads, blocking is just spin-with-progress: retry the
-//! operation, draining the network in between so flow-control credits keep
-//! circulating (this mirrors what the real FM library did inside
-//! `FM_send` — poll the NIC while waiting for credits, or risk deadlock).
+//! The implementation moved to [`fm_core::blocking`] so that every real
+//! transport (this crate's OS threads, `fm-udp` processes) shares one
+//! spin-with-progress layer; this module re-exports it under its
+//! historical path. The threaded-cluster tests stay here — they are what
+//! pins the semantics against a real multi-threaded transport.
 
-use fm_core::device::NetDevice;
-use fm_core::packet::HandlerId;
-use fm_core::{Fm1Engine, Fm2Engine, WouldBlock};
-
-/// Upper bound on fruitless spins before declaring the cluster wedged —
-/// generous, but turns a genuine deadlock into a diagnosis instead of a
-/// hang.
-const SPIN_LIMIT: u64 = 500_000_000;
-
-fn spin_or_die(spins: &mut u64, what: &str) {
-    *spins += 1;
-    assert!(
-        *spins < SPIN_LIMIT,
-        "blocking {what} spun {SPIN_LIMIT} times without progress — peer gone?"
-    );
-    std::thread::yield_now();
-}
-
-/// Blocking `FM_send` on FM 1.x: retries until credits and queue space
-/// admit the whole message.
-pub fn fm1_send<D: NetDevice>(fm: &mut Fm1Engine<D>, dst: usize, handler: HandlerId, data: &[u8]) {
-    let mut spins = 0;
-    loop {
-        match fm.try_send(dst, handler, data) {
-            Ok(()) => return,
-            Err(WouldBlock) => {
-                // Drain incoming traffic: that is what returns credits.
-                fm.extract();
-                spin_or_die(&mut spins, "FM_send");
-            }
-        }
-    }
-}
-
-/// Blocking gather-send on FM 2.x.
-pub fn fm2_send<D: NetDevice>(fm: &Fm2Engine<D>, dst: usize, handler: HandlerId, pieces: &[&[u8]]) {
-    let mut spins = 0;
-    loop {
-        match fm.try_send_message(dst, handler, pieces) {
-            Ok(()) => return,
-            Err(WouldBlock) => {
-                fm.extract_all();
-                spin_or_die(&mut spins, "FM_send_piece");
-            }
-        }
-    }
-}
-
-/// Extract (unbounded) until `done()` turns true; yields between polls.
-pub fn fm2_wait_until<D: NetDevice>(fm: &Fm2Engine<D>, mut done: impl FnMut() -> bool) {
-    let mut spins = 0;
-    while !done() {
-        if fm.extract_all() == 0 {
-            fm.progress();
-            spin_or_die(&mut spins, "FM_extract wait");
-        }
-    }
-}
-
-/// FM 1.x flavour of [`fm2_wait_until`].
-pub fn fm1_wait_until<D: NetDevice>(fm: &mut Fm1Engine<D>, mut done: impl FnMut() -> bool) {
-    let mut spins = 0;
-    while !done() {
-        if fm.extract() == 0 {
-            fm.progress();
-            spin_or_die(&mut spins, "FM_extract wait");
-        }
-    }
-}
+pub use fm_core::blocking::{fm1_send, fm1_wait_until, fm2_send, fm2_wait_until};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cluster::ThreadedCluster;
-    use fm_core::FmStream;
+    use fm_core::packet::HandlerId;
+    use fm_core::{Fm1Engine, Fm2Engine, FmStream};
     use fm_model::MachineProfile;
     use std::cell::RefCell;
     use std::rc::Rc;

@@ -47,7 +47,7 @@ impl NetDevice for LossyDevice {
     }
     fn try_send(&mut self, pkt: FmPacket) -> Result<(), DeviceFull> {
         self.sent += 1;
-        if self.sent % self.drop_every == 0 {
+        if self.sent.is_multiple_of(self.drop_every) {
             // Swallow the packet: the engine believes it was sent.
             return Ok(());
         }

@@ -1,0 +1,423 @@
+//! `fm-udp-cluster`: run an FM workload across real OS processes over UDP.
+//!
+//! Two subcommands:
+//!
+//! * `spawn --nodes N [...]` — fork `N` copies of this binary as `node`
+//!   children on loopback. Each child binds an ephemeral port and prints
+//!   `ADDR <addr>`; the parent collects all addresses and writes one
+//!   `PEERS a0 a1 ...` line to every child's stdin. No port is ever
+//!   chosen before the kernel grants it, so spawns cannot race.
+//! * `node --node-id I --peers a0,a1,... [...]` — join an existing
+//!   cluster directly (e.g. two terminals on two machines; every node
+//!   must pass the same `--peers` order and `--epoch`). Without
+//!   `--peers` the child runs the stdin handshake above.
+//!
+//! The workload is ping-pong for 2 nodes (node 0 drives `--rounds`
+//! round trips; node 1 echoes) and a ring for more (every node sends
+//! `--rounds` messages to its successor and validates the stream from
+//! its predecessor). Either way the engine is `Fm2Engine` constructed
+//! with `Reliability::Retransmit` — mandatory over UDP — so the run
+//! completes with zero message loss at the FM API even under
+//! `--drop`-injected datagram loss; the `STATS` lines show the
+//! retransmission machinery paying for it.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use fm_core::blocking::{fm2_send, fm2_wait_until};
+use fm_core::obs::chrome::chrome_trace_json;
+use fm_core::packet::HandlerId;
+use fm_core::{Fm2Engine, ObsSink, Reliability, RetransmitConfig};
+use fm_model::MachineProfile;
+use fm_udp::{UdpConfig, UdpDevice};
+
+const PING: HandlerId = HandlerId(1);
+const PONG: HandlerId = HandlerId(2);
+
+#[derive(Debug, Clone)]
+struct Opts {
+    nodes: usize,
+    node_id: usize,
+    rounds: u32,
+    msg_size: usize,
+    drop: f64,
+    seed: u64,
+    epoch: u64,
+    bind: String,
+    peers: Option<Vec<SocketAddr>>,
+    trace: Option<String>,
+    join_timeout_s: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            nodes: 2,
+            node_id: 0,
+            rounds: 1_000,
+            msg_size: 256,
+            drop: 0.0,
+            seed: 0x5EED,
+            epoch: 0,
+            bind: "127.0.0.1:0".to_string(),
+            peers: None,
+            trace: None,
+            join_timeout_s: 10,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         fm-udp-cluster spawn --nodes N [--rounds R] [--msg-size B] [--drop P] \
+         [--seed S] [--trace DIR]\n  \
+         fm-udp-cluster node --node-id I --nodes N [--peers a0,a1,...] \
+         [--bind ADDR] [--epoch E] [--rounds R] [--msg-size B] [--drop P] \
+         [--seed S] [--trace DIR]\n\n\
+         spawn forks N `node` children on loopback and wires them up; `node` \
+         with --peers joins a manually-assembled cluster (all nodes must agree \
+         on the peer order and --epoch)."
+    );
+    std::process::exit(2)
+}
+
+fn parse(args: &[String]) -> (String, Opts) {
+    let Some(cmd) = args.first() else { usage() };
+    let mut o = Opts::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage()).clone();
+        match flag.as_str() {
+            "--nodes" => o.nodes = val().parse().unwrap_or_else(|_| usage()),
+            "--node-id" => o.node_id = val().parse().unwrap_or_else(|_| usage()),
+            "--rounds" => o.rounds = val().parse().unwrap_or_else(|_| usage()),
+            "--msg-size" => o.msg_size = val().parse().unwrap_or_else(|_| usage()),
+            "--drop" => o.drop = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--epoch" => o.epoch = val().parse().unwrap_or_else(|_| usage()),
+            "--bind" => o.bind = val(),
+            "--join-timeout" => o.join_timeout_s = val().parse().unwrap_or_else(|_| usage()),
+            "--trace" => o.trace = Some(val()),
+            "--peers" => {
+                o.peers = Some(
+                    val()
+                        .split(',')
+                        .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                        .collect(),
+                )
+            }
+            _ => usage(),
+        }
+    }
+    if o.msg_size < 4 {
+        o.msg_size = 4; // room for the round counter
+    }
+    (cmd.clone(), o)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = parse(&args);
+    match cmd.as_str() {
+        "spawn" => spawn_cluster(&opts),
+        "node" => run_node(&opts),
+        _ => usage(),
+    }
+}
+
+/// Fork `--nodes` children of this same binary, collect their `ADDR`
+/// lines, hand every child the full peer map, then relay their output
+/// and propagate failure.
+fn spawn_cluster(opts: &Opts) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_nanos() as u64;
+    let mut children = Vec::new();
+    for i in 0..opts.nodes {
+        let mut c = Command::new(&exe);
+        c.arg("node")
+            .args(["--node-id", &i.to_string()])
+            .args(["--nodes", &opts.nodes.to_string()])
+            .args(["--rounds", &opts.rounds.to_string()])
+            .args(["--msg-size", &opts.msg_size.to_string()])
+            .args(["--drop", &opts.drop.to_string()])
+            .args(["--seed", &opts.seed.to_string()])
+            .args(["--epoch", &epoch.to_string()])
+            .args(["--join-timeout", &opts.join_timeout_s.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        if let Some(dir) = &opts.trace {
+            c.args(["--trace", dir]);
+        }
+        children.push(c.spawn().expect("spawn node child"));
+    }
+
+    // Phase 1: each child prints exactly one ADDR line first.
+    let mut readers: Vec<_> = children
+        .iter_mut()
+        .map(|c| BufReader::new(c.stdout.take().expect("piped stdout")))
+        .collect();
+    let mut addrs = Vec::with_capacity(opts.nodes);
+    for (i, r) in readers.iter_mut().enumerate() {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("read child ADDR line");
+        let addr = line
+            .trim()
+            .strip_prefix("ADDR ")
+            .unwrap_or_else(|| panic!("node {i}: expected 'ADDR <addr>', got {line:?}"));
+        addrs.push(addr.to_string());
+    }
+
+    // Phase 2: everyone gets the same positional peer map on stdin.
+    let peers_line = format!("PEERS {}\n", addrs.join(" "));
+    for c in &mut children {
+        c.stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(peers_line.as_bytes())
+            .expect("write peer map to child");
+    }
+
+    // Relay child output live (one pump thread per child), then reap.
+    let pumps: Vec<_> = readers
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            std::thread::spawn(move || {
+                for line in r.lines() {
+                    let line = line.unwrap_or_default();
+                    println!("[node {i}] {line}");
+                }
+            })
+        })
+        .collect();
+    for p in pumps {
+        p.join().expect("output pump");
+    }
+    let mut failed = false;
+    for (i, mut c) in children.into_iter().enumerate() {
+        let status = c.wait().expect("wait on child");
+        if !status.success() {
+            eprintln!("node {i} exited with {status}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK nodes={} rounds={}", opts.nodes, opts.rounds);
+}
+
+/// Run one node: resolve the peer map (from `--peers` or the stdin
+/// handshake), join the barrier, run the workload, linger until the
+/// reliability sublayer has drained, print `STATS`.
+fn run_node(opts: &Opts) {
+    let (device, _held) = match &opts.peers {
+        Some(peers) => {
+            let d = UdpDevice::bind(opts.node_id, peers.clone(), udp_cfg(opts))
+                .expect("bind node socket");
+            (d, None)
+        }
+        None => {
+            // stdin handshake: bind ephemeral, announce, wait for the map.
+            let socket = std::net::UdpSocket::bind(&opts.bind).expect("bind node socket");
+            let me = socket.local_addr().expect("local addr");
+            println!("ADDR {me}");
+            // Line-buffered stdout would sit on this forever:
+            std::io::stdout().flush().expect("flush ADDR");
+            let mut line = String::new();
+            std::io::stdin()
+                .read_line(&mut line)
+                .expect("read PEERS line");
+            let peers: Vec<SocketAddr> = line
+                .trim()
+                .strip_prefix("PEERS ")
+                .expect("expected 'PEERS a0 a1 ...' on stdin")
+                .split_whitespace()
+                .map(|a| a.parse().expect("peer socket address"))
+                .collect();
+            assert_eq!(peers.len(), opts.nodes, "peer map size vs --nodes");
+            assert_eq!(peers[opts.node_id], me, "own slot in the peer map");
+            let d = UdpDevice::from_socket(socket, opts.node_id, peers, udp_cfg(opts))
+                .expect("wrap node socket");
+            (d, Some(()))
+        }
+    };
+
+    let mut device = device;
+    device
+        .join(Duration::from_secs(opts.join_timeout_s))
+        .expect("join barrier");
+
+    let fm = Fm2Engine::with_reliability(
+        device,
+        MachineProfile::ppro200_fm2(),
+        Reliability::Retransmit(RetransmitConfig::default()),
+    );
+    let sink = opts.trace.as_ref().map(|_| {
+        let s = ObsSink::new(1 << 16);
+        fm.attach_obs(s.clone());
+        s
+    });
+
+    let started = Instant::now();
+    if opts.nodes == 2 {
+        ping_pong(&fm, opts);
+    } else {
+        ring(&fm, opts);
+    }
+    let elapsed = started.elapsed();
+
+    linger(&fm);
+
+    let st = fm.stats();
+    let udp = fm.with_device(|d| d.stats());
+    let errors = fm.take_errors();
+    println!(
+        "STATS node={} rounds={} elapsed_ms={:.1} rtt_us={:.2} \
+         retransmits={} timeouts={} acks={} dups={} \
+         frames_sent={} frames_recv={} drops_injected={} errors={}",
+        opts.node_id,
+        opts.rounds,
+        elapsed.as_secs_f64() * 1e3,
+        if opts.nodes == 2 && opts.node_id == 0 {
+            elapsed.as_secs_f64() * 1e6 / opts.rounds.max(1) as f64
+        } else {
+            f64::NAN
+        },
+        st.retransmissions,
+        st.retransmit_timeouts,
+        st.acks_sent,
+        st.duplicates_dropped,
+        udp.frames_sent,
+        udp.frames_received,
+        udp.drops_injected,
+        errors.len(),
+    );
+    if let Some(sink) = sink {
+        let dir = opts.trace.as_deref().unwrap();
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let path = format!("{dir}/trace-node{}.json", opts.node_id);
+        std::fs::write(&path, chrome_trace_json(&sink.events(), &[])).expect("write trace");
+        println!("TRACE {path}");
+    }
+    assert!(errors.is_empty(), "engine reported errors: {errors:?}");
+}
+
+fn udp_cfg(opts: &Opts) -> UdpConfig {
+    UdpConfig {
+        epoch: opts.epoch,
+        drop_outbound: opts.drop,
+        drop_seed: opts.seed,
+        ..UdpConfig::default()
+    }
+}
+
+/// Node 0 drives `rounds` round trips; node 1 echoes each ping back.
+/// Payload carries the round number; both sides validate it, so loss or
+/// reordering at the FM API would be caught, not silently absorbed.
+fn ping_pong<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let body = vec![0xABu8; opts.msg_size - 4];
+    if opts.node_id == 0 {
+        let got: Rc<RefCell<u32>> = Rc::default();
+        let g = Rc::clone(&got);
+        fm.set_handler(PONG, move |stream, _src| {
+            let g = Rc::clone(&g);
+            async move {
+                let mut hdr = [0u8; 4];
+                stream.receive(&mut hdr).await;
+                stream.skip(stream.remaining()).await;
+                let round = u32::from_le_bytes(hdr);
+                let mut got = g.borrow_mut();
+                assert_eq!(round, *got, "pong out of order");
+                *got += 1;
+            }
+        });
+        for round in 0..opts.rounds {
+            fm2_send(fm, 1, PING, &[&round.to_le_bytes(), &body]);
+            fm2_wait_until(fm, || *got.borrow() == round + 1);
+        }
+    } else {
+        let done: Rc<RefCell<u32>> = Rc::default();
+        let d = Rc::clone(&done);
+        let fm_h = fm.clone();
+        fm.set_handler(PING, move |stream, src| {
+            let d = Rc::clone(&d);
+            let fm = fm_h.clone();
+            async move {
+                let mut hdr = [0u8; 4];
+                stream.receive(&mut hdr).await;
+                let rest = stream.receive_vec(stream.remaining()).await;
+                let round = u32::from_le_bytes(hdr);
+                {
+                    let mut done = d.borrow_mut();
+                    assert_eq!(round, *done, "ping out of order");
+                    *done += 1;
+                }
+                let mut reply = hdr.to_vec();
+                reply.extend_from_slice(&rest);
+                fm.send_from_handler(src, PONG, reply);
+            }
+        });
+        fm2_wait_until(fm, || *done.borrow() == opts.rounds);
+    }
+}
+
+/// Every node streams `rounds` numbered messages to its ring successor
+/// and validates the numbered stream from its predecessor.
+fn ring<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let n = opts.nodes;
+    let me = opts.node_id;
+    let next = (me + 1) % n;
+    let prev = (me + n - 1) % n;
+    let body = vec![me as u8; opts.msg_size - 4];
+    let got: Rc<RefCell<u32>> = Rc::default();
+    let g = Rc::clone(&got);
+    fm.set_handler(PING, move |stream, src| {
+        let g = Rc::clone(&g);
+        async move {
+            assert_eq!(src, prev, "ring message from the wrong side");
+            let mut hdr = [0u8; 4];
+            stream.receive(&mut hdr).await;
+            stream.skip(stream.remaining()).await;
+            let round = u32::from_le_bytes(hdr);
+            let mut got = g.borrow_mut();
+            assert_eq!(round, *got, "ring stream out of order");
+            *got += 1;
+        }
+    });
+    for round in 0..opts.rounds {
+        fm2_send(fm, next, PING, &[&round.to_le_bytes(), &body]);
+    }
+    fm2_wait_until(fm, || *got.borrow() == opts.rounds);
+}
+
+/// Keep the engine progressing until the reliability sublayer has no
+/// unacked packets and the wire has been quiet for a beat, so a peer
+/// still waiting on our last ack (or a retransmit) is not abandoned.
+/// Capped: a vanished peer must not wedge shutdown.
+fn linger<D: fm_core::NetDevice>(fm: &Fm2Engine<D>) {
+    let quiet_for = Duration::from_millis(100);
+    let cap = Instant::now() + Duration::from_secs(5);
+    let mut quiet_since = Instant::now();
+    while Instant::now() < cap {
+        let moved = fm.extract_all() > 0;
+        fm.progress();
+        if moved {
+            quiet_since = Instant::now();
+        }
+        if fm.unacked_packets() == 0 && quiet_since.elapsed() >= quiet_for {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}

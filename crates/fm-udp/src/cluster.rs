@@ -1,0 +1,133 @@
+//! Assembling clusters of [`UdpDevice`]s.
+//!
+//! Two shapes:
+//!
+//! * [`loopback_cluster`] — bind every node's socket in this process
+//!   *first* (ephemeral `127.0.0.1:0` ports, so nothing can race for
+//!   them), then build a device per node. The devices can be moved onto
+//!   threads; this is how the in-crate tests get a real-socket cluster
+//!   without spawning processes.
+//! * [`UdpCluster::run`] — the [`fm_threaded::ThreadedCluster::run`]
+//!   shape over loopback UDP: one OS thread per node, each running the
+//!   join barrier and then the node program. The transport between the
+//!   threads is real datagrams through the kernel, lossy and all.
+//!
+//! Genuine multi-*process* clusters are driven by the `fm-udp-cluster`
+//! binary, which distributes the peer map over child stdin instead.
+
+use std::io;
+use std::net::UdpSocket;
+use std::thread;
+use std::time::Duration;
+
+use crate::device::{UdpConfig, UdpDevice};
+
+/// Default join-barrier timeout used by [`UdpCluster::run`].
+pub const DEFAULT_JOIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Bind `n` ephemeral loopback sockets and wrap each as a node device.
+/// Every socket is bound before any device is built, so the peer map is
+/// complete and race-free by construction. Per-node drop seeds are
+/// decorrelated from `cfg.drop_seed` inside the device.
+pub fn loopback_cluster(n: usize, cfg: UdpConfig) -> io::Result<Vec<UdpDevice>> {
+    let sockets: Vec<UdpSocket> = (0..n)
+        .map(|_| UdpSocket::bind("127.0.0.1:0"))
+        .collect::<io::Result<_>>()?;
+    let peers = sockets
+        .iter()
+        .map(|s| s.local_addr())
+        .collect::<io::Result<Vec<_>>>()?;
+    sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| UdpDevice::from_socket(s, i, peers.clone(), cfg.clone()))
+        .collect()
+}
+
+/// Runs N node programs on N OS threads connected by loopback UDP.
+pub struct UdpCluster;
+
+impl UdpCluster {
+    /// Spawn `num_nodes` threads; thread `i` runs `f(i, device_i)` after
+    /// the cluster-wide join barrier completes. Returns every node's
+    /// result, in node order. Panics in a node thread propagate.
+    ///
+    /// The engine for a node must be constructed *inside* `f` (engines
+    /// are deliberately single-threaded; only the device crosses the
+    /// spawn) — and over this device it must be constructed with
+    /// [`fm_core::Reliability::Retransmit`]: the constructors panic on
+    /// `TrustSubstrate` because UDP really drops datagrams.
+    pub fn run<F, R>(num_nodes: usize, cfg: UdpConfig, f: F) -> Vec<R>
+    where
+        F: Fn(usize, UdpDevice) -> R + Send + Sync,
+        R: Send,
+    {
+        let devices = loopback_cluster(num_nodes, cfg).expect("bind loopback cluster");
+        let f = &f;
+        thread::scope(|scope| {
+            let handles: Vec<_> = devices
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut dev)| {
+                    thread::Builder::new()
+                        .name(format!("fm-udp-node-{i}"))
+                        .spawn_scoped(scope, move || {
+                            dev.join(DEFAULT_JOIN_TIMEOUT).expect("join barrier");
+                            f(i, dev)
+                        })
+                        .expect("spawn node thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::device::NetDevice;
+
+    #[test]
+    fn results_come_back_in_node_order() {
+        let out = UdpCluster::run(3, UdpConfig::default(), |i, dev| {
+            assert_eq!(dev.node_id(), i);
+            assert_eq!(dev.num_nodes(), 3);
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn threads_exchange_datagrams_through_the_kernel() {
+        use fm_core::packet::{FmPacket, HandlerId, PacketFlags, PacketHeader};
+        let out = UdpCluster::run(2, UdpConfig::default(), |i, mut dev| {
+            let peer = 1 - i;
+            let pkt = FmPacket {
+                header: PacketHeader {
+                    src: i as u16,
+                    dst: peer as u16,
+                    handler: HandlerId(0),
+                    msg_seq: 0,
+                    pkt_seq: 0,
+                    msg_len: 1,
+                    flags: PacketFlags::FIRST | PacketFlags::LAST,
+                    credits: 0,
+                    ack: 0,
+                },
+                payload: vec![i as u8],
+            };
+            dev.try_send(pkt).unwrap();
+            loop {
+                if let Some(p) = dev.try_recv() {
+                    return p.payload[0];
+                }
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(out, vec![1, 0]);
+    }
+}

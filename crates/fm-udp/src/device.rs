@@ -1,0 +1,587 @@
+//! [`UdpDevice`]: the `NetDevice` over a real non-blocking UDP socket.
+//!
+//! Design notes, in the order they bite:
+//!
+//! * **Send queue.** The engines' all-or-nothing admission protocol is
+//!   `send_space() >= k` ⇒ the next `k` `try_send`s succeed. A raw
+//!   `send_to` cannot promise that (the kernel buffer may fill mid-
+//!   message), so the device owns a bounded out-queue — the moral
+//!   equivalent of LANai send memory. `try_send` enqueues; every poll
+//!   flushes as much as the socket accepts; `EWOULDBLOCK` leaves the
+//!   frame queued for the next poll. The queue bound is the back-pressure
+//!   `send_space` reports.
+//! * **Loss is real.** UDP drops, duplicates, and reorders; so can the
+//!   kernel under buffer pressure. The device reports
+//!   [`NetDevice::is_lossy`] = `true`, which makes the engine
+//!   constructors insist on [`fm_core::Reliability::Retransmit`].
+//! * **Clock domain.** `now()` is wall time from a per-device monotonic
+//!   epoch ([`std::time::Instant`]), so retransmit timeouts measure real
+//!   elapsed time. Clocks are *per process* — cross-node timestamps (e.g.
+//!   in merged chrome traces) share a scale but not an origin.
+//! * **Injected loss.** [`UdpConfig::drop_outbound`] drops each outbound
+//!   *data* frame with a seeded probability before it reaches the socket
+//!   — a deterministic stand-in for genuine network loss, so tests can
+//!   force the retransmission machinery to work at a chosen rate. Hello
+//!   frames are never dropped (the join barrier re-beacons anyway; there
+//!   is no reliability layer under it to test).
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+use fm_core::device::{DeviceFull, NetDevice};
+use fm_core::FmPacket;
+use fm_model::rng::DetRng;
+use fm_model::Nanos;
+
+use crate::wire;
+
+/// Most datagrams one `try_recv` call will read before handing control
+/// back (keeps a flood from starving the caller's own send path).
+const RECV_BATCH: usize = 64;
+
+/// Minimum gap between hello replies to one straggling peer after this
+/// node has already joined (their join beacons pace the conversation;
+/// this is just a flood guard).
+const HELLO_REPLY_GAP: Duration = Duration::from_millis(1);
+
+/// Configuration for a [`UdpDevice`].
+#[derive(Debug, Clone)]
+pub struct UdpConfig {
+    /// Cluster incarnation stamp; every node of a run must agree, and
+    /// frames from other epochs are rejected. Derive it from wall time or
+    /// a coordinator pid — anything unlikely to recur on reused ports.
+    pub epoch: u64,
+    /// Out-queue capacity in frames (what `send_space` reports against).
+    pub send_queue: usize,
+    /// Probability in `[0, 1]` of dropping an outbound data frame before
+    /// the socket (injected loss for tests). 0 = off.
+    pub drop_outbound: f64,
+    /// Seed for the injected-loss RNG (deterministic per device).
+    pub drop_seed: u64,
+}
+
+impl Default for UdpConfig {
+    fn default() -> Self {
+        UdpConfig {
+            epoch: 0,
+            send_queue: 64,
+            drop_outbound: 0.0,
+            drop_seed: 0x5EED,
+        }
+    }
+}
+
+/// Transport-level counters (below the FM engine's own [`fm_core::FmStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UdpStats {
+    /// Data frames handed to the socket.
+    pub frames_sent: u64,
+    /// Data frames received and accepted.
+    pub frames_received: u64,
+    /// Frames rejected by validation (magic/version/epoch/peer/codec).
+    pub frames_rejected: u64,
+    /// Outbound data frames swallowed by the injected-loss hook.
+    pub drops_injected: u64,
+    /// Sends deferred because the kernel buffer was full (`EWOULDBLOCK`).
+    pub send_retries: u64,
+    /// Sends that failed with a real socket error (frame dropped; the
+    /// reliability sublayer recovers).
+    pub send_errors: u64,
+    /// Hello frames sent (join beacons + straggler replies).
+    pub hellos_sent: u64,
+    /// Hello frames received.
+    pub hellos_received: u64,
+}
+
+/// [`NetDevice`] over one bound UDP socket and a static peer map.
+pub struct UdpDevice {
+    socket: UdpSocket,
+    node: usize,
+    /// `peers[i]` is node `i`'s socket address; `peers[node]` is ours.
+    peers: Vec<SocketAddr>,
+    epoch: u64,
+    /// Bounded frame out-queue (see module docs).
+    out: VecDeque<(SocketAddr, Vec<u8>)>,
+    capacity: usize,
+    /// Data packets decoded while looking for something else (e.g. during
+    /// the join barrier); drained before the socket is polled again.
+    inq: VecDeque<FmPacket>,
+    clock_epoch: Instant,
+    /// Bit `i` set = heard from node `i` this epoch (own bit pre-set).
+    seen_mask: u64,
+    /// Last seen-mask each peer reported.
+    peer_masks: Vec<u64>,
+    /// Per-peer time of our last post-join hello reply (flood guard).
+    last_hello_reply: Vec<Option<Instant>>,
+    drop_p: f64,
+    rng: DetRng,
+    stats: UdpStats,
+    recv_buf: Vec<u8>,
+}
+
+impl UdpDevice {
+    /// Bind node `node_id`'s socket at `peers[node_id]` and build the
+    /// device. The peer map is positional: index = node id.
+    pub fn bind(node_id: usize, peers: Vec<SocketAddr>, cfg: UdpConfig) -> io::Result<UdpDevice> {
+        let addr = *peers.get(node_id).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "node_id outside peer map")
+        })?;
+        let socket = UdpSocket::bind(addr)?;
+        Self::from_socket(socket, node_id, peers, cfg)
+    }
+
+    /// Wrap an already-bound socket (how in-process loopback clusters
+    /// avoid bind races: bind everything first, then build devices).
+    /// `peers[node_id]` is overwritten with the socket's actual local
+    /// address, so ephemeral (`:0`) binds resolve themselves.
+    pub fn from_socket(
+        socket: UdpSocket,
+        node_id: usize,
+        mut peers: Vec<SocketAddr>,
+        cfg: UdpConfig,
+    ) -> io::Result<UdpDevice> {
+        let n = peers.len();
+        if node_id >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "node_id outside peer map",
+            ));
+        }
+        if n > 64 {
+            // The hello seen-mask is a u64; lift this when a wider barrier
+            // exists.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "fm-udp clusters are limited to 64 nodes",
+            ));
+        }
+        if cfg.send_queue == 0 || !(0.0..=1.0).contains(&cfg.drop_outbound) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "send_queue must be >= 1 and drop_outbound within [0, 1]",
+            ));
+        }
+        socket.set_nonblocking(true)?;
+        peers[node_id] = socket.local_addr()?;
+        Ok(UdpDevice {
+            socket,
+            node: node_id,
+            epoch: cfg.epoch,
+            out: VecDeque::with_capacity(cfg.send_queue),
+            capacity: cfg.send_queue,
+            inq: VecDeque::new(),
+            clock_epoch: Instant::now(),
+            seen_mask: 1u64 << node_id,
+            peer_masks: vec![0; n],
+            last_hello_reply: vec![None; n],
+            drop_p: cfg.drop_outbound,
+            rng: DetRng::seed_from_u64(cfg.drop_seed ^ (node_id as u64).wrapping_mul(0x9E37)),
+            stats: UdpStats::default(),
+            recv_buf: vec![0u8; wire::MAX_DATAGRAM],
+            peers,
+        })
+    }
+
+    /// This node's bound socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.peers[self.node]
+    }
+
+    /// The full positional peer map.
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+
+    /// Transport counters so far.
+    pub fn stats(&self) -> UdpStats {
+        self.stats
+    }
+
+    /// Run the join barrier: beacon hellos to every peer until this node
+    /// has heard from all of them *and* every peer's latest beacon shows
+    /// a full seen-mask (i.e. everyone knows everyone is up). Under
+    /// datagram loss the beacons simply repeat.
+    ///
+    /// Two tail races are closed explicitly. First, the exit condition
+    /// can come true *between* beacons — the node would leave without
+    /// ever having broadcast its own full mask — so a parting burst of
+    /// full-mask hellos goes out on exit. Second, if even that burst is
+    /// lost, a joined node keeps answering straggler beacons from inside
+    /// its normal receive path (see `reply_to_straggler`), so the
+    /// laggard converges as soon as the workload starts polling.
+    ///
+    /// Call once per device, after every process has (or is about to
+    /// have) bound its socket; returns `TimedOut` if the cluster does not
+    /// assemble within `timeout`.
+    pub fn join(&mut self, timeout: Duration) -> io::Result<()> {
+        let full = self.full_mask();
+        let deadline = Instant::now() + timeout;
+        let beacon_gap = Duration::from_millis(2);
+        let mut last_beacon: Option<Instant> = None;
+        loop {
+            let joined = self.seen_mask == full && self.all_peers_full(full) && self.out.is_empty();
+            if joined {
+                // Parting shot: make sure everyone has our full mask on
+                // record even though we stop beaconing now (a peer's own
+                // exit may hinge on it). A small burst rides over stray
+                // kernel drops; true loss is mopped up by straggler
+                // replies once the workload polls.
+                let hello = wire::encode_hello(self.node as u16, self.epoch, self.seen_mask);
+                for _ in 0..3 {
+                    for (i, addr) in self.peers.clone().into_iter().enumerate() {
+                        if i != self.node {
+                            self.send_hello(addr, &hello);
+                        }
+                    }
+                }
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "join barrier timed out: node {} seen_mask {:#b} of {:#b}",
+                        self.node, self.seen_mask, full
+                    ),
+                ));
+            }
+            if last_beacon.is_none_or(|t| t.elapsed() >= beacon_gap) {
+                last_beacon = Some(Instant::now());
+                let hello = wire::encode_hello(self.node as u16, self.epoch, self.seen_mask);
+                for (i, addr) in self.peers.clone().into_iter().enumerate() {
+                    if i != self.node {
+                        self.send_hello(addr, &hello);
+                    }
+                }
+            }
+            self.flush_out();
+            self.poll_socket();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Seen-mask with a bit set for every node of the cluster.
+    fn full_mask(&self) -> u64 {
+        if self.peers.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.peers.len()) - 1
+        }
+    }
+
+    fn all_peers_full(&self, full: u64) -> bool {
+        self.peer_masks
+            .iter()
+            .enumerate()
+            .all(|(i, &m)| i == self.node || m == full)
+    }
+
+    fn send_hello(&mut self, to: SocketAddr, frame: &[u8]) {
+        match self.socket.send_to(frame, to) {
+            Ok(_) => self.stats.hellos_sent += 1,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.stats.send_retries += 1,
+            Err(_) => self.stats.send_errors += 1,
+        }
+    }
+
+    /// Drain the out-queue into the socket until it would block.
+    fn flush_out(&mut self) {
+        while let Some((to, frame)) = self.out.front() {
+            if self.drop_p > 0.0 && self.rng.chance(self.drop_p) {
+                self.stats.drops_injected += 1;
+                self.out.pop_front();
+                continue;
+            }
+            match self.socket.send_to(frame, *to) {
+                Ok(_) => {
+                    self.stats.frames_sent += 1;
+                    self.out.pop_front();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.stats.send_retries += 1;
+                    break;
+                }
+                Err(_) => {
+                    // A real socket error: the datagram is gone either
+                    // way; reliability recovers. Do not wedge the queue.
+                    self.stats.send_errors += 1;
+                    self.out.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Read at most [`RECV_BATCH`] datagrams, validating each and parking
+    /// accepted data packets on `inq`; hellos are absorbed (and answered
+    /// for stragglers) on the spot.
+    fn poll_socket(&mut self) {
+        for _ in 0..RECV_BATCH {
+            let (len, from) = match self.socket.recv_from(&mut self.recv_buf) {
+                Ok(x) => x,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // E.g. a routing hiccup surfaced on the recv path; the
+                // datagram (if any) is unusable, keep polling next round.
+                Err(_) => break,
+            };
+            let buf = &self.recv_buf[..len];
+            let pre = match wire::decode_preamble(buf, self.epoch) {
+                Ok(p) => p,
+                Err(_) => {
+                    self.stats.frames_rejected += 1;
+                    continue;
+                }
+            };
+            let src = pre.src_node as usize;
+            // The static peer map is also the authentication: a frame
+            // claiming node `src` must come from node `src`'s address.
+            if src >= self.peers.len() || src == self.node || self.peers[src] != from {
+                self.stats.frames_rejected += 1;
+                continue;
+            }
+            let body = &buf[wire::PREAMBLE_BYTES..];
+            match pre.kind {
+                wire::FrameKind::Hello => {
+                    let Ok(mask) = wire::decode_hello_body(body) else {
+                        self.stats.frames_rejected += 1;
+                        continue;
+                    };
+                    self.stats.hellos_received += 1;
+                    self.seen_mask |= 1u64 << src;
+                    self.peer_masks[src] = mask;
+                    self.reply_to_straggler(src, mask);
+                }
+                wire::FrameKind::Data => match wire::decode_data_body(body) {
+                    Ok(pkt)
+                        if pkt.header.src as usize == src
+                            && pkt.header.dst as usize == self.node =>
+                    {
+                        self.stats.frames_received += 1;
+                        self.seen_mask |= 1u64 << src;
+                        self.inq.push_back(pkt);
+                    }
+                    _ => self.stats.frames_rejected += 1,
+                },
+            }
+        }
+    }
+
+    /// A peer whose beacon shows an incomplete mask is still inside its
+    /// join barrier; answer immediately (rate-limited) so it can finish
+    /// even if every beacon we sent during our own join was lost.
+    fn reply_to_straggler(&mut self, src: usize, their_mask: u64) {
+        let full = self.full_mask();
+        if their_mask == full && their_mask & (1 << self.node) != 0 {
+            return; // they know everything already
+        }
+        if let Some(t) = self.last_hello_reply[src] {
+            if t.elapsed() < HELLO_REPLY_GAP {
+                return;
+            }
+        }
+        self.last_hello_reply[src] = Some(Instant::now());
+        let hello = wire::encode_hello(self.node as u16, self.epoch, self.seen_mask);
+        self.send_hello(self.peers[src], &hello);
+    }
+}
+
+impl NetDevice for UdpDevice {
+    fn node_id(&self) -> usize {
+        self.node
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn try_send(&mut self, pkt: FmPacket) -> Result<(), DeviceFull> {
+        if self.out.len() >= self.capacity {
+            self.flush_out();
+            if self.out.len() >= self.capacity {
+                return Err(DeviceFull);
+            }
+        }
+        let dst = pkt.header.dst as usize;
+        assert!(
+            dst < self.peers.len() && dst != self.node,
+            "engines deliver self-sends locally; dst {dst} outside peer map"
+        );
+        // MTU-aware validation: the shared codec rejects anything that
+        // cannot cross the socket in one datagram. The engines' MTUs sit
+        // orders of magnitude below the ceiling, so hitting this is a
+        // wiring bug, not an operational condition.
+        let frame = wire::encode_data_frame(&pkt, self.node as u16, self.epoch)
+            .expect("FM packet exceeds MAX_WIRE_FRAME: engine MTU misconfigured");
+        self.out.push_back((self.peers[dst], frame));
+        self.flush_out();
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Option<FmPacket> {
+        // Every poll also drains the out-queue: a spinning receiver is
+        // what keeps acks and retransmissions moving.
+        self.flush_out();
+        if let Some(pkt) = self.inq.pop_front() {
+            return Some(pkt);
+        }
+        self.poll_socket();
+        self.inq.pop_front()
+    }
+
+    fn send_space(&self) -> usize {
+        self.capacity - self.out.len()
+    }
+
+    fn now(&self) -> Nanos {
+        Nanos(self.clock_epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn charge(&mut self, _cost: Nanos) {
+        // Real transport: cost is the actual CPU time already spent.
+    }
+
+    fn is_lossy(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::packet::{HandlerId, PacketFlags, PacketHeader};
+
+    fn pkt(src: usize, dst: usize, tag: u8) -> FmPacket {
+        FmPacket {
+            header: PacketHeader {
+                src: src as u16,
+                dst: dst as u16,
+                handler: HandlerId(0),
+                msg_seq: 0,
+                pkt_seq: tag as u32,
+                msg_len: 1,
+                flags: PacketFlags::FIRST | PacketFlags::LAST,
+                credits: 0,
+                ack: 0,
+            },
+            payload: vec![tag],
+        }
+    }
+
+    fn pair(cfg: UdpConfig) -> (UdpDevice, UdpDevice) {
+        let mut devs = crate::cluster::loopback_cluster(2, cfg).unwrap();
+        let b = devs.pop().unwrap();
+        let a = devs.pop().unwrap();
+        (a, b)
+    }
+
+    fn recv_spin(dev: &mut UdpDevice) -> FmPacket {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some(p) = dev.try_recv() {
+                return p;
+            }
+            assert!(Instant::now() < deadline, "no datagram within 5s");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn datagrams_cross_real_sockets_both_ways() {
+        let (mut a, mut b) = pair(UdpConfig::default());
+        assert_eq!(a.node_id(), 0);
+        assert_eq!(b.num_nodes(), 2);
+        assert!(a.is_lossy());
+        a.try_send(pkt(0, 1, 7)).unwrap();
+        b.try_send(pkt(1, 0, 9)).unwrap();
+        assert_eq!(recv_spin(&mut b).payload, vec![7]);
+        assert_eq!(recv_spin(&mut a).payload, vec![9]);
+    }
+
+    #[test]
+    fn wrong_epoch_frames_are_rejected() {
+        let (mut a, _b) = pair(UdpConfig::default());
+        // A stale process from "another run" on a third socket, claiming
+        // to be node 1 with a different epoch.
+        let stale = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let frame = wire::encode_data_frame(&pkt(1, 0, 5), 1, 999).unwrap();
+        stale.send_to(&frame, a.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(a.try_recv().is_none());
+        assert!(a.stats().frames_rejected >= 1);
+    }
+
+    #[test]
+    fn frames_from_unmapped_addresses_are_rejected() {
+        let (mut a, _b) = pair(UdpConfig::default());
+        // Right epoch (0), but sent from an address that is not node 1's.
+        let intruder = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let frame = wire::encode_data_frame(&pkt(1, 0, 5), 1, 0).unwrap();
+        intruder.send_to(&frame, a.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(a.try_recv().is_none());
+        assert!(a.stats().frames_rejected >= 1);
+    }
+
+    #[test]
+    fn injected_drop_swallows_everything_at_p1() {
+        let (mut a, mut b) = pair(UdpConfig {
+            drop_outbound: 1.0,
+            ..UdpConfig::default()
+        });
+        for i in 0..10 {
+            a.try_send(pkt(0, 1, i)).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(b.try_recv().is_none());
+        assert_eq!(a.stats().drops_injected, 10);
+        assert_eq!(a.stats().frames_sent, 0);
+        assert_eq!(a.send_space(), a.capacity, "queue drained by the drops");
+    }
+
+    #[test]
+    fn send_space_contract_holds() {
+        let (mut a, _b) = pair(UdpConfig {
+            send_queue: 4,
+            ..UdpConfig::default()
+        });
+        // Whatever send_space reports must be sendable right now.
+        let space = a.send_space();
+        assert_eq!(space, 4);
+        for i in 0..space {
+            a.try_send(pkt(0, 1, i as u8)).unwrap();
+        }
+        // Loopback sockets flush immediately, so space recovers at once.
+        assert!(a.send_space() > 0);
+    }
+
+    #[test]
+    fn join_barrier_assembles_a_4_node_cluster() {
+        let devs = crate::cluster::loopback_cluster(4, UdpConfig::default()).unwrap();
+        let handles: Vec<_> = devs
+            .into_iter()
+            .map(|mut d| {
+                std::thread::spawn(move || {
+                    d.join(Duration::from_secs(10)).unwrap();
+                    d
+                })
+            })
+            .collect();
+        for h in handles {
+            let d = h.join().unwrap();
+            assert!(d.stats().hellos_received >= 3);
+        }
+    }
+
+    #[test]
+    fn join_times_out_without_peers() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let me = socket.local_addr().unwrap();
+        // Peer 1 points at a bound-by-nobody port.
+        let ghost: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut d =
+            UdpDevice::from_socket(socket, 0, vec![me, ghost], UdpConfig::default()).unwrap();
+        let err = d.join(Duration::from_millis(100)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+}

@@ -1,0 +1,215 @@
+//! The fm-udp datagram frame: a fixed preamble in front of the canonical
+//! FM wire packet.
+//!
+//! Every datagram starts with a 16-byte preamble —
+//!
+//! ```text
+//! magic:4  version:1  kind:1  src_node:2  epoch:8     (little-endian)
+//! ```
+//!
+//! — followed by a kind-specific body:
+//!
+//! * [`FrameKind::Data`] — the canonical FM wire packet
+//!   ([`FmPacket::encode_wire`]: 24-byte header + payload), exactly the
+//!   codec pinned by `fm-core/tests/header_codec.rs`. Nothing is
+//!   re-encoded per transport; the UDP frame is the simulator's wire
+//!   bytes with an envelope.
+//! * [`FrameKind::Hello`] — an 8-byte bitmask of the peers the sender has
+//!   heard from, used by the join barrier (and answered forever after, so
+//!   a straggler whose hellos were lost can still finish joining).
+//!
+//! The `epoch` stamps one cluster incarnation: datagrams from a previous
+//! run still buffered in a socket (or a stale process on a reused port)
+//! carry the wrong epoch and are rejected instead of corrupting sequence
+//! state. `src_node` is checked against the static peer map — a frame
+//! must come from the address the map binds that node to.
+//!
+//! Size discipline: [`MAX_DATAGRAM`] = [`PREAMBLE_BYTES`] +
+//! [`fm_core::MAX_WIRE_FRAME`] is exactly the widest UDP payload an IPv4
+//! datagram can carry (65,507 bytes), so any packet the shared codec
+//! accepts fits in one datagram and anything larger was already rejected
+//! by [`FmPacket::encode_wire`] — never truncated on the socket.
+
+use fm_core::{FmError, FmPacket, MAX_WIRE_FRAME};
+
+/// Frame magic: `"FMU2"` little-endian.
+pub const MAGIC: u32 = 0x3255_4D46;
+
+/// Wire-format version; bumped on any preamble or body change.
+pub const VERSION: u8 = 1;
+
+/// Bytes of preamble in front of every frame body.
+pub const PREAMBLE_BYTES: usize = 16;
+
+/// Widest datagram fm-udp ever sends or accepts. Equals the IPv4 UDP
+/// payload ceiling, by construction of [`fm_core::MAX_WIRE_FRAME`].
+pub const MAX_DATAGRAM: usize = PREAMBLE_BYTES + MAX_WIRE_FRAME;
+
+// The shared codec constant and this preamble must keep summing to the
+// IPv4 UDP payload ceiling; if either changes, this fails to compile.
+const _: () = assert!(MAX_DATAGRAM == 65_507);
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An FM wire packet (header + payload).
+    Data,
+    /// A join-barrier beacon carrying the sender's seen-mask.
+    Hello,
+}
+
+/// A decoded preamble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preamble {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Sending node id.
+    pub src_node: u16,
+    /// Cluster incarnation stamp.
+    pub epoch: u64,
+}
+
+fn put_preamble(out: &mut Vec<u8>, kind: FrameKind, src_node: u16, epoch: u64) {
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(match kind {
+        FrameKind::Data => 0,
+        FrameKind::Hello => 1,
+    });
+    out.extend_from_slice(&src_node.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+}
+
+/// Decode and validate a preamble against this cluster's `epoch`.
+/// `&'static str` errors name the rejection reason for the stats counter.
+pub fn decode_preamble(buf: &[u8], epoch: u64) -> Result<Preamble, &'static str> {
+    let Some(b) = buf.get(..PREAMBLE_BYTES) else {
+        return Err("short frame: fewer than 16 preamble bytes");
+    };
+    if u32::from_le_bytes([b[0], b[1], b[2], b[3]]) != MAGIC {
+        return Err("bad magic");
+    }
+    if b[4] != VERSION {
+        return Err("version mismatch");
+    }
+    let kind = match b[5] {
+        0 => FrameKind::Data,
+        1 => FrameKind::Hello,
+        _ => return Err("unknown frame kind"),
+    };
+    let src_node = u16::from_le_bytes([b[6], b[7]]);
+    let got_epoch = u64::from_le_bytes([b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15]]);
+    if got_epoch != epoch {
+        return Err("stale epoch (frame from another cluster run)");
+    }
+    Ok(Preamble {
+        kind,
+        src_node,
+        epoch,
+    })
+}
+
+/// Encode a data frame: preamble + canonical FM wire packet. Fails (never
+/// truncates) when the packet exceeds [`fm_core::MAX_WIRE_FRAME`].
+pub fn encode_data_frame(pkt: &FmPacket, src_node: u16, epoch: u64) -> Result<Vec<u8>, FmError> {
+    let wire = pkt.encode_wire()?;
+    let mut out = Vec::with_capacity(PREAMBLE_BYTES + wire.len());
+    put_preamble(&mut out, FrameKind::Data, src_node, epoch);
+    out.extend_from_slice(&wire);
+    Ok(out)
+}
+
+/// Decode the body of a [`FrameKind::Data`] frame (everything after the
+/// preamble) through the shared packet codec.
+pub fn decode_data_body(body: &[u8]) -> Result<FmPacket, FmError> {
+    FmPacket::decode_wire(body)
+}
+
+/// Encode a hello frame carrying `seen_mask` (bit *i* set = the sender has
+/// heard from node *i* this epoch).
+pub fn encode_hello(src_node: u16, epoch: u64, seen_mask: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PREAMBLE_BYTES + 8);
+    put_preamble(&mut out, FrameKind::Hello, src_node, epoch);
+    out.extend_from_slice(&seen_mask.to_le_bytes());
+    out
+}
+
+/// Decode the body of a [`FrameKind::Hello`] frame.
+pub fn decode_hello_body(body: &[u8]) -> Result<u64, &'static str> {
+    let Some(b) = body.get(..8) else {
+        return Err("short hello body");
+    };
+    Ok(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::packet::{HandlerId, PacketFlags, PacketHeader};
+
+    fn pkt() -> FmPacket {
+        FmPacket {
+            header: PacketHeader {
+                src: 0,
+                dst: 1,
+                handler: HandlerId(3),
+                msg_seq: 5,
+                pkt_seq: 6,
+                msg_len: 4,
+                flags: PacketFlags::FIRST | PacketFlags::LAST,
+                credits: 0,
+                ack: 9,
+            },
+            payload: b"ping".to_vec(),
+        }
+    }
+
+    #[test]
+    fn data_frame_roundtrips() {
+        let p = pkt();
+        let frame = encode_data_frame(&p, 0, 0xE90C).unwrap();
+        let pre = decode_preamble(&frame, 0xE90C).unwrap();
+        assert_eq!(pre.kind, FrameKind::Data);
+        assert_eq!(pre.src_node, 0);
+        let back = decode_data_body(&frame[PREAMBLE_BYTES..]).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn hello_frame_roundtrips() {
+        let frame = encode_hello(3, 7, 0b1011);
+        let pre = decode_preamble(&frame, 7).unwrap();
+        assert_eq!(pre.kind, FrameKind::Hello);
+        assert_eq!(pre.src_node, 3);
+        assert_eq!(decode_hello_body(&frame[PREAMBLE_BYTES..]), Ok(0b1011));
+    }
+
+    #[test]
+    fn stale_epoch_and_garbage_are_rejected() {
+        let frame = encode_hello(0, 1, 0);
+        assert!(decode_preamble(&frame, 2).is_err(), "wrong epoch");
+        assert!(decode_preamble(&frame[..10], 1).is_err(), "truncated");
+        let mut bad = frame.clone();
+        bad[0] ^= 0xFF;
+        assert!(decode_preamble(&bad, 1).is_err(), "bad magic");
+        let mut wrong_ver = frame.clone();
+        wrong_ver[4] = VERSION + 1;
+        assert!(decode_preamble(&wrong_ver, 1).is_err(), "future version");
+        let mut wrong_kind = frame;
+        wrong_kind[5] = 9;
+        assert!(decode_preamble(&wrong_kind, 1).is_err(), "unknown kind");
+    }
+
+    #[test]
+    fn oversize_packets_never_encode_into_frames() {
+        let mut p = pkt();
+        p.payload = vec![0; fm_core::MAX_FRAME_PAYLOAD + 1];
+        assert!(encode_data_frame(&p, 0, 0).is_err());
+        // At the exact boundary the frame is exactly MAX_DATAGRAM.
+        p.payload = vec![0; fm_core::MAX_FRAME_PAYLOAD];
+        let frame = encode_data_frame(&p, 0, 0).unwrap();
+        assert_eq!(frame.len(), MAX_DATAGRAM);
+    }
+}

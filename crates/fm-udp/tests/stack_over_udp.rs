@@ -1,0 +1,147 @@
+//! The layers above FM — MPI-FM, Sockets-FM, Shmem — running over real
+//! UDP datagrams with injected loss.
+//!
+//! Every upper layer in the workspace is generic over
+//! [`fm_core::NetDevice`]; none of them was written with UDP in mind.
+//! These tests are the layering payoff: the same collective, socket,
+//! and one-sided-memory code that runs in the simulator and over
+//! in-process channels runs unchanged over a lossy kernel transport —
+//! provided the engine is built with `Reliability::Retransmit`, which
+//! the constructors enforce (`is_lossy` devices refuse
+//! `TrustSubstrate`).
+
+use fm_core::{Fm1Engine, Fm2Engine, Reliability, RetransmitConfig};
+use fm_model::MachineProfile;
+use fm_udp::{UdpCluster, UdpConfig, UdpDevice};
+use mpi_fm::{Mpi, Mpi1, Mpi2, ReduceOp};
+use shmem_fm::Shmem;
+use sockets_fm::SocketStack;
+
+/// Mild injected loss: enough that a multi-collective run virtually
+/// always retransmits, small enough to stay fast.
+fn lossy() -> UdpConfig {
+    UdpConfig {
+        drop_outbound: 0.005,
+        drop_seed: 0xDECAF,
+        ..UdpConfig::default()
+    }
+}
+
+fn fm2(dev: UdpDevice) -> Fm2Engine<UdpDevice> {
+    Fm2Engine::with_reliability(
+        dev,
+        MachineProfile::ppro200_fm2(),
+        Reliability::Retransmit(RetransmitConfig::default()),
+    )
+}
+
+#[test]
+fn mpi2_collectives_over_lossy_udp() {
+    let reports = UdpCluster::run(3, lossy(), |_, dev| {
+        let mut mpi = Mpi2::new(fm2(dev));
+        for _ in 0..3 {
+            mpi.barrier();
+        }
+        for root in 0..mpi.size() {
+            let data = (mpi.rank() == root).then(|| vec![root as u8; 200]);
+            let got = mpi.bcast(root, data, 200);
+            assert_eq!(got, vec![root as u8; 200]);
+        }
+        let sum = mpi.allreduce(&(mpi.rank() as f64).to_le_bytes(), ReduceOp::SumF64);
+        assert_eq!(f64::from_le_bytes(sum.try_into().unwrap()), 3.0);
+        let retx = mpi.fm().stats().retransmissions;
+        mpi.barrier();
+        retx
+    });
+    assert_eq!(reports.len(), 3);
+}
+
+#[test]
+fn mpi1_ping_pong_over_lossy_udp() {
+    const ROUNDS: usize = 30;
+    let out = UdpCluster::run(2, lossy(), |rank, dev| {
+        let fm = Fm1Engine::with_reliability(
+            dev,
+            MachineProfile::sparc_fm1(),
+            Reliability::Retransmit(RetransmitConfig::default()),
+        );
+        let mut mpi = Mpi1::new(fm);
+        let peer = 1 - rank;
+        for i in 0..ROUNDS {
+            if rank == 0 {
+                mpi.send(peer, 1, vec![i as u8; 48]);
+                let (data, _) = mpi.recv(Some(peer), Some(2), 64);
+                assert_eq!(data, vec![i as u8 ^ 0xFF; 48]);
+            } else {
+                let (data, _) = mpi.recv(Some(peer), Some(1), 64);
+                mpi.send(peer, 2, data.iter().map(|b| b ^ 0xFF).collect());
+            }
+        }
+        ROUNDS
+    });
+    assert_eq!(out, vec![ROUNDS, ROUNDS]);
+}
+
+#[test]
+fn socket_echo_over_lossy_udp() {
+    let msg = b"streams over messages over datagrams";
+    let out = UdpCluster::run(2, lossy(), |node, dev| {
+        let s = SocketStack::new(fm2(dev));
+        if node == 0 {
+            s.listen(80);
+            let c = s.accept(80);
+            let mut buf = [0u8; 256];
+            let mut echoed = 0usize;
+            loop {
+                let n = s.recv(c, &mut buf);
+                if n == 0 {
+                    break;
+                }
+                s.send(c, &buf[..n]);
+                echoed += n;
+            }
+            s.close(c);
+            echoed
+        } else {
+            let c = s.connect(0, 80);
+            s.send(c, msg);
+            let mut buf = vec![0u8; msg.len()];
+            let mut got = 0;
+            while got < msg.len() {
+                got += s.recv(c, &mut buf[got..]);
+            }
+            assert_eq!(&buf, msg);
+            s.close(c);
+            got
+        }
+    });
+    assert_eq!(out, vec![msg.len(), msg.len()]);
+}
+
+#[test]
+fn shmem_put_get_over_lossy_udp() {
+    let out = UdpCluster::run(2, lossy(), |pe, dev| {
+        let sh = Shmem::new(fm2(dev), 4096);
+        if pe == 0 {
+            sh.put(1, 128, b"one-sided over udp");
+            sh.quiet();
+            let back = sh.get(1, 128, 18);
+            sh.barrier_all();
+            back
+        } else {
+            sh.barrier_all();
+            sh.local_read(128, 18)
+        }
+    });
+    assert_eq!(out[0], b"one-sided over udp");
+    assert_eq!(out[1], b"one-sided over udp");
+}
+
+#[test]
+#[should_panic(expected = "Reliability::Retransmit")]
+fn trust_substrate_over_udp_is_refused() {
+    let mut devs = fm_udp::loopback_cluster(2, UdpConfig::default()).unwrap();
+    let dev = devs.pop().unwrap();
+    // UDP really loses packets: the engine must not pretend otherwise.
+    let _ = Fm2Engine::new(dev, MachineProfile::ppro200_fm2());
+}

@@ -7,6 +7,7 @@
 //! * [`sim`] — the discrete-event Myrinet substrate.
 //! * [`fm`] — the Fast Messages library itself (FM 1.x and FM 2.x).
 //! * [`threaded`] — the real OS-thread transport.
+//! * [`udp`] — the real cross-process UDP transport.
 //! * [`mpi`] — MPI-FM.
 //! * [`sockets`] — Socket-FM.
 //! * [`shmem`] — Shmem/Global-Arrays-FM.
@@ -18,6 +19,7 @@
 pub use fm_core as fm;
 pub use fm_model as model;
 pub use fm_threaded as threaded;
+pub use fm_udp as udp;
 pub use mpi_fm as mpi;
 pub use myrinet_sim as sim;
 pub use shmem_fm as shmem;
