@@ -266,7 +266,7 @@ mod tests {
                 credits: 0,
                 ack: 0,
             },
-            payload: vec![n],
+            payload: vec![n].into(),
         }
     }
 

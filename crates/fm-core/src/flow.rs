@@ -102,6 +102,20 @@ impl CreditLedger {
             .map(|(i, _)| i)
     }
 
+    /// Whether `peer`'s owed credits have crossed the explicit-return
+    /// threshold. Index-scan twin of [`CreditLedger::needs_explicit_return`]
+    /// for callers that must interleave the scan with mutation (the
+    /// send path checks this per peer rather than collecting the
+    /// iterator — no allocation on the datapath).
+    pub fn explicit_return_due(&self, peer: usize) -> bool {
+        self.owed[peer] >= self.explicit_threshold
+    }
+
+    /// Number of peers this ledger tracks.
+    pub fn num_peers(&self) -> usize {
+        self.owed.len()
+    }
+
     /// Credits currently owed to `peer` (visible for tests/stats).
     pub fn owed(&self, peer: usize) -> u32 {
         self.owed[peer]

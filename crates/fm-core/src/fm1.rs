@@ -33,6 +33,7 @@ use std::collections::VecDeque;
 
 use fm_model::{MachineProfile, Nanos};
 
+use crate::buf::{BufPool, PacketBuf};
 use crate::device::NetDevice;
 use crate::error::{FmError, WouldBlock};
 use crate::flow::CreditLedger;
@@ -48,6 +49,11 @@ use crate::stats::FmStats;
 /// [`Fm1Engine::send_from_handler`] or account costs), the source node,
 /// and the complete contiguous message.
 pub type Fm1Handler<D> = Box<dyn FnMut(&mut Fm1Engine<D>, usize, &[u8])>;
+
+/// Free-list depth of each engine's send-payload pool. Deep enough to
+/// cover a full retransmit window of in-flight frames per peer on small
+/// clusters; beyond it, bursts fall back to the allocator harmlessly.
+const SEND_POOL_FRAMES: usize = 256;
 
 /// Cumulative implementation stages for the Figure 3a overhead breakdown.
 ///
@@ -112,6 +118,9 @@ pub struct Fm1Engine<D: NetDevice> {
     /// Retransmission state (`Some` in [`Reliability::Retransmit`] mode,
     /// where it replaces the credit ledger entirely).
     reliable: Option<ReliableState>,
+    /// MTU-sized frame pool for outgoing packet payloads: steady-state
+    /// sends recycle frames instead of allocating.
+    pool: BufPool,
     errors: Vec<FmError>,
     stats: FmStats,
     in_extract: bool,
@@ -170,6 +179,7 @@ impl<D: NetDevice> Fm1Engine<D> {
             deferred: VecDeque::new(),
             local: VecDeque::new(),
             reliable,
+            pool: BufPool::new(profile.fm.mtu_payload, SEND_POOL_FRAMES),
             errors: Vec::new(),
             stats: FmStats::default(),
             in_extract: false,
@@ -215,9 +225,13 @@ impl<D: NetDevice> Fm1Engine<D> {
         self.device.now()
     }
 
-    /// Engine counters.
+    /// Engine counters (pool hit/miss counters folded in live).
     pub fn stats(&self) -> FmStats {
-        self.stats
+        let mut s = self.stats;
+        let p = self.pool.stats();
+        s.pool_hits = p.hits;
+        s.pool_misses = p.misses;
+        s
     }
 
     /// The machine profile in force.
@@ -345,7 +359,11 @@ impl<D: NetDevice> Fm1Engine<D> {
                     credits,
                     ack,
                 },
-                payload: chunk.to_vec(),
+                payload: {
+                    let mut payload = self.pool.take();
+                    payload.extend_from_slice(chunk);
+                    payload
+                },
             };
             self.send_pkt_seq[dst] += 1;
             let now = self.device.now();
@@ -505,7 +523,7 @@ impl<D: NetDevice> Fm1Engine<D> {
                 credits: 0,
                 ack: 0,
             },
-            payload: data.to_vec(),
+            payload: data.to_vec().into(),
         });
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += data.len() as u64;
@@ -710,7 +728,7 @@ impl<D: NetDevice> Fm1Engine<D> {
             if last {
                 let asm = self.assembly[src].take().expect("just appended");
                 debug_assert_eq!(asm.buf.len(), asm.msg_len as usize);
-                handled += self.dispatch_complete(src, asm.handler, asm.msg_seq, asm.buf);
+                handled += self.dispatch_complete(src, asm.handler, asm.msg_seq, asm.buf.into());
             }
         }
 
@@ -724,7 +742,7 @@ impl<D: NetDevice> Fm1Engine<D> {
         src: usize,
         handler: HandlerId,
         msg_seq: u32,
-        data: Vec<u8>,
+        data: PacketBuf,
     ) -> usize {
         self.device
             .charge(Nanos(self.profile.host.handler_dispatch_ns));

@@ -17,6 +17,7 @@ use std::task::{Context, Waker};
 
 use fm_model::{MachineProfile, Nanos};
 
+use crate::buf::{BufPool, PacketBuf};
 use crate::device::NetDevice;
 use crate::error::{FmError, WouldBlock};
 use crate::flow::CreditLedger;
@@ -32,6 +33,17 @@ use super::stream::{ChargeCell, FmStream, StreamState};
 /// sender when a message's first packet arrives; the returned future is
 /// the handler's logical thread.
 pub type Fm2HandlerFn = Rc<dyn Fn(FmStream, usize) -> Pin<Box<dyn Future<Output = ()>>>>;
+
+/// A synchronous fast-path handler (see [`Fm2Engine::set_fast_handler`]):
+/// called with the sender and a zero-copy view of a single-packet
+/// message's payload. The view borrows the arrival frame — it is valid
+/// only for the duration of the call.
+pub type Fm2FastHandlerFn = Box<dyn FnMut(usize, &[u8])>;
+
+/// Free-list depth of each engine's send-payload pool. Deep enough to
+/// cover a full retransmit window of in-flight frames per peer on small
+/// clusters; beyond it, bursts fall back to the allocator harmlessly.
+const SEND_POOL_FRAMES: usize = 256;
 
 /// A handler-initiated send, possibly mid-flight: deferred sends stream
 /// through a [`SendStream`] so that messages of *any* size (including
@@ -65,13 +77,16 @@ struct Inner<D: NetDevice> {
     device: D,
     profile: MachineProfile,
     handlers: Vec<Option<Fm2HandlerFn>>,
+    /// Synchronous fast-path handlers, indexed like `handlers`. `None`
+    /// entries fall through to the async handler table.
+    fast_handlers: Vec<Option<Fm2FastHandlerFn>>,
     flow: CreditLedger,
     send_pkt_seq: Vec<u32>,
     send_msg_seq: Vec<u32>,
     recv_pkt_seq: Vec<u32>,
     tasks: HashMap<(usize, u32), Task>,
     deferred: VecDeque<DeferredSend>,
-    local: VecDeque<(HandlerId, Vec<u8>)>,
+    local: VecDeque<(HandlerId, PacketBuf)>,
     /// Distinguishes concurrently-pending local (self-send) handler tasks;
     /// local tasks use the key space (self, u32::MAX - counter), which
     /// cannot collide with network messages (self never sends to itself
@@ -80,6 +95,10 @@ struct Inner<D: NetDevice> {
     /// Retransmission state (`Some` in [`Reliability::Retransmit`] mode,
     /// where it replaces the credit ledger entirely).
     reliable: Option<ReliableState>,
+    /// MTU-sized frame pool: `SendStream`s stage pieces directly into
+    /// pooled frames, which then *become* packet payloads — steady-state
+    /// sends never allocate.
+    pool: BufPool,
     errors: Vec<FmError>,
     stats: FmStats,
     in_extract: bool,
@@ -115,6 +134,74 @@ impl<D: NetDevice> Clone for Fm2Engine<D> {
     }
 }
 
+/// A weak engine reference for capture inside handler closures.
+///
+/// Handlers are stored *inside* the engine, so a handler closure that
+/// captured a strong [`Fm2Engine`] clone would form an `Rc` cycle
+/// (engine → handler table → closure → engine) and the engine — its
+/// device included — would never drop. On real transports that is worse
+/// than a memory leak: the device's drop hook flushes its tail of queued
+/// datagrams, so a leaked engine strands final acks and FINs in the
+/// queue and wedges the peer. Layers must capture one of these instead;
+/// it exposes exactly the engine surface a handler may touch.
+///
+/// Handlers only run while the engine is polled from `FM_extract`, so
+/// the engine is always alive when these methods execute.
+pub struct Fm2Handle<D: NetDevice> {
+    inner: std::rc::Weak<RefCell<Inner<D>>>,
+}
+
+impl<D: NetDevice> Clone for Fm2Handle<D> {
+    fn clone(&self) -> Self {
+        Fm2Handle {
+            inner: std::rc::Weak::clone(&self.inner),
+        }
+    }
+}
+
+impl<D: NetDevice> Fm2Handle<D> {
+    /// The live engine. Panics if the engine was dropped, which cannot
+    /// happen from inside a running handler.
+    fn engine(&self) -> Fm2Engine<D> {
+        Fm2Engine {
+            inner: self
+                .inner
+                .upgrade()
+                .expect("handler outlived its Fm2Engine"),
+        }
+    }
+
+    /// See [`Fm2Engine::node_id`].
+    pub fn node_id(&self) -> usize {
+        self.engine().node_id()
+    }
+
+    /// See [`Fm2Engine::num_nodes`].
+    pub fn num_nodes(&self) -> usize {
+        self.engine().num_nodes()
+    }
+
+    /// See [`Fm2Engine::charge`].
+    pub fn charge(&self, cost: Nanos) {
+        self.engine().charge(cost);
+    }
+
+    /// See [`Fm2Engine::charge_memcpy`].
+    pub fn charge_memcpy(&self, bytes: usize) {
+        self.engine().charge_memcpy(bytes);
+    }
+
+    /// See [`Fm2Engine::send_from_handler`].
+    pub fn send_from_handler(&self, dst: usize, handler: HandlerId, data: Vec<u8>) {
+        self.engine().send_from_handler(dst, handler, data);
+    }
+
+    /// See [`Fm2Engine::send_pieces_from_handler`].
+    pub fn send_pieces_from_handler(&self, dst: usize, handler: HandlerId, pieces: Vec<Vec<u8>>) {
+        self.engine().send_pieces_from_handler(dst, handler, pieces);
+    }
+}
+
 impl<D: NetDevice> Fm2Engine<D> {
     /// An FM 2.x engine over `device`, charging costs per `profile`.
     pub fn new(device: D, profile: MachineProfile) -> Self {
@@ -143,6 +230,7 @@ impl<D: NetDevice> Fm2Engine<D> {
                 device,
                 profile,
                 handlers: Vec::new(),
+                fast_handlers: Vec::new(),
                 flow: CreditLedger::new(n, profile.fm.credits_per_peer),
                 send_pkt_seq: vec![0; n],
                 send_msg_seq: vec![0; n],
@@ -152,6 +240,7 @@ impl<D: NetDevice> Fm2Engine<D> {
                 local: VecDeque::new(),
                 local_task_counter: 0,
                 reliable,
+                pool: BufPool::new(profile.fm.mtu_payload, SEND_POOL_FRAMES),
                 errors: Vec::new(),
                 stats: FmStats::default(),
                 in_extract: false,
@@ -178,6 +267,14 @@ impl<D: NetDevice> Fm2Engine<D> {
         self.inner.borrow().device.node_id()
     }
 
+    /// A weak handle safe to capture inside handler closures (a strong
+    /// clone there would cycle and leak the engine — see [`Fm2Handle`]).
+    pub fn handle(&self) -> Fm2Handle<D> {
+        Fm2Handle {
+            inner: Rc::downgrade(&self.inner),
+        }
+    }
+
     /// Number of nodes in the network.
     pub fn num_nodes(&self) -> usize {
         self.inner.borrow().device.num_nodes()
@@ -188,9 +285,14 @@ impl<D: NetDevice> Fm2Engine<D> {
         self.inner.borrow().device.now()
     }
 
-    /// Engine counters.
+    /// Engine counters (pool hit/miss counters folded in live).
     pub fn stats(&self) -> FmStats {
-        self.inner.borrow().stats
+        let inner = self.inner.borrow();
+        let mut s = inner.stats;
+        let p = inner.pool.stats();
+        s.pool_hits = p.hits;
+        s.pool_misses = p.misses;
+        s
     }
 
     /// The machine profile in force.
@@ -249,6 +351,33 @@ impl<D: NetDevice> Fm2Engine<D> {
         inner.handlers[idx] = Some(wrapped);
     }
 
+    /// Register a synchronous **fast-path** handler under `id`.
+    ///
+    /// A fast handler fires for *single-packet* messages (FIRST|LAST in
+    /// one frame) directly from the extract loop: no stream state, no
+    /// future allocation, no task bookkeeping — the handler sees a
+    /// zero-copy view of the payload inside the arrival frame. Messages
+    /// larger than one packet to the same id fall back to the async
+    /// handler registered with [`set_handler`](Self::set_handler) (or
+    /// are reported as unknown-handler if there is none).
+    ///
+    /// The payload view is valid **only for the duration of the call**:
+    /// the frame is recycled into the receive pool when the handler
+    /// returns, so a handler that needs the bytes later must copy them.
+    /// Handlers may call engine send methods (`send_from_handler` etc.)
+    /// but not `extract`.
+    pub fn set_fast_handler<F>(&self, id: HandlerId, f: F)
+    where
+        F: FnMut(usize, &[u8]) + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        let idx = id.0 as usize;
+        if inner.fast_handlers.len() <= idx {
+            inner.fast_handlers.resize_with(idx + 1, || None);
+        }
+        inner.fast_handlers[idx] = Some(Box::new(f));
+    }
+
     // ------------------------------------------------------------------
     // Send side: FM_begin_message / FM_send_piece / FM_end_message
     // ------------------------------------------------------------------
@@ -280,7 +409,14 @@ impl<D: NetDevice> Fm2Engine<D> {
             msg_seq,
             msg_len: len as u32,
             accepted: 0,
-            pending: Vec::new(),
+            // Local sends stage the whole message in one exact-size
+            // frame; network sends fill MTU-sized pool frames lazily in
+            // `try_send_piece`.
+            pending: if local {
+                PacketBuf::with_capacity(len)
+            } else {
+                PacketBuf::empty()
+            },
             first_flushed: false,
             ended: false,
             local,
@@ -325,11 +461,20 @@ impl<D: NetDevice> Fm2Engine<D> {
             });
             return Ok(data.len());
         }
-        let mtu = { self.inner.borrow().profile.fm.mtu_payload };
+        let (mtu, pool) = {
+            let inner = self.inner.borrow();
+            (inner.profile.fm.mtu_payload, inner.pool.clone())
+        };
         let mut offset = 0;
         while offset < data.len() {
             if ss.pending.len() == mtu && !self.flush_packet(ss, false) {
                 break;
+            }
+            if ss.pending.is_detached() {
+                // First piece of a fresh packet: grab a recycled frame to
+                // gather into (flushing hands the previous frame to the
+                // packet wholesale).
+                ss.pending = pool.take();
             }
             let space = mtu - ss.pending.len();
             let take = space.min(data.len() - offset);
@@ -667,8 +812,13 @@ impl<D: NetDevice> Fm2Engine<D> {
 
     fn return_explicit_credits(&self) {
         let mut inner = self.inner.borrow_mut();
-        let due: Vec<usize> = inner.flow.needs_explicit_return().collect();
-        for peer in due {
+        // Per-peer index scan (not a collected iterator): this runs on
+        // every extract/progress, and the datapath must stay
+        // allocation-free.
+        for peer in 0..inner.flow.num_peers() {
+            if !inner.flow.explicit_return_due(peer) {
+                continue;
+            }
             if inner.device.send_space() == 0 {
                 return;
             }
@@ -845,7 +995,7 @@ impl<D: NetDevice> Fm2Engine<D> {
         self.inner.borrow().tasks.len()
     }
 
-    fn deliver_local(&self, handler: HandlerId, payload: Vec<u8>) {
+    fn deliver_local(&self, handler: HandlerId, payload: PacketBuf) {
         let me = self.node_id();
         let len = payload.len() as u32;
         let (stream, charge) = {
@@ -879,6 +1029,56 @@ impl<D: NetDevice> Fm2Engine<D> {
         let key = (src, pkt.header.msg_seq);
         let first = pkt.header.flags.contains(PacketFlags::FIRST);
         let last = pkt.header.flags.contains(PacketFlags::LAST);
+
+        // Fast path: a complete single-packet message whose handler is
+        // registered synchronously dispatches right here — no stream, no
+        // task, no future, no allocation. The handler reads the payload
+        // in place (a view of the arrival frame).
+        if first && last {
+            let fast = {
+                let mut inner = self.inner.borrow_mut();
+                inner
+                    .fast_handlers
+                    .get_mut(pkt.header.handler.0 as usize)
+                    .and_then(Option::take)
+            };
+            if let Some(mut f) = fast {
+                let handler = pkt.header.handler;
+                let msg_len = pkt.header.msg_len;
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    let c = Nanos(inner.profile.host.handler_dispatch_ns);
+                    inner.device.charge(c);
+                    inner.stats.handlers_run += 1;
+                    inner.obs_emit(|t, me| {
+                        ObsEvent::new(t, me, SpanKind::HandlerStart)
+                            .peer(src as u16)
+                            .handler(handler.0)
+                            .msg_seq(key.1)
+                            .bytes(msg_len)
+                    });
+                    inner.in_extract = true;
+                }
+                // Engine unborrowed: the handler may send (not extract).
+                f(src, &pkt.payload);
+                let mut inner = self.inner.borrow_mut();
+                inner.in_extract = false;
+                inner.stats.messages_received += 1;
+                inner.stats.bytes_received += msg_len as u64;
+                inner.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::HandlerEnd)
+                        .peer(src as u16)
+                        .handler(handler.0)
+                        .msg_seq(key.1)
+                        .bytes(msg_len)
+                });
+                let idx = handler.0 as usize;
+                if inner.fast_handlers[idx].is_none() {
+                    inner.fast_handlers[idx] = Some(f);
+                }
+                return;
+            }
+        }
 
         let spawn = if first {
             let inner = self.inner.borrow();

@@ -1,5 +1,6 @@
 //! The send-side stream handle (`FM_begin_message` … `FM_end_message`).
 
+use crate::buf::PacketBuf;
 use crate::packet::HandlerId;
 
 /// An open outgoing message. Created by
@@ -19,8 +20,12 @@ pub struct SendStream {
     pub(crate) msg_len: u32,
     /// Payload bytes accepted so far (buffered or flushed).
     pub(crate) accepted: usize,
-    /// Partial packet being filled (length < MTU).
-    pub(crate) pending: Vec<u8>,
+    /// Partial packet being filled (length < MTU): a pooled frame that
+    /// pieces are written straight into (gather — no staging copy) and
+    /// that *becomes* the packet payload on flush, no allocation in
+    /// between. Detached after a flush; the engine re-takes a frame from
+    /// its pool lazily on the next piece.
+    pub(crate) pending: PacketBuf,
     /// True once the FIRST packet has been flushed.
     pub(crate) first_flushed: bool,
     /// True once END has been flushed; no further pieces allowed.
@@ -68,7 +73,7 @@ mod tests {
             msg_seq: 0,
             msg_len: 100,
             accepted: 40,
-            pending: Vec::new(),
+            pending: PacketBuf::empty(),
             first_flushed: false,
             ended: false,
             local: false,

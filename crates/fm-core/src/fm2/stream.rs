@@ -18,6 +18,8 @@ use std::task::{Context, Poll};
 
 use fm_model::Nanos;
 
+use crate::buf::PacketBuf;
+
 /// Shared cost sink between a stream and its engine: receive-side copies
 /// charge here during a handler poll, and the engine drains it into the
 /// device clock afterwards (the engine cannot be borrowed during the poll).
@@ -43,8 +45,10 @@ impl ChargeCell {
 pub(crate) struct StreamState {
     pub(crate) src: usize,
     pub(crate) msg_len: u32,
-    /// Arrived, unconsumed payload segments (one per packet).
-    pub(crate) segments: VecDeque<Vec<u8>>,
+    /// Arrived, unconsumed payload segments (one per packet): refcounted
+    /// views into the very frames the device delivered — scatter happens
+    /// on the single handler-to-user copy in `copy_out`, never here.
+    pub(crate) segments: VecDeque<PacketBuf>,
     /// Consumed prefix of the front segment.
     pub(crate) front_offset: usize,
     /// Total payload bytes arrived.
@@ -265,7 +269,7 @@ mod tests {
     fn push(s: &FmStream, bytes: &[u8]) {
         let mut st = s.state.borrow_mut();
         st.received += bytes.len();
-        st.segments.push_back(bytes.to_vec());
+        st.segments.push_back(bytes.to_vec().into());
     }
 
     fn end(s: &FmStream) {

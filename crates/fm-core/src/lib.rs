@@ -73,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod blocking;
+pub mod buf;
 pub mod device;
 pub mod error;
 pub mod flow;
@@ -83,10 +84,11 @@ pub mod packet;
 pub mod reliable;
 pub mod stats;
 
+pub use buf::{BufPool, PacketBuf, PoolStats};
 pub use device::{NetDevice, SimDevice};
 pub use error::{FmError, WouldBlock};
 pub use fm1::Fm1Engine;
-pub use fm2::{Fm2Engine, FmStream};
+pub use fm2::{Fm2Engine, Fm2Handle, FmStream};
 pub use obs::{LogHistogram, ObsEvent, ObsSink, SpanKind};
 pub use packet::{
     FmPacket, HandlerId, PacketHeader, HEADER_WIRE_BYTES, MAX_FRAME_PAYLOAD, MAX_WIRE_FRAME,

@@ -13,6 +13,7 @@
 //! and buffers that do not parse come back as
 //! [`FmError::MalformedHeader`], never a panic.
 
+use crate::buf::PacketBuf;
 use crate::error::FmError;
 
 /// Identifies a registered message handler on the receiving node.
@@ -215,12 +216,18 @@ impl PacketHeader {
 }
 
 /// A full FM packet: header plus payload bytes.
+///
+/// The payload is a [`PacketBuf`]: a refcounted window into a pooled
+/// frame (or a plain `Vec` for cold paths). Cloning a packet copies the
+/// 24-byte header and bumps a refcount — payload bytes never move —
+/// which is what makes the retransmission ring and multi-layer handoff
+/// copy-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FmPacket {
     /// The header.
     pub header: PacketHeader,
     /// Message payload carried by this packet (empty for CREDIT_ONLY).
-    pub payload: Vec<u8>,
+    pub payload: PacketBuf,
 }
 
 impl FmPacket {
@@ -243,7 +250,7 @@ impl FmPacket {
                 credits,
                 ack: 0,
             },
-            payload: Vec::new(),
+            payload: PacketBuf::empty(),
         }
     }
 
@@ -263,7 +270,7 @@ impl FmPacket {
                 credits: 0,
                 ack,
             },
-            payload: Vec::new(),
+            payload: PacketBuf::empty(),
         }
     }
 
@@ -274,15 +281,36 @@ impl FmPacket {
     /// when the packet would exceed [`MAX_WIRE_FRAME`] and therefore
     /// could not cross a UDP socket in one datagram.
     pub fn encode_wire(&self) -> Result<Vec<u8>, FmError> {
+        let mut out = vec![0u8; HEADER_WIRE_BYTES as usize + self.payload.len()];
+        let n = self.encode_into(&mut out)?;
+        debug_assert_eq!(n, out.len());
+        Ok(out)
+    }
+
+    /// Encode the full packet **in place**: header and payload are
+    /// written directly into the front of `out` (a pool frame on the hot
+    /// path) and the encoded length is returned. No intermediate
+    /// allocation — this is the gather-send half of the zero-copy
+    /// datapath.
+    ///
+    /// Fails when the packet would exceed [`MAX_WIRE_FRAME`] (same
+    /// refusal as [`encode_wire`](Self::encode_wire)) or when `out` is
+    /// too small to hold the frame.
+    pub fn encode_into(&self, out: &mut [u8]) -> Result<usize, FmError> {
         if self.payload.len() > MAX_FRAME_PAYLOAD {
             return Err(FmError::MalformedHeader {
                 reason: "packet exceeds MAX_WIRE_FRAME",
             });
         }
-        let mut out = Vec::with_capacity(HEADER_WIRE_BYTES as usize + self.payload.len());
-        out.extend_from_slice(&self.header.encode()?);
-        out.extend_from_slice(&self.payload);
-        Ok(out)
+        let total = HEADER_WIRE_BYTES as usize + self.payload.len();
+        let Some(dst) = out.get_mut(..total) else {
+            return Err(FmError::MalformedHeader {
+                reason: "output buffer smaller than encoded frame",
+            });
+        };
+        dst[..HEADER_WIRE_BYTES as usize].copy_from_slice(&self.header.encode()?);
+        dst[HEADER_WIRE_BYTES as usize..].copy_from_slice(&self.payload);
+        Ok(total)
     }
 
     /// Decode a full packet from a wire frame produced by
@@ -290,6 +318,10 @@ impl FmPacket {
     /// everything after is the payload. Rejects frames longer than
     /// [`MAX_WIRE_FRAME`] (they cannot have come from `encode_wire`) and
     /// anything the header codec rejects.
+    ///
+    /// This form copies the payload out of `buf`. Receive paths that
+    /// already hold the frame in a [`PacketBuf`] should use
+    /// [`decode_from_buf`](Self::decode_from_buf), which does not.
     pub fn decode_wire(buf: &[u8]) -> Result<FmPacket, FmError> {
         if buf.len() > MAX_WIRE_FRAME {
             return Err(FmError::MalformedHeader {
@@ -299,7 +331,28 @@ impl FmPacket {
         let header = PacketHeader::decode(buf)?;
         Ok(FmPacket {
             header,
-            payload: buf[HEADER_WIRE_BYTES as usize..].to_vec(),
+            payload: PacketBuf::from(buf[HEADER_WIRE_BYTES as usize..].to_vec()),
+        })
+    }
+
+    /// Decode a full packet **zero-copy** from a frame already living in
+    /// a [`PacketBuf`] (the buffer a transport's receive loop filled):
+    /// the returned packet's payload is a refcounted sub-window of
+    /// `frame`, so no payload byte moves. Same rejections as
+    /// [`decode_wire`](Self::decode_wire).
+    pub fn decode_from_buf(frame: &PacketBuf) -> Result<FmPacket, FmError> {
+        if frame.len() > MAX_WIRE_FRAME {
+            return Err(FmError::MalformedHeader {
+                reason: "frame exceeds MAX_WIRE_FRAME",
+            });
+        }
+        let header = PacketHeader::decode(frame)?;
+        Ok(FmPacket {
+            header,
+            payload: frame.slice(
+                HEADER_WIRE_BYTES as usize,
+                frame.len() - HEADER_WIRE_BYTES as usize,
+            ),
         })
     }
 
@@ -339,7 +392,7 @@ mod tests {
                 credits: 0,
                 ack: 0,
             },
-            payload: vec![0u8; 100],
+            payload: vec![0u8; 100].into(),
         };
         assert_eq!(p.wire_bytes(), 124);
         assert!(p.is_data());
@@ -423,7 +476,7 @@ mod tests {
                 credits: 0,
                 ack: 0,
             },
-            payload: b"frame me".to_vec(),
+            payload: b"frame me".to_vec().into(),
         };
         let wire = p.encode_wire().unwrap();
         assert_eq!(wire.len(), p.wire_bytes() as usize);
@@ -431,14 +484,14 @@ mod tests {
 
         // Exactly at the boundary: fine.
         let mut max = p.clone();
-        max.payload = vec![0xAA; MAX_FRAME_PAYLOAD];
+        max.payload = vec![0xAA; MAX_FRAME_PAYLOAD].into();
         let wire = max.encode_wire().unwrap();
         assert_eq!(wire.len(), MAX_WIRE_FRAME);
         assert_eq!(FmPacket::decode_wire(&wire).unwrap(), max);
 
         // One byte over: rejected, never truncated.
         let mut over = p.clone();
-        over.payload = vec![0xAA; MAX_FRAME_PAYLOAD + 1];
+        over.payload = vec![0xAA; MAX_FRAME_PAYLOAD + 1].into();
         assert!(matches!(
             over.encode_wire(),
             Err(crate::FmError::MalformedHeader { .. })

@@ -198,8 +198,10 @@ impl ReliableState {
         pr.expected
     }
 
-    /// Record a data packet handed to the device: clone it into the
-    /// retransmit ring and arm the timer if idle.
+    /// Record a data packet handed to the device: retain it in the
+    /// retransmit ring and arm the timer if idle. The clone is a header
+    /// copy plus a payload refcount bump — the ring shares the packet's
+    /// pooled frame, it does not deep-copy it.
     pub(crate) fn on_data_sent(&mut self, dst: usize, pkt: &FmPacket, now: Nanos) {
         let ps = &mut self.send[dst];
         ps.ring.push_back(pkt.clone());
@@ -309,9 +311,10 @@ impl ReliableState {
             .collect()
     }
 
-    /// Clones of the unacked packets to `dst`, oldest first, with their
-    /// piggybacked ack refreshed to the current value (the stored clone's
-    /// ack may be stale).
+    /// The unacked packets to `dst`, oldest first, with their piggybacked
+    /// ack refreshed to the current value (the stored copy's ack may be
+    /// stale). Each "clone" copies the 24-byte header and bumps the
+    /// payload refcount; no payload bytes move.
     pub(crate) fn ring_packets(&mut self, dst: usize) -> Vec<FmPacket> {
         let ack = self.recv[dst].expected;
         self.send[dst]
@@ -412,7 +415,7 @@ mod prop_tests {
                 credits: 0,
                 ack: 0,
             },
-            payload: vec![0; 4],
+            payload: vec![0; 4].into(),
         }
     }
 
@@ -680,11 +683,16 @@ mod prop_tests {
                         }
                         let copy = w.wire[0].clone();
                         w.deliver(0);
-                        if rng.chance(0.6) {
-                            w.wire.insert(0, copy.clone());
-                        }
-                        if rng.chance(0.3) {
-                            w.wire.push(copy.clone()); // late straggler
+                        let redeliver = rng.chance(0.6);
+                        let straggle = rng.chance(0.3);
+                        match (redeliver, straggle) {
+                            (true, true) => {
+                                w.wire.insert(0, copy.clone());
+                                w.wire.push(copy); // late straggler
+                            }
+                            (true, false) => w.wire.insert(0, copy),
+                            (false, true) => w.wire.push(copy), // late straggler
+                            (false, false) => {}
                         }
                     }
                 }
@@ -761,7 +769,7 @@ mod tests {
                 credits: 0,
                 ack: 0,
             },
-            payload: vec![0; 4],
+            payload: vec![0; 4].into(),
         }
     }
 

@@ -43,11 +43,17 @@ pub struct FmStats {
     pub retransmit_timeouts: u64,
     /// Protocol errors surfaced to the application (`FmError`s queued).
     pub errors_reported: u64,
+    /// Packet-buffer pool takes served from the free list (recycled
+    /// frames — the zero-alloc steady state made visible).
+    pub pool_hits: u64,
+    /// Packet-buffer pool takes that had to allocate a fresh frame
+    /// (warm-up, or bursts deeper than the free list).
+    pub pool_misses: u64,
 }
 
 impl FmStats {
     /// Every `(label, value)` pair, in declaration order.
-    fn fields(&self) -> [(&'static str, u64); 16] {
+    fn fields(&self) -> [(&'static str, u64); 18] {
         [
             ("messages_sent", self.messages_sent),
             ("bytes_sent", self.bytes_sent),
@@ -65,6 +71,8 @@ impl FmStats {
             ("duplicates_dropped", self.duplicates_dropped),
             ("retransmit_timeouts", self.retransmit_timeouts),
             ("errors_reported", self.errors_reported),
+            ("pool_hits", self.pool_hits),
+            ("pool_misses", self.pool_misses),
         ]
     }
 
@@ -98,6 +106,8 @@ impl FmStats {
                 .retransmit_timeouts
                 .saturating_sub(earlier.retransmit_timeouts),
             errors_reported: self.errors_reported.saturating_sub(earlier.errors_reported),
+            pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),
         }
     }
 }

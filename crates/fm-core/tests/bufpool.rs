@@ -1,0 +1,187 @@
+//! Integration battery for the pooled packet-buffer layer (`fm_core::buf`).
+//!
+//! The pool's contract is what makes the zero-copy datapath safe: frames
+//! recycle only when the *last* owner drops, views pin their frame, and a
+//! recycled frame comes back writable and empty. These tests exercise the
+//! contract through the public API only, the way the engines and
+//! transports use it. Property-style cases are seeded and sized by
+//! `PROPTEST_CASES` (see `fm_model::rng::env_cases`).
+
+use fm_core::{BufPool, PacketBuf};
+use fm_model::rng::{env_cases, DetRng};
+
+#[test]
+fn take_returns_empty_writable_frames_at_full_capacity() {
+    let pool = BufPool::new(256, 8);
+    let mut b = pool.take();
+    assert_eq!(b.len(), 0, "fresh frame starts as an empty window");
+    assert_eq!(b.capacity(), 256);
+    assert!(!b.is_detached());
+    assert!(b.is_unique());
+    b.extend_from_slice(&[0xAB; 100]);
+    assert_eq!(&b[..], &[0xAB; 100][..]);
+}
+
+#[test]
+fn recycled_frames_are_reused_not_reallocated() {
+    let pool = BufPool::new(128, 4);
+    // Warm-up: one frame through the pool.
+    drop(pool.take());
+    assert_eq!(pool.free_frames(), 1);
+    for _ in 0..100 {
+        let mut b = pool.take();
+        b.extend_from_slice(b"payload");
+        drop(b);
+    }
+    let s = pool.stats();
+    assert_eq!(s.misses, 1, "only the warm-up frame was allocated");
+    assert_eq!(s.hits, 100, "every later take hit the free list");
+    assert_eq!(pool.free_frames(), 1, "the same frame kept cycling");
+}
+
+#[test]
+fn recycled_frames_come_back_as_empty_windows() {
+    let pool = BufPool::new(64, 4);
+    let mut b = pool.take();
+    b.extend_from_slice(&[0xFF; 64]);
+    drop(b);
+    let again = pool.take();
+    // The frame's old bytes may still be there (never re-zeroed — that
+    // would be a hidden memset per packet), but the *window* must be
+    // empty: stale bytes are unreachable through the API.
+    assert_eq!(again.len(), 0, "recycled frame must not expose old bytes");
+}
+
+#[test]
+fn a_live_view_keeps_the_frame_out_of_the_pool() {
+    let pool = BufPool::new(64, 4);
+    let mut b = pool.take();
+    b.extend_from_slice(b"hello world");
+    let view = b.slice(6, 5);
+    assert_eq!(&view[..], b"world");
+
+    // Dropping the original owner must NOT recycle: the view still reads
+    // the frame's bytes.
+    drop(b);
+    assert_eq!(pool.free_frames(), 0, "view keeps the frame checked out");
+    assert_eq!(&view[..], b"world", "view survives the owner");
+
+    // Only the last owner's drop recycles.
+    drop(view);
+    assert_eq!(pool.free_frames(), 1, "last drop returns the frame");
+}
+
+#[test]
+fn shared_frames_refuse_writes_until_unique_again() {
+    let pool = BufPool::new(64, 4);
+    let mut b = pool.take();
+    b.extend_from_slice(b"abc");
+    let view = b.slice(0, 3);
+    assert!(!b.is_unique());
+    assert!(
+        b.frame_mut().is_none(),
+        "shared frame must not hand out &mut"
+    );
+    drop(view);
+    assert!(b.is_unique());
+    assert!(b.frame_mut().is_some(), "unique again: writes allowed");
+}
+
+#[test]
+fn max_free_caps_the_free_list() {
+    let pool = BufPool::new(32, 2);
+    let a = pool.take();
+    let b = pool.take();
+    let c = pool.take();
+    drop(a);
+    drop(b);
+    drop(c);
+    assert_eq!(
+        pool.free_frames(),
+        2,
+        "third frame falls to the allocator, list stays bounded"
+    );
+}
+
+#[test]
+fn homeless_buffers_never_enter_a_pool() {
+    let pool = BufPool::new(32, 4);
+    drop(PacketBuf::from(vec![1u8, 2, 3]));
+    drop(PacketBuf::with_capacity(16));
+    assert_eq!(pool.free_frames(), 0, "only pool-born frames recycle");
+    // `mem::take` leaves a detached shell; the moved-out buffer still
+    // carries the frame home on its final drop.
+    let mut b = pool.take();
+    let taken = std::mem::take(&mut b);
+    assert!(b.is_detached());
+    drop(b);
+    assert_eq!(pool.free_frames(), 0, "detached shell recycles nothing");
+    drop(taken);
+    assert_eq!(pool.free_frames(), 1, "the moved-out owner recycles");
+}
+
+#[test]
+fn frames_outlive_their_pool() {
+    // A transport can drop its pool while the engine still holds packet
+    // views into pooled frames; those buffers must stay readable and
+    // simply fall to the allocator on their final drop.
+    let pool = BufPool::new(64, 4);
+    let mut b = pool.take();
+    b.extend_from_slice(b"orphan");
+    drop(pool);
+    assert_eq!(&b[..], b"orphan");
+    drop(b); // must not panic or leak into a dead pool
+}
+
+#[test]
+fn prop_views_always_read_what_the_owner_wrote() {
+    let cases = env_cases(256);
+    let pool = BufPool::new(512, 8);
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0xB0F_0000 ^ case as u64);
+        let len = rng.range_usize(1, 512);
+        let bytes = rng.bytes(len);
+        let mut b = pool.take();
+        b.extend_from_slice(&bytes);
+        // A random sub-window.
+        let off = rng.range_usize(0, len);
+        let wlen = rng.range_usize(0, len - off + 1);
+        let view = b.slice(off, wlen);
+        assert_eq!(&view[..], &bytes[off..off + wlen], "case {case}");
+        // Clones are views of the whole window.
+        let clone = b.clone();
+        assert_eq!(clone, b, "case {case}: clone sees identical bytes");
+        drop(b);
+        drop(clone);
+        assert_eq!(&view[..], &bytes[off..off + wlen], "case {case}: view pins");
+    }
+}
+
+#[test]
+fn prop_interleaved_take_drop_never_grows_past_live_set() {
+    // Steady-state shape: whatever the interleaving of takes and drops,
+    // the pool allocates at most max(live frames) times in total.
+    let cases = env_cases(64);
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0x5AB_0000 ^ (case as u64) << 4);
+        let pool = BufPool::new(128, 64);
+        let mut live: Vec<PacketBuf> = Vec::new();
+        let mut peak = 0usize;
+        for _ in 0..200 {
+            if live.is_empty() || rng.below(2) == 0 {
+                let mut b = pool.take();
+                b.extend_from_slice(&[0x5A; 16]);
+                live.push(b);
+                peak = peak.max(live.len());
+            } else {
+                let idx = rng.range_usize(0, live.len());
+                live.swap_remove(idx);
+            }
+        }
+        let misses = pool.stats().misses;
+        assert!(
+            misses as usize <= peak,
+            "case {case}: {misses} allocations for a peak of {peak} live frames"
+        );
+    }
+}

@@ -184,7 +184,7 @@ fn prop_wire_frames_roundtrip_and_oversize_is_an_error_not_a_truncation() {
         };
         let pkt = FmPacket {
             header,
-            payload: rng.bytes(len),
+            payload: rng.bytes(len).into(),
         };
         if len <= MAX_FRAME_PAYLOAD {
             let wire = pkt.encode_wire().expect("legal frame encodes");
@@ -209,6 +209,95 @@ fn prop_wire_frames_roundtrip_and_oversize_is_an_error_not_a_truncation() {
             );
         }
     }
+}
+
+#[test]
+fn prop_in_place_encoder_matches_the_allocating_encoder() {
+    // `encode_into` is the hot-path twin of `encode_wire`: same packet,
+    // same bytes, written into a caller-owned frame instead of a fresh
+    // Vec. Any divergence would mean the pooled and unpooled paths speak
+    // different dialects on the wire. `decode_from_buf` must then hand
+    // back the packet with a zero-copy payload view into that frame.
+    use fm_core::PacketBuf;
+    let cases = env_cases(256);
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0x17_F1A7 ^ ((case as u64) << 16));
+        let header = random_header(&mut rng);
+        let len = rng.range_usize(0, 4 * 1024);
+        let pkt = FmPacket {
+            header,
+            payload: rng.bytes(len).into(),
+        };
+        let alloc = pkt.encode_wire().expect("legal frame encodes");
+        let mut frame = vec![0xA5u8; MAX_WIRE_FRAME];
+        let n = pkt.encode_into(&mut frame).expect("same packet encodes");
+        assert_eq!(n, alloc.len(), "case {case}: same encoded length");
+        assert_eq!(&frame[..n], &alloc[..], "case {case}: same encoded bytes");
+        assert_eq!(
+            &frame[n..],
+            &vec![0xA5u8; MAX_WIRE_FRAME - n][..],
+            "case {case}: bytes past the frame untouched"
+        );
+        // Zero-copy decode out of a PacketBuf frame.
+        let buf = PacketBuf::from(&frame[..n]);
+        let back = FmPacket::decode_from_buf(&buf).expect("own encoding decodes");
+        assert_eq!(back, pkt, "case {case}: in-place round trip lossless");
+    }
+}
+
+#[test]
+fn prop_encode_into_refuses_short_output_without_writing() {
+    // A frame one byte too small must be refused whole — a partial write
+    // into a pooled frame would leak stale bytes onto the wire when the
+    // caller trusts the reported length.
+    let cases = env_cases(128);
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0x5407_0000 ^ case as u64);
+        let header = random_header(&mut rng);
+        let len = rng.range_usize(0, 256);
+        let pkt = FmPacket {
+            header,
+            payload: rng.bytes(len).into(),
+        };
+        let total = HEADER_WIRE_BYTES as usize + len;
+        let short = rng.range_usize(0, total);
+        let mut out = vec![0xEEu8; short];
+        assert!(
+            matches!(
+                pkt.encode_into(&mut out),
+                Err(FmError::MalformedHeader { .. })
+            ),
+            "case {case}: {short}-byte output for a {total}-byte frame"
+        );
+        assert_eq!(out, vec![0xEEu8; short], "case {case}: output untouched");
+    }
+}
+
+#[test]
+fn encode_into_refuses_oversize_packets_like_encode_wire() {
+    let mut rng = DetRng::seed_from_u64(0x0E4_517E);
+    let pkt = FmPacket {
+        header: PacketHeader {
+            src: 0,
+            dst: 1,
+            handler: HandlerId(1),
+            msg_seq: 0,
+            pkt_seq: 0,
+            msg_len: 0,
+            flags: PacketFlags::FIRST | PacketFlags::LAST,
+            credits: 0,
+            ack: 0,
+        },
+        payload: rng.bytes(MAX_FRAME_PAYLOAD + 1).into(),
+    };
+    let mut out = vec![0u8; MAX_WIRE_FRAME + 512];
+    assert!(
+        matches!(
+            pkt.encode_into(&mut out),
+            Err(FmError::MalformedHeader { .. })
+        ),
+        "oversize payload must be refused even with room to spare"
+    );
 }
 
 #[test]

@@ -86,7 +86,7 @@ mod tests {
                     credits: 0,
                     ack: 0,
                 },
-                payload: vec![i as u8],
+                payload: vec![i as u8].into(),
             };
             dev.try_send(pkt).unwrap();
             loop {

@@ -148,7 +148,7 @@ mod tests {
                 credits: 0,
                 ack: 0,
             },
-            payload: vec![tag],
+            payload: vec![tag].into(),
         }
     }
 

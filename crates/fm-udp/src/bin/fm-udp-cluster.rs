@@ -347,7 +347,7 @@ fn ping_pong<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
     } else {
         let done: Rc<RefCell<u32>> = Rc::default();
         let d = Rc::clone(&done);
-        let fm_h = fm.clone();
+        let fm_h = fm.handle();
         fm.set_handler(PING, move |stream, src| {
             let d = Rc::clone(&d);
             let fm = fm_h.clone();

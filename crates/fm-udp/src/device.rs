@@ -6,10 +6,32 @@
 //!   `send_space() >= k` ⇒ the next `k` `try_send`s succeed. A raw
 //!   `send_to` cannot promise that (the kernel buffer may fill mid-
 //!   message), so the device owns a bounded out-queue — the moral
-//!   equivalent of LANai send memory. `try_send` enqueues; every poll
-//!   flushes as much as the socket accepts; `EWOULDBLOCK` leaves the
-//!   frame queued for the next poll. The queue bound is the back-pressure
-//!   `send_space` reports.
+//!   equivalent of LANai send memory. `try_send` enqueues (encoding
+//!   straight into a pooled frame); the queue drains in batches of up
+//!   to [`SEND_BATCH`] on every poll — and eagerly once a full batch
+//!   has accumulated, so a sender streaming inside an open window stays
+//!   pipelined. `EWOULDBLOCK` leaves the remainder queued for the next
+//!   poll. The queue bound is the back-pressure `send_space` reports.
+//! * **Datagram trains.** A flush packs every consecutive queued frame
+//!   to the same destination into one [`wire::FrameKind::Train`]
+//!   datagram (up to the 65,507-byte ceiling). Small-message streams
+//!   are syscall-bound on a real socket; a train pays one
+//!   `sendto`/`recvfrom` pair for the whole run, and the receiver
+//!   decodes every record as a zero-copy view of the single datagram
+//!   frame. A lone frame goes out as-is — no staging copy, no added
+//!   latency.
+//! * **Ack coalescing.** Deferring the flush to the poll opens a window
+//!   in which several ack-carrying frames to the same peer can be
+//!   queued at once. Cumulative acks are monotone, so a data packet's
+//!   piggybacked ack — or a fresher standalone ack — supersedes any
+//!   queued ACK_ONLY datagram to that peer, which is dropped from the
+//!   queue ([`UdpStats::acks_coalesced`]).
+//! * **Zero-copy frames.** Outbound packets are encoded in place into
+//!   pooled [`PacketBuf`] frames; inbound datagrams are received into
+//!   pooled frames and decoded zero-copy — the packet handed to the
+//!   engine holds a refcounted view of the very bytes `recv_from`
+//!   wrote. Steady-state traffic recycles frames through the pool and
+//!   never touches the allocator.
 //! * **Loss is real.** UDP drops, duplicates, and reorders; so can the
 //!   kernel under buffer pressure. The device reports
 //!   [`NetDevice::is_lossy`] = `true`, which makes the engine
@@ -31,15 +53,23 @@ use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
 use fm_core::device::{DeviceFull, NetDevice};
-use fm_core::FmPacket;
+use fm_core::packet::PacketFlags;
+use fm_core::{BufPool, FmPacket, PacketBuf};
 use fm_model::rng::DetRng;
 use fm_model::Nanos;
 
 use crate::wire;
 
-/// Most datagrams one `try_recv` call will read before handing control
-/// back (keeps a flood from starving the caller's own send path).
-const RECV_BATCH: usize = 64;
+/// Most datagrams one `poll_socket` call will read. The loop runs until
+/// `EWOULDBLOCK` — the kernel receive buffer bounds it in practice —
+/// with this cap as a flood guard so a fast sender cannot starve the
+/// caller's own send path.
+const RECV_BATCH: usize = 128;
+
+/// Most queued frames one `flush_out` call hands to the socket: a poll's
+/// worth of packets goes out back-to-back, but a deep queue cannot
+/// monopolize the poll.
+const SEND_BATCH: usize = 32;
 
 /// Minimum gap between hello replies to one straggling peer after this
 /// node has already joined (their join beacons pace the conversation;
@@ -93,6 +123,25 @@ pub struct UdpStats {
     pub hellos_sent: u64,
     /// Hello frames received.
     pub hellos_received: u64,
+    /// Standalone ACK_ONLY datagrams dropped from the out-queue because
+    /// a frame to the same peer carrying a fresher cumulative ack (a
+    /// data packet's piggyback, or a newer standalone ack) was enqueued
+    /// in the same poll window.
+    pub acks_coalesced: u64,
+    /// Multi-frame [`wire::FrameKind::Train`] datagrams sent; each one
+    /// replaced that many single-frame `sendto` calls with one.
+    pub trains_sent: u64,
+}
+
+/// One queued outbound datagram: an encoded frame plus the routing facts
+/// the coalescing pass needs without re-parsing it.
+struct OutFrame {
+    to: SocketAddr,
+    dst_node: u16,
+    /// True for standalone ACK_ONLY packets — the only frames the
+    /// coalescing pass may drop.
+    pure_ack: bool,
+    frame: PacketBuf,
 }
 
 /// [`NetDevice`] over one bound UDP socket and a static peer map.
@@ -103,7 +152,10 @@ pub struct UdpDevice {
     peers: Vec<SocketAddr>,
     epoch: u64,
     /// Bounded frame out-queue (see module docs).
-    out: VecDeque<(SocketAddr, Vec<u8>)>,
+    out: VecDeque<OutFrame>,
+    /// Queued entries with `pure_ack` set — gates the coalescing scan so
+    /// the common no-acks-queued case costs one integer compare.
+    queued_pure_acks: usize,
     capacity: usize,
     /// Data packets decoded while looking for something else (e.g. during
     /// the join barrier); drained before the socket is polled again.
@@ -118,7 +170,12 @@ pub struct UdpDevice {
     drop_p: f64,
     rng: DetRng,
     stats: UdpStats,
-    recv_buf: Vec<u8>,
+    /// Frame pool for both directions: outbound frames are encoded in
+    /// place, inbound datagrams are received straight into pool frames.
+    pool: BufPool,
+    /// Reusable staging buffer for multi-frame train datagrams (retains
+    /// its capacity across flushes — no steady-state allocation).
+    train: Vec<u8>,
 }
 
 impl UdpDevice {
@@ -170,6 +227,7 @@ impl UdpDevice {
             node: node_id,
             epoch: cfg.epoch,
             out: VecDeque::with_capacity(cfg.send_queue),
+            queued_pure_acks: 0,
             capacity: cfg.send_queue,
             inq: VecDeque::new(),
             clock_epoch: Instant::now(),
@@ -179,7 +237,8 @@ impl UdpDevice {
             drop_p: cfg.drop_outbound,
             rng: DetRng::seed_from_u64(cfg.drop_seed ^ (node_id as u64).wrapping_mul(0x9E37)),
             stats: UdpStats::default(),
-            recv_buf: vec![0u8; wire::MAX_DATAGRAM],
+            pool: BufPool::new(wire::MAX_DATAGRAM, cfg.send_queue + RECV_BATCH),
+            train: Vec::new(),
             peers,
         })
     }
@@ -197,6 +256,12 @@ impl UdpDevice {
     /// Transport counters so far.
     pub fn stats(&self) -> UdpStats {
         self.stats
+    }
+
+    /// Frame-pool hit/miss counters: steady-state traffic should be all
+    /// hits (zero allocation per datagram after warm-up).
+    pub fn pool_stats(&self) -> fm_core::PoolStats {
+        self.pool.stats()
     }
 
     /// Run the join barrier: beacon hellos to every peer until this node
@@ -286,47 +351,109 @@ impl UdpDevice {
         }
     }
 
-    /// Drain the out-queue into the socket until it would block.
+    /// Hand up to [`SEND_BATCH`] queued frames to the socket, stopping
+    /// early when it would block.
+    ///
+    /// Consecutive frames to the same destination are packed into one
+    /// [`wire::FrameKind::Train`] datagram: on a real socket, a stream of
+    /// small messages is syscall-bound, and a train pays one `sendto`
+    /// (and one `recvfrom` at the peer) for the whole run. A lone frame
+    /// goes out as-is — its pooled encoding IS the datagram, no copy.
     fn flush_out(&mut self) {
-        while let Some((to, frame)) = self.out.front() {
-            if self.drop_p > 0.0 && self.rng.chance(self.drop_p) {
-                self.stats.drops_injected += 1;
-                self.out.pop_front();
-                continue;
+        let mut budget = SEND_BATCH;
+        while budget > 0 {
+            let Some(front) = self.out.front() else {
+                return;
+            };
+            let to = front.to;
+            // Size the longest same-destination run that fits one
+            // datagram (and the remaining batch budget).
+            let mut n = 0usize;
+            let mut train_len = wire::PREAMBLE_BYTES;
+            for f in self.out.iter().take(budget) {
+                if f.to != to {
+                    break;
+                }
+                let rec = wire::TRAIN_RECORD_HEADER + (f.frame.len() - wire::PREAMBLE_BYTES);
+                if n > 0 && train_len + rec > wire::MAX_DATAGRAM {
+                    break;
+                }
+                train_len += rec;
+                n += 1;
             }
-            match self.socket.send_to(frame, *to) {
+            let result = if n == 1 {
+                let entry = self.out.front().expect("run is non-empty");
+                self.socket.send_to(&entry.frame, to)
+            } else {
+                let train = &mut self.train;
+                train.clear();
+                wire::begin_train(train, self.node as u16, self.epoch);
+                for f in self.out.iter().take(n) {
+                    wire::push_train_record(train, &f.frame[wire::PREAMBLE_BYTES..]);
+                }
+                self.socket.send_to(train, to)
+            };
+            match result {
                 Ok(_) => {
-                    self.stats.frames_sent += 1;
-                    self.out.pop_front();
+                    self.stats.frames_sent += n as u64;
+                    if n > 1 {
+                        self.stats.trains_sent += 1;
+                    }
+                    for _ in 0..n {
+                        self.pop_front_entry();
+                    }
+                    budget -= n;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     self.stats.send_retries += 1;
-                    break;
+                    return;
                 }
                 Err(_) => {
                     // A real socket error: the datagram is gone either
                     // way; reliability recovers. Do not wedge the queue.
                     self.stats.send_errors += 1;
-                    self.out.pop_front();
+                    for _ in 0..n {
+                        self.pop_front_entry();
+                    }
+                    budget -= n;
                 }
             }
         }
     }
 
-    /// Read at most [`RECV_BATCH`] datagrams, validating each and parking
-    /// accepted data packets on `inq`; hellos are absorbed (and answered
-    /// for stragglers) on the spot.
+    /// Pop the head of the out-queue, keeping the pure-ack count honest.
+    /// The popped frame drops here and recycles to the pool.
+    fn pop_front_entry(&mut self) {
+        if let Some(entry) = self.out.pop_front() {
+            if entry.pure_ack {
+                self.queued_pure_acks -= 1;
+            }
+        }
+    }
+
+    /// Read datagrams until the socket would block (capped at
+    /// [`RECV_BATCH`] per call), each into a pooled frame, validating
+    /// and parking accepted data packets on `inq` as zero-copy views of
+    /// those frames; hellos are absorbed (and answered for stragglers)
+    /// on the spot.
     fn poll_socket(&mut self) {
         for _ in 0..RECV_BATCH {
-            let (len, from) = match self.socket.recv_from(&mut self.recv_buf) {
+            let mut frame = self.pool.take();
+            let recv = {
+                let buf = frame
+                    .frame_mut()
+                    .expect("fresh pool frame is uniquely owned");
+                self.socket.recv_from(buf)
+            };
+            let (len, from) = match recv {
                 Ok(x) => x,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 // E.g. a routing hiccup surfaced on the recv path; the
                 // datagram (if any) is unusable, keep polling next round.
                 Err(_) => break,
             };
-            let buf = &self.recv_buf[..len];
-            let pre = match wire::decode_preamble(buf, self.epoch) {
+            frame.set_window(0, len);
+            let pre = match wire::decode_preamble(&frame, self.epoch) {
                 Ok(p) => p,
                 Err(_) => {
                     self.stats.frames_rejected += 1;
@@ -340,10 +467,9 @@ impl UdpDevice {
                 self.stats.frames_rejected += 1;
                 continue;
             }
-            let body = &buf[wire::PREAMBLE_BYTES..];
             match pre.kind {
                 wire::FrameKind::Hello => {
-                    let Ok(mask) = wire::decode_hello_body(body) else {
+                    let Ok(mask) = wire::decode_hello_body(&frame[wire::PREAMBLE_BYTES..]) else {
                         self.stats.frames_rejected += 1;
                         continue;
                     };
@@ -352,18 +478,50 @@ impl UdpDevice {
                     self.peer_masks[src] = mask;
                     self.reply_to_straggler(src, mask);
                 }
-                wire::FrameKind::Data => match wire::decode_data_body(body) {
+                wire::FrameKind::Data => match wire::decode_data_frame_buf(&frame) {
                     Ok(pkt)
                         if pkt.header.src as usize == src
                             && pkt.header.dst as usize == self.node =>
                     {
+                        // `pkt.payload` is a view into `frame`; the frame
+                        // recycles once the engine is done with it.
                         self.stats.frames_received += 1;
                         self.seen_mask |= 1u64 << src;
                         self.inq.push_back(pkt);
                     }
                     _ => self.stats.frames_rejected += 1,
                 },
+                wire::FrameKind::Train => {
+                    // Every record decodes as a view into the one pooled
+                    // datagram frame; the frame recycles when the engine
+                    // has dropped the last packet's payload.
+                    let mut off = wire::PREAMBLE_BYTES;
+                    while let Some(rec) = wire::next_train_record(&frame, off) {
+                        let (start, len) = match rec {
+                            Ok(b) => b,
+                            Err(_) => {
+                                // A corrupt length prefix: the walk cannot
+                                // resync, drop the rest of the datagram.
+                                self.stats.frames_rejected += 1;
+                                break;
+                            }
+                        };
+                        off = start + len;
+                        match FmPacket::decode_from_buf(&frame.slice(start, len)) {
+                            Ok(pkt)
+                                if pkt.header.src as usize == src
+                                    && pkt.header.dst as usize == self.node =>
+                            {
+                                self.stats.frames_received += 1;
+                                self.seen_mask |= 1u64 << src;
+                                self.inq.push_back(pkt);
+                            }
+                            _ => self.stats.frames_rejected += 1,
+                        }
+                    }
+                }
             }
+            // Hello/rejected frames drop here and recycle immediately.
         }
     }
 
@@ -383,6 +541,23 @@ impl UdpDevice {
         self.last_hello_reply[src] = Some(Instant::now());
         let hello = wire::encode_hello(self.node as u16, self.epoch, self.seen_mask);
         self.send_hello(self.peers[src], &hello);
+    }
+}
+
+impl Drop for UdpDevice {
+    /// Best-effort tail drain. `try_send` defers datagrams to the next
+    /// poll's batch, so a node whose *last* action is a send — the final
+    /// ack of a barrier, the closing message of a ping-pong — would
+    /// otherwise exit with frames still queued and wedge its peer.
+    /// Bounded, so an unreachable peer cannot wedge drop itself.
+    fn drop(&mut self) {
+        let deadline = Instant::now() + Duration::from_millis(50);
+        while !self.out.is_empty() && Instant::now() < deadline {
+            self.flush_out();
+            if !self.out.is_empty() {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
     }
 }
 
@@ -411,16 +586,67 @@ impl NetDevice for UdpDevice {
         // cannot cross the socket in one datagram. The engines' MTUs sit
         // orders of magnitude below the ceiling, so hitting this is a
         // wiring bug, not an operational condition.
-        let frame = wire::encode_data_frame(&pkt, self.node as u16, self.epoch)
+        let mut frame = self.pool.take();
+        wire::encode_data_frame_into(&pkt, self.node as u16, self.epoch, &mut frame)
             .expect("FM packet exceeds MAX_WIRE_FRAME: engine MTU misconfigured");
-        self.out.push_back((self.peers[dst], frame));
-        self.flush_out();
+        // Injected loss happens here, at the moment the frame would join
+        // the wire path: the frame simply never enqueues (and recycles to
+        // the pool), which models a dropped datagram without entangling
+        // the flush loop's train packing.
+        if self.drop_p > 0.0 && self.rng.chance(self.drop_p) {
+            self.stats.drops_injected += 1;
+            return Ok(());
+        }
+        let pure_ack = pkt.header.flags.contains(PacketFlags::ACK_ONLY);
+        if pure_ack {
+            // A fresher cumulative ack supersedes any standalone ack
+            // still queued to the same peer — one datagram's worth of
+            // pure overhead gone per superseded ack.
+            if self.queued_pure_acks > 0 {
+                let before = self.out.len();
+                let dst16 = pkt.header.dst;
+                self.out.retain(|f| !(f.pure_ack && f.dst_node == dst16));
+                let dropped = before - self.out.len();
+                self.queued_pure_acks -= dropped;
+                self.stats.acks_coalesced += dropped as u64;
+            }
+            self.queued_pure_acks += 1;
+        } else if self.queued_pure_acks > 0 && pkt.is_data() {
+            // Ack coalescing: this data packet's header carries a
+            // cumulative ack at least as fresh as any standalone ack
+            // already queued to the same peer (the reliability sublayer
+            // stamps acks monotonically at enqueue time), so those
+            // datagrams are pure overhead. Credit-only packets do not
+            // carry acks and must not coalesce anything.
+            let before = self.out.len();
+            let dst16 = pkt.header.dst;
+            self.out.retain(|f| !(f.pure_ack && f.dst_node == dst16));
+            let dropped = before - self.out.len();
+            self.queued_pure_acks -= dropped;
+            self.stats.acks_coalesced += dropped as u64;
+        }
+        // Enqueue rather than write through: a short settling window is
+        // what lets acks coalesce at all. But once a full burst has
+        // accumulated, flush right here — a sender streaming inside an
+        // open window may not poll for a long time, and parking a whole
+        // window's worth of frames until the next `try_recv` would turn
+        // the pipeline into stop-and-go.
+        self.out.push_back(OutFrame {
+            to: self.peers[dst],
+            dst_node: pkt.header.dst,
+            pure_ack,
+            frame,
+        });
+        if self.out.len() >= SEND_BATCH {
+            self.flush_out();
+        }
         Ok(())
     }
 
     fn try_recv(&mut self) -> Option<FmPacket> {
-        // Every poll also drains the out-queue: a spinning receiver is
-        // what keeps acks and retransmissions moving.
+        // The per-poll batch drain: `try_send` only enqueues, so this is
+        // where frames actually reach the socket — one SEND_BATCH burst
+        // per poll, after the coalescing window has closed.
         self.flush_out();
         if let Some(pkt) = self.inq.pop_front() {
             return Some(pkt);
@@ -464,7 +690,7 @@ mod tests {
                 credits: 0,
                 ack: 0,
             },
-            payload: vec![tag],
+            payload: vec![tag].into(),
         }
     }
 
@@ -494,8 +720,111 @@ mod tests {
         assert!(a.is_lossy());
         a.try_send(pkt(0, 1, 7)).unwrap();
         b.try_send(pkt(1, 0, 9)).unwrap();
+        // try_send only enqueues; each side's first poll flushes its
+        // queue onto the wire.
+        assert!(a.try_recv().is_none(), "b has not flushed its queue yet");
         assert_eq!(recv_spin(&mut b).payload, vec![7]);
         assert_eq!(recv_spin(&mut a).payload, vec![9]);
+    }
+
+    #[test]
+    fn data_frames_coalesce_queued_pure_acks() {
+        let (mut a, mut b) = pair(UdpConfig::default());
+        a.try_send(FmPacket::ack_only(0, 1, 5)).unwrap();
+        a.try_send(pkt(0, 1, 7)).unwrap();
+        assert_eq!(
+            a.stats().acks_coalesced,
+            1,
+            "data frame supersedes the queued standalone ack"
+        );
+        let _ = a.try_recv(); // flush the batch
+        assert_eq!(recv_spin(&mut b).payload, vec![7]);
+        assert_eq!(a.stats().frames_sent, 1, "only the data frame crossed");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.try_recv().is_none(), "the standalone ack never crossed");
+    }
+
+    #[test]
+    fn coalescing_spares_acks_to_other_peers_and_credit_frames() {
+        let mut devs = crate::cluster::loopback_cluster(3, UdpConfig::default()).unwrap();
+        let mut a = devs.remove(0);
+        a.try_send(FmPacket::ack_only(0, 1, 5)).unwrap();
+        a.try_send(FmPacket::ack_only(0, 2, 5)).unwrap();
+        // Credit-only packets carry no ack: they must not coalesce.
+        a.try_send(FmPacket::credit_only(0, 1, 3)).unwrap();
+        assert_eq!(a.stats().acks_coalesced, 0);
+        // A data frame to node 1 drops only node 1's standalone ack.
+        a.try_send(pkt(0, 1, 7)).unwrap();
+        assert_eq!(a.stats().acks_coalesced, 1);
+        let _ = a.try_recv();
+        assert_eq!(
+            a.stats().frames_sent,
+            3,
+            "ack→2, credit→1, data→1 all crossed; ack→1 coalesced"
+        );
+    }
+
+    #[test]
+    fn steady_state_reuses_pooled_frames() {
+        let (mut a, mut b) = pair(UdpConfig::default());
+        for i in 0..8 {
+            a.try_send(pkt(0, 1, i)).unwrap();
+            let _ = a.try_recv();
+            assert_eq!(recv_spin(&mut b).payload, vec![i]);
+        }
+        let s = a.pool_stats();
+        assert!(
+            s.hits > s.misses,
+            "send/recv frames recycle through the pool: {s:?}"
+        );
+    }
+
+    #[test]
+    fn queued_runs_to_one_peer_cross_as_a_single_train_datagram() {
+        let (mut a, mut b) = pair(UdpConfig::default());
+        for i in 0..5 {
+            a.try_send(pkt(0, 1, i)).unwrap();
+        }
+        let _ = a.try_recv(); // flush: one datagram, five records
+        assert_eq!(a.stats().trains_sent, 1, "the run packed into one train");
+        assert_eq!(a.stats().frames_sent, 5, "all five frames crossed");
+        for i in 0..5 {
+            assert_eq!(recv_spin(&mut b).payload, vec![i], "in order");
+        }
+        assert_eq!(b.stats().frames_received, 5);
+    }
+
+    #[test]
+    fn trains_split_at_destination_changes() {
+        let mut devs = crate::cluster::loopback_cluster(3, UdpConfig::default()).unwrap();
+        let mut c = devs.pop().unwrap();
+        let mut b = devs.pop().unwrap();
+        let mut a = devs.pop().unwrap();
+        // 1,1 | 2 | 1: two runs to node 1 and a singleton to node 2 —
+        // order within the queue is preserved, so this cannot be one train.
+        a.try_send(pkt(0, 1, 1)).unwrap();
+        a.try_send(pkt(0, 1, 2)).unwrap();
+        a.try_send(pkt(0, 2, 3)).unwrap();
+        a.try_send(pkt(0, 1, 4)).unwrap();
+        let _ = a.try_recv();
+        assert_eq!(a.stats().frames_sent, 4);
+        assert_eq!(a.stats().trains_sent, 1, "only the leading pair trained");
+        assert_eq!(recv_spin(&mut b).payload, vec![1]);
+        assert_eq!(recv_spin(&mut b).payload, vec![2]);
+        assert_eq!(recv_spin(&mut b).payload, vec![4]);
+        assert_eq!(recv_spin(&mut c).payload, vec![3]);
+    }
+
+    #[test]
+    fn fresher_standalone_acks_supersede_queued_ones() {
+        let (mut a, mut b) = pair(UdpConfig::default());
+        a.try_send(FmPacket::ack_only(0, 1, 5)).unwrap();
+        a.try_send(FmPacket::ack_only(0, 1, 9)).unwrap();
+        assert_eq!(a.stats().acks_coalesced, 1, "ack 9 replaced queued ack 5");
+        let _ = a.try_recv();
+        assert_eq!(a.stats().frames_sent, 1);
+        let got = recv_spin(&mut b);
+        assert_eq!(got.header.ack, 9, "only the freshest ack crossed");
     }
 
     #[test]
@@ -532,6 +861,7 @@ mod tests {
         for i in 0..10 {
             a.try_send(pkt(0, 1, i)).unwrap();
         }
+        assert!(a.try_recv().is_none(), "flush the batch through the drop");
         std::thread::sleep(Duration::from_millis(20));
         assert!(b.try_recv().is_none());
         assert_eq!(a.stats().drops_injected, 10);
@@ -551,7 +881,10 @@ mod tests {
         for i in 0..space {
             a.try_send(pkt(0, 1, i as u8)).unwrap();
         }
-        // Loopback sockets flush immediately, so space recovers at once.
+        // Sends only enqueue; the next poll drains the batch and space
+        // recovers (loopback sockets never block).
+        assert_eq!(a.send_space(), 0);
+        let _ = a.try_recv();
         assert!(a.send_space() > 0);
     }
 

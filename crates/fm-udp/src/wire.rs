@@ -17,6 +17,11 @@
 //! * [`FrameKind::Hello`] — an 8-byte bitmask of the peers the sender has
 //!   heard from, used by the join barrier (and answered forever after, so
 //!   a straggler whose hellos were lost can still finish joining).
+//! * [`FrameKind::Train`] — several FM wire packets to the same peer in
+//!   one datagram: a sequence of `len:2 (LE)` + wire-packet records.
+//!   Small-message streams are syscall-bound on a real socket, and a
+//!   train amortizes one `sendto`/`recvfrom` pair over the whole run of
+//!   frames the out-queue had ready for that destination.
 //!
 //! The `epoch` stamps one cluster incarnation: datagrams from a previous
 //! run still buffered in a socket (or a stale process on a reused port)
@@ -30,16 +35,20 @@
 //! accepts fits in one datagram and anything larger was already rejected
 //! by [`FmPacket::encode_wire`] — never truncated on the socket.
 
-use fm_core::{FmError, FmPacket, MAX_WIRE_FRAME};
+use fm_core::{FmError, FmPacket, PacketBuf, MAX_WIRE_FRAME};
 
 /// Frame magic: `"FMU2"` little-endian.
 pub const MAGIC: u32 = 0x3255_4D46;
 
 /// Wire-format version; bumped on any preamble or body change.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
 
 /// Bytes of preamble in front of every frame body.
 pub const PREAMBLE_BYTES: usize = 16;
+
+/// Bytes of per-record header inside a [`FrameKind::Train`] body (the
+/// record's body length as a little-endian u16).
+pub const TRAIN_RECORD_HEADER: usize = 2;
 
 /// Widest datagram fm-udp ever sends or accepts. Equals the IPv4 UDP
 /// payload ceiling, by construction of [`fm_core::MAX_WIRE_FRAME`].
@@ -56,6 +65,8 @@ pub enum FrameKind {
     Data,
     /// A join-barrier beacon carrying the sender's seen-mask.
     Hello,
+    /// Several FM wire packets as length-prefixed records.
+    Train,
 }
 
 /// A decoded preamble.
@@ -69,15 +80,26 @@ pub struct Preamble {
     pub epoch: u64,
 }
 
-fn put_preamble(out: &mut Vec<u8>, kind: FrameKind, src_node: u16, epoch: u64) {
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.push(VERSION);
-    out.push(match kind {
+/// Write the 16-byte preamble into the front of `out`.
+///
+/// # Panics
+/// If `out` is shorter than [`PREAMBLE_BYTES`].
+fn write_preamble(out: &mut [u8], kind: FrameKind, src_node: u16, epoch: u64) {
+    out[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    out[4] = VERSION;
+    out[5] = match kind {
         FrameKind::Data => 0,
         FrameKind::Hello => 1,
-    });
-    out.extend_from_slice(&src_node.to_le_bytes());
-    out.extend_from_slice(&epoch.to_le_bytes());
+        FrameKind::Train => 2,
+    };
+    out[6..8].copy_from_slice(&src_node.to_le_bytes());
+    out[8..16].copy_from_slice(&epoch.to_le_bytes());
+}
+
+fn put_preamble(out: &mut Vec<u8>, kind: FrameKind, src_node: u16, epoch: u64) {
+    let start = out.len();
+    out.resize(start + PREAMBLE_BYTES, 0);
+    write_preamble(&mut out[start..], kind, src_node, epoch);
 }
 
 /// Decode and validate a preamble against this cluster's `epoch`.
@@ -95,6 +117,7 @@ pub fn decode_preamble(buf: &[u8], epoch: u64) -> Result<Preamble, &'static str>
     let kind = match b[5] {
         0 => FrameKind::Data,
         1 => FrameKind::Hello,
+        2 => FrameKind::Train,
         _ => return Err("unknown frame kind"),
     };
     let src_node = u16::from_le_bytes([b[6], b[7]]);
@@ -119,10 +142,94 @@ pub fn encode_data_frame(pkt: &FmPacket, src_node: u16, epoch: u64) -> Result<Ve
     Ok(out)
 }
 
+/// Encode a data frame **in place** into a pooled frame: preamble and
+/// canonical FM wire packet are written directly into `frame`'s storage
+/// and the window is set to the encoded length — no intermediate `Vec`.
+/// This is the send half of the zero-copy datapath at the UDP boundary.
+///
+/// Same refusal as [`encode_data_frame`] for oversize packets. Also
+/// fails when `frame` is too small ([`fm_core::BufPool`] frames sized at
+/// [`MAX_DATAGRAM`] always fit by construction).
+///
+/// # Panics
+/// If `frame` is shared or detached — encoding needs the frame writable.
+pub fn encode_data_frame_into(
+    pkt: &FmPacket,
+    src_node: u16,
+    epoch: u64,
+    frame: &mut PacketBuf,
+) -> Result<usize, FmError> {
+    let buf = frame
+        .frame_mut()
+        .expect("encode_data_frame_into needs a uniquely-owned frame");
+    if buf.len() < PREAMBLE_BYTES {
+        return Err(FmError::MalformedHeader {
+            reason: "output frame smaller than the preamble",
+        });
+    }
+    let n = pkt.encode_into(&mut buf[PREAMBLE_BYTES..])?;
+    write_preamble(buf, FrameKind::Data, src_node, epoch);
+    let total = PREAMBLE_BYTES + n;
+    frame.set_window(0, total);
+    Ok(total)
+}
+
 /// Decode the body of a [`FrameKind::Data`] frame (everything after the
 /// preamble) through the shared packet codec.
 pub fn decode_data_body(body: &[u8]) -> Result<FmPacket, FmError> {
     FmPacket::decode_wire(body)
+}
+
+/// Decode a whole data frame **zero-copy** from the [`PacketBuf`] the
+/// receive loop filled: the returned packet's payload is a refcounted
+/// sub-window of `frame` — no payload byte moves. The caller has already
+/// validated the preamble with [`decode_preamble`].
+pub fn decode_data_frame_buf(frame: &PacketBuf) -> Result<FmPacket, FmError> {
+    if frame.len() < PREAMBLE_BYTES {
+        return Err(FmError::MalformedHeader {
+            reason: "short frame: fewer than 16 preamble bytes",
+        });
+    }
+    let body = frame.slice(PREAMBLE_BYTES, frame.len() - PREAMBLE_BYTES);
+    FmPacket::decode_from_buf(&body)
+}
+
+/// Start a [`FrameKind::Train`] datagram in `out` (appends the preamble;
+/// the caller clears and reuses the buffer across flushes, so a steady
+/// stream of trains costs no allocation).
+pub fn begin_train(out: &mut Vec<u8>, src_node: u16, epoch: u64) {
+    put_preamble(out, FrameKind::Train, src_node, epoch);
+}
+
+/// Append one wire-packet record (`len:2` + body) to a train under
+/// construction. `body` is a frame's bytes *after* its own preamble.
+///
+/// # Panics
+/// If `body` exceeds what the u16 length prefix can carry —
+/// [`fm_core::MAX_WIRE_FRAME`] is below that by construction, so hitting
+/// this is a codec bug, not an operational condition.
+pub fn push_train_record(out: &mut Vec<u8>, body: &[u8]) {
+    let len = u16::try_from(body.len()).expect("train record exceeds u16 length prefix");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Bounds of the train record starting at byte `off` of the datagram:
+/// `Some(Ok((body_start, body_len)))`, `None` exactly at the end, or an
+/// error naming the corruption (after which the walk cannot resync).
+pub fn next_train_record(buf: &[u8], off: usize) -> Option<Result<(usize, usize), &'static str>> {
+    if off >= buf.len() {
+        return None;
+    }
+    let Some(hdr) = buf.get(off..off + TRAIN_RECORD_HEADER) else {
+        return Some(Err("truncated train record header"));
+    };
+    let len = u16::from_le_bytes([hdr[0], hdr[1]]) as usize;
+    let start = off + TRAIN_RECORD_HEADER;
+    if start + len > buf.len() {
+        return Some(Err("train record overruns the datagram"));
+    }
+    Some(Ok((start, len)))
 }
 
 /// Encode a hello frame carrying `seen_mask` (bit *i* set = the sender has
@@ -162,7 +269,7 @@ mod tests {
                 credits: 0,
                 ack: 9,
             },
-            payload: b"ping".to_vec(),
+            payload: b"ping".to_vec().into(),
         }
     }
 
@@ -175,6 +282,96 @@ mod tests {
         assert_eq!(pre.src_node, 0);
         let back = decode_data_body(&frame[PREAMBLE_BYTES..]).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn pooled_data_frame_roundtrips_zero_copy() {
+        let pool = fm_core::BufPool::new(MAX_DATAGRAM, 4);
+        let p = pkt();
+        let mut frame = pool.take();
+        let n = encode_data_frame_into(&p, 0, 0xE90C, &mut frame).unwrap();
+        assert_eq!(n, frame.len());
+        // Byte-identical to the allocating encoder.
+        assert_eq!(&frame[..], &encode_data_frame(&p, 0, 0xE90C).unwrap()[..]);
+        let pre = decode_preamble(&frame, 0xE90C).unwrap();
+        assert_eq!(pre.kind, FrameKind::Data);
+        let back = decode_data_frame_buf(&frame).unwrap();
+        assert_eq!(back, p);
+        // The decoded payload is a view into the frame, not a copy: it
+        // pins the frame so the pool cannot recycle it yet.
+        drop(frame);
+        assert_eq!(pool.free_frames(), 0, "payload view still pins the frame");
+        drop(back);
+        assert_eq!(pool.free_frames(), 1, "last owner recycles");
+    }
+
+    #[test]
+    fn pooled_encode_refuses_oversize_and_short_frames() {
+        let pool = fm_core::BufPool::new(MAX_DATAGRAM, 4);
+        let mut p = pkt();
+        p.payload = vec![0; fm_core::MAX_FRAME_PAYLOAD + 1].into();
+        let mut frame = pool.take();
+        assert!(encode_data_frame_into(&p, 0, 0, &mut frame).is_err());
+        // A frame too small for even the preamble is refused, not panicked.
+        let tiny = fm_core::BufPool::new(8, 1);
+        let mut small = tiny.take();
+        assert!(encode_data_frame_into(&pkt(), 0, 0, &mut small).is_err());
+    }
+
+    #[test]
+    fn train_roundtrips_several_packets_zero_copy() {
+        let pool = fm_core::BufPool::new(MAX_DATAGRAM, 4);
+        let mut train = Vec::new();
+        begin_train(&mut train, 0, 0xE90C);
+        let mut pkts = Vec::new();
+        for i in 0..3u32 {
+            let mut p = pkt();
+            p.header.pkt_seq = i;
+            push_train_record(&mut train, &p.encode_wire().unwrap());
+            pkts.push(p);
+        }
+        // Receive side: the datagram lands in one pooled frame, each
+        // record decodes as a view into it.
+        let mut frame = pool.take();
+        frame.extend_from_slice(&train);
+        let pre = decode_preamble(&frame, 0xE90C).unwrap();
+        assert_eq!(pre.kind, FrameKind::Train);
+        let mut off = PREAMBLE_BYTES;
+        let mut got = Vec::new();
+        while let Some(rec) = next_train_record(&frame, off) {
+            let (start, len) = rec.unwrap();
+            off = start + len;
+            got.push(FmPacket::decode_from_buf(&frame.slice(start, len)).unwrap());
+        }
+        assert_eq!(got, pkts);
+        drop(frame);
+        assert_eq!(pool.free_frames(), 0, "record views pin the datagram frame");
+        drop(got);
+        assert_eq!(pool.free_frames(), 1);
+    }
+
+    #[test]
+    fn corrupt_trains_fail_without_panicking() {
+        let mut train = Vec::new();
+        begin_train(&mut train, 0, 1);
+        push_train_record(&mut train, &pkt().encode_wire().unwrap());
+        // A record whose length overruns the datagram.
+        let mut overrun = train.clone();
+        let at = overrun.len();
+        overrun.extend_from_slice(&500u16.to_le_bytes());
+        overrun.extend_from_slice(&[0; 4]);
+        let first = next_train_record(&overrun, PREAMBLE_BYTES)
+            .unwrap()
+            .unwrap();
+        assert!(next_train_record(&overrun, at).unwrap().is_err());
+        assert_eq!(first.0, PREAMBLE_BYTES + TRAIN_RECORD_HEADER);
+        // A lone trailing byte cannot even hold a record header.
+        let mut ragged = train;
+        ragged.push(0xFF);
+        let first = next_train_record(&ragged, PREAMBLE_BYTES).unwrap().unwrap();
+        assert!(next_train_record(&ragged, first.0 + first.1)
+            .unwrap()
+            .is_err());
     }
 
     #[test]
@@ -205,10 +402,10 @@ mod tests {
     #[test]
     fn oversize_packets_never_encode_into_frames() {
         let mut p = pkt();
-        p.payload = vec![0; fm_core::MAX_FRAME_PAYLOAD + 1];
+        p.payload = vec![0; fm_core::MAX_FRAME_PAYLOAD + 1].into();
         assert!(encode_data_frame(&p, 0, 0).is_err());
         // At the exact boundary the frame is exactly MAX_DATAGRAM.
-        p.payload = vec![0; fm_core::MAX_FRAME_PAYLOAD];
+        p.payload = vec![0; fm_core::MAX_FRAME_PAYLOAD].into();
         let frame = encode_data_frame(&p, 0, 0).unwrap();
         assert_eq!(frame.len(), MAX_DATAGRAM);
     }

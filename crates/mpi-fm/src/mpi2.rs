@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 use fm_core::device::NetDevice;
 use fm_core::packet::HandlerId;
-use fm_core::{Fm2Engine, FmStream};
+use fm_core::{Fm2Engine, Fm2Handle, FmStream};
 use fm_model::Nanos;
 
 use crate::api::Mpi;
@@ -101,7 +101,7 @@ impl<D: NetDevice + 'static> Mpi2<D> {
         let rndv: Rc<RefCell<RndvState>> = Rc::default();
         let q = Rc::clone(&queues);
         let rv = Rc::clone(&rndv);
-        let fm_for_handler = fm.clone();
+        let fm_for_handler = fm.handle();
         fm.set_handler(MPI_HANDLER, move |stream: FmStream, src_node| {
             let q = Rc::clone(&q);
             let rndv = Rc::clone(&rv);
@@ -318,7 +318,7 @@ impl<D: NetDevice + 'static> Mpi2<D> {
 
 /// Send a header-only CTS back to the rendezvous sender (deferred through
 /// FM's handler-send queue; tiny, flushed on the next progress).
-fn send_cts<D: NetDevice>(fm: &Fm2Engine<D>, to_node: usize, seq: u32) {
+fn send_cts<D: NetDevice>(fm: &Fm2Handle<D>, to_node: usize, seq: u32) {
     let cts = MpiHeader {
         src_rank: fm.node_id() as u32,
         tag: 0,
@@ -428,7 +428,7 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
                         slot: Rc::clone(&req.inner),
                     };
                     self.rndv.borrow_mut().expected.insert((u.src, seq), posted);
-                    send_cts(&self.fm, u.src, seq);
+                    send_cts(&self.fm.handle(), u.src, seq);
                     // Flush the CTS now — irecv runs outside extract, so
                     // nothing else would drain the deferred queue before
                     // the caller sleeps.

@@ -110,6 +110,10 @@ pub struct Simulation<P> {
     started: bool,
     done_count: usize,
     trace: Option<Trace>,
+    /// Reusable buffer the per-wake send-ready list is swapped into, so
+    /// draining it never strips a node's retained `Vec` capacity (one
+    /// packet send per wake must not cost an allocation).
+    send_ready_scratch: Vec<Nanos>,
 }
 
 /// Extra in-fabric delay applied to reordered packets: long enough that
@@ -132,6 +136,7 @@ impl<P: Clone> Simulation<P> {
             started: false,
             done_count: 0,
             trace: None,
+            send_ready_scratch: Vec::new(),
         };
         // One serial counter for the whole fabric: packets are stamped as
         // hosts push them (see `HostInterface::try_send`), so trace serials
@@ -316,21 +321,21 @@ impl<P: Clone> Simulation<P> {
         let outcome = program.step();
         self.nodes[n.0].program = Some(program);
 
-        let (charged, drained, new_ready, activity, wake_request) = {
+        // Swap — don't take — the send-ready list: taking would strip the
+        // node's retained capacity and put an allocation on every
+        // packet-sending wake. The two buffers circulate instead.
+        let mut new_ready = std::mem::take(&mut self.send_ready_scratch);
+        let (charged, drained, activity, wake_request) = {
             let mut b = self.nodes[n.0].iface.inner.borrow_mut();
-            (
-                b.charged,
-                b.drained,
-                std::mem::take(&mut b.new_send_ready),
-                b.activity,
-                b.wake_request.take(),
-            )
+            std::mem::swap(&mut new_ready, &mut b.new_send_ready);
+            (b.charged, b.drained, b.activity, b.wake_request.take())
         };
         self.nodes[n.0].busy_until = t + charged;
 
-        for ready in new_ready {
+        for ready in new_ready.drain(..) {
             self.schedule_send_pull(n, ready);
         }
+        self.send_ready_scratch = new_ready;
         if drained > 0 {
             self.free_recv_slots(n, drained, t + charged);
         }

@@ -101,14 +101,15 @@ impl Topology {
         }
     }
 
-    /// The ordered links from `src` to `dst`.
-    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+    /// The ordered links from `src` to `dst`, yielded without touching
+    /// the heap — `transit` runs once per simulated packet, and a
+    /// materialized route would put an allocation on the datapath.
+    fn route_iter(&self, src: NodeId, dst: NodeId) -> impl Iterator<Item = LinkId> + use<> {
         assert!(src.0 < self.nodes() && dst.0 < self.nodes());
         assert_ne!(src, dst, "the fabric does not route loopback traffic");
-        match self.kind {
-            Kind::SingleCrossbar { nodes } => {
-                vec![LinkId(src.0), LinkId(nodes + dst.0)]
-            }
+        // Uplink, zero or more inter-switch hops, then the downlink.
+        let (nodes, hops, lo, hi, leftward, inter_base, switches) = match self.kind {
+            Kind::SingleCrossbar { nodes } => (nodes, 0, 0, 0, false, 0, 0),
             Kind::SwitchChain {
                 nodes,
                 nodes_per_switch,
@@ -116,25 +117,30 @@ impl Topology {
                 let switches = nodes.div_ceil(nodes_per_switch);
                 let s = src.0 / nodes_per_switch;
                 let d = dst.0 / nodes_per_switch;
-                let mut links = vec![LinkId(src.0)];
+                let (lo, hi) = if s < d { (s, d) } else { (d, s) };
                 // Inter-switch links: rightward links come first in the
                 // inter-switch block, then leftward.
-                let inter_base = nodes * 2;
-                let right = |i: usize| LinkId(inter_base + i); // switch i -> i+1
-                let left = |i: usize| LinkId(inter_base + (switches - 1) + i); // i+1 -> i
-                if s < d {
-                    for i in s..d {
-                        links.push(right(i));
-                    }
-                } else {
-                    for i in (d..s).rev() {
-                        links.push(left(i));
-                    }
-                }
-                links.push(LinkId(nodes + dst.0));
-                links
+                (nodes, hi - lo, lo, hi, s > d, nodes * 2, switches)
             }
-        }
+        };
+        let right = move |i: usize| LinkId(inter_base + i); // switch i -> i+1
+        let left = move |i: usize| LinkId(inter_base + (switches - 1) + i); // i+1 -> i
+        std::iter::once(LinkId(src.0))
+            .chain((0..hops).map(move |j| {
+                if leftward {
+                    left(hi - 1 - j) // walk src-side first: left(s-1) .. left(d)
+                } else {
+                    right(lo + j)
+                }
+            }))
+            .chain(std::iter::once(LinkId(nodes + dst.0)))
+    }
+
+    /// The route as a vector (test/diagnostic convenience; the datapath
+    /// uses [`Topology::route_iter`] directly).
+    #[cfg(test)]
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        self.route_iter(src, dst).collect()
     }
 
     /// Send one packet of `wire_bytes` through the fabric, head ready to
@@ -150,11 +156,10 @@ impl Topology {
         wire_bytes: u32,
         costs: &LinkCosts,
     ) -> Nanos {
-        let route = self.route(src, dst);
         let ser = costs.serialize(wire_bytes as u64);
         let mut head = inject_ready;
         let mut last_depart = inject_ready;
-        for (hop, link) in route.iter().enumerate() {
+        for (hop, link) in self.route_iter(src, dst).enumerate() {
             if hop > 0 {
                 // Entering a switch between the previous link and this one.
                 head += Nanos(costs.switch_latency_ns);
@@ -273,6 +278,26 @@ mod tests {
         let a = t.transit(NodeId(0), NodeId(2), Nanos(0), 1024, &c);
         let b = t.transit(NodeId(1), NodeId(3), Nanos(0), 1024, &c);
         assert_eq!(a, b, "a crossbar switches disjoint pairs in parallel");
+    }
+
+    #[test]
+    fn routes_enumerate_the_expected_links() {
+        // Crossbar: uplink then downlink, nothing between.
+        let t = Topology::single_crossbar(4);
+        assert_eq!(t.route(NodeId(1), NodeId(2)), vec![LinkId(1), LinkId(6)]);
+
+        // Chain of 4 switches (8 nodes, 2 per switch): rightward routes
+        // walk the rightward inter-switch block (base 16), leftward
+        // routes the leftward block (base 19), src-side hop first.
+        let t = Topology::switch_chain(8, 2);
+        assert_eq!(
+            t.route(NodeId(0), NodeId(7)),
+            vec![LinkId(0), LinkId(16), LinkId(17), LinkId(18), LinkId(15)]
+        );
+        assert_eq!(
+            t.route(NodeId(7), NodeId(0)),
+            vec![LinkId(7), LinkId(21), LinkId(20), LinkId(19), LinkId(8)]
+        );
     }
 
     #[test]

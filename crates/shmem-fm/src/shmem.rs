@@ -52,7 +52,7 @@ impl<D: NetDevice + 'static> Shmem<D> {
             barrier_seen: HashSet::new(),
         }));
         let st = Rc::clone(&state);
-        let fm_h = fm.clone();
+        let fm_h = fm.handle();
         fm.set_handler(SHMEM_HANDLER, move |stream: FmStream, src| {
             let st = Rc::clone(&st);
             let fm = fm_h.clone();

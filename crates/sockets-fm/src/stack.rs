@@ -95,7 +95,7 @@ impl<D: NetDevice + 'static> SocketStack<D> {
     pub fn new(fm: Fm2Engine<D>) -> Self {
         let state: Rc<RefCell<StackState>> = Rc::default();
         let st = Rc::clone(&state);
-        let fm_h = fm.clone();
+        let fm_h = fm.handle();
         fm.set_handler(SOCKET_HANDLER, move |stream: FmStream, src_node| {
             let st = Rc::clone(&st);
             let fm = fm_h.clone();
