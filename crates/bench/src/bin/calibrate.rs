@@ -16,12 +16,15 @@
 
 use fm_bench::{
     fm1_latency, fm1_latency_dist, fm1_stream, fm2_latency, fm2_latency_dist, fm2_stream,
-    fm2_stream_dist, latency_table, mpi_latency, mpi_stream, size_bandwidth_table, stream_count,
-    udp_latency_dist, udp_stream_dist, BenchReport, Fm1Stage, MpiBinding,
+    fm2_stream_dist, latency_table, mpi_latency, mpi_stream, sim_allreduce_latency,
+    sim_barrier_latency, sim_bcast_latency, size_bandwidth_table, stream_count,
+    udp_allreduce_latency_us, udp_barrier_latency_us, udp_latency_dist, udp_stream_dist,
+    BenchReport, Fm1Stage, MpiBinding,
 };
 use fm_core::obs::SizeHistograms;
 use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
 use fm_model::MachineProfile;
+use mpi_fm::BcastAlgo;
 
 fn sweep(f: impl Fn(usize) -> BandwidthPoint, sizes: &[usize]) -> Vec<BandwidthPoint> {
     sizes.iter().map(|&s| f(s)).collect()
@@ -179,6 +182,31 @@ fn calibrate_sim() -> BenchReport {
     }
     size_bandwidth_table(&by_size);
 
+    // Collectives over MPI-FM2: dissemination barrier scaling, allreduce
+    // at both ends of the size spectrum, and the large-bcast algorithm
+    // comparison the pipelined path is judged by.
+    println!();
+    println!("--- collectives (virtual time, MPI-FM2 on ppro200) ---");
+    let bar: Vec<(usize, fm_model::Nanos)> = [2usize, 4, 8]
+        .iter()
+        .map(|&n| (n, sim_barrier_latency(ppro, n, 8)))
+        .collect();
+    for (n, l) in &bar {
+        println!("barrier n={n:<2}                          {l}");
+    }
+    let ar_small = sim_allreduce_latency(ppro, 4, 16, 8);
+    let ar_large = sim_allreduce_latency(ppro, 4, 256 * 1024, 3);
+    println!("allreduce n=4 16B                     {ar_small}");
+    println!("allreduce n=4 256KB (ring)            {ar_large}");
+    let bc_flat = sim_bcast_latency(ppro, 4, 256 * 1024, BcastAlgo::Flat, 3);
+    let bc_binom = sim_bcast_latency(ppro, 4, 256 * 1024, BcastAlgo::Binomial, 3);
+    let bc_pipe = sim_bcast_latency(ppro, 4, 256 * 1024, BcastAlgo::Pipelined, 3);
+    let bc_speedup = bc_flat.as_ns() as f64 / bc_pipe.as_ns() as f64;
+    println!("bcast n=4 256KB flat                  {bc_flat}");
+    println!("bcast n=4 256KB binomial              {bc_binom}");
+    println!("bcast n=4 256KB chain-pipelined       {bc_pipe}");
+    println!("bcast pipelined speedup vs flat       {bc_speedup:.2}x");
+
     BenchReport {
         transport: "sim".into(),
         headline: vec![
@@ -188,6 +216,15 @@ fn calibrate_sim() -> BenchReport {
             ("mpi2_peak_bandwidth_mbps".into(), peak(&mpi2).as_mbps()),
             ("fm1_latency_16b_one_way_ns".into(), l1.mean.as_ns() as f64),
             ("fm2_latency_16b_one_way_ns".into(), l2.mean.as_ns() as f64),
+            ("barrier_n2_ns".into(), bar[0].1.as_ns() as f64),
+            ("barrier_n4_ns".into(), bar[1].1.as_ns() as f64),
+            ("barrier_n8_ns".into(), bar[2].1.as_ns() as f64),
+            ("allreduce_n4_16b_ns".into(), ar_small.as_ns() as f64),
+            ("allreduce_n4_256k_ns".into(), ar_large.as_ns() as f64),
+            ("bcast_n4_256k_flat_ns".into(), bc_flat.as_ns() as f64),
+            ("bcast_n4_256k_binomial_ns".into(), bc_binom.as_ns() as f64),
+            ("bcast_n4_256k_pipelined_ns".into(), bc_pipe.as_ns() as f64),
+            ("bcast_n4_256k_pipeline_speedup".into(), bc_speedup),
         ],
         latency: vec![
             ("fm1_16B_one_way".into(), l1.mean, l1.one_way_ns),
@@ -225,6 +262,14 @@ fn calibrate_udp() -> BenchReport {
     println!();
     size_bandwidth_table(&by_size);
 
+    // Collectives over the real loopback transport (4 OS processes'
+    // worth of stack on this machine).
+    let bar4 = udp_barrier_latency_us(4, 64);
+    let ar4 = udp_allreduce_latency_us(4, 16, 64);
+    println!();
+    println!("barrier n=4                        {bar4:>9.1} us");
+    println!("allreduce n=4 16B                  {ar4:>9.1} us");
+
     BenchReport {
         transport: "udp".into(),
         headline: vec![
@@ -233,6 +278,8 @@ fn calibrate_udp() -> BenchReport {
                 "udp_fm2_latency_16b_one_way_ns".into(),
                 lat.mean.as_ns() as f64,
             ),
+            ("udp_barrier_n4_us".into(), bar4),
+            ("udp_allreduce_n4_16b_us".into(), ar4),
         ],
         latency: vec![("udp_fm2_16B_one_way".into(), lat.mean, lat.one_way_ns)],
         size_classes,

@@ -37,7 +37,7 @@ fn engine(dev: UdpDevice) -> Fm2Engine<UdpDevice> {
 
 /// Drain the tail of the ack conversation so the peer is never stranded
 /// waiting on a retransmission; capped so a dead peer cannot wedge us.
-fn linger(fm: &Fm2Engine<UdpDevice>) {
+pub(crate) fn linger(fm: &Fm2Engine<UdpDevice>) {
     let quiet_for = Duration::from_millis(50);
     let cap = Instant::now() + Duration::from_secs(5);
     let mut quiet_since = Instant::now();

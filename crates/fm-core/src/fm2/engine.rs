@@ -262,6 +262,15 @@ impl<D: NetDevice> Fm2Engine<D> {
         self.inner.borrow().obs.clone()
     }
 
+    /// Record a layered-library event into the attached sink (no-op
+    /// without one). The closure receives the device clock and node id,
+    /// like the engine's own record sites; recording never charges the
+    /// device clock. Used by MPI-FM to mark collective phases so they
+    /// join the engine's spans in chrome traces.
+    pub fn obs_record(&self, make: impl FnOnce(Nanos, u16) -> ObsEvent) {
+        self.inner.borrow().obs_emit(make);
+    }
+
     /// This node's id.
     pub fn node_id(&self) -> usize {
         self.inner.borrow().device.node_id()
@@ -564,6 +573,17 @@ impl<D: NetDevice> Fm2Engine<D> {
                     .peer(ss.dst as u16)
                     .msg_seq(ss.msg_seq)
             });
+            // The NIC queue is full but we still hold data for it: ask to
+            // be polled again after roughly one packet's wire time, when a
+            // slot has drained. Without this, an event-driven host (the
+            // simulator) refills the queue only when a packet happens to
+            // arrive — and the uplink runs dry between credit returns.
+            let now = inner.device.now();
+            let drain = inner
+                .profile
+                .link
+                .serialize(inner.profile.fm.mtu_payload as u64);
+            inner.device.request_wake(now + drain);
             return false;
         }
         let window_closed = if let Some(rel) = inner.reliable.as_ref() {
@@ -845,6 +865,13 @@ impl<D: NetDevice> Fm2Engine<D> {
     /// receiver flow control), running/resuming handlers as data arrives.
     /// Returns the number of payload bytes processed.
     ///
+    /// The budget is accounted in *handler-delivered payload bytes*:
+    /// wire-frame headers, pure ack/credit frames, suppressed duplicates
+    /// and orphan-dropped packets consume none of it, so a budget of `N`
+    /// never feeds handlers more than `N` payload bytes plus one packet
+    /// of boundary slack (one whole message for NIC-bypassing self-sends,
+    /// which are never packetized).
+    ///
     /// # Panics
     /// Panics if called from inside a handler.
     pub fn extract(&self, budget: usize) -> usize {
@@ -976,8 +1003,10 @@ impl<D: NetDevice> Fm2Engine<D> {
                 }
                 inner.stats.packets_received += 1;
             }
-            processed += pkt.payload.len();
-            self.ingest_data_packet(src, pkt);
+            // The budget counts handler-delivered payload bytes: a packet
+            // that joins no stream (an orphan) is dropped with an error
+            // and must not consume the receiver's intake allowance.
+            processed += self.ingest_data_packet(src, pkt);
         }
 
         self.progress();
@@ -1025,7 +1054,12 @@ impl<D: NetDevice> Fm2Engine<D> {
         // the task is already cleaned up by poll_task.
     }
 
-    fn ingest_data_packet(&self, src: usize, pkt: FmPacket) {
+    /// Feed one accepted data packet into the handler layer. Returns the
+    /// number of payload bytes actually delivered toward a handler stream
+    /// (0 when the packet is an orphan and is dropped), so `extract` can
+    /// account its budget in handler-delivered bytes rather than wire
+    /// frames.
+    fn ingest_data_packet(&self, src: usize, pkt: FmPacket) -> usize {
         let key = (src, pkt.header.msg_seq);
         let first = pkt.header.flags.contains(PacketFlags::FIRST);
         let last = pkt.header.flags.contains(PacketFlags::LAST);
@@ -1076,7 +1110,7 @@ impl<D: NetDevice> Fm2Engine<D> {
                 if inner.fast_handlers[idx].is_none() {
                     inner.fast_handlers[idx] = Some(f);
                 }
-                return;
+                return msg_len as usize;
             }
         }
 
@@ -1095,20 +1129,22 @@ impl<D: NetDevice> Fm2Engine<D> {
             self.spawn_task(key, handler, state, charge, src);
         }
 
-        // Append the payload to the stream (if the task exists).
-        let exists = {
+        // Append the payload to the stream (if the task exists). An orphan
+        // packet delivers nothing and therefore consumes no extract budget.
+        let delivered = {
             let mut inner = self.inner.borrow_mut();
             match inner.tasks.get_mut(&key) {
                 Some(task) => {
                     let mut st = task.stream.borrow_mut();
-                    st.received += pkt.payload.len();
+                    let n = pkt.payload.len();
+                    st.received += n;
                     if !pkt.payload.is_empty() {
                         st.segments.push_back(pkt.payload);
                     }
                     if last {
                         st.ended = true;
                     }
-                    true
+                    Some(n)
                 }
                 None => {
                     inner.errors.push(FmError::OrphanPacket {
@@ -1116,12 +1152,16 @@ impl<D: NetDevice> Fm2Engine<D> {
                         msg_seq: pkt.header.msg_seq,
                     });
                     inner.stats.errors_reported += 1;
-                    false
+                    None
                 }
             }
         };
-        if exists {
-            self.poll_task(key);
+        match delivered {
+            Some(n) => {
+                self.poll_task(key);
+                n
+            }
+            None => 0,
         }
     }
 

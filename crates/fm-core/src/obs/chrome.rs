@@ -108,10 +108,11 @@ pub fn chrome_trace_json(engine: &[ObsEvent], wire: &[TraceEvent]) -> String {
         let open_kind = match ev.kind {
             SpanKind::EndMessage => Some((SpanKind::BeginMessage, "message")),
             SpanKind::HandlerEnd => Some((SpanKind::HandlerStart, "handler")),
+            SpanKind::CollEnd => Some((SpanKind::CollStart, "collective")),
             _ => None,
         };
         match ev.kind {
-            SpanKind::BeginMessage | SpanKind::HandlerStart => {
+            SpanKind::BeginMessage | SpanKind::HandlerStart | SpanKind::CollStart => {
                 opens.insert((ev.kind, ev.node, ev.peer, ev.msg_seq), ev.t.as_ns());
             }
             _ => {}

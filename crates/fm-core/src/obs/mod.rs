@@ -86,11 +86,20 @@ pub enum SpanKind {
     RetransmitTimeout,
     /// The receive path suppressed a duplicate or out-of-window packet.
     DuplicateDrop,
+    /// A collective operation started on this rank (`handler` carries the
+    /// collective kind, `msg_seq` the per-rank collective sequence,
+    /// `bytes` the payload size).
+    CollStart,
+    /// A collective advanced one communication round/phase (`seq` carries
+    /// the round index).
+    CollRound,
+    /// A collective operation completed on this rank.
+    CollEnd,
 }
 
 impl SpanKind {
     /// Every kind, in lifecycle order (useful for coverage checks).
-    pub const ALL: [SpanKind; 17] = [
+    pub const ALL: [SpanKind; 20] = [
         SpanKind::BeginMessage,
         SpanKind::SendPiece,
         SpanKind::EndMessage,
@@ -108,6 +117,9 @@ impl SpanKind {
         SpanKind::Retransmit,
         SpanKind::RetransmitTimeout,
         SpanKind::DuplicateDrop,
+        SpanKind::CollStart,
+        SpanKind::CollRound,
+        SpanKind::CollEnd,
     ];
 
     /// Stable snake_case name (used by the chrome-trace exporter and
@@ -131,6 +143,9 @@ impl SpanKind {
             SpanKind::Retransmit => "retransmit",
             SpanKind::RetransmitTimeout => "retransmit_timeout",
             SpanKind::DuplicateDrop => "duplicate_drop",
+            SpanKind::CollStart => "coll_start",
+            SpanKind::CollRound => "coll_round",
+            SpanKind::CollEnd => "coll_end",
         }
     }
 }

@@ -12,14 +12,17 @@
 //!   must pass the same `--peers` order and `--epoch`). Without
 //!   `--peers` the child runs the stdin handshake above.
 //!
-//! The workload is ping-pong for 2 nodes (node 0 drives `--rounds`
-//! round trips; node 1 echoes) and a ring for more (every node sends
-//! `--rounds` messages to its successor and validates the stream from
-//! its predecessor). Either way the engine is `Fm2Engine` constructed
-//! with `Reliability::Retransmit` — mandatory over UDP — so the run
-//! completes with zero message loss at the FM API even under
-//! `--drop`-injected datagram loss; the `STATS` lines show the
-//! retransmission machinery paying for it.
+//! The default workload is ping-pong for 2 nodes (node 0 drives
+//! `--rounds` round trips; node 1 echoes) and a ring for more (every
+//! node sends `--rounds` messages to its successor and validates the
+//! stream from its predecessor). `--workload barrier` and `--workload
+//! allreduce` instead run MPI-FM collectives over the same engine:
+//! `--rounds` barriers, or `--rounds` sum-allreduces of `--msg-size`
+//! bytes with every rank validating the result. Either way the engine
+//! is `Fm2Engine` constructed with `Reliability::Retransmit` —
+//! mandatory over UDP — so the run completes with zero message loss at
+//! the FM API even under `--drop`-injected datagram loss; the `STATS`
+//! lines show the retransmission machinery paying for it.
 
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::SocketAddr;
@@ -49,6 +52,18 @@ struct Opts {
     peers: Option<Vec<SocketAddr>>,
     trace: Option<String>,
     join_timeout_s: u64,
+    workload: Workload,
+}
+
+/// What the cluster actually runs after the join barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// Ping-pong for 2 nodes, ring for more (the original FM workloads).
+    Auto,
+    /// `--rounds` MPI-FM dissemination barriers.
+    Barrier,
+    /// `--rounds` MPI-FM sum-allreduces of `--msg-size` bytes.
+    Allreduce,
 }
 
 impl Default for Opts {
@@ -65,6 +80,7 @@ impl Default for Opts {
             peers: None,
             trace: None,
             join_timeout_s: 10,
+            workload: Workload::Auto,
         }
     }
 }
@@ -73,10 +89,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          fm-udp-cluster spawn --nodes N [--rounds R] [--msg-size B] [--drop P] \
-         [--seed S] [--trace DIR]\n  \
+         [--seed S] [--workload auto|barrier|allreduce] [--trace DIR]\n  \
          fm-udp-cluster node --node-id I --nodes N [--peers a0,a1,...] \
          [--bind ADDR] [--epoch E] [--rounds R] [--msg-size B] [--drop P] \
-         [--seed S] [--trace DIR]\n\n\
+         [--seed S] [--workload auto|barrier|allreduce] [--trace DIR]\n\n\
          spawn forks N `node` children on loopback and wires them up; `node` \
          with --peers joins a manually-assembled cluster (all nodes must agree \
          on the peer order and --epoch)."
@@ -101,6 +117,14 @@ fn parse(args: &[String]) -> (String, Opts) {
             "--bind" => o.bind = val(),
             "--join-timeout" => o.join_timeout_s = val().parse().unwrap_or_else(|_| usage()),
             "--trace" => o.trace = Some(val()),
+            "--workload" => {
+                o.workload = match val().as_str() {
+                    "auto" => Workload::Auto,
+                    "barrier" => Workload::Barrier,
+                    "allreduce" => Workload::Allreduce,
+                    _ => usage(),
+                }
+            }
             "--peers" => {
                 o.peers = Some(
                     val()
@@ -149,6 +173,14 @@ fn spawn_cluster(opts: &Opts) {
             .args(["--seed", &opts.seed.to_string()])
             .args(["--epoch", &epoch.to_string()])
             .args(["--join-timeout", &opts.join_timeout_s.to_string()])
+            .args([
+                "--workload",
+                match opts.workload {
+                    Workload::Auto => "auto",
+                    Workload::Barrier => "barrier",
+                    Workload::Allreduce => "allreduce",
+                },
+            ])
             .stdin(Stdio::piped())
             .stdout(Stdio::piped());
         if let Some(dir) = &opts.trace {
@@ -266,10 +298,11 @@ fn run_node(opts: &Opts) {
     });
 
     let started = Instant::now();
-    if opts.nodes == 2 {
-        ping_pong(&fm, opts);
-    } else {
-        ring(&fm, opts);
+    match opts.workload {
+        Workload::Auto if opts.nodes == 2 => ping_pong(&fm, opts),
+        Workload::Auto => ring(&fm, opts),
+        Workload::Barrier => barrier_workload(&fm, opts),
+        Workload::Allreduce => allreduce_workload(&fm, opts),
     }
     let elapsed = started.elapsed();
 
@@ -285,7 +318,8 @@ fn run_node(opts: &Opts) {
         opts.node_id,
         opts.rounds,
         elapsed.as_secs_f64() * 1e3,
-        if opts.nodes == 2 && opts.node_id == 0 {
+        // Per-round-trip for ping-pong; per-operation for collectives.
+        if opts.node_id == 0 && (opts.workload != Workload::Auto || opts.nodes == 2) {
             elapsed.as_secs_f64() * 1e6 / opts.rounds.max(1) as f64
         } else {
             f64::NAN
@@ -399,6 +433,42 @@ fn ring<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
         fm2_send(fm, next, PING, &[&round.to_le_bytes(), &body]);
     }
     fm2_wait_until(fm, || *got.borrow() == opts.rounds);
+}
+
+/// `--rounds` dissemination barriers through the MPI-FM layer. Any
+/// lost or duplicated barrier message would either wedge the run (the
+/// join timeout catches it) or let a rank escape a round early, which
+/// the next round's tag mismatch would surface.
+fn barrier_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
+    use mpi_fm::Mpi;
+    let mut mpi = mpi_fm::Mpi2::new(fm.clone());
+    for _ in 0..opts.rounds {
+        mpi.barrier();
+    }
+}
+
+/// `--rounds` sum-allreduces of `--msg-size` bytes; every rank checks
+/// the full result vector every round, so a single corrupted or stale
+/// element anywhere in the cluster fails the run.
+fn allreduce_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
+    use mpi_fm::{Mpi, ReduceOp};
+    let mut mpi = mpi_fm::Mpi2::new(fm.clone());
+    let elems = (opts.msg_size / 8).max(1);
+    let n = opts.nodes;
+    for round in 0..opts.rounds as usize {
+        let contrib: Vec<u8> = (0..elems)
+            .map(|j| ((j % 5 + 1) * (opts.node_id + 1) + round % 3) as f64)
+            .flat_map(f64::to_le_bytes)
+            .collect();
+        let out = mpi.allreduce(&contrib, ReduceOp::SumF64);
+        for (j, c) in out.chunks_exact(8).enumerate() {
+            let want: f64 = (0..n)
+                .map(|r| ((j % 5 + 1) * (r + 1) + round % 3) as f64)
+                .sum();
+            let got = f64::from_le_bytes(c.try_into().expect("8-byte element"));
+            assert_eq!(got, want, "allreduce round {round} elem {j}");
+        }
+    }
 }
 
 /// Keep the engine progressing until the reliability sublayer has no

@@ -1,17 +1,25 @@
 //! The common MPI surface: non-blocking point-to-point (required methods)
 //! plus blocking operations and collectives (default methods).
 //!
-//! Collectives are classic binomial-tree / dissemination algorithms built
-//! purely on `isend`/`irecv`/`progress`, so they run identically over the
-//! FM 1.x and FM 2.x bindings — which is the point: the paper's efficiency
-//! gap is in the *binding*, not in MPI's algorithms.
+//! Collectives are built purely on `isend`/`irecv`/`progress`, so they
+//! run identically over the FM 1.x and FM 2.x bindings — which is the
+//! point: the paper's efficiency gap is in the *binding*, not in MPI's
+//! algorithms. The algorithms themselves live in [`crate::collectives`]
+//! as poll-driven state machines (binomial trees and dissemination for
+//! small payloads, pipelined chunk rings for large ones, selected by
+//! [`crate::comm::Communicator`]); the default methods here are blocking
+//! `poll`+`progress` spin loops over those machines.
 //!
-//! The blocking operations (and therefore the collectives) spin on
-//! `progress`; use them on the threaded transport. Discrete-event
-//! simulations drive the non-blocking API from their step functions
+//! The blocking operations (and therefore these collective methods) spin
+//! on `progress`; use them on the threaded and UDP transports.
+//! Discrete-event simulations drive the non-blocking API — and the
+//! collective `poll` machines directly — from their step functions
 //! instead.
 
+use crate::collectives::{AllreduceOp, BarrierOp, BcastOp, GatherOp, ReduceToRootOp, ScatterOp};
+use crate::comm::{CollConfig, CollPhase};
 use crate::types::{RecvReq, SendReq, Status};
+use crate::wire::{coll_tag, CollKind};
 
 /// Reduction operators for [`Mpi::reduce`] / [`Mpi::allreduce`].
 ///
@@ -59,24 +67,6 @@ impl ReduceOp {
     }
 }
 
-/// Collective kinds, used to partition the collective tag space.
-#[derive(Clone, Copy)]
-enum Coll {
-    Barrier = 1,
-    Bcast = 2,
-    Reduce = 3,
-    Gather = 4,
-    Scatter = 5,
-    Alltoall = 6,
-}
-
-/// Build a collective tag: high bit set (never collides with user tags,
-/// which must stay below [`Mpi::MAX_USER_TAG`]), plus kind, per-call
-/// sequence, and round.
-fn coll_tag(kind: Coll, seq: u32, round: u32) -> u32 {
-    0x8000_0000 | ((kind as u32) << 24) | ((seq & 0xFFF) << 12) | (round & 0xFFF)
-}
-
 /// The MPI subset implemented by both FM bindings.
 pub trait Mpi {
     /// Largest tag available to applications; higher values are reserved
@@ -99,6 +89,27 @@ pub trait Mpi {
     fn progress(&mut self);
     /// Per-instance counter distinguishing successive collectives.
     fn next_coll_seq(&mut self) -> u32;
+
+    /// Collective algorithm-selection knobs. Must return the same value
+    /// on every rank (the threshold is part of the distributed
+    /// algorithm-choice agreement).
+    fn coll_config(&self) -> CollConfig {
+        CollConfig::default()
+    }
+
+    /// Tracing hook: a collective phase event on this rank. Transports
+    /// with an observability sink (the FM 2.x binding) record these as
+    /// `coll_start`/`coll_round`/`coll_end` span events; the default is
+    /// a no-op.
+    fn obs_coll(
+        &mut self,
+        _phase: CollPhase,
+        _kind: CollKind,
+        _seq: u32,
+        _round: u32,
+        _bytes: usize,
+    ) {
+    }
 
     // ---- blocking wrappers (threaded transport) ----
 
@@ -132,169 +143,76 @@ pub trait Mpi {
         self.wait_recv(&r)
     }
 
-    // ---- collectives ----
+    // ---- collectives (blocking drivers over crate::collectives) ----
 
     /// Dissemination barrier: ⌈log₂ n⌉ rounds, each rank sends to
     /// `rank + 2^k` and hears from `rank - 2^k`.
-    fn barrier(&mut self) {
-        let (rank, size) = (self.rank(), self.size());
-        if size <= 1 {
-            return;
-        }
-        let seq = self.next_coll_seq();
-        let mut k = 0u32;
-        let mut dist = 1usize;
-        while dist < size {
-            let dst = (rank + dist) % size;
-            let src = (rank + size - dist) % size;
-            let tag = coll_tag(Coll::Barrier, seq, k);
-            let s = self.isend(dst, tag, Vec::new());
-            let r = self.irecv(Some(src), Some(tag), 0);
-            self.wait_send(&s);
-            self.wait_recv(&r);
-            dist *= 2;
-            k += 1;
-        }
+    fn barrier(&mut self)
+    where
+        Self: Sized,
+    {
+        let mut op = BarrierOp::new(self);
+        drive(self, |mpi| op.poll(mpi));
     }
 
-    /// Binomial-tree broadcast. The root passes `Some(data)`; everyone
-    /// else passes `None` and a `max_len` bound. Returns the data on every
-    /// rank.
-    fn bcast(&mut self, root: usize, data: Option<Vec<u8>>, max_len: usize) -> Vec<u8> {
-        let (rank, size) = (self.rank(), self.size());
-        let seq = self.next_coll_seq();
-        let tag = coll_tag(Coll::Bcast, seq, 0);
-        let vr = (rank + size - root) % size;
-        let buf = if vr == 0 {
-            data.expect("root must supply the broadcast data")
-        } else {
-            // Receive from the binomial parent (vr with its lowest set bit
-            // cleared).
-            let lsb = vr & vr.wrapping_neg();
-            let parent = ((vr - lsb) + root) % size;
-            self.recv(Some(parent), Some(tag), max_len).0
-        };
-        // Send to children: vr + m for each power of two m below my lsb.
-        let lsb = if vr == 0 {
-            size.next_power_of_two()
-        } else {
-            vr & vr.wrapping_neg()
-        };
-        let mut m = lsb >> 1;
-        let mut pending = Vec::new();
-        while m > 0 {
-            let child_vr = vr + m;
-            if child_vr < size {
-                let child = (child_vr + root) % size;
-                pending.push(self.isend(child, tag, buf.clone()));
-            }
-            m >>= 1;
-        }
-        for s in &pending {
-            self.wait_send(s);
-        }
-        buf
+    /// Broadcast. The root passes `Some(data)`; everyone else passes
+    /// `None` and a `max_len` bound (`max_len` must be identical on all
+    /// ranks — it selects the algorithm: binomial tree below the
+    /// pipeline threshold, segmented chain pipeline above). Returns the
+    /// data on every rank.
+    fn bcast(&mut self, root: usize, data: Option<Vec<u8>>, max_len: usize) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut op = BcastOp::new(self, root, data, max_len);
+        drive(self, |mpi| op.poll(mpi));
+        op.take_result()
     }
 
-    /// Binomial-tree reduce. Returns `Some(result)` at the root, `None`
-    /// elsewhere. `contrib` must be the same length on every rank.
-    fn reduce(&mut self, root: usize, contrib: &[u8], op: ReduceOp) -> Option<Vec<u8>> {
-        let (rank, size) = (self.rank(), self.size());
-        let seq = self.next_coll_seq();
-        let tag = coll_tag(Coll::Reduce, seq, 0);
-        let vr = (rank + size - root) % size;
-        let lsb = if vr == 0 {
-            size.next_power_of_two()
-        } else {
-            vr & vr.wrapping_neg()
-        };
-        let mut acc = contrib.to_vec();
-        // Gather from children (ascending mask = reverse of bcast order).
-        let mut m = 1usize;
-        while m < lsb {
-            let child_vr = vr + m;
-            if child_vr < size {
-                let child = (child_vr + root) % size;
-                let (data, _) = self.recv(Some(child), Some(tag), contrib.len());
-                op.apply(&mut acc, &data);
-            }
-            m <<= 1;
-        }
-        if vr == 0 {
-            Some(acc)
-        } else {
-            let parent = ((vr - lsb) + root) % size;
-            self.send(parent, tag, acc);
-            None
-        }
+    /// Reduce to the root (`Some(result)` there, `None` elsewhere).
+    /// `contrib` must be the same length on every rank; the length
+    /// selects the algorithm (binomial tree, or ring reduce-scatter +
+    /// chunk gather above the pipeline threshold).
+    fn reduce(&mut self, root: usize, contrib: &[u8], op: ReduceOp) -> Option<Vec<u8>>
+    where
+        Self: Sized,
+    {
+        let mut r = ReduceToRootOp::new(self, root, contrib, op);
+        drive(self, |mpi| r.poll(mpi));
+        r.take_result()
     }
 
-    /// Reduce-to-root followed by broadcast; every rank gets the result.
-    fn allreduce(&mut self, contrib: &[u8], op: ReduceOp) -> Vec<u8> {
-        let len = contrib.len();
-        match self.reduce(0, contrib, op) {
-            Some(result) => self.bcast(0, Some(result), len),
-            None => self.bcast(0, None, len),
-        }
+    /// Allreduce; every rank gets the result. Small payloads compose
+    /// binomial reduce + bcast, large ones run the bandwidth-optimal
+    /// ring (reduce-scatter + allgather).
+    fn allreduce(&mut self, contrib: &[u8], op: ReduceOp) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut a = AllreduceOp::new(self, contrib, op);
+        drive(self, |mpi| a.poll(mpi));
+        a.take_result()
     }
 
     /// Gather every rank's buffer at the root (rank order). Returns
     /// `Some(vec_of_buffers)` at the root, `None` elsewhere.
-    fn gather(&mut self, root: usize, data: Vec<u8>, max_len: usize) -> Option<Vec<Vec<u8>>> {
-        let (rank, size) = (self.rank(), self.size());
-        let seq = self.next_coll_seq();
-        let tag = coll_tag(Coll::Gather, seq, 0);
-        if rank == root {
-            let mut reqs: Vec<Option<RecvReq>> = (0..size)
-                .map(|r| {
-                    if r == root {
-                        None
-                    } else {
-                        Some(self.irecv(Some(r), Some(tag), max_len))
-                    }
-                })
-                .collect();
-            let mut out = Vec::with_capacity(size);
-            for (r, req) in reqs.iter_mut().enumerate() {
-                match req.take() {
-                    None => out.push(data.clone()),
-                    Some(req) => {
-                        let _ = r;
-                        out.push(self.wait_recv(&req).0);
-                    }
-                }
-            }
-            Some(out)
-        } else {
-            self.send(root, tag, data);
-            None
-        }
+    fn gather(&mut self, root: usize, data: Vec<u8>, max_len: usize) -> Option<Vec<Vec<u8>>>
+    where
+        Self: Sized,
+    {
+        let mut g = GatherOp::new(self, root, data, max_len);
+        drive(self, |mpi| g.poll(mpi));
+        g.take_result()
     }
 
     /// Scatter the root's per-rank chunks; returns this rank's chunk.
-    fn scatter(&mut self, root: usize, chunks: Option<Vec<Vec<u8>>>, max_len: usize) -> Vec<u8> {
-        let (rank, size) = (self.rank(), self.size());
-        let seq = self.next_coll_seq();
-        let tag = coll_tag(Coll::Scatter, seq, 0);
-        if rank == root {
-            let chunks = chunks.expect("root must supply the chunks");
-            assert_eq!(chunks.len(), size, "one chunk per rank");
-            let mut mine = Vec::new();
-            let mut pending = Vec::new();
-            for (r, c) in chunks.into_iter().enumerate() {
-                if r == rank {
-                    mine = c;
-                } else {
-                    pending.push(self.isend(r, tag, c));
-                }
-            }
-            for s in &pending {
-                self.wait_send(s);
-            }
-            mine
-        } else {
-            self.recv(Some(root), Some(tag), max_len).0
-        }
+    fn scatter(&mut self, root: usize, chunks: Option<Vec<Vec<u8>>>, max_len: usize) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut s = ScatterOp::new(self, root, chunks, max_len);
+        drive(self, |mpi| s.poll(mpi));
+        s.take_result()
     }
 
     /// Personalized all-to-all: `data[r]` goes to rank `r`; returns the
@@ -303,7 +221,7 @@ pub trait Mpi {
         let (rank, size) = (self.rank(), self.size());
         assert_eq!(data.len(), size, "one buffer per rank");
         let seq = self.next_coll_seq();
-        let tag = coll_tag(Coll::Alltoall, seq, 0);
+        let tag = coll_tag(CollKind::Alltoall, seq, 0);
         let mut recvs: Vec<Option<RecvReq>> = (0..size)
             .map(|r| {
                 if r == rank {
@@ -339,6 +257,15 @@ pub trait Mpi {
     }
 }
 
+/// Blocking driver: poll a collective state machine to completion,
+/// driving `progress` between polls.
+fn drive<M: Mpi>(mpi: &mut M, mut poll: impl FnMut(&mut M) -> bool) {
+    while !poll(mpi) {
+        mpi.progress();
+        std::thread::yield_now();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,16 +293,5 @@ mod tests {
     #[should_panic(expected = "operands must match")]
     fn reduce_length_mismatch_panics() {
         ReduceOp::SumF64.apply(&mut [0u8; 8], &[0u8; 16]);
-    }
-
-    #[test]
-    fn coll_tags_have_high_bit_and_distinct_kinds() {
-        let a = coll_tag(Coll::Barrier, 1, 0);
-        let b = coll_tag(Coll::Bcast, 1, 0);
-        assert_ne!(a, b);
-        assert!(a & 0x8000_0000 != 0);
-        // Rounds and seqs distinguish too.
-        assert_ne!(coll_tag(Coll::Barrier, 1, 0), coll_tag(Coll::Barrier, 1, 1));
-        assert_ne!(coll_tag(Coll::Barrier, 1, 0), coll_tag(Coll::Barrier, 2, 0));
     }
 }

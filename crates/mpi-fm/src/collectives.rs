@@ -1,0 +1,1048 @@
+//! Poll-driven collective operations over the [`Mpi`] point-to-point
+//! surface.
+//!
+//! Every collective here is a small state machine: construct it (which
+//! allocates a collective sequence number and may post the first sends
+//! and receives), then call `poll` until it returns `true`, driving
+//! [`Mpi::progress`] between polls. The blocking trait methods on
+//! [`Mpi`] are just `poll`+`progress` spin loops; discrete-event
+//! simulations drive `poll` from their step functions instead, which is
+//! what lets the *same* algorithms run over the threaded, UDP, and
+//! simulated transports.
+//!
+//! Two algorithm families, chosen by [`Communicator::use_pipeline`]:
+//!
+//! * **Small payloads** — binomial trees (⌈log₂ n⌉ rounds) for
+//!   bcast/reduce, a dissemination pattern for barrier. Latency-bound:
+//!   minimize rounds.
+//! * **Large payloads** — pipelined chunk rings. Bcast becomes scatter +
+//!   ring allgather (the root's uplink carries ≈B instead of (n−1)·B);
+//!   reduce/allreduce become ring reduce-scatter followed by a chunk
+//!   gather or ring allgather. Bandwidth-bound: every link carries ≈B/n
+//!   per round and the FM 2.x stream engine pipelines fragments under
+//!   the chunks.
+//!
+//! Floating-point determinism: reduction operands are combined in an
+//! order fixed by the tree/ring *structure* (ascending binomial masks;
+//! a chunk's partial travels the ring visiting ranks in a fixed order),
+//! never by message arrival timing — so results are bit-identical
+//! across transports, seeds, and runs.
+
+use fm_core::buf::{BufPool, PacketBuf};
+
+use crate::api::{Mpi, ReduceOp};
+use crate::comm::{elem_chunk_bounds, CollPhase, Communicator};
+use crate::types::{RecvReq, SendReq};
+use crate::wire::{coll_tag, CollKind};
+
+fn comm_of<M: Mpi + ?Sized>(mpi: &M) -> Communicator {
+    Communicator::new(mpi.rank(), mpi.size(), mpi.coll_config())
+}
+
+// ---------------------------------------------------------------- barrier
+
+/// Dissemination barrier: ⌈log₂ n⌉ rounds, each rank sends to
+/// `rank + 2^k` and hears from `rank - 2^k`.
+pub struct BarrierOp {
+    seq: u32,
+    dist: usize,
+    round: u32,
+    pending: Option<(SendReq, RecvReq)>,
+    done: bool,
+}
+
+impl BarrierOp {
+    /// Start a barrier (allocates the collective sequence number).
+    pub fn new<M: Mpi + ?Sized>(mpi: &mut M) -> Self {
+        let seq = mpi.next_coll_seq();
+        let done = mpi.size() <= 1;
+        mpi.obs_coll(CollPhase::Start, CollKind::Barrier, seq, 0, 0);
+        if done {
+            mpi.obs_coll(CollPhase::End, CollKind::Barrier, seq, 0, 0);
+        }
+        BarrierOp {
+            seq,
+            dist: 1,
+            round: 0,
+            pending: None,
+            done,
+        }
+    }
+
+    /// Advance; `true` when every rank has passed the barrier point.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        if self.done {
+            return true;
+        }
+        loop {
+            match &self.pending {
+                None => {
+                    let (rank, size) = (mpi.rank(), mpi.size());
+                    if self.dist >= size {
+                        self.done = true;
+                        mpi.obs_coll(CollPhase::End, CollKind::Barrier, self.seq, self.round, 0);
+                        return true;
+                    }
+                    let tag = coll_tag(CollKind::Barrier, self.seq, self.round);
+                    let dst = (rank + self.dist) % size;
+                    let src = (rank + size - self.dist) % size;
+                    let s = mpi.isend(dst, tag, Vec::new());
+                    let r = mpi.irecv(Some(src), Some(tag), 0);
+                    mpi.obs_coll(CollPhase::Round, CollKind::Barrier, self.seq, self.round, 0);
+                    self.pending = Some((s, r));
+                }
+                Some((s, r)) => {
+                    if !(s.is_done() && r.is_done()) {
+                        return false;
+                    }
+                    self.pending = None;
+                    self.dist *= 2;
+                    self.round += 1;
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- ring sub-machines
+
+/// Ring allgather: n−1 rounds; in round r each rank sends chunk
+/// `(start − r) mod n` to its right neighbor and receives chunk
+/// `(start − r − 1) mod n` from the left. After the last round every
+/// rank holds every chunk.
+struct RingAllgather {
+    kind: CollKind,
+    seq: u32,
+    /// Tag-round offset so rounds don't collide with an earlier phase
+    /// of the same collective (scatter / reduce-scatter).
+    tag_offset: u32,
+    /// Chunk index this rank owns entering round 0.
+    start: usize,
+    /// Per-chunk receive bound.
+    bound: usize,
+    round: usize,
+    pair: Option<(SendReq, RecvReq)>,
+    chunks: Vec<Option<Vec<u8>>>,
+}
+
+impl RingAllgather {
+    fn new(
+        kind: CollKind,
+        seq: u32,
+        tag_offset: u32,
+        start: usize,
+        bound: usize,
+        chunks: Vec<Option<Vec<u8>>>,
+    ) -> Self {
+        RingAllgather {
+            kind,
+            seq,
+            tag_offset,
+            start,
+            bound,
+            round: 0,
+            pair: None,
+            chunks,
+        }
+    }
+
+    fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M, comm: &Communicator) -> bool {
+        let n = comm.size;
+        loop {
+            if self.round >= n - 1 {
+                return true;
+            }
+            match &self.pair {
+                None => {
+                    let send_idx = (self.start + n - self.round % n) % n;
+                    let tag = coll_tag(self.kind, self.seq, self.tag_offset + self.round as u32);
+                    let data = self.chunks[send_idx]
+                        .clone()
+                        .expect("ring allgather owns the chunk it forwards");
+                    let s = mpi.isend(comm.right(), tag, data);
+                    let r = mpi.irecv(Some(comm.left()), Some(tag), self.bound);
+                    mpi.obs_coll(
+                        CollPhase::Round,
+                        self.kind,
+                        self.seq,
+                        self.tag_offset + self.round as u32,
+                        0,
+                    );
+                    self.pair = Some((s, r));
+                }
+                Some((s, r)) => {
+                    if !(s.is_done() && r.is_done()) {
+                        return false;
+                    }
+                    let (_, r) = self.pair.take().expect("pair present");
+                    let recv_idx = (self.start + 2 * n - self.round - 1) % n;
+                    self.chunks[recv_idx] = Some(r.take().expect("done"));
+                    self.round += 1;
+                }
+            }
+        }
+    }
+
+    /// All chunks, concatenated in index order.
+    fn assemble(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for c in &mut self.chunks {
+            out.extend_from_slice(c.as_ref().expect("allgather complete"));
+        }
+        out
+    }
+}
+
+/// Ring reduce-scatter: n−1 rounds; in round r each rank sends its
+/// partial of chunk `(rank − r) mod n` right and folds the incoming
+/// partial of chunk `(rank − r − 1) mod n` into its own contribution.
+/// Afterwards rank `i` holds the fully reduced chunk `(i + 1) mod n`.
+///
+/// Per-chunk accumulators live in pooled [`PacketBuf`] frames
+/// (reduction scratch), so soak loops recycle frames instead of
+/// reallocating each round.
+struct RingReduceScatter {
+    kind: CollKind,
+    seq: u32,
+    op: ReduceOp,
+    acc: Vec<PacketBuf>,
+    lens: Vec<usize>,
+    round: usize,
+    pair: Option<(SendReq, RecvReq)>,
+    /// Keeps recycled frames alive across collectives on this instance.
+    _pool: BufPool,
+}
+
+impl RingReduceScatter {
+    fn new(kind: CollKind, seq: u32, contrib: &[u8], op: ReduceOp, n: usize) -> Self {
+        let max_chunk = elem_chunk_bounds(contrib.len(), n, 0).1;
+        let pool = BufPool::new(max_chunk.max(8), n + 1);
+        let mut acc = Vec::with_capacity(n);
+        let mut lens = Vec::with_capacity(n);
+        for i in 0..n {
+            let (s, e) = elem_chunk_bounds(contrib.len(), n, i);
+            let mut frame = pool.take();
+            frame.extend_from_slice(&contrib[s..e]);
+            acc.push(frame);
+            lens.push(e - s);
+        }
+        RingReduceScatter {
+            kind,
+            seq,
+            op,
+            acc,
+            lens,
+            round: 0,
+            pair: None,
+            _pool: pool,
+        }
+    }
+
+    fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M, comm: &Communicator) -> bool {
+        let n = comm.size;
+        loop {
+            if self.round >= n - 1 {
+                return true;
+            }
+            match &self.pair {
+                None => {
+                    let send_idx = (comm.rank + n - self.round % n) % n;
+                    let recv_idx = (comm.rank + 2 * n - self.round - 1) % n;
+                    let tag = coll_tag(self.kind, self.seq, self.round as u32);
+                    let s = mpi.isend(comm.right(), tag, self.acc[send_idx].to_vec());
+                    let r = mpi.irecv(Some(comm.left()), Some(tag), self.lens[recv_idx]);
+                    mpi.obs_coll(CollPhase::Round, self.kind, self.seq, self.round as u32, 0);
+                    self.pair = Some((s, r));
+                }
+                Some((s, r)) => {
+                    if !(s.is_done() && r.is_done()) {
+                        return false;
+                    }
+                    let (_, r) = self.pair.take().expect("pair present");
+                    let recv_idx = (comm.rank + 2 * n - self.round - 1) % n;
+                    let incoming = r.take().expect("done");
+                    assert_eq!(incoming.len(), self.lens[recv_idx], "chunk length");
+                    let len = self.lens[recv_idx];
+                    let frame = self.acc[recv_idx]
+                        .frame_mut()
+                        .expect("accumulator frames are uniquely owned");
+                    // acc = acc (op) incoming: commutative operators, so
+                    // the traveling partial absorbs contributions in ring
+                    // order regardless of which operand is "left".
+                    self.op.apply(&mut frame[..len], &incoming);
+                    self.round += 1;
+                }
+            }
+        }
+    }
+
+    /// Chunk index this rank owns once reduce-scatter completes.
+    fn owned_idx(&self, comm: &Communicator) -> usize {
+        (comm.rank + 1) % comm.size
+    }
+
+    fn owned_chunk(&self, comm: &Communicator) -> Vec<u8> {
+        self.acc[self.owned_idx(comm)].to_vec()
+    }
+
+    fn chunk_lens(&self) -> &[usize] {
+        &self.lens
+    }
+}
+
+// ---------------------------------------------------------------- bcast
+
+/// Number of chain segments for a `max_len`-byte pipelined broadcast —
+/// at least one, so zero-length broadcasts still traverse the chain.
+fn pipe_segments(max_len: usize, seg: usize) -> usize {
+    max_len.div_ceil(seg).max(1)
+}
+
+/// Broadcast algorithm choice (normally made by
+/// [`Communicator::use_pipeline`]; explicit for benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BcastAlgo {
+    /// Binomial tree: ⌈log₂ n⌉ store-and-forward hops.
+    Binomial,
+    /// Naive flat tree: the root sends the whole buffer to every rank
+    /// (the baseline the pipelined path is measured against).
+    Flat,
+    /// Segmented chain pipeline: the buffer streams down the chain
+    /// root → v1 → … → v(n−1) in [`CollConfig::pipeline_segment`]-sized
+    /// messages, each rank forwarding a segment the moment it lands.
+    /// Every host touches each byte at most twice (receive + forward)
+    /// and the root exactly once — the binding cost on a machine whose
+    /// bottleneck is host PIO, where the flat loop charges the root
+    /// (n−1)·B.
+    Pipelined,
+}
+
+enum BcastState {
+    /// Non-root tree algorithms: waiting for the (whole) buffer.
+    TreeRecv(RecvReq),
+    /// Forwarding to tree children (empty for leaves / flat non-roots;
+    /// also the pipelined root, whose "children" are the per-segment
+    /// sends down the chain).
+    TreeSend {
+        buf: Vec<u8>,
+        sends: Vec<SendReq>,
+    },
+    /// Pipelined non-root: segments arrive in order from the chain
+    /// predecessor; each is forwarded to the successor as it lands.
+    PipeChain {
+        recvs: Vec<RecvReq>,
+        sends: Vec<SendReq>,
+        segs: Vec<Vec<u8>>,
+    },
+    Finished(Vec<u8>),
+    Taken,
+}
+
+/// Broadcast from `root`; every rank ends with the same buffer.
+pub struct BcastOp {
+    comm: Communicator,
+    root: usize,
+    seq: u32,
+    max_len: usize,
+    algo: BcastAlgo,
+    state: BcastState,
+}
+
+impl BcastOp {
+    /// Start a broadcast, choosing the algorithm from `max_len` (which
+    /// must be identical on every rank — it is what keeps the ranks'
+    /// algorithm choices in agreement; `data.len() <= max_len` at the
+    /// root). The root passes `Some(data)`, everyone else `None`.
+    pub fn new<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        root: usize,
+        data: Option<Vec<u8>>,
+        max_len: usize,
+    ) -> Self {
+        let comm = comm_of(mpi);
+        let algo = if comm.use_pipeline(max_len) {
+            BcastAlgo::Pipelined
+        } else {
+            BcastAlgo::Binomial
+        };
+        Self::with_algo(mpi, root, data, max_len, algo)
+    }
+
+    /// Start a broadcast with an explicit algorithm (must match on all
+    /// ranks).
+    pub fn with_algo<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        root: usize,
+        data: Option<Vec<u8>>,
+        max_len: usize,
+        algo: BcastAlgo,
+    ) -> Self {
+        let comm = comm_of(mpi);
+        let seq = mpi.next_coll_seq();
+        let is_root = comm.rank == root;
+        if is_root {
+            let d = data.as_ref().expect("root must supply the broadcast data");
+            assert!(d.len() <= max_len, "root data exceeds max_len");
+        }
+        mpi.obs_coll(
+            CollPhase::Start,
+            CollKind::Bcast,
+            seq,
+            0,
+            data.as_ref().map_or(0, Vec::len),
+        );
+        let state = if comm.size <= 1 {
+            BcastState::Finished(data.unwrap_or_default())
+        } else {
+            match algo {
+                BcastAlgo::Binomial => {
+                    if is_root {
+                        Self::tree_send(mpi, &comm, root, seq, data.expect("root data"))
+                    } else {
+                        let parent = comm.binomial_parent(root).expect("non-root has a parent");
+                        let tag = coll_tag(CollKind::Bcast, seq, 0);
+                        BcastState::TreeRecv(mpi.irecv(Some(parent), Some(tag), max_len))
+                    }
+                }
+                BcastAlgo::Flat => {
+                    let tag = coll_tag(CollKind::Bcast, seq, 0);
+                    if is_root {
+                        let buf = data.expect("root data");
+                        let sends = (0..comm.size)
+                            .filter(|&r| r != root)
+                            .map(|r| mpi.isend(r, tag, buf.clone()))
+                            .collect();
+                        BcastState::TreeSend { buf, sends }
+                    } else {
+                        BcastState::TreeRecv(mpi.irecv(Some(root), Some(tag), max_len))
+                    }
+                }
+                BcastAlgo::Pipelined => {
+                    // The chain is laid out in virtual-rank order (root =
+                    // vrank 0); the segment schedule derives from max_len,
+                    // which every rank agrees on, so the per-segment
+                    // message counts match even when the actual payload is
+                    // shorter (trailing segments travel empty).
+                    let seg = comm.config.pipeline_segment.max(1);
+                    let nsegs = pipe_segments(max_len, seg);
+                    let tag = coll_tag(CollKind::Bcast, seq, 0);
+                    if is_root {
+                        let buf = data.expect("root data");
+                        let next = comm.from_vrank(1, root);
+                        let sends = (0..nsegs)
+                            .map(|k| {
+                                let s = (k * seg).min(buf.len());
+                                let e = ((k + 1) * seg).min(buf.len());
+                                mpi.isend(next, tag, buf[s..e].to_vec())
+                            })
+                            .collect();
+                        BcastState::TreeSend { buf, sends }
+                    } else {
+                        let vr = comm.vrank(root);
+                        let prev = comm.from_vrank(vr - 1, root);
+                        // Matching is FIFO per (source, tag), so one tag
+                        // serves every segment: arrival order is segment
+                        // order.
+                        let recvs = (0..nsegs)
+                            .map(|k| {
+                                let bound = seg.min(max_len - k * seg);
+                                mpi.irecv(Some(prev), Some(tag), bound)
+                            })
+                            .collect();
+                        BcastState::PipeChain {
+                            recvs,
+                            sends: Vec::new(),
+                            segs: Vec::new(),
+                        }
+                    }
+                }
+            }
+        };
+        BcastOp {
+            comm,
+            root,
+            seq,
+            max_len,
+            algo,
+            state,
+        }
+    }
+
+    fn tree_send<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        comm: &Communicator,
+        root: usize,
+        seq: u32,
+        buf: Vec<u8>,
+    ) -> BcastState {
+        let tag = coll_tag(CollKind::Bcast, seq, 0);
+        // Biggest subtree first, as in classic binomial bcast.
+        let sends = comm
+            .binomial_children(root)
+            .into_iter()
+            .rev()
+            .map(|c| mpi.isend(c, tag, buf.clone()))
+            .collect();
+        BcastState::TreeSend { buf, sends }
+    }
+
+    /// Advance; `true` once this rank holds the full buffer and its
+    /// forwarding duties are done.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        loop {
+            match &mut self.state {
+                BcastState::TreeRecv(r) => {
+                    if !r.is_done() {
+                        return false;
+                    }
+                    let buf = r.take().expect("done");
+                    mpi.obs_coll(CollPhase::Round, CollKind::Bcast, self.seq, 0, buf.len());
+                    // Only the binomial tree forwards: a flat non-root
+                    // received straight from the root and owes nobody
+                    // anything (its "children" in vrank space belong to
+                    // the tree schedule, not the flat one).
+                    self.state = if self.algo == BcastAlgo::Flat {
+                        BcastState::TreeSend {
+                            buf,
+                            sends: Vec::new(),
+                        }
+                    } else {
+                        Self::tree_send(mpi, &self.comm, self.root, self.seq, buf)
+                    };
+                }
+                BcastState::TreeSend { buf, sends } => {
+                    if !sends.iter().all(SendReq::is_done) {
+                        return false;
+                    }
+                    let buf = std::mem::take(buf);
+                    mpi.obs_coll(CollPhase::End, CollKind::Bcast, self.seq, 0, buf.len());
+                    self.state = BcastState::Finished(buf);
+                }
+                BcastState::PipeChain { recvs, sends, segs } => {
+                    let vr = self.comm.vrank(self.root);
+                    let next =
+                        (vr + 1 < self.comm.size).then(|| self.comm.from_vrank(vr + 1, self.root));
+                    let tag = coll_tag(CollKind::Bcast, self.seq, 0);
+                    while segs.len() < recvs.len() {
+                        let k = segs.len();
+                        if !recvs[k].is_done() {
+                            break;
+                        }
+                        let data = recvs[k].take().expect("done");
+                        if let Some(dst) = next {
+                            sends.push(mpi.isend(dst, tag, data.clone()));
+                        }
+                        mpi.obs_coll(
+                            CollPhase::Round,
+                            CollKind::Bcast,
+                            self.seq,
+                            k as u32,
+                            data.len(),
+                        );
+                        segs.push(data);
+                    }
+                    if segs.len() < recvs.len() || !sends.iter().all(SendReq::is_done) {
+                        return false;
+                    }
+                    let mut buf = Vec::with_capacity(self.max_len);
+                    for s in segs.iter() {
+                        buf.extend_from_slice(s);
+                    }
+                    mpi.obs_coll(CollPhase::End, CollKind::Bcast, self.seq, 0, buf.len());
+                    self.state = BcastState::Finished(buf);
+                }
+                BcastState::Finished(_) => return true,
+                BcastState::Taken => panic!("poll after take_result"),
+            }
+        }
+    }
+
+    /// The broadcast buffer; call once after `poll` returns `true`.
+    pub fn take_result(&mut self) -> Vec<u8> {
+        match std::mem::replace(&mut self.state, BcastState::Taken) {
+            BcastState::Finished(b) => b,
+            _ => panic!("broadcast not complete"),
+        }
+    }
+}
+
+// ------------------------------------------------------- reduce to root
+
+/// Reduction algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceAlgo {
+    /// Binomial tree: children's contributions fold upward in ascending
+    /// mask order.
+    Binomial,
+    /// Ring reduce-scatter, then the owned chunks converge on the root.
+    Ring,
+}
+
+enum ReduceState {
+    /// Binomial: waiting for all children (ascending-mask order).
+    Gather {
+        recvs: Vec<RecvReq>,
+        acc: Vec<u8>,
+    },
+    SendUp(SendReq),
+    RingRs(RingReduceScatter),
+    RingGatherRoot {
+        recvs: Vec<(usize, RecvReq)>,
+        chunks: Vec<Option<Vec<u8>>>,
+    },
+    RingSendRoot(SendReq),
+    FinishedRoot(Vec<u8>),
+    FinishedNonRoot,
+    Taken,
+}
+
+/// Reduce every rank's contribution to `root`.
+pub struct ReduceToRootOp {
+    comm: Communicator,
+    root: usize,
+    seq: u32,
+    rop: ReduceOp,
+    state: ReduceState,
+}
+
+impl ReduceToRootOp {
+    /// Start a reduction, choosing the algorithm from `contrib.len()`
+    /// (identical on every rank by contract).
+    pub fn new<M: Mpi + ?Sized>(mpi: &mut M, root: usize, contrib: &[u8], rop: ReduceOp) -> Self {
+        let comm = comm_of(mpi);
+        let algo = if comm.use_pipeline(contrib.len()) && contrib.len() / 8 >= comm.size {
+            ReduceAlgo::Ring
+        } else {
+            ReduceAlgo::Binomial
+        };
+        Self::with_algo(mpi, root, contrib, rop, algo)
+    }
+
+    /// Start a reduction with an explicit algorithm (must match on all
+    /// ranks).
+    pub fn with_algo<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        root: usize,
+        contrib: &[u8],
+        rop: ReduceOp,
+        algo: ReduceAlgo,
+    ) -> Self {
+        let comm = comm_of(mpi);
+        let seq = mpi.next_coll_seq();
+        mpi.obs_coll(CollPhase::Start, CollKind::Reduce, seq, 0, contrib.len());
+        let state = if comm.size <= 1 {
+            ReduceState::FinishedRoot(contrib.to_vec())
+        } else {
+            match algo {
+                ReduceAlgo::Binomial => {
+                    let tag = coll_tag(CollKind::Reduce, seq, 0);
+                    let recvs = comm
+                        .binomial_children(root)
+                        .into_iter()
+                        .map(|c| mpi.irecv(Some(c), Some(tag), contrib.len()))
+                        .collect();
+                    ReduceState::Gather {
+                        recvs,
+                        acc: contrib.to_vec(),
+                    }
+                }
+                ReduceAlgo::Ring => ReduceState::RingRs(RingReduceScatter::new(
+                    CollKind::Reduce,
+                    seq,
+                    contrib,
+                    rop,
+                    comm.size,
+                )),
+            }
+        };
+        ReduceToRootOp {
+            comm,
+            root,
+            seq,
+            rop,
+            state,
+        }
+    }
+
+    /// Advance; `true` once this rank's part is complete.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        loop {
+            match &mut self.state {
+                ReduceState::Gather { recvs, acc } => {
+                    if !recvs.iter().all(RecvReq::is_done) {
+                        return false;
+                    }
+                    // Ascending-mask order — fixed, so f64 results are
+                    // deterministic.
+                    for r in recvs.iter() {
+                        let data = r.take().expect("done");
+                        self.rop.apply(acc, &data);
+                    }
+                    let acc = std::mem::take(acc);
+                    mpi.obs_coll(CollPhase::Round, CollKind::Reduce, self.seq, 0, acc.len());
+                    self.state = match self.comm.binomial_parent(self.root) {
+                        None => {
+                            mpi.obs_coll(CollPhase::End, CollKind::Reduce, self.seq, 0, acc.len());
+                            ReduceState::FinishedRoot(acc)
+                        }
+                        Some(parent) => {
+                            let tag = coll_tag(CollKind::Reduce, self.seq, 0);
+                            ReduceState::SendUp(mpi.isend(parent, tag, acc))
+                        }
+                    };
+                }
+                ReduceState::SendUp(s) => {
+                    if !s.is_done() {
+                        return false;
+                    }
+                    mpi.obs_coll(CollPhase::End, CollKind::Reduce, self.seq, 0, 0);
+                    self.state = ReduceState::FinishedNonRoot;
+                }
+                ReduceState::RingRs(rs) => {
+                    if !rs.poll(mpi, &self.comm) {
+                        return false;
+                    }
+                    let n = self.comm.size;
+                    let owned_idx = rs.owned_idx(&self.comm);
+                    let owned = rs.owned_chunk(&self.comm);
+                    let lens = rs.chunk_lens().to_vec();
+                    if self.comm.rank == self.root {
+                        // Collect every other rank's owned chunk; chunk
+                        // (i+1) mod n comes from rank i, tagged by chunk
+                        // index past the reduce-scatter rounds.
+                        let mut chunks: Vec<Option<Vec<u8>>> = vec![None; n];
+                        chunks[owned_idx] = Some(owned);
+                        let recvs = (0..n)
+                            .filter(|&i| i != self.root)
+                            .map(|i| {
+                                let idx = (i + 1) % n;
+                                let tag = coll_tag(CollKind::Reduce, self.seq, (n + idx) as u32);
+                                (idx, mpi.irecv(Some(i), Some(tag), lens[idx]))
+                            })
+                            .collect();
+                        self.state = ReduceState::RingGatherRoot { recvs, chunks };
+                    } else {
+                        let tag = coll_tag(CollKind::Reduce, self.seq, (n + owned_idx) as u32);
+                        self.state = ReduceState::RingSendRoot(mpi.isend(self.root, tag, owned));
+                    }
+                }
+                ReduceState::RingGatherRoot { recvs, chunks } => {
+                    if !recvs.iter().all(|(_, r)| r.is_done()) {
+                        return false;
+                    }
+                    for (idx, r) in recvs.iter() {
+                        chunks[*idx] = Some(r.take().expect("done"));
+                    }
+                    let mut out = Vec::new();
+                    for c in chunks.iter_mut() {
+                        out.extend_from_slice(c.as_ref().expect("all chunks gathered"));
+                    }
+                    mpi.obs_coll(CollPhase::End, CollKind::Reduce, self.seq, 0, out.len());
+                    self.state = ReduceState::FinishedRoot(out);
+                }
+                ReduceState::RingSendRoot(s) => {
+                    if !s.is_done() {
+                        return false;
+                    }
+                    mpi.obs_coll(CollPhase::End, CollKind::Reduce, self.seq, 0, 0);
+                    self.state = ReduceState::FinishedNonRoot;
+                }
+                ReduceState::FinishedRoot(_) | ReduceState::FinishedNonRoot => return true,
+                ReduceState::Taken => panic!("poll after take_result"),
+            }
+        }
+    }
+
+    /// `Some(result)` at the root, `None` elsewhere; call once after
+    /// `poll` returns `true`.
+    pub fn take_result(&mut self) -> Option<Vec<u8>> {
+        match std::mem::replace(&mut self.state, ReduceState::Taken) {
+            ReduceState::FinishedRoot(b) => Some(b),
+            ReduceState::FinishedNonRoot => None,
+            _ => panic!("reduce not complete"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- allreduce
+
+enum AllreduceState {
+    SmallReduce(ReduceToRootOp),
+    SmallBcast(BcastOp),
+    LargeRs(RingReduceScatter),
+    LargeAg(RingAllgather),
+    Finished(Vec<u8>),
+    Taken,
+}
+
+/// Allreduce: every rank ends with the reduction of all contributions.
+///
+/// Small payloads compose binomial reduce-to-0 + binomial bcast; large
+/// payloads run the classic ring (reduce-scatter + allgather, 2(n−1)
+/// rounds, each link carrying ≈`len/n` per round).
+pub struct AllreduceOp {
+    comm: Communicator,
+    len: usize,
+    state: AllreduceState,
+}
+
+impl AllreduceOp {
+    /// Start an allreduce (`contrib.len()` identical on every rank).
+    pub fn new<M: Mpi + ?Sized>(mpi: &mut M, contrib: &[u8], rop: ReduceOp) -> Self {
+        let comm = comm_of(mpi);
+        let len = contrib.len();
+        let state = if comm.size <= 1 {
+            AllreduceState::Finished(contrib.to_vec())
+        } else if comm.use_pipeline(len) && len / 8 >= comm.size {
+            let seq = mpi.next_coll_seq();
+            mpi.obs_coll(CollPhase::Start, CollKind::Reduce, seq, 0, len);
+            AllreduceState::LargeRs(RingReduceScatter::new(
+                CollKind::Reduce,
+                seq,
+                contrib,
+                rop,
+                comm.size,
+            ))
+        } else {
+            AllreduceState::SmallReduce(ReduceToRootOp::with_algo(
+                mpi,
+                0,
+                contrib,
+                rop,
+                ReduceAlgo::Binomial,
+            ))
+        };
+        AllreduceOp { comm, len, state }
+    }
+
+    /// Advance; `true` once the reduced buffer is available here.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        loop {
+            match &mut self.state {
+                AllreduceState::SmallReduce(r) => {
+                    if !r.poll(mpi) {
+                        return false;
+                    }
+                    let result = r.take_result();
+                    self.state = AllreduceState::SmallBcast(BcastOp::with_algo(
+                        mpi,
+                        0,
+                        result,
+                        self.len,
+                        BcastAlgo::Binomial,
+                    ));
+                }
+                AllreduceState::SmallBcast(b) => {
+                    if !b.poll(mpi) {
+                        return false;
+                    }
+                    self.state = AllreduceState::Finished(b.take_result());
+                }
+                AllreduceState::LargeRs(rs) => {
+                    if !rs.poll(mpi, &self.comm) {
+                        return false;
+                    }
+                    let n = self.comm.size;
+                    let start = rs.owned_idx(&self.comm);
+                    let bound = rs.chunk_lens().iter().copied().max().unwrap_or(0);
+                    let mut chunks: Vec<Option<Vec<u8>>> = vec![None; n];
+                    chunks[start] = Some(rs.owned_chunk(&self.comm));
+                    let seq = rs.seq;
+                    self.state = AllreduceState::LargeAg(RingAllgather::new(
+                        CollKind::Reduce,
+                        seq,
+                        n as u32,
+                        start,
+                        bound,
+                        chunks,
+                    ));
+                }
+                AllreduceState::LargeAg(ag) => {
+                    if !ag.poll(mpi, &self.comm) {
+                        return false;
+                    }
+                    let out = ag.assemble();
+                    let (seq, bytes) = (ag.seq, out.len());
+                    mpi.obs_coll(CollPhase::End, CollKind::Reduce, seq, 0, bytes);
+                    self.state = AllreduceState::Finished(out);
+                }
+                AllreduceState::Finished(_) => return true,
+                AllreduceState::Taken => panic!("poll after take_result"),
+            }
+        }
+    }
+
+    /// The reduced buffer; call once after `poll` returns `true`.
+    pub fn take_result(&mut self) -> Vec<u8> {
+        match std::mem::replace(&mut self.state, AllreduceState::Taken) {
+            AllreduceState::Finished(b) => b,
+            _ => panic!("allreduce not complete"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- gather
+
+enum GatherState {
+    Root {
+        recvs: Vec<Option<RecvReq>>,
+        own: Vec<u8>,
+    },
+    Leaf(SendReq),
+    FinishedRoot(Vec<Vec<u8>>),
+    FinishedNonRoot,
+    Taken,
+}
+
+/// Gather every rank's buffer at `root` (rank order).
+pub struct GatherOp {
+    seq: u32,
+    state: GatherState,
+}
+
+impl GatherOp {
+    /// Start a gather; every rank contributes `data`.
+    pub fn new<M: Mpi + ?Sized>(mpi: &mut M, root: usize, data: Vec<u8>, max_len: usize) -> Self {
+        let comm = comm_of(mpi);
+        let seq = mpi.next_coll_seq();
+        mpi.obs_coll(CollPhase::Start, CollKind::Gather, seq, 0, data.len());
+        let tag = coll_tag(CollKind::Gather, seq, 0);
+        let state = if comm.rank == root {
+            let recvs = (0..comm.size)
+                .map(|r| {
+                    if r == root {
+                        None
+                    } else {
+                        Some(mpi.irecv(Some(r), Some(tag), max_len))
+                    }
+                })
+                .collect();
+            GatherState::Root { recvs, own: data }
+        } else {
+            GatherState::Leaf(mpi.isend(root, tag, data))
+        };
+        GatherOp { seq, state }
+    }
+
+    /// Advance; `true` once this rank's part is complete.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        match &mut self.state {
+            GatherState::Root { recvs, own } => {
+                if !recvs.iter().flatten().all(RecvReq::is_done) {
+                    return false;
+                }
+                let out = recvs
+                    .iter()
+                    .map(|r| match r {
+                        None => std::mem::take(own),
+                        Some(r) => r.take().expect("done"),
+                    })
+                    .collect();
+                mpi.obs_coll(CollPhase::End, CollKind::Gather, self.seq, 0, 0);
+                self.state = GatherState::FinishedRoot(out);
+                true
+            }
+            GatherState::Leaf(s) => {
+                if !s.is_done() {
+                    return false;
+                }
+                mpi.obs_coll(CollPhase::End, CollKind::Gather, self.seq, 0, 0);
+                self.state = GatherState::FinishedNonRoot;
+                true
+            }
+            GatherState::FinishedRoot(_) | GatherState::FinishedNonRoot => true,
+            GatherState::Taken => panic!("poll after take_result"),
+        }
+    }
+
+    /// `Some(buffers)` at the root (rank order), `None` elsewhere.
+    pub fn take_result(&mut self) -> Option<Vec<Vec<u8>>> {
+        match std::mem::replace(&mut self.state, GatherState::Taken) {
+            GatherState::FinishedRoot(v) => Some(v),
+            GatherState::FinishedNonRoot => None,
+            _ => panic!("gather not complete"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- scatter
+
+enum ScatterState {
+    Root { sends: Vec<SendReq>, own: Vec<u8> },
+    Leaf(RecvReq),
+    Finished(Vec<u8>),
+    Taken,
+}
+
+/// Scatter the root's per-rank chunks; each rank ends with its chunk.
+pub struct ScatterOp {
+    seq: u32,
+    state: ScatterState,
+}
+
+impl ScatterOp {
+    /// Start a scatter; the root passes `Some(chunks)` (one per rank).
+    pub fn new<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        root: usize,
+        chunks: Option<Vec<Vec<u8>>>,
+        max_len: usize,
+    ) -> Self {
+        let comm = comm_of(mpi);
+        let seq = mpi.next_coll_seq();
+        mpi.obs_coll(CollPhase::Start, CollKind::Scatter, seq, 0, 0);
+        let tag = coll_tag(CollKind::Scatter, seq, 0);
+        let state = if comm.rank == root {
+            let chunks = chunks.expect("root must supply the chunks");
+            assert_eq!(chunks.len(), comm.size, "one chunk per rank");
+            let mut own = Vec::new();
+            let mut sends = Vec::new();
+            for (r, c) in chunks.into_iter().enumerate() {
+                if r == root {
+                    own = c;
+                } else {
+                    sends.push(mpi.isend(r, tag, c));
+                }
+            }
+            ScatterState::Root { sends, own }
+        } else {
+            ScatterState::Leaf(mpi.irecv(Some(root), Some(tag), max_len))
+        };
+        ScatterOp { seq, state }
+    }
+
+    /// Advance; `true` once this rank holds its chunk (root: once all
+    /// chunks are handed off).
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        match &mut self.state {
+            ScatterState::Root { sends, own } => {
+                if !sends.iter().all(SendReq::is_done) {
+                    return false;
+                }
+                let own = std::mem::take(own);
+                mpi.obs_coll(CollPhase::End, CollKind::Scatter, self.seq, 0, own.len());
+                self.state = ScatterState::Finished(own);
+                true
+            }
+            ScatterState::Leaf(r) => {
+                if !r.is_done() {
+                    return false;
+                }
+                let c = r.take().expect("done");
+                mpi.obs_coll(CollPhase::End, CollKind::Scatter, self.seq, 0, c.len());
+                self.state = ScatterState::Finished(c);
+                true
+            }
+            ScatterState::Finished(_) => true,
+            ScatterState::Taken => panic!("poll after take_result"),
+        }
+    }
+
+    /// This rank's chunk; call once after `poll` returns `true`.
+    pub fn take_result(&mut self) -> Vec<u8> {
+        match std::mem::replace(&mut self.state, ScatterState::Taken) {
+            ScatterState::Finished(c) => c,
+            _ => panic!("scatter not complete"),
+        }
+    }
+}

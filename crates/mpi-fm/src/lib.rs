@@ -54,13 +54,21 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod collectives;
+pub mod comm;
 pub mod matching;
 pub mod mpi1;
 pub mod mpi2;
+pub mod testutil;
 pub mod types;
 pub mod wire;
 
 pub use api::{Mpi, ReduceOp};
+pub use collectives::{
+    AllreduceOp, BarrierOp, BcastAlgo, BcastOp, GatherOp, ReduceAlgo, ReduceToRootOp, ScatterOp,
+};
+pub use comm::{CollConfig, CollPhase, Communicator};
 pub use mpi1::Mpi1;
 pub use mpi2::Mpi2;
 pub use types::{RecvReq, SendReq, Status, ANY_SOURCE, ANY_TAG};
+pub use wire::{coll_tag, CollKind};

@@ -27,14 +27,16 @@ use std::rc::Rc;
 
 use fm_core::device::NetDevice;
 use fm_core::packet::HandlerId;
-use fm_core::{Fm2Engine, Fm2Handle, FmStream};
+use fm_core::{Fm2Engine, Fm2Handle, FmStream, ObsEvent, SpanKind};
 use fm_model::Nanos;
 
 use crate::api::Mpi;
+use crate::comm::{CollConfig, CollPhase};
 use crate::matching::{MatchQueues, Posted, UnexpectedBody};
 use crate::types::{RecvReq, SendReq};
 use crate::wire::{
-    MpiHeader, COMM_WORLD, KIND_CTS, KIND_EAGER, KIND_RNDV_DATA, KIND_RTS, MPI_HEADER_BYTES,
+    CollKind, MpiHeader, COMM_WORLD, KIND_CTS, KIND_EAGER, KIND_RNDV_DATA, KIND_RTS,
+    MPI_HEADER_BYTES,
 };
 
 /// FM handler id used by MPI-FM point-to-point traffic.
@@ -63,10 +65,13 @@ struct RndvState {
     expected: HashMap<(usize, u32), Posted>,
 }
 
-/// A send FM could not yet fully admit. Pending sends *stream*: the front
-/// entry pushes as many packets as credits allow per progress call, so a
-/// message of any size (even larger than the credit window) completes —
-/// and strictly FIFO, so MPI's non-overtaking order holds.
+/// A send FM could not yet fully admit. Pending sends *stream*: each
+/// flush pushes as many packets as credits allow per progress call, so a
+/// message of any size (even larger than the credit window) completes.
+/// Scheduling is arrival-order FIFO, but a send stalled on one peer's
+/// credit window only blocks later sends *to that peer* — MPI's
+/// non-overtaking guarantee is pairwise, and another peer's open window
+/// should soak up the uplink time the stall would otherwise waste.
 struct PendingSend {
     dst: usize,
     hdr: [u8; MPI_HEADER_BYTES],
@@ -83,13 +88,26 @@ pub struct Mpi2<D: NetDevice> {
     fm: Fm2Engine<D>,
     queues: Rc<RefCell<MatchQueues>>,
     rndv: Rc<RefCell<RndvState>>,
+    /// Stalled sends in arrival order (pairwise FIFO is the invariant).
     pending: VecDeque<PendingSend>,
+    /// Pending-send count per destination (guards pairwise ordering in
+    /// `isend` without scanning the queue).
+    pending_by_dst: Vec<u32>,
+    /// Scratch for `try_flush_pending`: destinations that blocked during
+    /// the current pass (kept allocated across calls).
+    flush_blocked: Vec<bool>,
+    /// High-water `send_space` observation = the NIC queue's capacity
+    /// (it is empty at construction). `send_space == nic_capacity` means
+    /// the uplink is idle.
+    nic_capacity: usize,
     /// Byte budget passed to `FM_extract` on each progress call (receiver
     /// flow control; `usize::MAX` = unpaced).
     extract_budget: usize,
     /// Payloads above this many bytes use the rendezvous protocol
     /// (`usize::MAX` = eager-only, the 1998 behaviour and the default).
     eager_threshold: usize,
+    /// Collective algorithm selection (must match across ranks).
+    coll_config: CollConfig,
     send_seq: u32,
     coll_seq: u32,
 }
@@ -226,16 +244,32 @@ impl<D: NetDevice + 'static> Mpi2<D> {
                 }
             }
         });
+        let n = fm.num_nodes();
+        // The NIC queue is empty at construction, so free space == its
+        // capacity (the baseline for the uplink-idle test in
+        // `try_flush_pending`).
+        let nic_capacity = fm.with_device(|d| d.send_space());
         Mpi2 {
             fm,
             queues,
             rndv,
             pending: VecDeque::new(),
+            pending_by_dst: vec![0; n],
+            flush_blocked: vec![false; n],
+            nic_capacity,
             extract_budget: usize::MAX,
             eager_threshold: usize::MAX,
+            coll_config: CollConfig::default(),
             send_seq: 0,
             coll_seq: 0,
         }
+    }
+
+    /// Override the collective algorithm-selection knobs. Every rank must
+    /// use the same configuration or the collectives' per-rank algorithm
+    /// choices disagree and the operation never completes.
+    pub fn set_coll_config(&mut self, config: CollConfig) {
+        self.coll_config = config;
     }
 
     /// Payloads strictly larger than `bytes` use the rendezvous protocol.
@@ -265,7 +299,8 @@ impl<D: NetDevice + 'static> Mpi2<D> {
         self.queues.borrow().unexpected_high_water
     }
 
-    /// Queue a send behind any already-pending ones (ordering!).
+    /// Queue a send behind any already pending to the same peer
+    /// (pairwise ordering!).
     fn enqueue_send(
         &mut self,
         dst: usize,
@@ -273,6 +308,7 @@ impl<D: NetDevice + 'static> Mpi2<D> {
         data: Vec<u8>,
         req: Option<SendReq>,
     ) {
+        self.pending_by_dst[dst] += 1;
         self.pending.push_back(PendingSend {
             dst,
             hdr,
@@ -283,7 +319,23 @@ impl<D: NetDevice + 'static> Mpi2<D> {
     }
 
     fn try_flush_pending(&mut self) {
-        while let Some(mut p) = self.pending.pop_front() {
+        self.flush_blocked.fill(false);
+        // One pass in arrival order (indexed, never reordered: the head
+        // keeps uplink priority across passes). When the head stalls on
+        // its peer's *credit window* while the NIC queue sits idle, a
+        // later send to a peer with an open window soaks up the uplink
+        // time the stall would otherwise waste. But if the NIC still has
+        // queued packets the pass stops at the stall: the uplink isn't
+        // idle, and letting later sends interleave would only delay the
+        // head's completion (which downstream dependency chains — ring
+        // collectives — are waiting on).
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &mut self.pending[i];
+            if self.flush_blocked[p.dst] {
+                i += 1;
+                continue;
+            }
             let total = MPI_HEADER_BYTES + p.data.len();
             let (mut ss, mut sent) = match p.started.take() {
                 Some(x) => x,
@@ -303,15 +355,24 @@ impl<D: NetDevice + 'static> Mpi2<D> {
                 }
             }
             if sent == total && self.fm.try_end_message(&mut ss).is_ok() {
-                if let Some(req) = p.req {
+                if let Some(req) = p.req.take() {
                     req.inner.borrow_mut().done = true;
                 }
+                let dst = p.dst;
+                self.pending_by_dst[dst] -= 1;
+                self.pending.remove(i);
                 continue;
             }
-            // Park the partial stream at the front (FIFO preserved).
+            // Park the partial stream in place.
+            let dst = p.dst;
             p.started = Some((ss, sent));
-            self.pending.push_front(p);
-            break;
+            self.flush_blocked[dst] = true;
+            let space = self.fm.with_device(|d| d.send_space());
+            self.nic_capacity = self.nic_capacity.max(space);
+            if space < self.nic_capacity {
+                break;
+            }
+            i += 1;
         }
     }
 }
@@ -367,10 +428,11 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
                 .borrow_mut()
                 .parked
                 .insert(seq, (dst, tag, data, req.clone()));
-            if !self.pending.is_empty()
+            if self.pending_by_dst[dst] > 0
                 || self.fm.try_send_message(dst, MPI_HANDLER, &[&hdr]).is_err()
             {
                 self.enqueue_send(dst, hdr, Vec::new(), None);
+                self.try_flush_pending();
             }
             return req;
         }
@@ -384,12 +446,14 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
         }
         .encode();
         self.send_seq = self.send_seq.wrapping_add(1);
-        // Sends behind a stalled send must queue behind it, or a small
-        // message could squeeze past a large one and break MPI's
-        // non-overtaking matching order.
-        if !self.pending.is_empty() {
+        // Sends behind a stalled send *to the same peer* must queue
+        // behind it, or a small message could squeeze past a large one
+        // and break MPI's non-overtaking matching order (which is
+        // pairwise — other peers' queues don't gate this one).
+        if self.pending_by_dst[dst] > 0 {
             let req = SendReq::new(false);
             self.enqueue_send(dst, hdr, data, Some(req.clone()));
+            self.try_flush_pending();
             return req;
         }
         // Gather: header and payload as two pieces — no assembly copy.
@@ -401,6 +465,12 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
             Err(_) => {
                 let req = SendReq::new(false);
                 self.enqueue_send(dst, hdr, data, Some(req.clone()));
+                // Start streaming *now*: a message wider than the credit
+                // window must get its first window of packets onto the
+                // wire here, or an event-driven caller (the simulator)
+                // parks a send nothing will ever wake up to flush —
+                // credit returns only flow once some packets do.
+                self.try_flush_pending();
                 req
             }
         }
@@ -448,6 +518,25 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
     fn next_coll_seq(&mut self) -> u32 {
         self.coll_seq = self.coll_seq.wrapping_add(1);
         self.coll_seq
+    }
+
+    fn coll_config(&self) -> CollConfig {
+        self.coll_config
+    }
+
+    fn obs_coll(&mut self, phase: CollPhase, kind: CollKind, seq: u32, round: u32, bytes: usize) {
+        let span = match phase {
+            CollPhase::Start => SpanKind::CollStart,
+            CollPhase::Round => SpanKind::CollRound,
+            CollPhase::End => SpanKind::CollEnd,
+        };
+        self.fm.obs_record(|t, me| {
+            ObsEvent::new(t, me, span)
+                .handler(kind as u32)
+                .msg_seq(seq)
+                .seq(round)
+                .bytes(bytes as u32)
+        });
     }
 }
 

@@ -52,6 +52,31 @@ pub const KIND_RNDV_DATA: u32 = 4;
 /// their first segment; `len` is this fragment's payload length.
 pub const KIND_FRAG: u32 = 5;
 
+/// Collective kinds, used to partition the reserved collective tag space
+/// (tags with the high bit set, above [`crate::Mpi::MAX_USER_TAG`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollKind {
+    /// Dissemination barrier.
+    Barrier = 1,
+    /// Broadcast from a root.
+    Bcast = 2,
+    /// Reduction to a root (also the first phase of allreduce).
+    Reduce = 3,
+    /// Gather to a root.
+    Gather = 4,
+    /// Scatter from a root.
+    Scatter = 5,
+    /// Personalized all-to-all exchange.
+    Alltoall = 6,
+}
+
+/// Build a collective tag: high bit set (never collides with user tags,
+/// which must stay below [`crate::Mpi::MAX_USER_TAG`]), plus kind, per-call
+/// sequence (12 bits), and round/chunk index (12 bits).
+pub fn coll_tag(kind: CollKind, seq: u32, round: u32) -> u32 {
+    0x8000_0000 | ((kind as u32) << 24) | ((seq & 0xFFF) << 12) | (round & 0xFFF)
+}
+
 impl MpiHeader {
     /// Encode to the 24-byte wire form.
     pub fn encode(&self) -> [u8; MPI_HEADER_BYTES] {
@@ -116,5 +141,22 @@ mod tests {
     #[should_panic(expected = "truncated MPI header")]
     fn decode_rejects_short_input() {
         let _ = MpiHeader::decode(&[0u8; 10]);
+    }
+
+    #[test]
+    fn coll_tags_have_high_bit_and_distinct_kinds() {
+        let a = coll_tag(CollKind::Barrier, 1, 0);
+        let b = coll_tag(CollKind::Bcast, 1, 0);
+        assert_ne!(a, b);
+        assert!(a & 0x8000_0000 != 0);
+        // Rounds and seqs distinguish too.
+        assert_ne!(
+            coll_tag(CollKind::Barrier, 1, 0),
+            coll_tag(CollKind::Barrier, 1, 1)
+        );
+        assert_ne!(
+            coll_tag(CollKind::Barrier, 1, 0),
+            coll_tag(CollKind::Barrier, 2, 0)
+        );
     }
 }

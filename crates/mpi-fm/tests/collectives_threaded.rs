@@ -124,6 +124,72 @@ fn collectives_on_single_rank_are_trivial() {
 }
 
 #[test]
+fn conformance_script_matches_model_on_threads() {
+    // The shared cross-transport script (large flavor: exercises the
+    // pipelined bcast and ring allreduce paths) must reproduce the pure
+    // model bit for bit on the threaded transport.
+    let outputs = ThreadedCluster::run(4, |_, dev| {
+        let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+        mpi_fm::testutil::ScriptRunner::run_blocking(&mut mpi, true)
+    });
+    for (rank, got) in outputs.iter().enumerate() {
+        let want = mpi_fm::testutil::expected_outputs(rank, 4, true);
+        assert_eq!(*got, want, "rank {rank}");
+    }
+}
+
+#[test]
+fn explicit_bcast_algorithms_agree() {
+    use mpi_fm::{BcastAlgo, BcastOp};
+    const LEN: usize = 96 * 1024;
+    for algo in [BcastAlgo::Binomial, BcastAlgo::Flat, BcastAlgo::Pipelined] {
+        let outputs = ThreadedCluster::run(4, move |rank, dev| {
+            let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+            let data: Vec<u8> = (0..LEN).map(|i| (i * 31 + 7) as u8).collect();
+            let mut op =
+                BcastOp::with_algo(&mut mpi, 0, (rank == 0).then(|| data.clone()), LEN, algo);
+            while !op.poll(&mut mpi) {
+                mpi.progress();
+                std::thread::yield_now();
+            }
+            assert_eq!(op.take_result(), data, "algo {algo:?}");
+            mpi.barrier();
+            true
+        });
+        assert_eq!(outputs, vec![true; 4]);
+    }
+}
+
+#[test]
+fn large_reduce_to_root_uses_ring_and_is_exact() {
+    const ELEMS: usize = 16 * 1024; // 128 KiB: above the pipeline threshold
+    let outputs = ThreadedCluster::run(4, |rank, dev| {
+        let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+        let contrib = f64s(
+            &(0..ELEMS)
+                .map(|j| ((j % 17) * (rank + 2)) as f64)
+                .collect::<Vec<f64>>(),
+        );
+        let out = mpi.reduce(2, &contrib, ReduceOp::SumF64);
+        mpi.barrier();
+        (rank, out)
+    });
+    let rank_sum: usize = (0..4).map(|r| r + 2).sum();
+    for (rank, out) in outputs {
+        match out {
+            Some(v) => {
+                assert_eq!(rank, 2);
+                let got = to_f64s(&v);
+                for (j, x) in got.iter().enumerate() {
+                    assert_eq!(*x, ((j % 17) * rank_sum) as f64, "elem {j}");
+                }
+            }
+            None => assert_ne!(rank, 2),
+        }
+    }
+}
+
+#[test]
 fn point_to_point_ping_pong_both_bindings() {
     const ROUNDS: usize = 50;
     // Mpi2

@@ -93,6 +93,9 @@ struct NodeSlot<P> {
     waiting: bool,
     wake_scheduled: bool,
     busy_until: Nanos,
+    /// A wake that fired inside the previous step's charge window was
+    /// re-queued for this time (all such early wakes coalesce into one).
+    deferred_wake: Option<Nanos>,
     done: bool,
 }
 
@@ -155,6 +158,7 @@ impl<P: Clone> Simulation<P> {
                 waiting: false,
                 wake_scheduled: false,
                 busy_until: Nanos::ZERO,
+                deferred_wake: None,
                 done: false,
             });
         }
@@ -303,6 +307,24 @@ impl<P: Clone> Simulation<P> {
     fn host_wake(&mut self, t: Nanos, n: NodeId) {
         if self.nodes[n.0].done {
             return;
+        }
+        // Host compute time is conserved: a wake landing inside the
+        // previous step's charge window (scheduled before that charge was
+        // known — e.g. a stale alarm) must not re-enter the program while
+        // it is still "executing" already-charged work, or one host gets
+        // to overlap its own CPU with itself and the machine model's
+        // per-byte costs stop binding. Defer to the end of the busy
+        // window; all early wakes coalesce into a single deferred event.
+        let busy_until = self.nodes[n.0].busy_until;
+        if t < busy_until {
+            if self.nodes[n.0].deferred_wake != Some(busy_until) {
+                self.nodes[n.0].deferred_wake = Some(busy_until);
+                self.events.schedule(busy_until, Event::HostWake(n));
+            }
+            return;
+        }
+        if self.nodes[n.0].deferred_wake.is_some_and(|at| at <= t) {
+            self.nodes[n.0].deferred_wake = None;
         }
         self.nodes[n.0].wake_scheduled = false;
         self.nodes[n.0].waiting = false;
