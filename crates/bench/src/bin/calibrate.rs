@@ -18,8 +18,8 @@ use fm_bench::{
     fm1_latency, fm1_latency_dist, fm1_stream, fm2_latency, fm2_latency_dist, fm2_stream,
     fm2_stream_dist, latency_table, mpi_latency, mpi_stream, sim_allreduce_latency,
     sim_barrier_latency, sim_bcast_latency, size_bandwidth_table, stream_count,
-    udp_allreduce_latency_us, udp_barrier_latency_us, udp_latency_dist, udp_stream_dist,
-    BenchReport, Fm1Stage, MpiBinding,
+    udp_allreduce_latency_us, udp_barrier_latency_us, udp_churn_dist, udp_latency_dist,
+    udp_stream_dist, BenchReport, Fm1Stage, MpiBinding,
 };
 use fm_core::obs::SizeHistograms;
 use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
@@ -270,6 +270,22 @@ fn calibrate_udp() -> BenchReport {
     println!("barrier n=4                        {bar4:>9.1} us");
     println!("allreduce n=4 16B                  {ar4:>9.1} us");
 
+    // Churn recovery: kill node 1 and bring it back under a bumped
+    // epoch, 8 times; how long until the stream flows to the new
+    // incarnation, and what the retransmit machinery paid meanwhile.
+    let churn = udp_churn_dist(8);
+    let rec_p50_ms = churn.recovery_ns.p50() as f64 / 1e6;
+    let rec_p99_ms = churn.recovery_ns.p99() as f64 / 1e6;
+    println!();
+    println!(
+        "churn recovery n={} cycles        p50 {rec_p50_ms:>7.1} ms  p99 {rec_p99_ms:>7.1} ms",
+        churn.cycles
+    );
+    println!(
+        "churn retransmit storm             {} retx, {} timeouts, {} stale rejected, {} rejoins",
+        churn.retransmissions, churn.retransmit_timeouts, churn.stale_rejected, churn.rejoins
+    );
+
     BenchReport {
         transport: "udp".into(),
         headline: vec![
@@ -280,6 +296,21 @@ fn calibrate_udp() -> BenchReport {
             ),
             ("udp_barrier_n4_us".into(), bar4),
             ("udp_allreduce_n4_16b_us".into(), ar4),
+            ("udp_churn_recovery_p50_ms".into(), rec_p50_ms),
+            ("udp_churn_recovery_p99_ms".into(), rec_p99_ms),
+            (
+                "udp_churn_retransmissions".into(),
+                churn.retransmissions as f64,
+            ),
+            (
+                "udp_churn_retransmit_timeouts".into(),
+                churn.retransmit_timeouts as f64,
+            ),
+            (
+                "udp_churn_stale_rejected".into(),
+                churn.stale_rejected as f64,
+            ),
+            ("udp_churn_rejoins".into(), churn.rejoins as f64),
         ],
         latency: vec![("udp_fm2_16B_one_way".into(), lat.mean, lat.one_way_ns)],
         size_classes,

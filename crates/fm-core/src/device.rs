@@ -23,6 +23,41 @@ use crate::packet::FmPacket;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeviceFull;
 
+/// Membership transition reported by a device that tracks peer liveness
+/// (fm-udp's heartbeat engine). Substrates with static membership never
+/// produce these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerEventKind {
+    /// The peer is (back) in full contact: heartbeats flowing, same
+    /// incarnation as before (or the first one we ever saw).
+    Up,
+    /// Heartbeats have gone quiet past the suspicion timeout; the peer
+    /// may be dead, partitioned, or merely stalled. Traffic to it should
+    /// be deprioritized but state is kept.
+    Suspect,
+    /// The peer exceeded the down timeout (or said goodbye). In-flight
+    /// state toward it is abandoned; upper layers must not wait on it.
+    Down,
+    /// The peer came back with a *newer incarnation epoch* (it
+    /// restarted). All per-peer protocol state — sequence numbers,
+    /// retransmit rings, partial messages — from the old incarnation is
+    /// invalid and must be reset before any of its new-epoch data is
+    /// processed.
+    Rejoining,
+}
+
+/// One membership transition, delivered by [`NetDevice::poll_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerEvent {
+    /// Which peer changed state.
+    pub peer: usize,
+    /// The new state.
+    pub kind: PeerEventKind,
+    /// The peer's incarnation epoch as of this transition (0 when the
+    /// substrate does not track epochs).
+    pub epoch: u64,
+}
+
 /// A non-blocking NIC interface plus clock and cost sink.
 pub trait NetDevice {
     /// This node's id (dense, 0-based).
@@ -70,6 +105,18 @@ pub trait NetDevice {
     /// Substrate serial of the packet returned by the most recent
     /// [`NetDevice::try_recv`], when known. Default: `None`.
     fn last_recv_serial(&self) -> Option<u64> {
+        None
+    }
+    /// Pull the next pending membership transition, if the substrate
+    /// tracks peer liveness. The engine drains these *before* receiving
+    /// data: a liveness-tracking device guarantees that no data packet
+    /// from a peer's new incarnation is returned by
+    /// [`NetDevice::try_recv`] while a [`PeerEventKind::Rejoining`] or
+    /// [`PeerEventKind::Down`] event for that peer is still queued here —
+    /// that ordering is what lets the engine reset per-peer sequence
+    /// state without racing the new traffic. Default: `None` (static
+    /// membership).
+    fn poll_event(&mut self) -> Option<PeerEvent> {
         None
     }
 }

@@ -18,7 +18,7 @@ use std::task::{Context, Waker};
 use fm_model::{MachineProfile, Nanos};
 
 use crate::buf::{BufPool, PacketBuf};
-use crate::device::NetDevice;
+use crate::device::{NetDevice, PeerEvent, PeerEventKind};
 use crate::error::{FmError, WouldBlock};
 use crate::flow::CreditLedger;
 use crate::obs::{ObsEvent, ObsSink, SpanKind};
@@ -105,6 +105,14 @@ struct Inner<D: NetDevice> {
     /// Observability sink (`None` by default: recording is opt-in and a
     /// single branch per site when absent).
     obs: Option<ObsSink>,
+    /// Application callback for membership transitions
+    /// (`FM_set_peer_handler`); invoked outside any engine borrow, so it
+    /// may call engine methods.
+    peer_handler: Option<Rc<dyn Fn(PeerEvent)>>,
+    /// Peers currently declared down by the device's liveness engine.
+    /// Upper layers poll this ([`Fm2Engine::is_peer_down`]) to abort
+    /// instead of spinning on a dead peer.
+    peer_down: Vec<bool>,
 }
 
 impl<D: NetDevice> Inner<D> {
@@ -245,6 +253,8 @@ impl<D: NetDevice> Fm2Engine<D> {
                 stats: FmStats::default(),
                 in_extract: false,
                 obs: None,
+                peer_handler: None,
+                peer_down: vec![false; n],
             })),
         }
     }
@@ -320,6 +330,40 @@ impl<D: NetDevice> Fm2Engine<D> {
     /// log).
     pub fn take_errors(&self) -> Vec<FmError> {
         std::mem::take(&mut self.inner.borrow_mut().errors)
+    }
+
+    /// `FM_set_peer_handler`: register a callback for membership
+    /// transitions reported by the device (peers going
+    /// up/suspect/down/rejoining — see [`PeerEventKind`]). The callback
+    /// runs during `extract`/`progress`, *after* the engine has already
+    /// applied the transition's protocol consequences (state reset on
+    /// rejoin, retransmit abandonment on down), and outside any engine
+    /// borrow, so it may call engine methods (not `extract`). Devices
+    /// with static membership never produce events. Replaces any
+    /// previous callback.
+    pub fn set_peer_handler<F: Fn(PeerEvent) + 'static>(&self, f: F) {
+        self.inner.borrow_mut().peer_handler = Some(Rc::new(f));
+    }
+
+    /// Whether `peer` is currently declared down by the device's
+    /// liveness engine (false for devices with static membership).
+    /// Layered blocking loops (MPI collectives) consult this to abort
+    /// instead of waiting forever on a dead peer; a later `Up` or
+    /// `Rejoining` transition clears it.
+    pub fn is_peer_down(&self, peer: usize) -> bool {
+        self.inner.borrow().peer_down[peer]
+    }
+
+    /// The peers currently declared down, in node order (empty for
+    /// devices with static membership).
+    pub fn downed_peers(&self) -> Vec<usize> {
+        self.inner
+            .borrow()
+            .peer_down
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect()
     }
 
     /// Account arbitrary host cost (for layered libraries).
@@ -717,6 +761,7 @@ impl<D: NetDevice> Fm2Engine<D> {
     /// front message as credits allow, so even a message larger than the
     /// whole credit window completes across calls. Strictly FIFO.
     pub fn progress(&self) -> bool {
+        self.drain_peer_events();
         loop {
             let front = self.inner.borrow_mut().deferred.pop_front();
             let Some(mut d) = front else { break };
@@ -759,6 +804,82 @@ impl<D: NetDevice> Fm2Engine<D> {
         self.return_explicit_credits();
         self.reliability_poll();
         self.inner.borrow().deferred.is_empty()
+    }
+
+    /// Apply pending membership transitions from the device, then run the
+    /// application's peer callback for each. The device contract
+    /// ([`NetDevice::poll_event`]) guarantees no data from a peer's new
+    /// incarnation is returned by `try_recv` while its
+    /// `Rejoining`/`Down` event is still queued, so resetting per-peer
+    /// state here cannot race the new traffic.
+    fn drain_peer_events(&self) {
+        let (events, handler) = {
+            let mut inner = self.inner.borrow_mut();
+            let mut events: Vec<PeerEvent> = Vec::new();
+            while let Some(ev) = inner.device.poll_event() {
+                events.push(ev);
+            }
+            if events.is_empty() {
+                return;
+            }
+            for ev in &events {
+                let peer = ev.peer;
+                match ev.kind {
+                    PeerEventKind::Up => {
+                        inner.peer_down[peer] = false;
+                    }
+                    PeerEventKind::Suspect => {
+                        // Liveness in doubt, protocol state intact: the
+                        // AIMD window is already shedding load toward a
+                        // silent peer; nothing structural to do.
+                    }
+                    PeerEventKind::Down => {
+                        inner.peer_down[peer] = true;
+                        // Stop the retransmit storm toward the corpse and
+                        // abort everything in flight either way.
+                        if let Some(rel) = inner.reliable.as_mut() {
+                            rel.abandon_peer(peer);
+                        }
+                        inner.tasks.retain(|&(src, _), _| src != peer);
+                        inner.deferred.retain(|d| d.dst != peer);
+                    }
+                    PeerEventKind::Rejoining => {
+                        // The peer restarted: every sequence number,
+                        // retransmit clone and partial message from its
+                        // old incarnation is invalid. Both sides reset
+                        // symmetrically (the restarted peer starts from
+                        // scratch by construction).
+                        inner.peer_down[peer] = false;
+                        if let Some(rel) = inner.reliable.as_mut() {
+                            rel.reset_peer(peer);
+                        }
+                        inner.send_pkt_seq[peer] = 0;
+                        inner.send_msg_seq[peer] = 0;
+                        inner.recv_pkt_seq[peer] = 0;
+                        inner.tasks.retain(|&(src, _), _| src != peer);
+                        inner.deferred.retain(|d| d.dst != peer);
+                        inner.stats.peer_resets += 1;
+                    }
+                }
+                let kind = match ev.kind {
+                    PeerEventKind::Up => SpanKind::PeerUp,
+                    PeerEventKind::Suspect => SpanKind::PeerSuspect,
+                    PeerEventKind::Down => SpanKind::PeerDown,
+                    PeerEventKind::Rejoining => SpanKind::PeerRejoin,
+                };
+                inner.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, kind)
+                        .peer(peer as u16)
+                        .seq(ev.epoch as u32)
+                });
+            }
+            (events, inner.peer_handler.clone())
+        };
+        if let Some(h) = handler {
+            for ev in events {
+                h(ev);
+            }
+        }
     }
 
     /// Retransmit-mode housekeeping: flush standalone acks, re-send timed
@@ -812,12 +933,41 @@ impl<D: NetDevice> Fm2Engine<D> {
                 });
             }
             rel.on_timeout_handled(peer, now, &mut inner.stats);
+            if rel.is_adaptive() {
+                let cwnd = rel.cwnd_packets(peer);
+                inner.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::CwndChange)
+                        .peer(peer as u16)
+                        .seq(cwnd)
+                });
+            }
         }
         // Make sure we get polled again even on a quiet network.
         if let Some(at) = rel.next_deadline() {
             inner.device.request_wake(at);
         }
         inner.reliable = Some(rel);
+    }
+
+    /// The reliability sublayer's smoothed RTT estimate toward `peer`,
+    /// in nanoseconds (`None` in TrustSubstrate mode, with adaptation
+    /// off, or before the first sample).
+    pub fn srtt_ns(&self, peer: usize) -> Option<u64> {
+        self.inner
+            .borrow()
+            .reliable
+            .as_ref()
+            .and_then(|r| r.srtt_ns(peer))
+    }
+
+    /// The reliability sublayer's current base retransmit timeout toward
+    /// `peer`, in nanoseconds (`None` in TrustSubstrate mode).
+    pub fn current_rto_ns(&self, peer: usize) -> Option<u64> {
+        self.inner
+            .borrow()
+            .reliable
+            .as_ref()
+            .map(|r| r.current_rto_ns(peer))
     }
 
     /// Data packets sent but not yet acknowledged (always 0 in
@@ -901,6 +1051,11 @@ impl<D: NetDevice> Fm2Engine<D> {
         }
 
         while processed < budget {
+            // Membership first: a queued Rejoining/Down event must reset
+            // per-peer state before any packet that follows it is let
+            // through (the device gates new-incarnation data behind its
+            // event).
+            self.drain_peer_events();
             let pkt = {
                 let mut inner = self.inner.borrow_mut();
                 match inner.device.try_recv() {
@@ -931,17 +1086,38 @@ impl<D: NetDevice> Fm2Engine<D> {
                     // credit bookkeeping (same charge).
                     let now = inner.device.now();
                     let i = &mut *inner;
-                    let resend = {
+                    let (resend, rtt_sample) = {
                         let rel = i.reliable.as_mut().expect("checked above");
-                        if rel.on_ack(src, pkt.header.ack, now) {
+                        let head = if rel.on_ack(src, pkt.header.ack, now) {
                             rel.head_packet(src)
                         } else {
                             None
-                        }
+                        };
+                        (head, rel.take_rtt_sample(src))
                     };
+                    if let Some(sample) = rtt_sample {
+                        let rel = i.reliable.as_ref().expect("checked above");
+                        let rto_us = (rel.current_rto_ns(src) / 1_000).min(u32::MAX as u64);
+                        i.obs_emit(|t, me| {
+                            ObsEvent::new(t, me, SpanKind::RtoUpdate)
+                                .peer(src as u16)
+                                .seq(rto_us as u32)
+                                .bytes((sample / 1_000).min(u32::MAX as u64) as u32)
+                        });
+                    }
                     if let Some(head) = resend {
                         // Duplicate-ack fast retransmit: the peer is stuck
                         // waiting for exactly this packet.
+                        let rel = i.reliable.as_ref().expect("checked above");
+                        i.stats.fast_retransmits += 1;
+                        if rel.is_adaptive() {
+                            let cwnd = rel.cwnd_packets(src);
+                            i.obs_emit(|t, me| {
+                                ObsEvent::new(t, me, SpanKind::CwndChange)
+                                    .peer(src as u16)
+                                    .seq(cwnd)
+                            });
+                        }
                         if i.device.send_space() > 0 {
                             let cost = Nanos(i.profile.host.per_packet_send_ns)
                                 + Nanos(i.profile.iobus.pio_setup_ns)
@@ -2068,5 +2244,185 @@ mod edge_tests {
         r.extract_all();
         assert_eq!(r.stats().messages_received, 1);
         assert_eq!(r.stats().bytes_received, big.len() as u64);
+    }
+
+    /// A scripted liveness-tracking device: the test queues packets and
+    /// membership events by hand and checks what the engine does with
+    /// them.
+    struct ChurnDevice {
+        node: usize,
+        inq: VecDeque<FmPacket>,
+        out: Vec<FmPacket>,
+        events: VecDeque<crate::device::PeerEvent>,
+        clock: Nanos,
+    }
+
+    impl ChurnDevice {
+        fn new(node: usize) -> ChurnDevice {
+            ChurnDevice {
+                node,
+                inq: VecDeque::new(),
+                out: Vec::new(),
+                events: VecDeque::new(),
+                clock: Nanos::ZERO,
+            }
+        }
+    }
+
+    impl NetDevice for ChurnDevice {
+        fn node_id(&self) -> usize {
+            self.node
+        }
+        fn num_nodes(&self) -> usize {
+            2
+        }
+        fn try_send(&mut self, pkt: FmPacket) -> Result<(), crate::device::DeviceFull> {
+            self.out.push(pkt);
+            Ok(())
+        }
+        fn try_recv(&mut self) -> Option<FmPacket> {
+            if !self.events.is_empty() {
+                // Honour the poll_event contract: no data crosses while
+                // a membership event is pending.
+                return None;
+            }
+            self.inq.pop_front()
+        }
+        fn send_space(&self) -> usize {
+            usize::MAX
+        }
+        fn now(&self) -> Nanos {
+            self.clock
+        }
+        fn charge(&mut self, cost: Nanos) {
+            self.clock += cost;
+        }
+        fn is_lossy(&self) -> bool {
+            true
+        }
+        fn poll_event(&mut self) -> Option<crate::device::PeerEvent> {
+            self.events.pop_front()
+        }
+    }
+
+    #[test]
+    fn peer_events_reset_state_and_fire_the_peer_handler() {
+        use crate::device::{PeerEvent, PeerEventKind};
+        use crate::reliable::Reliability;
+        let e = Fm2Engine::with_reliability(
+            ChurnDevice::new(1),
+            MachineProfile::ppro200_fm2(),
+            Reliability::Retransmit(Default::default()),
+        );
+        let seen: Rc<RefCell<Vec<u8>>> = Rc::default();
+        {
+            let s = Rc::clone(&seen);
+            e.set_fast_handler(H, move |_, payload| {
+                s.borrow_mut().push(payload[0]);
+            });
+        }
+        let log: Rc<RefCell<Vec<PeerEvent>>> = Rc::default();
+        {
+            let l = Rc::clone(&log);
+            e.set_peer_handler(move |ev| l.borrow_mut().push(ev));
+        }
+        let data = |pkt_seq: u32, val: u8| FmPacket {
+            header: PacketHeader {
+                src: 0,
+                dst: 1,
+                handler: H,
+                msg_seq: 0,
+                pkt_seq,
+                msg_len: 1,
+                flags: PacketFlags::FIRST | PacketFlags::LAST,
+                credits: 0,
+                ack: 0,
+            },
+            payload: vec![val].into(),
+        };
+
+        // Old incarnation: seq 0 delivered, later duplicates suppressed.
+        e.with_device(|d| d.inq.push_back(data(0, 1)));
+        e.extract_all();
+        assert_eq!(*seen.borrow(), vec![1]);
+        e.with_device(|d| d.inq.push_back(data(0, 1)));
+        e.extract_all();
+        assert_eq!(*seen.borrow(), vec![1], "duplicate suppressed");
+
+        // Send toward peer 0 so there is un-acked send state to reset.
+        e.try_send_message(0, H, &[&[9u8][..]]).unwrap();
+        assert_eq!(e.unacked_packets(), 1);
+        assert_eq!(
+            e.with_device(|d| d.out.iter().filter(|p| p.is_data()).count()),
+            1
+        );
+
+        // The peer restarts: Rejoining, then its new-incarnation seq 0.
+        e.with_device(|d| {
+            d.events.push_back(PeerEvent {
+                peer: 0,
+                kind: PeerEventKind::Rejoining,
+                epoch: 2,
+            });
+            d.inq.push_back(data(0, 7));
+        });
+        e.extract_all();
+        assert_eq!(
+            *seen.borrow(),
+            vec![1, 7],
+            "new-incarnation seq 0 accepted after the reset"
+        );
+        assert_eq!(e.stats().peer_resets, 1);
+        assert_eq!(e.unacked_packets(), 0, "old retransmit ring dropped");
+        assert!(!e.is_peer_down(0));
+        // The send sequence space restarted too: the next packet to the
+        // rejoined peer carries seq 0 again.
+        e.try_send_message(0, H, &[&[9u8][..]]).unwrap();
+        let last_seq = e.with_device(|d| {
+            d.out
+                .iter()
+                .rev()
+                .find(|p| p.is_data())
+                .unwrap()
+                .header
+                .pkt_seq
+        });
+        assert_eq!(last_seq, 0);
+
+        // Down: surfaced through the query API and stops retransmission.
+        e.with_device(|d| {
+            d.events.push_back(PeerEvent {
+                peer: 0,
+                kind: PeerEventKind::Down,
+                epoch: 2,
+            })
+        });
+        e.progress();
+        assert!(e.is_peer_down(0));
+        assert_eq!(e.downed_peers(), vec![0]);
+        assert_eq!(e.unacked_packets(), 0, "ring abandoned on Down");
+
+        // Up clears the flag.
+        e.with_device(|d| {
+            d.events.push_back(PeerEvent {
+                peer: 0,
+                kind: PeerEventKind::Up,
+                epoch: 2,
+            })
+        });
+        e.progress();
+        assert!(!e.is_peer_down(0));
+
+        let kinds: Vec<PeerEventKind> = log.borrow().iter().map(|ev| ev.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PeerEventKind::Rejoining,
+                PeerEventKind::Down,
+                PeerEventKind::Up
+            ],
+            "callback saw every transition, in order"
+        );
+        assert!(e.take_errors().is_empty());
     }
 }

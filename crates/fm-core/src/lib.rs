@@ -85,7 +85,7 @@ pub mod reliable;
 pub mod stats;
 
 pub use buf::{BufPool, PacketBuf, PoolStats};
-pub use device::{NetDevice, SimDevice};
+pub use device::{NetDevice, PeerEvent, PeerEventKind, SimDevice};
 pub use error::{FmError, WouldBlock};
 pub use fm1::Fm1Engine;
 pub use fm2::{Fm2Engine, Fm2Handle, FmStream};

@@ -95,11 +95,28 @@ pub enum SpanKind {
     CollRound,
     /// A collective operation completed on this rank.
     CollEnd,
+    /// A peer entered (or returned to) full contact (`peer` carries the
+    /// node, `seq` the low 32 bits of its incarnation epoch).
+    PeerUp,
+    /// A peer's heartbeats went quiet past the suspicion timeout.
+    PeerSuspect,
+    /// A peer was declared down (down timeout exceeded, or goodbye).
+    PeerDown,
+    /// A peer returned with a newer incarnation epoch; its per-peer
+    /// protocol state was reset.
+    PeerRejoin,
+    /// The adaptive retransmit timer re-estimated the RTO (`seq` carries
+    /// the new RTO in microseconds, `bytes` the RTT sample in
+    /// microseconds).
+    RtoUpdate,
+    /// The per-peer AIMD send window changed on a loss signal (`seq`
+    /// carries the new window in packets).
+    CwndChange,
 }
 
 impl SpanKind {
     /// Every kind, in lifecycle order (useful for coverage checks).
-    pub const ALL: [SpanKind; 20] = [
+    pub const ALL: [SpanKind; 26] = [
         SpanKind::BeginMessage,
         SpanKind::SendPiece,
         SpanKind::EndMessage,
@@ -120,6 +137,12 @@ impl SpanKind {
         SpanKind::CollStart,
         SpanKind::CollRound,
         SpanKind::CollEnd,
+        SpanKind::PeerUp,
+        SpanKind::PeerSuspect,
+        SpanKind::PeerDown,
+        SpanKind::PeerRejoin,
+        SpanKind::RtoUpdate,
+        SpanKind::CwndChange,
     ];
 
     /// Stable snake_case name (used by the chrome-trace exporter and
@@ -146,6 +169,12 @@ impl SpanKind {
             SpanKind::CollStart => "coll_start",
             SpanKind::CollRound => "coll_round",
             SpanKind::CollEnd => "coll_end",
+            SpanKind::PeerUp => "peer_up",
+            SpanKind::PeerSuspect => "peer_suspect",
+            SpanKind::PeerDown => "peer_down",
+            SpanKind::PeerRejoin => "peer_rejoin",
+            SpanKind::RtoUpdate => "rto_update",
+            SpanKind::CwndChange => "cwnd_change",
         }
     }
 }

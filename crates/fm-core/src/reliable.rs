@@ -102,6 +102,26 @@ pub struct RetransmitConfig {
     /// without an outgoing packet to piggyback on. 1 = ack immediately
     /// (fewest retransmit stalls, most ack packets).
     pub ack_every: u32,
+    /// Adapt to the measured network instead of trusting the constants:
+    ///
+    /// * the RTO is re-estimated from RTT samples (`srtt + 4·rttvar`,
+    ///   the RFC 6298 shape, Karn-sampled so retransmitted packets never
+    ///   pollute the estimate), clamped to `[rto_min_ns, rto_max_ns]`;
+    ///   `rto_ns` remains the pre-sample initial value;
+    /// * the effective send window per peer becomes AIMD — grows by one
+    ///   packet per window of acks up to `window`, halves on a loss
+    ///   signal (timeout or fast retransmit) — so a lossy or slow peer
+    ///   sheds load instead of triggering retransmit storms.
+    ///
+    /// `false` (default) keeps the historical fixed-constant behaviour
+    /// bit-identical; real datagram transports (fm-udp) enable it.
+    pub adaptive: bool,
+    /// Clamp floor for the adaptive RTO estimate (ignored when
+    /// `adaptive` is off).
+    pub rto_min_ns: u64,
+    /// Clamp ceiling for the adaptive RTO estimate (ignored when
+    /// `adaptive` is off).
+    pub rto_max_ns: u64,
 }
 
 impl Default for RetransmitConfig {
@@ -111,6 +131,20 @@ impl Default for RetransmitConfig {
             rto_ns: 200_000, // 200 µs: a few round trips on the modeled fabric
             max_backoff_exp: 6,
             ack_every: 1,
+            adaptive: false,
+            rto_min_ns: 50_000,        // 50 µs: several loopback round trips
+            rto_max_ns: 1_000_000_000, // 1 s: a peer slower than this is Suspect anyway
+        }
+    }
+}
+
+impl RetransmitConfig {
+    /// The adaptive profile real datagram transports start from:
+    /// defaults with [`RetransmitConfig::adaptive`] on.
+    pub fn adaptive() -> Self {
+        RetransmitConfig {
+            adaptive: true,
+            ..RetransmitConfig::default()
         }
     }
 }
@@ -141,6 +175,32 @@ struct PeerSend {
     /// Consecutive duplicate cumulative acks since the last progress
     /// (fast-retransmit trigger).
     dup_acks: u32,
+    /// Smoothed RTT estimate (adaptive mode; `None` until the first
+    /// sample).
+    srtt_ns: Option<u64>,
+    /// RTT variance estimate (adaptive mode).
+    rttvar_ns: u64,
+    /// The one in-flight packet currently timed for an RTT sample:
+    /// `(pkt_seq, sent_at)`. Karn's rule: cleared on any retransmission
+    /// toward this peer, so a resent packet's ambiguous ack never feeds
+    /// the estimator.
+    probe: Option<(u32, Nanos)>,
+    /// AIMD effective window in packets (adaptive mode; meaningful range
+    /// `1.0 ..= cfg.window`).
+    cwnd: f64,
+    /// RTT sample taken by the most recent ack, for the engine's
+    /// observability hook ([`ReliableState::take_rtt_sample`]).
+    last_sample_ns: Option<u64>,
+}
+
+impl PeerSend {
+    /// A peer-send slot with no history and a fully open AIMD window.
+    fn fresh(cfg: &RetransmitConfig) -> PeerSend {
+        PeerSend {
+            cwnd: cfg.window as f64,
+            ..PeerSend::default()
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -172,16 +232,42 @@ impl ReliableState {
             cfg.ack_every >= 1,
             "ack_every is a divisor of received packets"
         );
+        cfg.rto_min_ns = cfg.rto_min_ns.max(MIN_RTO_NS);
+        cfg.rto_max_ns = cfg.rto_max_ns.max(cfg.rto_min_ns);
         ReliableState {
             cfg,
-            send: (0..num_nodes).map(|_| PeerSend::default()).collect(),
+            send: (0..num_nodes).map(|_| PeerSend::fresh(&cfg)).collect(),
             recv: (0..num_nodes).map(|_| PeerRecv::default()).collect(),
         }
     }
 
-    /// Data packets that can still go to `dst` before the window closes.
+    /// Data packets that can still go to `dst` before the window closes
+    /// (the AIMD effective window in adaptive mode, the configured
+    /// window otherwise).
     pub(crate) fn send_budget(&self, dst: usize) -> u32 {
-        self.cfg.window - self.send[dst].ring.len() as u32
+        let ps = &self.send[dst];
+        self.effective_window(ps)
+            .saturating_sub(ps.ring.len() as u32)
+    }
+
+    fn effective_window(&self, ps: &PeerSend) -> u32 {
+        if self.cfg.adaptive {
+            (ps.cwnd as u32).clamp(1, self.cfg.window)
+        } else {
+            self.cfg.window
+        }
+    }
+
+    /// The base (pre-backoff) retransmit timeout toward `ps`: the
+    /// RTT-derived estimate in adaptive mode once a sample exists, the
+    /// configured constant otherwise.
+    fn rto_base(&self, ps: &PeerSend) -> u64 {
+        if self.cfg.adaptive {
+            if let Some(srtt) = ps.srtt_ns {
+                return (srtt + 4 * ps.rttvar_ns).clamp(self.cfg.rto_min_ns, self.cfg.rto_max_ns);
+            }
+        }
+        self.cfg.rto_ns
     }
 
     /// Can `extra` more data packets to `dst` fit in the window right now?
@@ -203,10 +289,14 @@ impl ReliableState {
     /// copy plus a payload refcount bump — the ring shares the packet's
     /// pooled frame, it does not deep-copy it.
     pub(crate) fn on_data_sent(&mut self, dst: usize, pkt: &FmPacket, now: Nanos) {
+        let rto = self.rto_base(&self.send[dst]);
         let ps = &mut self.send[dst];
+        if self.cfg.adaptive && ps.probe.is_none() {
+            ps.probe = Some((pkt.header.pkt_seq, now));
+        }
         ps.ring.push_back(pkt.clone());
         if ps.deadline.is_none() {
-            ps.deadline = Some(now + Nanos(self.cfg.rto_ns));
+            ps.deadline = Some(now + Nanos(rto));
         }
     }
 
@@ -217,6 +307,9 @@ impl ReliableState {
     /// caller should fast-retransmit [`ReliableState::head_packet`] now
     /// instead of waiting for the timer.
     pub(crate) fn on_ack(&mut self, src: usize, ack: u32, now: Nanos) -> bool {
+        let adaptive = self.cfg.adaptive;
+        let window = self.cfg.window;
+        let base_rto = self.rto_base(&self.send[src]);
         let ps = &mut self.send[src];
         if seq_lt(ack, ps.cum_acked) {
             return false; // ancient ack, reordered in transit
@@ -232,27 +325,61 @@ impl ReliableState {
                 ps.dup_acks = 0;
                 // Push the timer back: the fast resend is in flight, give
                 // it a chance before the whole-ring timeout fires.
-                ps.deadline = Some(now + Nanos(self.cfg.rto_ns << ps.timeouts));
+                ps.deadline = Some(now + Nanos(base_rto << ps.timeouts));
+                if adaptive {
+                    // A loss signal: halve the effective window; the
+                    // resend also voids the RTT probe (Karn's rule).
+                    ps.cwnd = (ps.cwnd / 2.0).max(1.0);
+                    ps.probe = None;
+                }
                 return true;
             }
             return false;
         }
         ps.cum_acked = ack;
+        let mut popped = 0u32;
         while ps
             .ring
             .front()
             .is_some_and(|p| seq_lt(p.header.pkt_seq, ack))
         {
             ps.ring.pop_front();
+            popped += 1;
+        }
+        if adaptive {
+            // RTT sample: the timed probe is acknowledged and was never
+            // retransmitted (a timeout or fast retransmit would have
+            // cleared it).
+            if let Some((seq, sent)) = ps.probe {
+                if seq_lt(seq, ack) {
+                    let sample = now.0.saturating_sub(sent.0);
+                    match ps.srtt_ns {
+                        Some(srtt) => {
+                            ps.rttvar_ns = (3 * ps.rttvar_ns + srtt.abs_diff(sample)) / 4;
+                            ps.srtt_ns = Some((7 * srtt + sample) / 8);
+                        }
+                        None => {
+                            ps.srtt_ns = Some(sample);
+                            ps.rttvar_ns = sample / 2;
+                        }
+                    }
+                    ps.probe = None;
+                    ps.last_sample_ns = Some(sample);
+                }
+            }
+            // Additive increase: one packet per window of acked packets.
+            ps.cwnd = (ps.cwnd + popped as f64 / ps.cwnd.max(1.0)).min(window as f64);
         }
         // Ack progress: reset backoff and restart the timer for whatever
-        // is still outstanding.
+        // is still outstanding (under the *new* RTT estimate).
         ps.timeouts = 0;
         ps.dup_acks = 0;
+        let rto = self.rto_base(&self.send[src]);
+        let ps = &mut self.send[src];
         ps.deadline = if ps.ring.is_empty() {
             None
         } else {
-            Some(now + Nanos(self.cfg.rto_ns))
+            Some(now + Nanos(rto))
         };
         false
     }
@@ -343,11 +470,19 @@ impl ReliableState {
     /// Apply exponential backoff and re-arm the timer after a timeout on
     /// `dst` was handled (ring re-sent, fully or partially).
     pub(crate) fn on_timeout_handled(&mut self, dst: usize, now: Nanos, stats: &mut FmStats) {
+        let base_rto = self.rto_base(&self.send[dst]);
+        let adaptive = self.cfg.adaptive;
         let ps = &mut self.send[dst];
         stats.retransmit_timeouts += 1;
         ps.timeouts = (ps.timeouts + 1).min(self.cfg.max_backoff_exp);
-        let rto = Nanos(self.cfg.rto_ns << ps.timeouts);
+        let rto = Nanos(base_rto << ps.timeouts);
         ps.deadline = Some(now + rto);
+        if adaptive {
+            // Loss signal: halve the window; the whole ring was resent,
+            // so the probe's eventual ack is ambiguous (Karn's rule).
+            ps.cwnd = (ps.cwnd / 2.0).max(1.0);
+            ps.probe = None;
+        }
     }
 
     /// The earliest armed retransmit deadline across all peers, for
@@ -360,6 +495,62 @@ impl ReliableState {
     /// every send has been confirmed delivered.
     pub(crate) fn unacked_packets(&self) -> usize {
         self.send.iter().map(|ps| ps.ring.len()).sum()
+    }
+
+    /// Forget everything about `peer` — both sequence spaces restart at
+    /// zero, the retransmit ring is dropped, and the RTT/window
+    /// estimators return to their initial state. Called when the peer
+    /// restarts with a new incarnation epoch
+    /// ([`crate::device::PeerEventKind::Rejoining`]): its old in-flight
+    /// state would otherwise poison the new incarnation's sequence
+    /// numbers.
+    pub(crate) fn reset_peer(&mut self, peer: usize) {
+        self.send[peer] = PeerSend::fresh(&self.cfg);
+        self.recv[peer] = PeerRecv::default();
+    }
+
+    /// Stop retransmitting toward `peer` (declared down): drop the ring
+    /// and disarm the timer, but keep both sequence spaces — if the same
+    /// incarnation comes back (`Suspect`→`Up` without a restart), the
+    /// protocol state is still coherent and go-back-N resumes from the
+    /// cumulative ack.
+    pub(crate) fn abandon_peer(&mut self, peer: usize) {
+        let ps = &mut self.send[peer];
+        ps.ring.clear();
+        ps.deadline = None;
+        ps.timeouts = 0;
+        ps.dup_acks = 0;
+        ps.probe = None;
+    }
+
+    /// The current base RTO toward `peer` (adaptive estimate once a
+    /// sample exists; the configured constant otherwise).
+    pub(crate) fn current_rto_ns(&self, peer: usize) -> u64 {
+        self.rto_base(&self.send[peer])
+    }
+
+    /// The effective AIMD window toward `peer`, in packets.
+    pub(crate) fn cwnd_packets(&self, peer: usize) -> u32 {
+        self.effective_window(&self.send[peer])
+    }
+
+    /// Whether the adaptive estimators (RTT-derived RTO, AIMD window)
+    /// are enabled.
+    pub(crate) fn is_adaptive(&self) -> bool {
+        self.cfg.adaptive
+    }
+
+    /// Take the RTT sample recorded by the most recent ack from `peer`,
+    /// if one was taken (observability hook; consuming it keeps the
+    /// engine from double-reporting).
+    pub(crate) fn take_rtt_sample(&mut self, peer: usize) -> Option<u64> {
+        self.send[peer].last_sample_ns.take()
+    }
+
+    /// The smoothed RTT estimate toward `peer` (adaptive mode; `None`
+    /// before the first sample).
+    pub(crate) fn srtt_ns(&self, peer: usize) -> Option<u64> {
+        self.send[peer].srtt_ns
     }
 
     /// Test-only: a state whose send and receive sequence spaces start at
@@ -399,6 +590,7 @@ mod prop_tests {
             rto_ns: 1_000,
             max_backoff_exp: 4,
             ack_every: 1,
+            ..RetransmitConfig::default()
         }
     }
 
@@ -438,9 +630,13 @@ mod prop_tests {
 
     impl World {
         fn new(start: u32, case: usize) -> World {
+            World::new_with(cfg(), start, case)
+        }
+
+        fn new_with(c: RetransmitConfig, start: u32, case: usize) -> World {
             World {
-                s: ReliableState::with_start_seq(2, cfg(), start),
-                r: ReliableState::with_start_seq(2, cfg(), start),
+                s: ReliableState::with_start_seq(2, c, start),
+                r: ReliableState::with_start_seq(2, c, start),
                 stats: FmStats::default(),
                 wire: Vec::new(),
                 acks: Vec::new(),
@@ -637,6 +833,59 @@ mod prop_tests {
     }
 
     #[test]
+    fn prop_adaptive_mode_holds_under_arbitrary_interleavings() {
+        // The same hostile-channel battery with the adaptive RTO and
+        // AIMD window enabled: the estimators change *when* things are
+        // resent and how many may be outstanding, never whether delivery
+        // and ordering hold.
+        let adaptive = RetransmitConfig {
+            adaptive: true,
+            rto_min_ns: 1_000,
+            rto_max_ns: 100_000,
+            ..cfg()
+        };
+        for case in 0..env_cases(64) {
+            let mut rng = DetRng::seed_from_u64(0xADA_0000_u64 ^ case as u64);
+            let mut w = World::new_with(adaptive, start_seq(&mut rng, case), case);
+            for _ in 0..rng.range_usize(20, 200) {
+                match rng.below(100) {
+                    0..=34 => w.try_send(),
+                    35..=64 => {
+                        if !w.wire.is_empty() {
+                            let idx = w.rng_index(&mut rng);
+                            w.deliver(idx);
+                        }
+                    }
+                    65..=74 => {
+                        if !w.wire.is_empty() {
+                            let idx = w.rng_index(&mut rng);
+                            w.wire.remove(idx);
+                        }
+                    }
+                    75..=84 => {
+                        if !w.wire.is_empty() {
+                            let idx = w.rng_index(&mut rng);
+                            let copy = w.wire[idx].clone();
+                            w.wire.push(copy);
+                        }
+                    }
+                    85..=94 => {
+                        if !w.acks.is_empty() {
+                            let idx = rng.range_usize(0, w.acks.len());
+                            w.deliver_ack(idx);
+                        }
+                    }
+                    _ => {
+                        w.now += Nanos(rng.below(2_000));
+                        w.fire_timeouts();
+                    }
+                }
+            }
+            w.drain();
+        }
+    }
+
+    #[test]
     fn prop_sequence_wraparound_in_order_delivery() {
         // Lossless in-order channel crossing the u32 boundary: every
         // packet accepted exactly once, in order, and the cumulative ack
@@ -781,6 +1030,7 @@ mod tests {
                 rto_ns: 1000,
                 max_backoff_exp: 3,
                 ack_every: 1,
+                ..RetransmitConfig::default()
             },
         )
     }
@@ -904,5 +1154,158 @@ mod tests {
         r.on_data_sent(1, &data_pkt(1, 1), Nanos(0));
         r.on_ack(1, 1, Nanos(50_000));
         assert_eq!(r.next_deadline(), Some(Nanos(51_000)), "plain rto again");
+    }
+
+    fn adaptive_state() -> ReliableState {
+        ReliableState::new(
+            2,
+            RetransmitConfig {
+                window: 8,
+                rto_ns: 100_000,
+                max_backoff_exp: 3,
+                ack_every: 1,
+                adaptive: true,
+                rto_min_ns: 2_000,
+                rto_max_ns: 400_000,
+            },
+        )
+    }
+
+    #[test]
+    fn adaptive_rto_tracks_rtt_samples() {
+        let mut r = adaptive_state();
+        // No sample yet: the configured initial RTO applies.
+        assert_eq!(r.current_rto_ns(1), 100_000);
+        r.on_data_sent(1, &data_pkt(1, 0), Nanos(0));
+        assert_eq!(r.next_deadline(), Some(Nanos(100_000)));
+        // Acked 10 µs later: srtt = 10 000, rttvar = 5 000 →
+        // rto = 10 000 + 4·5 000 = 30 000.
+        r.on_ack(1, 1, Nanos(10_000));
+        assert_eq!(r.srtt_ns(1), Some(10_000));
+        assert_eq!(r.current_rto_ns(1), 30_000);
+        assert_eq!(r.take_rtt_sample(1), Some(10_000));
+        assert_eq!(r.take_rtt_sample(1), None, "sample consumed");
+        // The next send arms the estimated RTO, not the constant.
+        r.on_data_sent(1, &data_pkt(1, 1), Nanos(20_000));
+        assert_eq!(r.next_deadline(), Some(Nanos(50_000)));
+        // A second, identical sample tightens the variance: srtt stays
+        // 10 000, rttvar → 3 750, rto → 25 000.
+        r.on_ack(1, 2, Nanos(30_000));
+        assert_eq!(r.current_rto_ns(1), 25_000);
+    }
+
+    #[test]
+    fn adaptive_rto_clamps_to_configured_bounds() {
+        let mut r = adaptive_state();
+        // A ~0 RTT sample clamps to the floor rather than melting down
+        // into a timeout-per-poll storm.
+        r.on_data_sent(1, &data_pkt(1, 0), Nanos(0));
+        r.on_ack(1, 1, Nanos(1));
+        assert_eq!(r.current_rto_ns(1), 2_000);
+        // An enormous sample clamps to the ceiling.
+        r.on_data_sent(1, &data_pkt(1, 1), Nanos(10));
+        r.on_ack(1, 2, Nanos(900_000_000));
+        assert_eq!(r.current_rto_ns(1), 400_000);
+    }
+
+    #[test]
+    fn karn_rule_discards_samples_after_retransmission() {
+        let mut r = adaptive_state();
+        let mut stats = FmStats::default();
+        r.on_data_sent(1, &data_pkt(1, 0), Nanos(0));
+        // Timer fires; the ring is resent — the eventual ack for seq 0
+        // is now ambiguous and must not feed the estimator.
+        r.on_timeout_handled(1, Nanos(100_000), &mut stats);
+        r.on_ack(1, 1, Nanos(150_000));
+        assert_eq!(r.srtt_ns(1), None, "ambiguous ack not sampled");
+        assert_eq!(r.take_rtt_sample(1), None);
+        // The next never-retransmitted packet is sampled again.
+        r.on_data_sent(1, &data_pkt(1, 1), Nanos(200_000));
+        r.on_ack(1, 2, Nanos(203_000));
+        assert_eq!(r.srtt_ns(1), Some(3_000));
+    }
+
+    #[test]
+    fn aimd_window_halves_on_loss_and_regrows_on_acks() {
+        let mut r = adaptive_state();
+        let mut stats = FmStats::default();
+        assert_eq!(r.cwnd_packets(1), 8, "starts fully open");
+        r.on_data_sent(1, &data_pkt(1, 0), Nanos(0));
+        r.on_timeout_handled(1, Nanos(100_000), &mut stats);
+        assert_eq!(r.cwnd_packets(1), 4, "halved on timeout");
+        r.on_timeout_handled(1, Nanos(900_000), &mut stats);
+        r.on_timeout_handled(1, Nanos(2_000_000), &mut stats);
+        r.on_timeout_handled(1, Nanos(4_000_000), &mut stats);
+        assert_eq!(r.cwnd_packets(1), 1, "never below one packet");
+        assert_eq!(r.send_budget(1), 0, "one outstanding fills cwnd 1");
+        // Acks regrow the window additively toward the configured cap.
+        let mut seq = 1u32;
+        let mut t = 5_000_000u64;
+        while r.cwnd_packets(1) < 8 {
+            let budget = r.send_budget(1);
+            for _ in 0..budget {
+                r.on_data_sent(1, &data_pkt(1, seq), Nanos(t));
+                seq += 1;
+            }
+            t += 1_000;
+            r.on_ack(1, seq, Nanos(t));
+            assert!(seq < 10_000, "cwnd failed to regrow");
+        }
+        assert_eq!(r.cwnd_packets(1), 8, "capped at the configured window");
+    }
+
+    #[test]
+    fn fast_retransmit_is_a_loss_signal_in_adaptive_mode() {
+        let mut r = adaptive_state();
+        for seq in 0..4 {
+            r.on_data_sent(1, &data_pkt(1, seq), Nanos(0));
+        }
+        r.on_ack(1, 1, Nanos(10));
+        for t in [20, 30] {
+            assert!(!r.on_ack(1, 1, Nanos(t)));
+        }
+        assert!(r.on_ack(1, 1, Nanos(40)), "third duplicate fires");
+        assert_eq!(r.cwnd_packets(1), 4, "halved from 8 on fast retransmit");
+    }
+
+    #[test]
+    fn reset_peer_restarts_both_sequence_spaces() {
+        let mut r = state();
+        let mut stats = FmStats::default();
+        for seq in 0..3 {
+            r.on_data_sent(1, &data_pkt(1, seq), Nanos(0));
+        }
+        r.on_ack(1, 2, Nanos(10));
+        r.accept(1, 0, &mut stats);
+        r.accept(1, 1, &mut stats);
+        r.reset_peer(1);
+        assert_eq!(r.unacked_packets(), 0, "ring dropped");
+        assert_eq!(r.next_deadline(), None, "timer disarmed");
+        assert_eq!(r.send_budget(1), 4, "window fully open");
+        // Both spaces restart at zero: seq 0 is the next expected packet
+        // and the first send is unacked from zero again.
+        assert_eq!(r.accept(1, 0, &mut stats), RecvDecision::Accept);
+        assert_eq!(r.piggyback_ack(1), 1);
+        r.on_data_sent(1, &data_pkt(1, 0), Nanos(20));
+        r.on_ack(1, 1, Nanos(30));
+        assert_eq!(r.unacked_packets(), 0);
+    }
+
+    #[test]
+    fn abandon_peer_stops_retransmits_but_keeps_sequences() {
+        let mut r = state();
+        let mut stats = FmStats::default();
+        for seq in 0..2 {
+            r.on_data_sent(1, &data_pkt(1, seq), Nanos(0));
+        }
+        r.accept(1, 0, &mut stats);
+        r.abandon_peer(1);
+        assert_eq!(r.unacked_packets(), 0);
+        assert_eq!(r.next_deadline(), None);
+        assert!(r.due_retransmits(Nanos(u64::MAX / 2)).is_empty());
+        // Sequence spaces survive: the receive side still expects seq 1,
+        // and the send side still considers seqs 0..2 used.
+        assert_eq!(r.accept(1, 1, &mut stats), RecvDecision::Accept);
+        assert_eq!(r.accept(1, 0, &mut stats), RecvDecision::Duplicate);
     }
 }

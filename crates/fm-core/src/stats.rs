@@ -41,6 +41,12 @@ pub struct FmStats {
     pub duplicates_dropped: u64,
     /// Retransmit timer expirations (each may re-send several packets).
     pub retransmit_timeouts: u64,
+    /// Head-packet resends triggered by duplicate cumulative acks
+    /// (fast retransmit; a subset of `retransmissions`).
+    pub fast_retransmits: u64,
+    /// Per-peer protocol-state resets after a peer restarted with a new
+    /// incarnation epoch (`PeerEventKind::Rejoining`).
+    pub peer_resets: u64,
     /// Protocol errors surfaced to the application (`FmError`s queued).
     pub errors_reported: u64,
     /// Packet-buffer pool takes served from the free list (recycled
@@ -53,7 +59,7 @@ pub struct FmStats {
 
 impl FmStats {
     /// Every `(label, value)` pair, in declaration order.
-    fn fields(&self) -> [(&'static str, u64); 18] {
+    fn fields(&self) -> [(&'static str, u64); 20] {
         [
             ("messages_sent", self.messages_sent),
             ("bytes_sent", self.bytes_sent),
@@ -70,6 +76,8 @@ impl FmStats {
             ("acks_sent", self.acks_sent),
             ("duplicates_dropped", self.duplicates_dropped),
             ("retransmit_timeouts", self.retransmit_timeouts),
+            ("fast_retransmits", self.fast_retransmits),
+            ("peer_resets", self.peer_resets),
             ("errors_reported", self.errors_reported),
             ("pool_hits", self.pool_hits),
             ("pool_misses", self.pool_misses),
@@ -105,6 +113,10 @@ impl FmStats {
             retransmit_timeouts: self
                 .retransmit_timeouts
                 .saturating_sub(earlier.retransmit_timeouts),
+            fast_retransmits: self
+                .fast_retransmits
+                .saturating_sub(earlier.fast_retransmits),
+            peer_resets: self.peer_resets.saturating_sub(earlier.peer_resets),
             errors_reported: self.errors_reported.saturating_sub(earlier.errors_reported),
             pool_hits: self.pool_hits.saturating_sub(earlier.pool_hits),
             pool_misses: self.pool_misses.saturating_sub(earlier.pool_misses),

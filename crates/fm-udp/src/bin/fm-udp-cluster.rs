@@ -53,6 +53,20 @@ struct Opts {
     trace: Option<String>,
     join_timeout_s: u64,
     workload: Workload,
+    /// This process is a restarted incarnation rejoining a live run
+    /// (set by the parent's churn restart; relaxes end-of-run checks
+    /// that assume the node saw the whole stream).
+    rejoin: bool,
+    /// `spawn` only: SIGKILL this node id mid-run.
+    churn_kill: Option<usize>,
+    /// `spawn` only: when to kill, ms after the peer map goes out.
+    churn_at_ms: u64,
+    /// `spawn` only: delay from kill to restart (ignored with
+    /// `--churn-no-restart`).
+    churn_restart_ms: u64,
+    /// `spawn` only: kill without restarting — survivors must detect the
+    /// loss and finish (or abort loudly) on their own.
+    churn_no_restart: bool,
 }
 
 /// What the cluster actually runs after the join barrier.
@@ -64,6 +78,21 @@ enum Workload {
     Barrier,
     /// `--rounds` MPI-FM sum-allreduces of `--msg-size` bytes.
     Allreduce,
+    /// Churn-tolerant all-to-all: paced numbered streams to every live
+    /// peer, per-incarnation order validated, peers allowed to die and
+    /// rejoin mid-run.
+    Churn,
+}
+
+impl Workload {
+    fn flag(self) -> &'static str {
+        match self {
+            Workload::Auto => "auto",
+            Workload::Barrier => "barrier",
+            Workload::Allreduce => "allreduce",
+            Workload::Churn => "churn",
+        }
+    }
 }
 
 impl Default for Opts {
@@ -81,6 +110,11 @@ impl Default for Opts {
             trace: None,
             join_timeout_s: 10,
             workload: Workload::Auto,
+            rejoin: false,
+            churn_kill: None,
+            churn_at_ms: 300,
+            churn_restart_ms: 200,
+            churn_no_restart: false,
         }
     }
 }
@@ -89,13 +123,19 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          fm-udp-cluster spawn --nodes N [--rounds R] [--msg-size B] [--drop P] \
-         [--seed S] [--workload auto|barrier|allreduce] [--trace DIR]\n  \
+         [--seed S] [--workload auto|barrier|allreduce|churn] [--trace DIR] \
+         [--churn-kill I] [--churn-at-ms T] [--churn-restart-ms T] \
+         [--churn-no-restart]\n  \
          fm-udp-cluster node --node-id I --nodes N [--peers a0,a1,...] \
          [--bind ADDR] [--epoch E] [--rounds R] [--msg-size B] [--drop P] \
-         [--seed S] [--workload auto|barrier|allreduce] [--trace DIR]\n\n\
+         [--seed S] [--workload auto|barrier|allreduce|churn] [--trace DIR] \
+         [--rejoin]\n\n\
          spawn forks N `node` children on loopback and wires them up; `node` \
          with --peers joins a manually-assembled cluster (all nodes must agree \
-         on the peer order and --epoch)."
+         on the peer order; each picks its own --epoch incarnation). \
+         --churn-kill SIGKILLs node I at --churn-at-ms and (unless \
+         --churn-no-restart) restarts it --churn-restart-ms later under a \
+         bumped epoch; use with --workload churn for a run that tolerates it."
     );
     std::process::exit(2)
 }
@@ -122,9 +162,15 @@ fn parse(args: &[String]) -> (String, Opts) {
                     "auto" => Workload::Auto,
                     "barrier" => Workload::Barrier,
                     "allreduce" => Workload::Allreduce,
+                    "churn" => Workload::Churn,
                     _ => usage(),
                 }
             }
+            "--rejoin" => o.rejoin = true,
+            "--churn-kill" => o.churn_kill = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--churn-at-ms" => o.churn_at_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--churn-restart-ms" => o.churn_restart_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--churn-no-restart" => o.churn_no_restart = true,
             "--peers" => {
                 o.peers = Some(
                     val()
@@ -152,47 +198,67 @@ fn main() {
     }
 }
 
+/// How long the other children get to finish (or abort on their own
+/// failure detectors) after one child fails unexpectedly, before the
+/// parent kills the stragglers. Generous: it spans a join timeout plus a
+/// full suspicion cycle.
+const FAILURE_GRACE: Duration = Duration::from_secs(15);
+
+/// Build one `node` child command with the shared run parameters.
+fn node_command(exe: &std::path::Path, opts: &Opts, node_id: usize, epoch: u64) -> Command {
+    let mut c = Command::new(exe);
+    c.arg("node")
+        .args(["--node-id", &node_id.to_string()])
+        .args(["--nodes", &opts.nodes.to_string()])
+        .args(["--rounds", &opts.rounds.to_string()])
+        .args(["--msg-size", &opts.msg_size.to_string()])
+        .args(["--drop", &opts.drop.to_string()])
+        .args(["--seed", &opts.seed.to_string()])
+        .args(["--epoch", &epoch.to_string()])
+        .args(["--join-timeout", &opts.join_timeout_s.to_string()])
+        .args(["--workload", opts.workload.flag()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped());
+    if let Some(dir) = &opts.trace {
+        c.args(["--trace", dir]);
+    }
+    c
+}
+
 /// Fork `--nodes` children of this same binary, collect their `ADDR`
-/// lines, hand every child the full peer map, then relay their output
-/// and propagate failure.
+/// lines, hand every child the full peer map, then relay their output,
+/// orchestrate any requested churn, and reap. A child that dies —
+/// killed on purpose or crashed — is reaped promptly via `try_wait`,
+/// its exit surfaced as an `EXIT` line; after an unexpected failure the
+/// survivors get [`FAILURE_GRACE`] to finish or abort before the parent
+/// kills them, so a wedged cluster can never hang the spawn.
 fn spawn_cluster(opts: &Opts) {
+    if let Some(victim) = opts.churn_kill {
+        assert!(victim < opts.nodes, "--churn-kill {victim} out of range");
+    }
     let exe = std::env::current_exe().expect("own executable path");
     let epoch = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .expect("clock after 1970")
         .as_nanos() as u64;
-    let mut children = Vec::new();
-    for i in 0..opts.nodes {
-        let mut c = Command::new(&exe);
-        c.arg("node")
-            .args(["--node-id", &i.to_string()])
-            .args(["--nodes", &opts.nodes.to_string()])
-            .args(["--rounds", &opts.rounds.to_string()])
-            .args(["--msg-size", &opts.msg_size.to_string()])
-            .args(["--drop", &opts.drop.to_string()])
-            .args(["--seed", &opts.seed.to_string()])
-            .args(["--epoch", &epoch.to_string()])
-            .args(["--join-timeout", &opts.join_timeout_s.to_string()])
-            .args([
-                "--workload",
-                match opts.workload {
-                    Workload::Auto => "auto",
-                    Workload::Barrier => "barrier",
-                    Workload::Allreduce => "allreduce",
-                },
-            ])
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped());
-        if let Some(dir) = &opts.trace {
-            c.args(["--trace", dir]);
-        }
-        children.push(c.spawn().expect("spawn node child"));
-    }
+    let mut children: Vec<Option<std::process::Child>> = (0..opts.nodes)
+        .map(|i| {
+            Some(
+                node_command(&exe, opts, i, epoch)
+                    .spawn()
+                    .expect("spawn node child"),
+            )
+        })
+        .collect();
+    // Per child slot: which node id it runs (restarts append new slots).
+    let mut labels: Vec<usize> = (0..opts.nodes).collect();
+    let mut expected_kill: Vec<bool> = vec![false; opts.nodes];
+    let mut exits: Vec<Option<std::process::ExitStatus>> = vec![None; opts.nodes];
 
     // Phase 1: each child prints exactly one ADDR line first.
     let mut readers: Vec<_> = children
         .iter_mut()
-        .map(|c| BufReader::new(c.stdout.take().expect("piped stdout")))
+        .map(|c| BufReader::new(c.as_mut().unwrap().stdout.take().expect("piped stdout")))
         .collect();
     let mut addrs = Vec::with_capacity(opts.nodes);
     for (i, r) in readers.iter_mut().enumerate() {
@@ -208,34 +274,125 @@ fn spawn_cluster(opts: &Opts) {
     // Phase 2: everyone gets the same positional peer map on stdin.
     let peers_line = format!("PEERS {}\n", addrs.join(" "));
     for c in &mut children {
-        c.stdin
+        c.as_mut()
+            .unwrap()
+            .stdin
             .take()
             .expect("piped stdin")
             .write_all(peers_line.as_bytes())
             .expect("write peer map to child");
     }
+    let run_started = Instant::now();
 
-    // Relay child output live (one pump thread per child), then reap.
-    let pumps: Vec<_> = readers
+    // Relay child output live (one pump thread per child).
+    let pump = |node: usize, r: BufReader<std::process::ChildStdout>| {
+        std::thread::spawn(move || {
+            for line in r.lines() {
+                let line = line.unwrap_or_default();
+                println!("[node {node}] {line}");
+            }
+        })
+    };
+    let mut pumps: Vec<_> = readers
         .into_iter()
         .enumerate()
-        .map(|(i, r)| {
-            std::thread::spawn(move || {
-                for line in r.lines() {
-                    let line = line.unwrap_or_default();
-                    println!("[node {i}] {line}");
-                }
-            })
-        })
+        .map(|(i, r)| pump(i, r))
         .collect();
+
+    // Monitor loop: reap exits as they happen, run the churn schedule,
+    // and after an unexpected failure kill the stragglers once the
+    // grace period lapses.
+    let mut kill_due = opts
+        .churn_kill
+        .map(|_| run_started + Duration::from_millis(opts.churn_at_ms));
+    let mut restart_due: Option<Instant> = None;
+    let mut failure_since: Option<Instant> = None;
+    let mut grace_killed = false;
+    loop {
+        let now = Instant::now();
+        for slot in 0..children.len() {
+            let Some(c) = children[slot].as_mut() else {
+                continue;
+            };
+            if let Some(status) = c.try_wait().expect("poll child status") {
+                children[slot] = None;
+                exits[slot] = Some(status);
+                let node = labels[slot];
+                println!(
+                    "EXIT node={node} code={} expected_kill={}",
+                    status.code().map_or("signal".into(), |c| c.to_string()),
+                    expected_kill[slot],
+                );
+                if !status.success() && !expected_kill[slot] && failure_since.is_none() {
+                    eprintln!(
+                        "node {node} exited with {status}; allowing survivors \
+                         {FAILURE_GRACE:?} to finish before killing them"
+                    );
+                    failure_since = Some(now);
+                }
+            }
+        }
+        if children.iter().all(Option::is_none) && restart_due.is_none() {
+            break;
+        }
+        if kill_due.is_some_and(|t| now >= t) {
+            kill_due = None;
+            let victim = opts.churn_kill.unwrap();
+            if let Some(c) = children[victim].as_mut() {
+                expected_kill[victim] = true;
+                c.kill().expect("kill churn victim");
+                println!(
+                    "CHURN killed node={victim} at_ms={}",
+                    run_started.elapsed().as_millis()
+                );
+                if !opts.churn_no_restart {
+                    restart_due = Some(now + Duration::from_millis(opts.churn_restart_ms));
+                }
+            }
+        }
+        if restart_due.is_some_and(|t| now >= t) {
+            restart_due = None;
+            let victim = opts.churn_kill.unwrap();
+            // Make sure the old incarnation is reaped (its port freed)
+            // before the new one rebinds the same address.
+            if let Some(mut c) = children[victim].take() {
+                exits[victim] = Some(c.wait().expect("reap churn victim"));
+            }
+            let mut cmd = node_command(&exe, opts, victim, epoch + 1);
+            cmd.args(["--peers", &addrs.join(",")]).arg("--rejoin");
+            cmd.stdin(Stdio::null());
+            let mut child = cmd.spawn().expect("respawn churn victim");
+            let r = BufReader::new(child.stdout.take().expect("piped stdout"));
+            pumps.push(pump(victim, r));
+            children.push(Some(child));
+            labels.push(victim);
+            expected_kill.push(false);
+            exits.push(None);
+            println!(
+                "CHURN restarted node={victim} at_ms={} epoch_bump=1",
+                run_started.elapsed().as_millis()
+            );
+        }
+        if !grace_killed && failure_since.is_some_and(|t| now - t >= FAILURE_GRACE) {
+            grace_killed = true;
+            for (slot, c) in children.iter_mut().enumerate() {
+                if let Some(c) = c.as_mut() {
+                    eprintln!("killing straggler node {}", labels[slot]);
+                    c.kill().expect("kill straggler");
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
     for p in pumps {
         p.join().expect("output pump");
     }
-    let mut failed = false;
-    for (i, mut c) in children.into_iter().enumerate() {
-        let status = c.wait().expect("wait on child");
-        if !status.success() {
-            eprintln!("node {i} exited with {status}");
+
+    let mut failed = grace_killed;
+    for (slot, status) in exits.iter().enumerate() {
+        let status = status.expect("every child reaped");
+        if !status.success() && !expected_kill[slot] {
+            eprintln!("node {} exited with {status}", labels[slot]);
             failed = true;
         }
     }
@@ -286,10 +443,12 @@ fn run_node(opts: &Opts) {
         .join(Duration::from_secs(opts.join_timeout_s))
         .expect("join barrier");
 
+    // Adaptive reliability over a real network: RTT-sampled RTO and an
+    // AIMD send window, instead of the simulator's fixed constants.
     let fm = Fm2Engine::with_reliability(
         device,
         MachineProfile::ppro200_fm2(),
-        Reliability::Retransmit(RetransmitConfig::default()),
+        Reliability::Retransmit(RetransmitConfig::adaptive()),
     );
     let sink = opts.trace.as_ref().map(|_| {
         let s = ObsSink::new(1 << 16);
@@ -297,29 +456,62 @@ fn run_node(opts: &Opts) {
         s
     });
 
+    // Every workload surfaces membership transitions; the non-churn ones
+    // additionally treat a peer dying *mid-workload* as fatal — better an
+    // immediate loud abort than a wedged spin the parent has to reap.
+    // Once the workload is done the flag drops, so a peer that merely
+    // finished first and left cleanly cannot fail us during linger.
+    let workload_active = std::rc::Rc::new(std::cell::Cell::new(true));
+    if opts.workload != Workload::Churn {
+        let active = std::rc::Rc::clone(&workload_active);
+        let me = opts.node_id;
+        fm.set_peer_handler(move |ev| match ev.kind {
+            fm_core::PeerEventKind::Down => {
+                println!("PEER_DOWN node={me} peer={} epoch={}", ev.peer, ev.epoch);
+                if active.get() {
+                    panic!("node {me}: peer {} died mid-workload", ev.peer);
+                }
+            }
+            fm_core::PeerEventKind::Rejoining => {
+                println!("PEER_REJOIN node={me} peer={} epoch={}", ev.peer, ev.epoch);
+            }
+            _ => {}
+        });
+    }
+
     let started = Instant::now();
     match opts.workload {
         Workload::Auto if opts.nodes == 2 => ping_pong(&fm, opts),
         Workload::Auto => ring(&fm, opts),
         Workload::Barrier => barrier_workload(&fm, opts),
         Workload::Allreduce => allreduce_workload(&fm, opts),
+        Workload::Churn => churn_workload(&fm, opts),
     }
     let elapsed = started.elapsed();
+    workload_active.set(false);
 
     linger(&fm);
 
     let st = fm.stats();
     let udp = fm.with_device(|d| d.stats());
     let errors = fm.take_errors();
+    // RTT/RTO toward the ring successor, as a representative peer.
+    let probe_peer = (opts.node_id + 1) % opts.nodes;
     println!(
         "STATS node={} rounds={} elapsed_ms={:.1} rtt_us={:.2} \
          retransmits={} timeouts={} acks={} dups={} \
-         frames_sent={} frames_recv={} drops_injected={} errors={}",
+         frames_sent={} frames_recv={} drops_injected={} \
+         suspects={} downs={} rejoins={} stale={} peer_resets={} \
+         srtt_us={:.1} rto_us={:.1} errors={}",
         opts.node_id,
         opts.rounds,
         elapsed.as_secs_f64() * 1e3,
         // Per-round-trip for ping-pong; per-operation for collectives.
-        if opts.node_id == 0 && (opts.workload != Workload::Auto || opts.nodes == 2) {
+        if opts.node_id == 0
+            && (opts.workload == Workload::Barrier
+                || opts.workload == Workload::Allreduce
+                || (opts.workload == Workload::Auto && opts.nodes == 2))
+        {
             elapsed.as_secs_f64() * 1e6 / opts.rounds.max(1) as f64
         } else {
             f64::NAN
@@ -331,8 +523,19 @@ fn run_node(opts: &Opts) {
         udp.frames_sent,
         udp.frames_received,
         udp.drops_injected,
+        udp.suspects,
+        udp.downs,
+        udp.rejoins,
+        udp.stale_rejected,
+        st.peer_resets,
+        fm.srtt_ns(probe_peer).map_or(f64::NAN, |n| n as f64 / 1e3),
+        fm.current_rto_ns(probe_peer)
+            .map_or(f64::NAN, |n| n as f64 / 1e3),
         errors.len(),
     );
+    // Part on the record: a goodbye burst turns our absence from a
+    // suspicion timeout into an immediate, explicit Down at the peers.
+    fm.with_device(|d| d.leave());
     if let Some(sink) = sink {
         let dir = opts.trace.as_deref().unwrap();
         std::fs::create_dir_all(dir).expect("create trace dir");
@@ -467,6 +670,114 @@ fn allreduce_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: 
                 .sum();
             let got = f64::from_le_bytes(c.try_into().expect("8-byte element"));
             assert_eq!(got, want, "allreduce round {round} elem {j}");
+        }
+    }
+}
+
+/// Churn-tolerant all-to-all: every node streams `rounds` numbered
+/// messages to every peer it currently believes alive, paced ~1ms per
+/// round so a kill lands mid-stream. Receivers validate the stream
+/// *per incarnation*: within one incarnation of a peer the round
+/// numbers must be exactly contiguous (go-back-N's zero-loss,
+/// in-order guarantee), and a `Rejoining` event resets the baseline —
+/// the restarted sender legitimately starts over from round 0.
+/// Steady peers (never down, never rejoined, seen by a node that was
+/// itself present from the start) must deliver their *entire* stream:
+/// zero FM-level loss among survivors, by assertion.
+fn churn_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
+    use fm_core::PeerEventKind;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let n = opts.nodes;
+    let me = opts.node_id;
+    let rounds = opts.rounds;
+    // expected[p]: the next round number we demand from p's current
+    // incarnation (None = no baseline yet — first message sets it, since
+    // a node that joined late tunes in mid-stream).
+    let expected: Rc<RefCell<Vec<Option<u32>>>> = Rc::new(RefCell::new(vec![None; n]));
+    let down: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(vec![false; n]));
+    let churned: Rc<RefCell<Vec<bool>>> = Rc::new(RefCell::new(vec![false; n]));
+    {
+        let expected = Rc::clone(&expected);
+        let down = Rc::clone(&down);
+        let churned = Rc::clone(&churned);
+        fm.set_peer_handler(move |ev| match ev.kind {
+            PeerEventKind::Down => {
+                down.borrow_mut()[ev.peer] = true;
+                churned.borrow_mut()[ev.peer] = true;
+                println!("PEER_DOWN node={me} peer={} epoch={}", ev.peer, ev.epoch);
+            }
+            PeerEventKind::Rejoining => {
+                down.borrow_mut()[ev.peer] = false;
+                churned.borrow_mut()[ev.peer] = true;
+                expected.borrow_mut()[ev.peer] = None;
+                println!("PEER_REJOIN node={me} peer={} epoch={}", ev.peer, ev.epoch);
+            }
+            _ => {}
+        });
+    }
+    {
+        let expected = Rc::clone(&expected);
+        fm.set_handler(PING, move |stream, src| {
+            let expected = Rc::clone(&expected);
+            async move {
+                let mut hdr = [0u8; 4];
+                stream.receive(&mut hdr).await;
+                stream.skip(stream.remaining()).await;
+                let round = u32::from_le_bytes(hdr);
+                let mut exp = expected.borrow_mut();
+                if let Some(want) = exp[src] {
+                    assert_eq!(round, want, "stream from {src} broke in-incarnation order");
+                }
+                exp[src] = Some(round + 1);
+            }
+        });
+    }
+    let body = vec![me as u8; opts.msg_size - 4];
+    for round in 0..rounds {
+        for p in (0..n).filter(|&p| p != me) {
+            if down.borrow()[p] {
+                continue; // terminal for that incarnation; skip the corpse
+            }
+            fm2_send(fm, p, PING, &[&round.to_le_bytes(), &body]);
+        }
+        let pace = Instant::now();
+        while pace.elapsed() < Duration::from_millis(1) {
+            fm.extract_all();
+            fm.progress();
+        }
+    }
+    // Run to completion: every peer has either delivered its final round
+    // (under whatever incarnation it currently runs) or gone down. The
+    // deadline turns a wedge into a diagnosable failure instead of a
+    // hang for the parent to reap.
+    let deadline = Instant::now() + Duration::from_secs(opts.join_timeout_s.max(20));
+    loop {
+        let done = (0..n)
+            .filter(|&p| p != me)
+            .all(|p| down.borrow()[p] || expected.borrow()[p] == Some(rounds));
+        if done {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "node {me}: churn drain timed out; expected={:?} down={:?}",
+            expected.borrow(),
+            down.borrow()
+        );
+        fm.extract_all();
+        fm.progress();
+        std::thread::yield_now();
+    }
+    if !opts.rejoin {
+        for p in (0..n).filter(|&p| p != me) {
+            if !churned.borrow()[p] {
+                assert_eq!(
+                    expected.borrow()[p],
+                    Some(rounds),
+                    "lost FM-level messages from steady peer {p}"
+                );
+            }
         }
     }
 }

@@ -44,6 +44,26 @@ pub fn loopback_cluster(n: usize, cfg: UdpConfig) -> io::Result<Vec<UdpDevice>> 
         .collect()
 }
 
+/// Rebuild one node's device against a **running** cluster: bind the
+/// node's fixed address from the existing peer map and stamp a fresh
+/// incarnation epoch. This is the restart half of churn tolerance — the
+/// returned device's [`UdpDevice::join`] completes against the live
+/// survivors (who take the epoch bump as
+/// [`fm_core::device::PeerEventKind::Rejoining`]) without stopping them.
+///
+/// `epoch` must differ from every epoch this node id has used before on
+/// this peer map: survivors hold the old incarnation terminally `Down`,
+/// and only a bump readmits. UDP sockets have no TIME_WAIT, so rebinding
+/// the old address immediately after the previous process died is fine.
+pub fn restart_node(
+    node_id: usize,
+    peers: Vec<std::net::SocketAddr>,
+    epoch: u64,
+    cfg: UdpConfig,
+) -> io::Result<UdpDevice> {
+    UdpDevice::bind(node_id, peers, UdpConfig { epoch, ..cfg })
+}
+
 /// Runs N node programs on N OS threads connected by loopback UDP.
 pub struct UdpCluster;
 

@@ -32,6 +32,21 @@
 //!   engine holds a refcounted view of the very bytes `recv_from`
 //!   wrote. Steady-state traffic recycles frames through the pool and
 //!   never touches the allocator.
+//! * **Membership and liveness.** Hellos double as heartbeats: every
+//!   [`UdpConfig::heartbeat_interval`] the device beacons its view
+//!   (seen-bitmap + per-peer epochs) to every non-down peer, and any
+//!   accepted frame refreshes the sender's liveness. A peer silent for
+//!   [`UdpConfig::suspect_after`] turns `Suspect`; silent for
+//!   [`UdpConfig::down_after`] it turns `Down` — **terminal for that
+//!   incarnation**: frames stamped with a downed epoch are rejected
+//!   forever after, so late retransmissions from a dead process cannot
+//!   corrupt sequence state. A restarted process announces a *new*
+//!   epoch in its hello; that epoch bump is the only way back in
+//!   ([`PeerEventKind::Rejoining`], followed by `Up`). Transitions are
+//!   queued as [`PeerEvent`]s for [`NetDevice::poll_event`]; while a
+//!   `Down`/`Rejoining` event is pending, `try_recv` withholds data so
+//!   the engine resets per-peer protocol state *before* it sees any
+//!   packet from the new incarnation.
 //! * **Loss is real.** UDP drops, duplicates, and reorders; so can the
 //!   kernel under buffer pressure. The device reports
 //!   [`NetDevice::is_lossy`] = `true`, which makes the engine
@@ -40,19 +55,22 @@
 //!   epoch ([`std::time::Instant`]), so retransmit timeouts measure real
 //!   elapsed time. Clocks are *per process* — cross-node timestamps (e.g.
 //!   in merged chrome traces) share a scale but not an origin.
-//! * **Injected loss.** [`UdpConfig::drop_outbound`] drops each outbound
-//!   *data* frame with a seeded probability before it reaches the socket
-//!   — a deterministic stand-in for genuine network loss, so tests can
-//!   force the retransmission machinery to work at a chosen rate. Hello
-//!   frames are never dropped (the join barrier re-beacons anyway; there
-//!   is no reliability layer under it to test).
+//! * **Injected faults.** [`UdpConfig::drop_outbound`] drops,
+//!   [`UdpConfig::dup_outbound`] duplicates, and
+//!   [`UdpConfig::reorder_outbound`] displaces each outbound *data*
+//!   frame with a seeded probability — deterministic stand-ins for
+//!   genuine network misbehavior, so tests can force the
+//!   retransmission/dedup machinery to work at a chosen rate. Hello
+//!   and goodbye frames are never subjected to injection (membership
+//!   re-beacons anyway; there is no reliability layer under it to
+//!   test).
 
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
 
-use fm_core::device::{DeviceFull, NetDevice};
+use fm_core::device::{DeviceFull, NetDevice, PeerEvent, PeerEventKind};
 use fm_core::packet::PacketFlags;
 use fm_core::{BufPool, FmPacket, PacketBuf};
 use fm_model::rng::DetRng;
@@ -76,20 +94,55 @@ const SEND_BATCH: usize = 32;
 /// this is just a flood guard).
 const HELLO_REPLY_GAP: Duration = Duration::from_millis(1);
 
+/// Most undrained [`PeerEvent`]s kept. Raw-device users (no engine) may
+/// never call `poll_event`; beyond this the oldest event is discarded so
+/// the queue cannot grow without bound.
+const EVENT_QUEUE_CAP: usize = 1024;
+
+/// Liveness of one peer, per incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Never heard from this run.
+    Unknown,
+    /// Heard from recently.
+    Up,
+    /// Silent past [`UdpConfig::suspect_after`]; state is kept — one
+    /// frame restores `Up`.
+    Suspect,
+    /// Silent past [`UdpConfig::down_after`], or announced a goodbye.
+    /// Terminal for the incarnation: only an epoch bump readmits.
+    Down,
+}
+
 /// Configuration for a [`UdpDevice`].
 #[derive(Debug, Clone)]
 pub struct UdpConfig {
-    /// Cluster incarnation stamp; every node of a run must agree, and
-    /// frames from other epochs are rejected. Derive it from wall time or
-    /// a coordinator pid — anything unlikely to recur on reused ports.
+    /// This node's incarnation stamp: every frame it sends carries it,
+    /// and a restart must pick a fresh value (wall time, a coordinator
+    /// counter — anything unlikely to recur) so peers can tell the new
+    /// life from late datagrams of the old one.
     pub epoch: u64,
     /// Out-queue capacity in frames (what `send_space` reports against).
     pub send_queue: usize,
     /// Probability in `[0, 1]` of dropping an outbound data frame before
     /// the socket (injected loss for tests). 0 = off.
     pub drop_outbound: f64,
-    /// Seed for the injected-loss RNG (deterministic per device).
+    /// Probability in `[0, 1]` of queueing an outbound data frame twice
+    /// (injected duplication for tests). 0 = off.
+    pub dup_outbound: f64,
+    /// Probability in `[0, 1]` of enqueueing an outbound data frame
+    /// *ahead* of the frame queued before it (injected reordering for
+    /// tests). 0 = off.
+    pub reorder_outbound: f64,
+    /// Seed for the injected-fault RNG (deterministic per device).
     pub drop_seed: u64,
+    /// Gap between membership heartbeats (hellos) to each live peer.
+    pub heartbeat_interval: Duration,
+    /// A peer silent this long turns [`PeerHealth::Suspect`].
+    pub suspect_after: Duration,
+    /// A peer silent this long turns [`PeerHealth::Down`] (terminal for
+    /// its incarnation). Must exceed `suspect_after`.
+    pub down_after: Duration,
 }
 
 impl Default for UdpConfig {
@@ -98,7 +151,12 @@ impl Default for UdpConfig {
             epoch: 0,
             send_queue: 64,
             drop_outbound: 0.0,
+            dup_outbound: 0.0,
+            reorder_outbound: 0.0,
             drop_seed: 0x5EED,
+            heartbeat_interval: Duration::from_millis(20),
+            suspect_after: Duration::from_millis(150),
+            down_after: Duration::from_millis(500),
         }
     }
 }
@@ -110,19 +168,36 @@ pub struct UdpStats {
     pub frames_sent: u64,
     /// Data frames received and accepted.
     pub frames_received: u64,
-    /// Frames rejected by validation (magic/version/epoch/peer/codec).
+    /// Frames rejected by validation (magic/version/peer/codec).
     pub frames_rejected: u64,
+    /// Frames rejected for carrying a stale or downed incarnation epoch
+    /// (a subset of `frames_rejected`).
+    pub stale_rejected: u64,
     /// Outbound data frames swallowed by the injected-loss hook.
     pub drops_injected: u64,
+    /// Outbound data frames queued twice by the injected-duplication
+    /// hook.
+    pub dups_injected: u64,
+    /// Outbound data frames displaced ahead of their predecessor by the
+    /// injected-reordering hook.
+    pub reorders_injected: u64,
     /// Sends deferred because the kernel buffer was full (`EWOULDBLOCK`).
     pub send_retries: u64,
     /// Sends that failed with a real socket error (frame dropped; the
     /// reliability sublayer recovers).
     pub send_errors: u64,
-    /// Hello frames sent (join beacons + straggler replies).
+    /// Hello frames sent (join beacons, heartbeats, straggler replies).
     pub hellos_sent: u64,
     /// Hello frames received.
     pub hellos_received: u64,
+    /// Goodbye frames received (graceful leaves).
+    pub goodbyes_received: u64,
+    /// Peers that turned [`PeerHealth::Suspect`].
+    pub suspects: u64,
+    /// Peers that turned [`PeerHealth::Down`] (timeout or goodbye).
+    pub downs: u64,
+    /// Peers readmitted under a new incarnation epoch.
+    pub rejoins: u64,
     /// Standalone ACK_ONLY datagrams dropped from the out-queue because
     /// a frame to the same peer carrying a fresher cumulative ack (a
     /// data packet's piggyback, or a newer standalone ack) was enqueued
@@ -161,13 +236,36 @@ pub struct UdpDevice {
     /// the join barrier); drained before the socket is polled again.
     inq: VecDeque<FmPacket>,
     clock_epoch: Instant,
-    /// Bit `i` set = heard from node `i` this epoch (own bit pre-set).
-    seen_mask: u64,
-    /// Last seen-mask each peer reported.
-    peer_masks: Vec<u64>,
+    /// Incarnation epoch last heard from each peer; `None` = never heard
+    /// this run. Our own slot carries our own epoch — this vector IS the
+    /// hello body.
+    peer_epoch: Vec<Option<u64>>,
+    /// Per-peer liveness (our slot stays `Up`).
+    health: Vec<PeerHealth>,
+    /// When each peer was last heard (any accepted frame counts).
+    last_heard: Vec<Option<Instant>>,
+    /// Did the peer's latest hello show a full view (every slot seen)?
+    peer_view_full: Vec<bool>,
+    /// Did the peer's latest hello carry *our current epoch* in our slot?
+    peer_sees_us: Vec<bool>,
+    /// Epoch declared dead per peer: frames stamped with it are rejected
+    /// even after a rejoin under a newer epoch.
+    dead_epoch: Vec<Option<u64>>,
+    /// Undrained membership transitions for [`NetDevice::poll_event`].
+    events: VecDeque<PeerEvent>,
+    /// Queued events of the kinds that gate `try_recv` (`Down`,
+    /// `Rejoining`) — the engine must reset per-peer state before any
+    /// further packet crosses the seam.
+    gating_events: usize,
     /// Per-peer time of our last post-join hello reply (flood guard).
     last_hello_reply: Vec<Option<Instant>>,
+    last_heartbeat: Option<Instant>,
+    heartbeat_interval: Duration,
+    suspect_after: Duration,
+    down_after: Duration,
     drop_p: f64,
+    dup_p: f64,
+    reorder_p: f64,
     rng: DetRng,
     stats: UdpStats,
     /// Frame pool for both directions: outbound frames are encoded in
@@ -206,22 +304,35 @@ impl UdpDevice {
                 "node_id outside peer map",
             ));
         }
-        if n > 64 {
-            // The hello seen-mask is a u64; lift this when a wider barrier
-            // exists.
+        if n > wire::MAX_CLUSTER {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                "fm-udp clusters are limited to 64 nodes",
+                "peer map exceeds wire::MAX_CLUSTER nodes",
             ));
         }
-        if cfg.send_queue == 0 || !(0.0..=1.0).contains(&cfg.drop_outbound) {
+        let p_ok = |p: f64| (0.0..=1.0).contains(&p);
+        if cfg.send_queue == 0
+            || !p_ok(cfg.drop_outbound)
+            || !p_ok(cfg.dup_outbound)
+            || !p_ok(cfg.reorder_outbound)
+        {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                "send_queue must be >= 1 and drop_outbound within [0, 1]",
+                "send_queue must be >= 1 and fault probabilities within [0, 1]",
+            ));
+        }
+        if cfg.down_after <= cfg.suspect_after || cfg.heartbeat_interval.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "down_after must exceed suspect_after and heartbeats must tick",
             ));
         }
         socket.set_nonblocking(true)?;
         peers[node_id] = socket.local_addr()?;
+        let mut peer_epoch = vec![None; n];
+        peer_epoch[node_id] = Some(cfg.epoch);
+        let mut health = vec![PeerHealth::Unknown; n];
+        health[node_id] = PeerHealth::Up;
         Ok(UdpDevice {
             socket,
             node: node_id,
@@ -231,10 +342,22 @@ impl UdpDevice {
             capacity: cfg.send_queue,
             inq: VecDeque::new(),
             clock_epoch: Instant::now(),
-            seen_mask: 1u64 << node_id,
-            peer_masks: vec![0; n],
+            peer_epoch,
+            health,
+            last_heard: vec![None; n],
+            peer_view_full: vec![false; n],
+            peer_sees_us: vec![false; n],
+            dead_epoch: vec![None; n],
+            events: VecDeque::new(),
+            gating_events: 0,
             last_hello_reply: vec![None; n],
+            last_heartbeat: None,
+            heartbeat_interval: cfg.heartbeat_interval,
+            suspect_after: cfg.suspect_after,
+            down_after: cfg.down_after,
             drop_p: cfg.drop_outbound,
+            dup_p: cfg.dup_outbound,
+            reorder_p: cfg.reorder_outbound,
             rng: DetRng::seed_from_u64(cfg.drop_seed ^ (node_id as u64).wrapping_mul(0x9E37)),
             stats: UdpStats::default(),
             pool: BufPool::new(wire::MAX_DATAGRAM, cfg.send_queue + RECV_BATCH),
@@ -253,6 +376,21 @@ impl UdpDevice {
         &self.peers
     }
 
+    /// This node's own incarnation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Liveness of peer `i` as currently believed.
+    pub fn peer_health(&self, i: usize) -> PeerHealth {
+        self.health[i]
+    }
+
+    /// Incarnation epoch last heard from peer `i` (`None` = never).
+    pub fn peer_epoch(&self, i: usize) -> Option<u64> {
+        self.peer_epoch[i]
+    }
+
     /// Transport counters so far.
     pub fn stats(&self) -> UdpStats {
         self.stats
@@ -266,34 +404,39 @@ impl UdpDevice {
 
     /// Run the join barrier: beacon hellos to every peer until this node
     /// has heard from all of them *and* every peer's latest beacon shows
-    /// a full seen-mask (i.e. everyone knows everyone is up). Under
+    /// a full view that includes this node's current epoch. Under
     /// datagram loss the beacons simply repeat.
+    ///
+    /// The same call also performs a **rejoin**: a restarted process
+    /// binds its old address with a fresh `epoch` and joins again —
+    /// survivors answer its beacons from their normal receive path, take
+    /// the epoch bump as [`PeerEventKind::Rejoining`], and the barrier
+    /// completes against the running cluster without stopping it.
     ///
     /// Two tail races are closed explicitly. First, the exit condition
     /// can come true *between* beacons — the node would leave without
-    /// ever having broadcast its own full mask — so a parting burst of
-    /// full-mask hellos goes out on exit. Second, if even that burst is
+    /// ever having broadcast its own full view — so a parting burst of
+    /// full-view hellos goes out on exit. Second, if even that burst is
     /// lost, a joined node keeps answering straggler beacons from inside
     /// its normal receive path (see `reply_to_straggler`), so the
     /// laggard converges as soon as the workload starts polling.
     ///
-    /// Call once per device, after every process has (or is about to
-    /// have) bound its socket; returns `TimedOut` if the cluster does not
-    /// assemble within `timeout`.
+    /// Returns `TimedOut` if the cluster does not assemble within
+    /// `timeout`.
     pub fn join(&mut self, timeout: Duration) -> io::Result<()> {
-        let full = self.full_mask();
         let deadline = Instant::now() + timeout;
         let beacon_gap = Duration::from_millis(2);
         let mut last_beacon: Option<Instant> = None;
         loop {
-            let joined = self.seen_mask == full && self.all_peers_full(full) && self.out.is_empty();
+            let all_seen = self.peer_epoch.iter().all(Option::is_some);
+            let joined = all_seen && self.all_peers_full() && self.out.is_empty();
             if joined {
-                // Parting shot: make sure everyone has our full mask on
+                // Parting shot: make sure everyone has our full view on
                 // record even though we stop beaconing now (a peer's own
                 // exit may hinge on it). A small burst rides over stray
                 // kernel drops; true loss is mopped up by straggler
                 // replies once the workload polls.
-                let hello = wire::encode_hello(self.node as u16, self.epoch, self.seen_mask);
+                let hello = wire::encode_hello(self.node as u16, self.epoch, &self.peer_epoch);
                 for _ in 0..3 {
                     for (i, addr) in self.peers.clone().into_iter().enumerate() {
                         if i != self.node {
@@ -304,19 +447,26 @@ impl UdpDevice {
                 return Ok(());
             }
             if Instant::now() >= deadline {
+                let seen = self.peer_epoch.iter().filter(|e| e.is_some()).count();
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
                     format!(
-                        "join barrier timed out: node {} seen_mask {:#b} of {:#b}",
-                        self.node, self.seen_mask, full
+                        "join barrier timed out: node {} heard {} of {} peers",
+                        self.node,
+                        seen,
+                        self.peers.len()
                     ),
                 ));
             }
             if last_beacon.is_none_or(|t| t.elapsed() >= beacon_gap) {
                 last_beacon = Some(Instant::now());
-                let hello = wire::encode_hello(self.node as u16, self.epoch, self.seen_mask);
+                let hello = wire::encode_hello(self.node as u16, self.epoch, &self.peer_epoch);
+                // Beacon only the peers that have not yet confirmed a
+                // full view including us: a converged pair stops
+                // chattering, which keeps the barrier's datagram flood
+                // from growing with the square of the cluster size.
                 for (i, addr) in self.peers.clone().into_iter().enumerate() {
-                    if i != self.node {
+                    if i != self.node && !(self.peer_view_full[i] && self.peer_sees_us[i]) {
                         self.send_hello(addr, &hello);
                     }
                 }
@@ -327,20 +477,24 @@ impl UdpDevice {
         }
     }
 
-    /// Seen-mask with a bit set for every node of the cluster.
-    fn full_mask(&self) -> u64 {
-        if self.peers.len() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.peers.len()) - 1
+    /// Announce a graceful leave: a small burst of goodbye frames to
+    /// every peer, which takes this node straight to `Down` on their
+    /// side — no waiting out the suspicion timeout. Best-effort (UDP);
+    /// a lost goodbye just degrades to timeout-based detection.
+    pub fn leave(&mut self) {
+        let bye = wire::encode_goodbye(self.node as u16, self.epoch);
+        for _ in 0..3 {
+            for (i, addr) in self.peers.clone().into_iter().enumerate() {
+                if i != self.node && self.health[i] != PeerHealth::Down {
+                    let _ = self.socket.send_to(&bye, addr);
+                }
+            }
         }
     }
 
-    fn all_peers_full(&self, full: u64) -> bool {
-        self.peer_masks
-            .iter()
-            .enumerate()
-            .all(|(i, &m)| i == self.node || m == full)
+    fn all_peers_full(&self) -> bool {
+        (0..self.peers.len())
+            .all(|i| i == self.node || (self.peer_view_full[i] && self.peer_sees_us[i]))
     }
 
     fn send_hello(&mut self, to: SocketAddr, frame: &[u8]) {
@@ -348,6 +502,151 @@ impl UdpDevice {
             Ok(_) => self.stats.hellos_sent += 1,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.stats.send_retries += 1,
             Err(_) => self.stats.send_errors += 1,
+        }
+    }
+
+    /// Queue a membership transition for `poll_event`, bumping the
+    /// `try_recv` gate for the kinds that must reach the engine before
+    /// more data does.
+    fn push_event(&mut self, peer: usize, kind: PeerEventKind, epoch: u64) {
+        if self.events.len() >= EVENT_QUEUE_CAP {
+            if let Some(old) = self.events.pop_front() {
+                if matches!(old.kind, PeerEventKind::Down | PeerEventKind::Rejoining) {
+                    self.gating_events -= 1;
+                }
+            }
+        }
+        if matches!(kind, PeerEventKind::Down | PeerEventKind::Rejoining) {
+            self.gating_events += 1;
+        }
+        self.events.push_back(PeerEvent { peer, kind, epoch });
+    }
+
+    /// Take `peer` down for its current incarnation: terminal until an
+    /// epoch bump. Parked packets from it are stale in-flight state and
+    /// are discarded.
+    fn go_down(&mut self, peer: usize) {
+        if self.health[peer] == PeerHealth::Down {
+            return;
+        }
+        self.health[peer] = PeerHealth::Down;
+        self.dead_epoch[peer] = self.peer_epoch[peer];
+        self.stats.downs += 1;
+        self.inq.retain(|p| p.header.src as usize != peer);
+        self.push_event(
+            peer,
+            PeerEventKind::Down,
+            self.peer_epoch[peer].unwrap_or(0),
+        );
+    }
+
+    /// Judge a frame from `src` stamped with incarnation `fe`: refresh
+    /// liveness and return `true` to process it, or count it stale and
+    /// return `false`. Hellos announce incarnations (first contact and
+    /// epoch-bump rejoins); data earns admission only under an already-
+    /// known epoch — a restarted peer must hello first, so buffered
+    /// datagrams of its previous life cannot leak into fresh sequence
+    /// state.
+    fn admit(&mut self, src: usize, fe: u64, is_hello: bool) -> bool {
+        if self.dead_epoch[src] == Some(fe) {
+            self.stats.stale_rejected += 1;
+            return false;
+        }
+        match self.peer_epoch[src] {
+            None => {
+                // First contact. Data is admitted only under the static
+                // all-agree epoch (engine pairs that skip the barrier);
+                // any other incarnation must announce itself by hello.
+                if !is_hello && fe != self.epoch {
+                    self.stats.stale_rejected += 1;
+                    return false;
+                }
+                self.peer_epoch[src] = Some(fe);
+                self.health[src] = PeerHealth::Up;
+                self.last_heard[src] = Some(Instant::now());
+                self.push_event(src, PeerEventKind::Up, fe);
+                true
+            }
+            Some(e) if fe == e => match self.health[src] {
+                PeerHealth::Down => {
+                    // Terminal per incarnation: the ring was abandoned,
+                    // sequence state is gone — same-epoch frames can
+                    // never be consistent again.
+                    self.stats.stale_rejected += 1;
+                    false
+                }
+                PeerHealth::Suspect => {
+                    self.health[src] = PeerHealth::Up;
+                    self.last_heard[src] = Some(Instant::now());
+                    self.push_event(src, PeerEventKind::Up, e);
+                    true
+                }
+                _ => {
+                    self.last_heard[src] = Some(Instant::now());
+                    true
+                }
+            },
+            Some(_) => {
+                if !is_hello {
+                    // Old-incarnation stragglers, or a new incarnation
+                    // racing ahead of its own hello: either way the
+                    // reliability state does not match — reject, go-back-N
+                    // re-sends once membership has caught up.
+                    self.stats.stale_rejected += 1;
+                    return false;
+                }
+                // Epoch bump: the peer restarted. Its previous life's
+                // in-flight packets are stale state — discard them.
+                self.inq.retain(|p| p.header.src as usize != src);
+                self.peer_epoch[src] = Some(fe);
+                self.health[src] = PeerHealth::Up;
+                self.last_heard[src] = Some(Instant::now());
+                self.peer_view_full[src] = false;
+                self.peer_sees_us[src] = false;
+                self.stats.rejoins += 1;
+                self.push_event(src, PeerEventKind::Rejoining, fe);
+                self.push_event(src, PeerEventKind::Up, fe);
+                true
+            }
+        }
+    }
+
+    /// Heartbeat + failure detection, run from the poll path. One
+    /// `Instant::now()` per call; transitions queue [`PeerEvent`]s.
+    fn tick(&mut self) {
+        let now = Instant::now();
+        if self
+            .last_heartbeat
+            .is_none_or(|t| now.duration_since(t) >= self.heartbeat_interval)
+        {
+            self.last_heartbeat = Some(now);
+            let hello = wire::encode_hello(self.node as u16, self.epoch, &self.peer_epoch);
+            for i in 0..self.peers.len() {
+                // Down peers get no heartbeats; their next incarnation
+                // beacons us and is answered as a straggler.
+                if i != self.node && self.health[i] != PeerHealth::Down {
+                    let addr = self.peers[i];
+                    self.send_hello(addr, &hello);
+                }
+            }
+        }
+        for i in 0..self.peers.len() {
+            if i == self.node {
+                continue;
+            }
+            let Some(heard) = self.last_heard[i] else {
+                continue; // never-heard peers are Unknown, not failed
+            };
+            let idle = now.duration_since(heard);
+            match self.health[i] {
+                PeerHealth::Up if idle >= self.suspect_after => {
+                    self.health[i] = PeerHealth::Suspect;
+                    self.stats.suspects += 1;
+                    self.push_event(i, PeerEventKind::Suspect, self.peer_epoch[i].unwrap_or(0));
+                }
+                PeerHealth::Suspect if idle >= self.down_after => self.go_down(i),
+                _ => {}
+            }
         }
     }
 
@@ -434,8 +733,8 @@ impl UdpDevice {
     /// Read datagrams until the socket would block (capped at
     /// [`RECV_BATCH`] per call), each into a pooled frame, validating
     /// and parking accepted data packets on `inq` as zero-copy views of
-    /// those frames; hellos are absorbed (and answered for stragglers)
-    /// on the spot.
+    /// those frames; hellos and goodbyes are absorbed (and stragglers
+    /// answered) on the spot.
     fn poll_socket(&mut self) {
         for _ in 0..RECV_BATCH {
             let mut frame = self.pool.take();
@@ -453,7 +752,7 @@ impl UdpDevice {
                 Err(_) => break,
             };
             frame.set_window(0, len);
-            let pre = match wire::decode_preamble(&frame, self.epoch) {
+            let pre = match wire::decode_preamble(&frame) {
                 Ok(p) => p,
                 Err(_) => {
                     self.stats.frames_rejected += 1;
@@ -469,29 +768,55 @@ impl UdpDevice {
             }
             match pre.kind {
                 wire::FrameKind::Hello => {
-                    let Ok(mask) = wire::decode_hello_body(&frame[wire::PREAMBLE_BYTES..]) else {
+                    let Ok(view) = wire::decode_hello_body(&frame[wire::PREAMBLE_BYTES..]) else {
                         self.stats.frames_rejected += 1;
                         continue;
                     };
-                    self.stats.hellos_received += 1;
-                    self.seen_mask |= 1u64 << src;
-                    self.peer_masks[src] = mask;
-                    self.reply_to_straggler(src, mask);
-                }
-                wire::FrameKind::Data => match wire::decode_data_frame_buf(&frame) {
-                    Ok(pkt)
-                        if pkt.header.src as usize == src
-                            && pkt.header.dst as usize == self.node =>
-                    {
-                        // `pkt.payload` is a view into `frame`; the frame
-                        // recycles once the engine is done with it.
-                        self.stats.frames_received += 1;
-                        self.seen_mask |= 1u64 << src;
-                        self.inq.push_back(pkt);
+                    if view.len() != self.peers.len() {
+                        self.stats.frames_rejected += 1; // another cluster's shape
+                        continue;
                     }
-                    _ => self.stats.frames_rejected += 1,
-                },
+                    if !self.admit(src, pre.epoch, true) {
+                        self.stats.frames_rejected += 1;
+                        continue;
+                    }
+                    self.stats.hellos_received += 1;
+                    self.reply_to_straggler(src, &view);
+                }
+                wire::FrameKind::Goodbye => {
+                    if self.peer_epoch[src] == Some(pre.epoch)
+                        && self.health[src] != PeerHealth::Down
+                    {
+                        self.stats.goodbyes_received += 1;
+                        self.go_down(src);
+                    } else {
+                        self.stats.stale_rejected += 1;
+                        self.stats.frames_rejected += 1;
+                    }
+                }
+                wire::FrameKind::Data => {
+                    if !self.admit(src, pre.epoch, false) {
+                        self.stats.frames_rejected += 1;
+                        continue;
+                    }
+                    match wire::decode_data_frame_buf(&frame) {
+                        Ok(pkt)
+                            if pkt.header.src as usize == src
+                                && pkt.header.dst as usize == self.node =>
+                        {
+                            // `pkt.payload` is a view into `frame`; the
+                            // frame recycles once the engine is done.
+                            self.stats.frames_received += 1;
+                            self.inq.push_back(pkt);
+                        }
+                        _ => self.stats.frames_rejected += 1,
+                    }
+                }
                 wire::FrameKind::Train => {
+                    if !self.admit(src, pre.epoch, false) {
+                        self.stats.frames_rejected += 1;
+                        continue;
+                    }
                     // Every record decodes as a view into the one pooled
                     // datagram frame; the frame recycles when the engine
                     // has dropped the last packet's payload.
@@ -513,7 +838,6 @@ impl UdpDevice {
                                     && pkt.header.dst as usize == self.node =>
                             {
                                 self.stats.frames_received += 1;
-                                self.seen_mask |= 1u64 << src;
                                 self.inq.push_back(pkt);
                             }
                             _ => self.stats.frames_rejected += 1,
@@ -525,21 +849,32 @@ impl UdpDevice {
         }
     }
 
-    /// A peer whose beacon shows an incomplete mask is still inside its
-    /// join barrier; answer immediately (rate-limited) so it can finish
-    /// even if every beacon we sent during our own join was lost.
-    fn reply_to_straggler(&mut self, src: usize, their_mask: u64) {
-        let full = self.full_mask();
-        if their_mask == full && their_mask & (1 << self.node) != 0 {
-            return; // they know everything already
-        }
+    /// A peer whose beacon shows an incomplete view — or a view that
+    /// lacks our current incarnation — is inside its join (or rejoin)
+    /// barrier; answer immediately (rate-limited) so it can finish even
+    /// if every beacon we sent during our own join was lost.
+    fn reply_to_straggler(&mut self, src: usize, view: &[Option<u64>]) {
+        let full = view.iter().all(Option::is_some);
+        let sees_us = view[self.node] == Some(self.epoch);
+        self.peer_view_full[src] = full;
+        self.peer_sees_us[src] = sees_us;
+        // Even a full view gets a (slow) reply: the sender may still be
+        // inside its barrier waiting to learn that *our* view is full —
+        // its beacons are the only way it ever will if our parting
+        // burst was dropped. Rate-limiting at heartbeat scale keeps
+        // steady-state heartbeat exchanges from ping-ponging replies.
+        let gap = if full && sees_us {
+            self.heartbeat_interval.max(HELLO_REPLY_GAP)
+        } else {
+            HELLO_REPLY_GAP
+        };
         if let Some(t) = self.last_hello_reply[src] {
-            if t.elapsed() < HELLO_REPLY_GAP {
+            if t.elapsed() < gap {
                 return;
             }
         }
         self.last_hello_reply[src] = Some(Instant::now());
-        let hello = wire::encode_hello(self.node as u16, self.epoch, self.seen_mask);
+        let hello = wire::encode_hello(self.node as u16, self.epoch, &self.peer_epoch);
         self.send_hello(self.peers[src], &hello);
     }
 }
@@ -597,6 +932,8 @@ impl NetDevice for UdpDevice {
             self.stats.drops_injected += 1;
             return Ok(());
         }
+        let duplicate = self.dup_p > 0.0 && self.rng.chance(self.dup_p);
+        let displace = self.reorder_p > 0.0 && self.rng.chance(self.reorder_p);
         let pure_ack = pkt.header.flags.contains(PacketFlags::ACK_ONLY);
         if pure_ack {
             // A fresher cumulative ack supersedes any standalone ack
@@ -631,12 +968,41 @@ impl NetDevice for UdpDevice {
         // open window may not poll for a long time, and parking a whole
         // window's worth of frames until the next `try_recv` would turn
         // the pipeline into stop-and-go.
-        self.out.push_back(OutFrame {
-            to: self.peers[dst],
+        let to = self.peers[dst];
+        let entry = OutFrame {
+            to,
             dst_node: pkt.header.dst,
             pure_ack,
             frame,
-        });
+        };
+        if displace && !self.out.is_empty() {
+            // Injected reordering: slip in ahead of the previously
+            // queued frame. Adjacent records stay swapped even when the
+            // flush packs them into one train — the peer genuinely
+            // decodes them out of order.
+            self.stats.reorders_injected += 1;
+            let at = self.out.len() - 1;
+            self.out.insert(at, entry);
+        } else {
+            self.out.push_back(entry);
+        }
+        if duplicate {
+            // Injected duplication: the same encoded bytes queued twice
+            // (refcounted — no copy). May overshoot `capacity` by one;
+            // `send_space` saturates.
+            self.stats.dups_injected += 1;
+            if pure_ack {
+                self.queued_pure_acks += 1;
+            }
+            let back = self.out.back().expect("just pushed");
+            let twin = OutFrame {
+                to: back.to,
+                dst_node: back.dst_node,
+                pure_ack: back.pure_ack,
+                frame: back.frame.clone(),
+            };
+            self.out.push_back(twin);
+        }
         if self.out.len() >= SEND_BATCH {
             self.flush_out();
         }
@@ -648,15 +1014,36 @@ impl NetDevice for UdpDevice {
         // where frames actually reach the socket — one SEND_BATCH burst
         // per poll, after the coalescing window has closed.
         self.flush_out();
+        self.tick();
+        if self.gating_events > 0 {
+            // A Down/Rejoining transition is waiting in `poll_event`:
+            // keep the socket breathing but release no packet until the
+            // engine has reset the affected peer's protocol state.
+            self.poll_socket();
+            return None;
+        }
         if let Some(pkt) = self.inq.pop_front() {
             return Some(pkt);
         }
         self.poll_socket();
+        if self.gating_events > 0 {
+            return None;
+        }
         self.inq.pop_front()
     }
 
+    fn poll_event(&mut self) -> Option<PeerEvent> {
+        let ev = self.events.pop_front()?;
+        if matches!(ev.kind, PeerEventKind::Down | PeerEventKind::Rejoining) {
+            self.gating_events -= 1;
+        }
+        Some(ev)
+    }
+
     fn send_space(&self) -> usize {
-        self.capacity - self.out.len()
+        // Saturating: injected duplication may briefly hold one frame
+        // over capacity.
+        self.capacity.saturating_sub(self.out.len())
     }
 
     fn now(&self) -> Nanos {
@@ -712,6 +1099,26 @@ mod tests {
         }
     }
 
+    /// Fast-churn timings for the membership tests: milliseconds, not
+    /// the production half-second.
+    fn churn_cfg() -> UdpConfig {
+        UdpConfig {
+            heartbeat_interval: Duration::from_millis(5),
+            suspect_after: Duration::from_millis(40),
+            down_after: Duration::from_millis(100),
+            ..UdpConfig::default()
+        }
+    }
+
+    /// Drain every queued peer event (clears the `try_recv` gate).
+    fn drain_events(dev: &mut UdpDevice) -> Vec<PeerEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = dev.poll_event() {
+            out.push(ev);
+        }
+        out
+    }
+
     #[test]
     fn datagrams_cross_real_sockets_both_ways() {
         let (mut a, mut b) = pair(UdpConfig::default());
@@ -725,6 +1132,11 @@ mod tests {
         assert!(a.try_recv().is_none(), "b has not flushed its queue yet");
         assert_eq!(recv_spin(&mut b).payload, vec![7]);
         assert_eq!(recv_spin(&mut a).payload, vec![9]);
+        // First contact surfaced as an Up event on both sides.
+        assert!(drain_events(&mut b)
+            .iter()
+            .any(|e| e.peer == 0 && e.kind == PeerEventKind::Up));
+        assert_eq!(b.peer_health(0), PeerHealth::Up);
     }
 
     #[test]
@@ -828,16 +1240,35 @@ mod tests {
     }
 
     #[test]
-    fn wrong_epoch_frames_are_rejected() {
+    fn unknown_incarnation_data_is_rejected() {
         let (mut a, _b) = pair(UdpConfig::default());
         // A stale process from "another run" on a third socket, claiming
-        // to be node 1 with a different epoch.
+        // to be node 1 with a different epoch — rejected twice over
+        // (wrong address AND an unannounced incarnation).
         let stale = UdpSocket::bind("127.0.0.1:0").unwrap();
         let frame = wire::encode_data_frame(&pkt(1, 0, 5), 1, 999).unwrap();
         stale.send_to(&frame, a.local_addr()).unwrap();
         std::thread::sleep(Duration::from_millis(20));
         assert!(a.try_recv().is_none());
         assert!(a.stats().frames_rejected >= 1);
+    }
+
+    #[test]
+    fn data_from_unannounced_epochs_is_rejected_even_from_the_right_address() {
+        let (mut a, mut b) = pair(UdpConfig::default());
+        // Establish node 1 at epoch 0 (the shared static epoch).
+        b.try_send(pkt(1, 0, 1)).unwrap();
+        let _ = b.try_recv();
+        assert_eq!(recv_spin(&mut a).payload, vec![1]);
+        // Node 1's socket now emits a frame stamped with a different
+        // incarnation, without any hello announcing it: data cannot
+        // adopt an epoch bump on its own.
+        let rogue = wire::encode_data_frame(&pkt(1, 0, 2), 1, 77).unwrap();
+        b.socket.send_to(&rogue, a.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(a.try_recv().is_none());
+        assert!(a.stats().stale_rejected >= 1);
+        assert_eq!(a.peer_epoch(1), Some(0), "epoch unchanged without a hello");
     }
 
     #[test]
@@ -867,6 +1298,34 @@ mod tests {
         assert_eq!(a.stats().drops_injected, 10);
         assert_eq!(a.stats().frames_sent, 0);
         assert_eq!(a.send_space(), a.capacity, "queue drained by the drops");
+    }
+
+    #[test]
+    fn injected_duplication_queues_frames_twice() {
+        let (mut a, mut b) = pair(UdpConfig {
+            dup_outbound: 1.0,
+            ..UdpConfig::default()
+        });
+        a.try_send(pkt(0, 1, 7)).unwrap();
+        let _ = a.try_recv();
+        assert_eq!(a.stats().dups_injected, 1);
+        assert_eq!(a.stats().frames_sent, 2, "the twin crossed too");
+        assert_eq!(recv_spin(&mut b).payload, vec![7]);
+        assert_eq!(recv_spin(&mut b).payload, vec![7], "same bytes twice");
+    }
+
+    #[test]
+    fn injected_reordering_displaces_adjacent_frames() {
+        let (mut a, mut b) = pair(UdpConfig {
+            reorder_outbound: 1.0,
+            ..UdpConfig::default()
+        });
+        a.try_send(pkt(0, 1, 1)).unwrap(); // queue empty: cannot displace
+        a.try_send(pkt(0, 1, 2)).unwrap(); // slips ahead of frame 1
+        let _ = a.try_recv();
+        assert_eq!(a.stats().reorders_injected, 1);
+        assert_eq!(recv_spin(&mut b).payload, vec![2], "displaced ahead");
+        assert_eq!(recv_spin(&mut b).payload, vec![1]);
     }
 
     #[test]
@@ -903,7 +1362,24 @@ mod tests {
         for h in handles {
             let d = h.join().unwrap();
             assert!(d.stats().hellos_received >= 3);
+            for i in 0..4 {
+                assert_eq!(d.peer_epoch(i), Some(0), "everyone at the static epoch");
+            }
         }
+    }
+
+    #[test]
+    fn constructor_accepts_peer_maps_past_64_nodes() {
+        // Regression for the former `seen_mask: u64` cap: the
+        // constructor used to refuse any map past 64 nodes. The full
+        // 66-node barrier lives in `tests/wide_cluster.rs`, where its 66
+        // threads do not contend with the rest of this suite.
+        let devs = crate::cluster::loopback_cluster(100, UdpConfig::default()).unwrap();
+        assert_eq!(devs.len(), 100);
+        assert_eq!(devs[99].num_nodes(), 100);
+        let too_wide = vec!["127.0.0.1:0".parse().unwrap(); wire::MAX_CLUSTER + 1];
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        assert!(UdpDevice::from_socket(sock, 0, too_wide, UdpConfig::default()).is_err());
     }
 
     #[test]
@@ -916,5 +1392,179 @@ mod tests {
             UdpDevice::from_socket(socket, 0, vec![me, ghost], UdpConfig::default()).unwrap();
         let err = d.join(Duration::from_millis(100)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn silent_peers_turn_suspect_then_down_and_gate_try_recv() {
+        let (mut a, mut b) = pair(churn_cfg());
+        // Contact both ways, then node 1 vanishes (dropped: socket
+        // closes, no goodbye — a crash as far as node 0 can tell).
+        a.try_send(pkt(0, 1, 1)).unwrap();
+        b.try_send(pkt(1, 0, 2)).unwrap();
+        let _ = a.try_recv();
+        assert_eq!(recv_spin(&mut b).payload, vec![1]);
+        assert_eq!(recv_spin(&mut a).payload, vec![2]);
+        drain_events(&mut a);
+        drop(b);
+        // Spin a's poll path until the failure detector runs its course.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut seen = Vec::new();
+        while !seen.contains(&PeerEventKind::Down) {
+            assert!(Instant::now() < deadline, "no Down within 5s");
+            let _ = a.try_recv();
+            while let Some(ev) = a.poll_event() {
+                assert_eq!(ev.peer, 1);
+                seen.push(ev.kind);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            seen,
+            vec![PeerEventKind::Suspect, PeerEventKind::Down],
+            "suspicion precedes the verdict"
+        );
+        assert_eq!(a.peer_health(1), PeerHealth::Down);
+        assert_eq!(a.stats().suspects, 1);
+        assert_eq!(a.stats().downs, 1);
+    }
+
+    #[test]
+    fn down_is_terminal_per_incarnation_and_epoch_bump_rejoins() {
+        let cfg = churn_cfg();
+        let (mut a, mut b) = pair(cfg.clone());
+        let b_addr = b.local_addr();
+        let peers = a.peers().to_vec();
+        a.try_send(pkt(0, 1, 1)).unwrap();
+        let _ = a.try_recv();
+        assert_eq!(recv_spin(&mut b).payload, vec![1]);
+        b.try_send(pkt(1, 0, 2)).unwrap();
+        let _ = b.try_recv();
+        assert_eq!(recv_spin(&mut a).payload, vec![2]);
+        drain_events(&mut a);
+        drop(b);
+        // Wait out the failure detector.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.peer_health(1) != PeerHealth::Down {
+            assert!(Instant::now() < deadline, "no Down within 5s");
+            let _ = a.try_recv();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drain_events(&mut a);
+        // Same incarnation returns: terminally rejected, no resurrection.
+        let mut zombie = UdpDevice::from_socket(
+            UdpSocket::bind(b_addr).unwrap(),
+            1,
+            peers.clone(),
+            cfg.clone(),
+        )
+        .unwrap();
+        zombie.try_send(pkt(1, 0, 3)).unwrap();
+        let _ = zombie.try_recv();
+        std::thread::sleep(Duration::from_millis(20));
+        let stale_before = a.stats().stale_rejected;
+        assert!(a.try_recv().is_none(), "downed epoch stays dead");
+        assert!(a.stats().stale_rejected > stale_before);
+        assert_eq!(a.peer_health(1), PeerHealth::Down);
+        drop(zombie);
+        // A new incarnation (epoch bump) is readmitted: Rejoining + Up,
+        // and until those events drain, try_recv withholds data.
+        let mut reborn = UdpDevice::from_socket(
+            UdpSocket::bind(b_addr).unwrap(),
+            1,
+            peers,
+            UdpConfig {
+                epoch: 1,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        // This first data frame races ahead of the new incarnation's
+        // hello: it is rejected (raw devices have no retransmission; a
+        // real engine's go-back-N re-sends it once membership catches
+        // up — here the test re-sends below).
+        reborn.try_send(pkt(1, 0, 4)).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            assert!(Instant::now() < deadline, "no rejoin within 5s");
+            let _ = reborn.try_recv(); // pumps its heartbeat hellos
+            assert!(
+                a.try_recv().is_none(),
+                "no data may cross while Rejoining is undrained"
+            );
+            if a.peer_epoch(1) == Some(1) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let kinds: Vec<_> = drain_events(&mut a).into_iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&PeerEventKind::Rejoining));
+        assert!(kinds.contains(&PeerEventKind::Up));
+        assert_eq!(a.stats().rejoins, 1);
+        assert_eq!(a.peer_health(1), PeerHealth::Up);
+        // With the gate drained and the epoch admitted, the new
+        // incarnation's data flows.
+        reborn.try_send(pkt(1, 0, 4)).unwrap();
+        let _ = reborn.try_recv();
+        assert_eq!(recv_spin(&mut a).payload, vec![4]);
+    }
+
+    #[test]
+    fn goodbye_takes_a_peer_down_without_waiting_out_the_timeout() {
+        let (mut a, mut b) = pair(UdpConfig::default());
+        a.try_send(pkt(0, 1, 1)).unwrap();
+        let _ = a.try_recv();
+        assert_eq!(recv_spin(&mut b).payload, vec![1]);
+        b.try_send(pkt(1, 0, 2)).unwrap();
+        let _ = b.try_recv();
+        assert_eq!(recv_spin(&mut a).payload, vec![2]);
+        drain_events(&mut a);
+        let t0 = Instant::now();
+        b.leave();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.peer_health(1) != PeerHealth::Down {
+            assert!(Instant::now() < deadline, "no Down within 5s");
+            let _ = a.try_recv();
+            std::thread::yield_now();
+        }
+        // Far faster than the 150 ms + 500 ms suspicion path.
+        assert!(t0.elapsed() < Duration::from_millis(100));
+        assert_eq!(a.stats().goodbyes_received, 1, "burst deduped by go_down");
+        assert!(drain_events(&mut a)
+            .iter()
+            .any(|e| e.kind == PeerEventKind::Down));
+    }
+
+    #[test]
+    fn suspect_recovers_to_up_without_losing_state() {
+        let (mut a, mut b) = pair(UdpConfig {
+            heartbeat_interval: Duration::from_millis(500), // quiet: no auto-refresh
+            suspect_after: Duration::from_millis(30),
+            down_after: Duration::from_millis(5_000),
+            ..UdpConfig::default()
+        });
+        a.try_send(pkt(0, 1, 1)).unwrap();
+        let _ = a.try_recv();
+        assert_eq!(recv_spin(&mut b).payload, vec![1]);
+        b.try_send(pkt(1, 0, 2)).unwrap();
+        let _ = b.try_recv();
+        assert_eq!(recv_spin(&mut a).payload, vec![2]);
+        drain_events(&mut a);
+        // b stays silent past suspect_after (its long heartbeat gap
+        // keeps it from re-announcing itself).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.peer_health(1) != PeerHealth::Suspect {
+            assert!(Instant::now() < deadline, "no Suspect within 5s");
+            let _ = a.try_recv();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // One frame clears the suspicion — same epoch, nothing reset.
+        b.try_send(pkt(1, 0, 3)).unwrap();
+        let _ = b.try_recv();
+        assert_eq!(recv_spin(&mut a).payload, vec![3]);
+        assert_eq!(a.peer_health(1), PeerHealth::Up);
+        assert_eq!(a.stats().rejoins, 0, "recovery is not a rejoin");
+        let kinds: Vec<_> = drain_events(&mut a).into_iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&PeerEventKind::Suspect));
+        assert!(kinds.ends_with(&[PeerEventKind::Up]));
     }
 }

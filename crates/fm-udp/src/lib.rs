@@ -18,7 +18,13 @@
 //!   payload ceiling.
 //! * **Membership** ([`UdpDevice::join`]) — a static peer map
 //!   (node id → socket address) plus a hello-beacon barrier that
-//!   tolerates datagram loss during startup.
+//!   tolerates datagram loss during startup. Hellos keep flowing as
+//!   liveness heartbeats once the run is underway: silent peers turn
+//!   `Suspect` then `Down` (terminal for their incarnation epoch), a
+//!   restarted process rejoins under a bumped epoch, and each
+//!   transition surfaces to the engine — and from there to the
+//!   application's peer handler — via
+//!   [`fm_core::NetDevice::poll_event`].
 //! * **Reliability** — UDP genuinely drops, duplicates, and reorders, so
 //!   [`UdpDevice`] reports [`fm_core::NetDevice::is_lossy`] and the
 //!   engine constructors insist on [`fm_core::Reliability::Retransmit`];
@@ -31,9 +37,10 @@
 //! In-process smoke clusters come from [`loopback_cluster`] /
 //! [`UdpCluster`]; genuine multi-process runs from the `fm-udp-cluster`
 //! binary (`spawn` forks N children on loopback; `node` joins an
-//! existing cluster from `--peers`). Seeded outbound loss injection
-//! ([`UdpConfig::drop_outbound`]) exercises the retransmission machinery
-//! at a chosen rate.
+//! existing cluster from `--peers`). Seeded fault injection —
+//! [`UdpConfig::drop_outbound`], [`UdpConfig::dup_outbound`],
+//! [`UdpConfig::reorder_outbound`] — exercises the retransmission and
+//! dedup machinery at chosen rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,5 +49,5 @@ pub mod cluster;
 pub mod device;
 pub mod wire;
 
-pub use cluster::{loopback_cluster, UdpCluster, DEFAULT_JOIN_TIMEOUT};
-pub use device::{UdpConfig, UdpDevice, UdpStats};
+pub use cluster::{loopback_cluster, restart_node, UdpCluster, DEFAULT_JOIN_TIMEOUT};
+pub use device::{PeerHealth, UdpConfig, UdpDevice, UdpStats};

@@ -14,20 +14,30 @@
 //!   codec pinned by `fm-core/tests/header_codec.rs`. Nothing is
 //!   re-encoded per transport; the UDP frame is the simulator's wire
 //!   bytes with an envelope.
-//! * [`FrameKind::Hello`] — an 8-byte bitmask of the peers the sender has
-//!   heard from, used by the join barrier (and answered forever after, so
-//!   a straggler whose hellos were lost can still finish joining).
+//! * [`FrameKind::Hello`] — the sender's membership view: a
+//!   length-prefixed bitmap of the peers it has heard from this
+//!   incarnation, plus the incarnation epoch it last heard from each of
+//!   them. Hellos serve as join beacons, straggler replies, *and* the
+//!   ongoing liveness heartbeat once the run is underway.
 //! * [`FrameKind::Train`] — several FM wire packets to the same peer in
 //!   one datagram: a sequence of `len:2 (LE)` + wire-packet records.
 //!   Small-message streams are syscall-bound on a real socket, and a
 //!   train amortizes one `sendto`/`recvfrom` pair over the whole run of
 //!   frames the out-queue had ready for that destination.
+//! * [`FrameKind::Goodbye`] — a graceful-leave announcement (preamble
+//!   only). Receivers take the sender straight to `Down` without waiting
+//!   out the suspicion timeout.
 //!
-//! The `epoch` stamps one cluster incarnation: datagrams from a previous
-//! run still buffered in a socket (or a stale process on a reused port)
-//! carry the wrong epoch and are rejected instead of corrupting sequence
-//! state. `src_node` is checked against the static peer map — a frame
-//! must come from the address the map binds that node to.
+//! The `epoch` stamps the **sender's own incarnation**: a restarted
+//! process announces itself with a new epoch, and datagrams from its
+//! previous life (still buffered in a socket, or from a stale process on
+//! a reused port) carry the old epoch and are rejected instead of
+//! corrupting sequence state. Which epoch is current for a peer is the
+//! receiving device's membership state, not a preamble-level constant —
+//! [`decode_preamble`] validates the envelope and *returns* the epoch
+//! for the device to judge. `src_node` is checked against the static
+//! peer map — a frame must come from the address the map binds that
+//! node to.
 //!
 //! Size discipline: [`MAX_DATAGRAM`] = [`PREAMBLE_BYTES`] +
 //! [`fm_core::MAX_WIRE_FRAME`] is exactly the widest UDP payload an IPv4
@@ -41,7 +51,15 @@ use fm_core::{FmError, FmPacket, PacketBuf, MAX_WIRE_FRAME};
 pub const MAGIC: u32 = 0x3255_4D46;
 
 /// Wire-format version; bumped on any preamble or body change.
-pub const VERSION: u8 = 2;
+/// v3: per-sender incarnation epochs, length-prefixed hello bitmap
+/// (clusters beyond 64 nodes), per-peer epochs in the hello body, and
+/// the `Goodbye` frame kind.
+pub const VERSION: u8 = 3;
+
+/// Widest cluster a hello body will name. Far below what the datagram
+/// ceiling admits (a 4096-node body is ~33 KB); a bound this side of
+/// absurd keeps a corrupt count from driving a huge allocation.
+pub const MAX_CLUSTER: usize = 4096;
 
 /// Bytes of preamble in front of every frame body.
 pub const PREAMBLE_BYTES: usize = 16;
@@ -63,10 +81,13 @@ const _: () = assert!(MAX_DATAGRAM == 65_507);
 pub enum FrameKind {
     /// An FM wire packet (header + payload).
     Data,
-    /// A join-barrier beacon carrying the sender's seen-mask.
+    /// A membership beacon (join barrier + liveness heartbeat) carrying
+    /// the sender's seen-bitmap and per-peer epochs.
     Hello,
     /// Several FM wire packets as length-prefixed records.
     Train,
+    /// A graceful-leave announcement; body is empty.
+    Goodbye,
 }
 
 /// A decoded preamble.
@@ -91,6 +112,7 @@ fn write_preamble(out: &mut [u8], kind: FrameKind, src_node: u16, epoch: u64) {
         FrameKind::Data => 0,
         FrameKind::Hello => 1,
         FrameKind::Train => 2,
+        FrameKind::Goodbye => 3,
     };
     out[6..8].copy_from_slice(&src_node.to_le_bytes());
     out[8..16].copy_from_slice(&epoch.to_le_bytes());
@@ -102,9 +124,11 @@ fn put_preamble(out: &mut Vec<u8>, kind: FrameKind, src_node: u16, epoch: u64) {
     write_preamble(&mut out[start..], kind, src_node, epoch);
 }
 
-/// Decode and validate a preamble against this cluster's `epoch`.
-/// `&'static str` errors name the rejection reason for the stats counter.
-pub fn decode_preamble(buf: &[u8], epoch: u64) -> Result<Preamble, &'static str> {
+/// Decode and validate a preamble. Epoch is **returned, not judged**:
+/// whether the frame's incarnation is current for its sender is
+/// per-peer membership state that only the device holds. `&'static str`
+/// errors name the rejection reason for the stats counter.
+pub fn decode_preamble(buf: &[u8]) -> Result<Preamble, &'static str> {
     let Some(b) = buf.get(..PREAMBLE_BYTES) else {
         return Err("short frame: fewer than 16 preamble bytes");
     };
@@ -118,13 +142,11 @@ pub fn decode_preamble(buf: &[u8], epoch: u64) -> Result<Preamble, &'static str>
         0 => FrameKind::Data,
         1 => FrameKind::Hello,
         2 => FrameKind::Train,
+        3 => FrameKind::Goodbye,
         _ => return Err("unknown frame kind"),
     };
     let src_node = u16::from_le_bytes([b[6], b[7]]);
-    let got_epoch = u64::from_le_bytes([b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15]]);
-    if got_epoch != epoch {
-        return Err("stale epoch (frame from another cluster run)");
-    }
+    let epoch = u64::from_le_bytes([b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15]]);
     Ok(Preamble {
         kind,
         src_node,
@@ -232,23 +254,91 @@ pub fn next_train_record(buf: &[u8], off: usize) -> Option<Result<(usize, usize)
     Some(Ok((start, len)))
 }
 
-/// Encode a hello frame carrying `seen_mask` (bit *i* set = the sender has
-/// heard from node *i* this epoch).
-pub fn encode_hello(src_node: u16, epoch: u64, seen_mask: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(PREAMBLE_BYTES + 8);
+/// Encode a hello frame carrying the sender's membership view:
+/// `peer_epochs[i]` is `Some(e)` when the sender has heard from node `i`
+/// this incarnation, most recently at incarnation epoch `e` (the
+/// sender's own slot carries its own epoch).
+///
+/// Body layout, little-endian throughout:
+///
+/// ```text
+/// count:2 | bitmap: ceil(count/8) bytes | epoch:8 per set bit, ascending
+/// ```
+///
+/// The length-prefixed bitmap is what lifts the former 64-node
+/// `seen_mask: u64` cluster cap; epochs ride only for seen peers, so a
+/// sparse view stays small.
+///
+/// # Panics
+/// If `peer_epochs` names more than [`MAX_CLUSTER`] nodes — the device
+/// constructor refuses such peer maps long before a hello is built.
+pub fn encode_hello(src_node: u16, epoch: u64, peer_epochs: &[Option<u64>]) -> Vec<u8> {
+    let count = peer_epochs.len();
+    assert!(count <= MAX_CLUSTER, "peer map exceeds MAX_CLUSTER");
+    let bitmap_bytes = count.div_ceil(8);
+    let seen = peer_epochs.iter().filter(|e| e.is_some()).count();
+    let mut out = Vec::with_capacity(PREAMBLE_BYTES + 2 + bitmap_bytes + 8 * seen);
     put_preamble(&mut out, FrameKind::Hello, src_node, epoch);
-    out.extend_from_slice(&seen_mask.to_le_bytes());
+    out.extend_from_slice(&(count as u16).to_le_bytes());
+    let bitmap_at = out.len();
+    out.resize(bitmap_at + bitmap_bytes, 0);
+    for (i, e) in peer_epochs.iter().enumerate() {
+        if let Some(e) = e {
+            out[bitmap_at + i / 8] |= 1 << (i % 8);
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
     out
 }
 
-/// Decode the body of a [`FrameKind::Hello`] frame.
-pub fn decode_hello_body(body: &[u8]) -> Result<u64, &'static str> {
-    let Some(b) = body.get(..8) else {
+/// Decode the body of a [`FrameKind::Hello`] frame back into the
+/// sender's per-peer view: `None` = unseen, `Some(epoch)` = seen at that
+/// incarnation.
+pub fn decode_hello_body(body: &[u8]) -> Result<Vec<Option<u64>>, &'static str> {
+    let Some(c) = body.get(..2) else {
         return Err("short hello body");
     };
-    Ok(u64::from_le_bytes([
-        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-    ]))
+    let count = u16::from_le_bytes([c[0], c[1]]) as usize;
+    if count > MAX_CLUSTER {
+        return Err("hello names an absurd cluster");
+    }
+    let bitmap_bytes = count.div_ceil(8);
+    let Some(bitmap) = body.get(2..2 + bitmap_bytes) else {
+        return Err("hello bitmap truncated");
+    };
+    let seen = bitmap
+        .iter()
+        .map(|b| b.count_ones() as usize)
+        .sum::<usize>();
+    // Ghost bits past `count` would desynchronize the epoch walk.
+    if bitmap
+        .last()
+        .is_some_and(|&b| !count.is_multiple_of(8) && b >> (count % 8) != 0)
+    {
+        return Err("hello bitmap sets bits past its count");
+    }
+    let epochs = &body[2 + bitmap_bytes..];
+    if epochs.len() != 8 * seen {
+        return Err("hello epoch list does not match its bitmap");
+    }
+    let mut view = vec![None; count];
+    let mut at = 0;
+    for (i, slot) in view.iter_mut().enumerate() {
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            let e: [u8; 8] = epochs[at..at + 8].try_into().expect("length checked");
+            *slot = Some(u64::from_le_bytes(e));
+            at += 8;
+        }
+    }
+    Ok(view)
+}
+
+/// Encode a [`FrameKind::Goodbye`] frame (preamble only): the sender is
+/// leaving this incarnation gracefully.
+pub fn encode_goodbye(src_node: u16, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PREAMBLE_BYTES);
+    put_preamble(&mut out, FrameKind::Goodbye, src_node, epoch);
+    out
 }
 
 #[cfg(test)]
@@ -277,9 +367,10 @@ mod tests {
     fn data_frame_roundtrips() {
         let p = pkt();
         let frame = encode_data_frame(&p, 0, 0xE90C).unwrap();
-        let pre = decode_preamble(&frame, 0xE90C).unwrap();
+        let pre = decode_preamble(&frame).unwrap();
         assert_eq!(pre.kind, FrameKind::Data);
         assert_eq!(pre.src_node, 0);
+        assert_eq!(pre.epoch, 0xE90C);
         let back = decode_data_body(&frame[PREAMBLE_BYTES..]).unwrap();
         assert_eq!(back, p);
     }
@@ -293,7 +384,7 @@ mod tests {
         assert_eq!(n, frame.len());
         // Byte-identical to the allocating encoder.
         assert_eq!(&frame[..], &encode_data_frame(&p, 0, 0xE90C).unwrap()[..]);
-        let pre = decode_preamble(&frame, 0xE90C).unwrap();
+        let pre = decode_preamble(&frame).unwrap();
         assert_eq!(pre.kind, FrameKind::Data);
         let back = decode_data_frame_buf(&frame).unwrap();
         assert_eq!(back, p);
@@ -334,7 +425,7 @@ mod tests {
         // record decodes as a view into it.
         let mut frame = pool.take();
         frame.extend_from_slice(&train);
-        let pre = decode_preamble(&frame, 0xE90C).unwrap();
+        let pre = decode_preamble(&frame).unwrap();
         assert_eq!(pre.kind, FrameKind::Train);
         let mut off = PREAMBLE_BYTES;
         let mut got = Vec::new();
@@ -376,27 +467,81 @@ mod tests {
 
     #[test]
     fn hello_frame_roundtrips() {
-        let frame = encode_hello(3, 7, 0b1011);
-        let pre = decode_preamble(&frame, 7).unwrap();
+        let view = vec![Some(11), None, Some(13), Some(7)];
+        let frame = encode_hello(3, 7, &view);
+        let pre = decode_preamble(&frame).unwrap();
         assert_eq!(pre.kind, FrameKind::Hello);
         assert_eq!(pre.src_node, 3);
-        assert_eq!(decode_hello_body(&frame[PREAMBLE_BYTES..]), Ok(0b1011));
+        assert_eq!(pre.epoch, 7);
+        assert_eq!(decode_hello_body(&frame[PREAMBLE_BYTES..]), Ok(view));
     }
 
     #[test]
-    fn stale_epoch_and_garbage_are_rejected() {
-        let frame = encode_hello(0, 1, 0);
-        assert!(decode_preamble(&frame, 2).is_err(), "wrong epoch");
-        assert!(decode_preamble(&frame[..10], 1).is_err(), "truncated");
+    fn hello_bitmap_scales_past_64_nodes() {
+        // Regression for the former `seen_mask: u64` cluster cap: a
+        // 321-node view survives the wire, sparse slots and all.
+        let view: Vec<Option<u64>> = (0..321)
+            .map(|i| (i % 3 != 1).then_some(0x1000 + i as u64))
+            .collect();
+        let frame = encode_hello(320, 0x1140, &view);
+        assert!(frame.len() < MAX_DATAGRAM);
+        assert_eq!(decode_hello_body(&frame[PREAMBLE_BYTES..]), Ok(view));
+        // An all-unseen view of the widest legal cluster also fits.
+        let empty = vec![None; MAX_CLUSTER];
+        let frame = encode_hello(0, 1, &empty);
+        assert_eq!(decode_hello_body(&frame[PREAMBLE_BYTES..]), Ok(empty));
+    }
+
+    #[test]
+    fn corrupt_hello_bodies_are_rejected() {
+        let view = vec![Some(5), None, Some(9)];
+        let frame = encode_hello(0, 5, &view);
+        let body = &frame[PREAMBLE_BYTES..];
+        assert!(decode_hello_body(&body[..1]).is_err(), "short count");
+        assert!(decode_hello_body(&body[..2]).is_err(), "bitmap truncated");
+        assert!(
+            decode_hello_body(&body[..body.len() - 1]).is_err(),
+            "epoch list truncated"
+        );
+        let mut absurd = body.to_vec();
+        absurd[0..2].copy_from_slice(&u16::MAX.to_le_bytes());
+        assert!(decode_hello_body(&absurd).is_err(), "absurd count");
+        let mut ghost = body.to_vec();
+        ghost[2] |= 1 << 7; // bit past count=3
+        assert!(decode_hello_body(&ghost).is_err(), "ghost bit past count");
+    }
+
+    #[test]
+    fn goodbye_frames_roundtrip() {
+        let frame = encode_goodbye(2, 0xBEEF);
+        assert_eq!(frame.len(), PREAMBLE_BYTES);
+        let pre = decode_preamble(&frame).unwrap();
+        assert_eq!(pre.kind, FrameKind::Goodbye);
+        assert_eq!(pre.src_node, 2);
+        assert_eq!(pre.epoch, 0xBEEF);
+    }
+
+    #[test]
+    fn garbage_preambles_are_rejected_but_epochs_pass_through() {
+        let frame = encode_hello(0, 1, &[Some(1)]);
+        // Epoch is returned for the device to judge, not rejected here.
+        assert_eq!(decode_preamble(&frame).unwrap().epoch, 1);
+        assert!(decode_preamble(&frame[..10]).is_err(), "truncated");
         let mut bad = frame.clone();
         bad[0] ^= 0xFF;
-        assert!(decode_preamble(&bad, 1).is_err(), "bad magic");
+        assert!(decode_preamble(&bad).is_err(), "bad magic");
         let mut wrong_ver = frame.clone();
         wrong_ver[4] = VERSION + 1;
-        assert!(decode_preamble(&wrong_ver, 1).is_err(), "future version");
+        assert!(decode_preamble(&wrong_ver).is_err(), "future version");
+        let mut old_ver = frame.clone();
+        old_ver[4] = 2;
+        assert!(
+            decode_preamble(&old_ver).is_err(),
+            "v2 peers are incompatible (hello body + epoch semantics changed)"
+        );
         let mut wrong_kind = frame;
         wrong_kind[5] = 9;
-        assert!(decode_preamble(&wrong_kind, 1).is_err(), "unknown kind");
+        assert!(decode_preamble(&wrong_kind).is_err(), "unknown kind");
     }
 
     #[test]

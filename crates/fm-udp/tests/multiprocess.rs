@@ -114,3 +114,115 @@ fn lossless_two_process_run_needs_no_retransmissions() {
         assert_eq!(stat(l, "errors"), 0, "{l}");
     }
 }
+
+#[test]
+fn churn_kill_and_restart_completes_with_zero_survivor_loss() {
+    let out = run_cluster(&[
+        "spawn",
+        "--nodes",
+        "3",
+        "--rounds",
+        "500",
+        "--workload",
+        "churn",
+        "--churn-kill",
+        "2",
+        "--churn-at-ms",
+        "120",
+        "--churn-restart-ms",
+        "120",
+    ]);
+    assert!(out.contains("OK nodes=3 rounds=500"), "{out}");
+    assert!(out.contains("CHURN killed node=2"), "{out}");
+    assert!(out.contains("CHURN restarted node=2"), "{out}");
+    // The killed incarnation's exit is expected and reaped as such.
+    assert!(
+        out.contains("EXIT node=2 code=signal expected_kill=true"),
+        "{out}"
+    );
+    // Both survivors watched the victim's epoch bump arrive.
+    assert!(out.contains("PEER_REJOIN node=0 peer=2"), "{out}");
+    assert!(out.contains("PEER_REJOIN node=1 peer=2"), "{out}");
+    // Three STATS lines: two survivors plus the restarted incarnation
+    // (the killed incarnation never got to print one). Survivors applied
+    // exactly one engine-level peer reset; nobody reported errors.
+    let lines = stats_lines(&out);
+    assert_eq!(lines.len(), 3, "{out}");
+    let rejoins: u64 = lines.iter().map(|l| stat(l, "rejoins")).sum();
+    assert!(
+        rejoins >= 2,
+        "both survivors should record a rejoin:\n{out}"
+    );
+    for l in &lines {
+        assert_eq!(stat(l, "errors"), 0, "{l}");
+    }
+}
+
+#[test]
+fn churn_kill_without_restart_lets_survivors_finish() {
+    let out = run_cluster(&[
+        "spawn",
+        "--nodes",
+        "3",
+        "--rounds",
+        "400",
+        "--workload",
+        "churn",
+        "--churn-kill",
+        "2",
+        "--churn-at-ms",
+        "120",
+        "--churn-no-restart",
+    ]);
+    assert!(out.contains("OK nodes=3 rounds=400"), "{out}");
+    // Survivors detected the loss through the suspicion pipeline and the
+    // peer handler surfaced it...
+    assert!(out.contains("PEER_DOWN node=0 peer=2"), "{out}");
+    assert!(out.contains("PEER_DOWN node=1 peer=2"), "{out}");
+    // ...and still drained their mutual streams in full (the workload
+    // asserts zero FM-level loss between steady peers before exiting 0).
+    let lines = stats_lines(&out);
+    assert_eq!(lines.len(), 2, "only the survivors report:\n{out}");
+    for l in &lines {
+        assert!(stat(l, "downs") >= 1, "{l}");
+        assert_eq!(stat(l, "errors"), 0, "{l}");
+    }
+}
+
+/// The S6 regression: a child dying mid-run must fail the spawn loudly
+/// and promptly — reaped via `EXIT` lines and a nonzero parent exit —
+/// instead of wedging the parent on survivors that spin forever.
+#[test]
+fn dead_child_fails_the_spawn_instead_of_hanging() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fm-udp-cluster"))
+        .args([
+            "spawn",
+            "--nodes",
+            "3",
+            "--rounds",
+            "100000",
+            "--workload",
+            "barrier",
+            "--churn-kill",
+            "1",
+            "--churn-at-ms",
+            "150",
+            "--churn-no-restart",
+        ])
+        .output()
+        .expect("launch fm-udp-cluster");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "a killed barrier rank must fail the run:\n{stdout}"
+    );
+    // The survivors aborted themselves on the Down verdict (no grace
+    // kill needed), and every incarnation was reaped with its status.
+    assert!(
+        stdout.contains("EXIT node=1 code=signal expected_kill=true"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("EXIT node=0"), "{stdout}");
+    assert!(stdout.contains("EXIT node=2"), "{stdout}");
+    assert!(!stdout.contains("OK nodes="), "{stdout}");
+}

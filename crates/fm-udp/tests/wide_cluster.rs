@@ -1,0 +1,33 @@
+//! Regression for the former `seen_mask: u64` cluster cap: fm-udp used
+//! to hard-error above 64 nodes because the hello body was a fixed
+//! 8-byte bitmask. The v3 length-prefixed bitmap + per-peer epoch body
+//! lifts that, and this barrier proves it end to end with real sockets.
+//!
+//! Kept as its own test binary: 66 join threads want the machine to
+//! themselves, not a fight with the rest of the suite's busy-loops.
+
+use std::time::Duration;
+
+use fm_core::NetDevice;
+use fm_udp::{loopback_cluster, UdpConfig};
+
+#[test]
+fn join_barrier_assembles_66_nodes_past_the_old_mask_cap() {
+    let devs = loopback_cluster(66, UdpConfig::default()).unwrap();
+    let handles: Vec<_> = devs
+        .into_iter()
+        .map(|mut d| {
+            std::thread::spawn(move || {
+                d.join(Duration::from_secs(60)).unwrap();
+                (d.node_id(), d.stats().hellos_received, {
+                    (0..66).filter(|&i| d.peer_epoch(i).is_some()).count()
+                })
+            })
+        })
+        .collect();
+    for h in handles {
+        let (node, hellos, seen) = h.join().unwrap();
+        assert_eq!(seen, 66, "node {node} heard every peer");
+        assert!(hellos >= 65, "node {node} heard only {hellos} hellos");
+    }
+}

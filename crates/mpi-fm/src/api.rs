@@ -97,6 +97,17 @@ pub trait Mpi {
         CollConfig::default()
     }
 
+    /// A peer rank the transport's failure detector has confirmed lost
+    /// (`Down` — terminal for that incarnation), if any. The blocking
+    /// wrappers and collective drivers poll this between progress steps
+    /// and abort (panic) rather than spin forever on a dead peer; an
+    /// operation that can already complete from buffered data does so
+    /// first. The default is `None`: trusted substrates (simulators, the
+    /// threaded transport, FM 1.x) never lose peers.
+    fn lost_peer(&self) -> Option<usize> {
+        None
+    }
+
     /// Tracing hook: a collective phase event on this rank. Transports
     /// with an observability sink (the FM 2.x binding) record these as
     /// `coll_start`/`coll_round`/`coll_end` span events; the default is
@@ -113,17 +124,23 @@ pub trait Mpi {
 
     // ---- blocking wrappers (threaded transport) ----
 
-    /// Block until `req` completes.
+    /// Block until `req` completes. Aborts (panics) if the transport
+    /// reports a peer lost while the request is still pending — over a
+    /// churn-capable transport a dead peer would otherwise mean an
+    /// infinite spin.
     fn wait_send(&mut self, req: &SendReq) {
         while !req.is_done() {
+            abort_if_peer_lost(self, "wait_send");
             self.progress();
             std::thread::yield_now();
         }
     }
 
     /// Block until `req` completes; returns the payload and status.
+    /// Aborts (panics) on confirmed peer loss, like [`Mpi::wait_send`].
     fn wait_recv(&mut self, req: &RecvReq) -> (Vec<u8>, Status) {
         while !req.is_done() {
+            abort_if_peer_lost(self, "wait_recv");
             self.progress();
             std::thread::yield_now();
         }
@@ -261,8 +278,26 @@ pub trait Mpi {
 /// driving `progress` between polls.
 fn drive<M: Mpi>(mpi: &mut M, mut poll: impl FnMut(&mut M) -> bool) {
     while !poll(mpi) {
+        abort_if_peer_lost(mpi, "collective");
         mpi.progress();
         std::thread::yield_now();
+    }
+}
+
+/// Abort the rank when the transport has confirmed a peer `Down` while a
+/// blocking operation is still incomplete. MPI has no standard recovery
+/// for a lost COMM_WORLD member mid-operation; a loud panic (which
+/// [`crate::api`]'s callers see as `MPI_Abort`-like behaviour) beats the
+/// alternative, an eternal progress spin waiting on a dead rank. Checked
+/// *after* the completion test, so operations that can finish from data
+/// already delivered still finish.
+fn abort_if_peer_lost<M: Mpi + ?Sized>(mpi: &M, during: &str) {
+    if let Some(peer) = mpi.lost_peer() {
+        panic!(
+            "MPI abort: peer rank {peer} is down (lost during {during}; this is rank {} of {})",
+            mpi.rank(),
+            mpi.size()
+        );
     }
 }
 
@@ -293,5 +328,71 @@ mod tests {
     #[should_panic(expected = "operands must match")]
     fn reduce_length_mismatch_panics() {
         ReduceOp::SumF64.apply(&mut [0u8; 8], &[0u8; 16]);
+    }
+
+    /// A transport stub whose failure detector has already condemned
+    /// rank 1. Sends complete instantly (eager semantics), receives
+    /// never do — exactly the shape of a blocking operation stuck on a
+    /// dead peer.
+    struct DeadPeerMpi {
+        lost: Option<usize>,
+        seq: u32,
+    }
+
+    impl Mpi for DeadPeerMpi {
+        fn rank(&self) -> usize {
+            0
+        }
+        fn size(&self) -> usize {
+            2
+        }
+        fn isend(&mut self, _dst: usize, _tag: u32, _data: Vec<u8>) -> SendReq {
+            SendReq::new(true)
+        }
+        fn irecv(&mut self, _src: Option<usize>, _tag: Option<u32>, _max_len: usize) -> RecvReq {
+            RecvReq::new()
+        }
+        fn progress(&mut self) {}
+        fn next_coll_seq(&mut self) -> u32 {
+            self.seq += 1;
+            self.seq
+        }
+        fn lost_peer(&self) -> Option<usize> {
+            self.lost
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI abort: peer rank 1 is down")]
+    fn blocking_collective_aborts_on_confirmed_peer_loss() {
+        let mut mpi = DeadPeerMpi {
+            lost: Some(1),
+            seq: 0,
+        };
+        mpi.barrier(); // would spin forever waiting on rank 1's round
+    }
+
+    #[test]
+    #[should_panic(expected = "lost during wait_recv")]
+    fn wait_recv_aborts_on_confirmed_peer_loss() {
+        let mut mpi = DeadPeerMpi {
+            lost: Some(1),
+            seq: 0,
+        };
+        let req = mpi.irecv(Some(1), Some(7), 64);
+        mpi.wait_recv(&req);
+    }
+
+    #[test]
+    fn completed_requests_finish_before_the_loss_check() {
+        // The abort check runs after the completion test: work that can
+        // finish from already-delivered data still finishes, even with a
+        // peer down.
+        let mut mpi = DeadPeerMpi {
+            lost: Some(1),
+            seq: 0,
+        };
+        let req = mpi.isend(1, 7, vec![1, 2, 3]);
+        mpi.wait_send(&req); // done at issue — must not panic
     }
 }

@@ -397,6 +397,15 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
         self.fm.node_id()
     }
 
+    fn lost_peer(&self) -> Option<usize> {
+        // FM 2.x surfaces the device failure detector's terminal `Down`
+        // verdicts; the first downed peer (node order) is reason enough
+        // to abort a blocking operation. Rejoins clear the flag, so a
+        // peer mid-restart only aborts us if the detector had already
+        // declared it dead.
+        self.fm.downed_peers().into_iter().next()
+    }
+
     fn size(&self) -> usize {
         self.fm.num_nodes()
     }
