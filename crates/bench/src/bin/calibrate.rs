@@ -17,17 +17,61 @@
 use fm_bench::{
     fm1_latency, fm1_latency_dist, fm1_stream, fm2_latency, fm2_latency_dist, fm2_stream,
     fm2_stream_dist, latency_table, mpi_latency, mpi_stream, sim_allreduce_latency,
-    sim_barrier_latency, sim_bcast_latency, size_bandwidth_table, stream_count,
+    sim_barrier_latency, sim_bcast_latency, sim_workload_dist, size_bandwidth_table, stream_count,
     udp_allreduce_latency_us, udp_barrier_latency_us, udp_churn_dist, udp_latency_dist,
-    udp_stream_dist, BenchReport, Fm1Stage, MpiBinding,
+    udp_stream_dist, udp_workload_dist, BenchReport, Fm1Stage, MpiBinding, WorkloadDist,
 };
 use fm_core::obs::SizeHistograms;
 use fm_model::halfpower::{half_power_point, peak, BandwidthPoint};
+use fm_model::workload::{Shape, WorkloadSpec};
 use fm_model::MachineProfile;
 use mpi_fm::BcastAlgo;
 
 fn sweep(f: impl Fn(usize) -> BandwidthPoint, sizes: &[usize]) -> Vec<BandwidthPoint> {
     sizes.iter().map(|&s| f(s)).collect()
+}
+
+/// Run every workload shape through `run`, print the tail table, and fold
+/// `<prefix>_<shape>_p99_ns` / `<prefix>_<shape>_p999_ns` headlines plus
+/// one latency row per shape into the report.
+fn workload_battery(
+    prefix: &str,
+    run: impl Fn(&WorkloadSpec) -> WorkloadDist,
+    report: &mut BenchReport,
+) {
+    println!();
+    println!("--- adversarial workloads ({prefix}, 1% loss, adaptive RTO) ---");
+    println!(
+        "{:>10} {:>8} {:>6} {:>12} {:>12} {:>12}",
+        "shape", "msgs", "retx", "p50", "p99", "p999"
+    );
+    for shape in Shape::ALL {
+        let spec = WorkloadSpec::new(shape, 4, 400, 64, 0x50AC + shape as u64);
+        let d = run(&spec);
+        assert_eq!(d.lost, 0, "{prefix} {} leaked messages", shape.name());
+        let h = &d.latency_ns;
+        println!(
+            "{:>10} {:>8} {:>6} {:>10.2}us {:>10.2}us {:>10.2}us",
+            shape.name(),
+            d.delivered,
+            d.retransmissions,
+            h.p50() as f64 / 1000.0,
+            h.p99() as f64 / 1000.0,
+            h.p999() as f64 / 1000.0,
+        );
+        report
+            .headline
+            .push((format!("{prefix}_{}_p99_ns", shape.name()), h.p99() as f64));
+        report.headline.push((
+            format!("{prefix}_{}_p999_ns", shape.name()),
+            h.p999() as f64,
+        ));
+        report.latency.push((
+            format!("{prefix}_wl_{}", shape.name()),
+            fm_model::Nanos(h.mean()),
+            d.latency_ns,
+        ));
+    }
 }
 
 fn usage() -> ! {
@@ -207,7 +251,7 @@ fn calibrate_sim() -> BenchReport {
     println!("bcast n=4 256KB chain-pipelined       {bc_pipe}");
     println!("bcast pipelined speedup vs flat       {bc_speedup:.2}x");
 
-    BenchReport {
+    let mut report = BenchReport {
         transport: "sim".into(),
         headline: vec![
             ("fm1_peak_bandwidth_mbps".into(), peak(&fm1).as_mbps()),
@@ -231,7 +275,9 @@ fn calibrate_sim() -> BenchReport {
             ("fm2_16B_one_way".into(), l2.mean, l2.one_way_ns),
         ],
         size_classes,
-    }
+    };
+    workload_battery("sim", |spec| sim_workload_dist(spec, 0.01), &mut report);
+    report
 }
 
 /// Wall-clock calibration over the real loopback UDP transport: the same
@@ -286,7 +332,7 @@ fn calibrate_udp() -> BenchReport {
         churn.retransmissions, churn.retransmit_timeouts, churn.stale_rejected, churn.rejoins
     );
 
-    BenchReport {
+    let mut report = BenchReport {
         transport: "udp".into(),
         headline: vec![
             ("udp_fm2_peak_bandwidth_mbps".into(), peak(&pts).as_mbps()),
@@ -314,5 +360,7 @@ fn calibrate_udp() -> BenchReport {
         ],
         latency: vec![("udp_fm2_16B_one_way".into(), lat.mean, lat.one_way_ns)],
         size_classes,
-    }
+    };
+    workload_battery("udp", |spec| udp_workload_dist(spec, 0.01), &mut report);
+    report
 }

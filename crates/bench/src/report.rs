@@ -62,22 +62,23 @@ pub fn compare(metric: &str, paper: &str, measured: String) {
     println!("  {metric:<38} paper: {paper:<18} measured: {measured}");
 }
 
-/// Print a latency table with mean / p50 / p99 columns, one row per
-/// `(name, mean, per-round one-way histogram)` series. Percentiles carry
-/// the log-bucket resolution of [`LogHistogram`] (a factor of two), which
-/// is enough to tell a tight distribution from a heavy tail.
+/// Print a latency table with mean / p50 / p99 / p999 columns, one row
+/// per `(name, mean, per-round one-way histogram)` series. Percentiles
+/// are sub-bucket interpolated within [`LogHistogram`]'s log2 buckets,
+/// which is enough to tell a tight distribution from a heavy tail.
 pub fn latency_table(rows: &[(&str, Nanos, &LogHistogram)]) {
     println!(
-        "{:>24} {:>10} {:>10} {:>10} {:>8}",
-        "series", "mean", "p50", "p99", "rounds"
+        "{:>24} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "series", "mean", "p50", "p99", "p999", "rounds"
     );
     for (name, mean, hist) in rows {
         println!(
-            "{:>24} {:>8.2}us {:>8.2}us {:>8.2}us {:>8}",
+            "{:>24} {:>8.2}us {:>8.2}us {:>8.2}us {:>8.2}us {:>8}",
             name,
             mean.as_ns() as f64 / 1000.0,
             hist.p50() as f64 / 1000.0,
             hist.p99() as f64 / 1000.0,
+            hist.p999() as f64 / 1000.0,
             hist.count()
         );
     }
@@ -88,16 +89,17 @@ pub fn latency_table(rows: &[(&str, Nanos, &LogHistogram)]) {
 /// (KB/s samples, printed as MB/s).
 pub fn size_bandwidth_table(hists: &SizeHistograms) {
     println!(
-        "{:>10} {:>8} {:>12} {:>12}",
-        "size", "msgs", "p50(MB/s)", "p99(MB/s)"
+        "{:>10} {:>8} {:>12} {:>12} {:>12}",
+        "size", "msgs", "p50(MB/s)", "p99(MB/s)", "p999(MB/s)"
     );
     for (class, hist) in hists.iter() {
         println!(
-            "{:>10} {:>8} {:>12.2} {:>12.2}",
+            "{:>10} {:>8} {:>12.2} {:>12.2} {:>12.2}",
             SizeHistograms::class_label(class),
             hist.count(),
             hist.p50() as f64 / 1000.0,
-            hist.p99() as f64 / 1000.0
+            hist.p99() as f64 / 1000.0,
+            hist.p999() as f64 / 1000.0
         );
     }
 }
@@ -147,10 +149,11 @@ impl BenchReport {
             }
             s.push_str(&format!(
                 "\n    {{\"name\": \"{name}\", \"mean_ns\": {}, \"p50_ns\": {}, \
-                 \"p99_ns\": {}, \"rounds\": {}}}",
+                 \"p99_ns\": {}, \"p999_ns\": {}, \"rounds\": {}}}",
                 mean.as_ns(),
                 hist.p50(),
                 hist.p99(),
+                hist.p999(),
                 hist.count()
             ));
         }
@@ -162,10 +165,11 @@ impl BenchReport {
             s.push_str(&format!(
                 "\n    {{\"size_bytes\": {size}, \"bandwidth_mbps\": {}, \
                  \"per_message_kbps_p50\": {}, \"per_message_kbps_p99\": {}, \
-                 \"messages\": {}}}",
+                 \"per_message_kbps_p999\": {}, \"messages\": {}}}",
                 num(*mbps),
                 hist.p50(),
                 hist.p99(),
+                hist.p999(),
                 hist.count()
             ));
         }
@@ -248,5 +252,16 @@ mod tests {
         let lat = doc.get("latency").unwrap().as_arr().unwrap();
         assert_eq!(lat[0].get("mean_ns").unwrap().as_f64(), Some(18_000.0));
         assert!(lat[0].get("p99_ns").unwrap().as_f64().unwrap() > 0.0);
+        let p99 = lat[0].get("p99_ns").unwrap().as_f64().unwrap();
+        let p999 = lat[0].get("p999_ns").unwrap().as_f64().unwrap();
+        assert!(p999 >= p99, "p999 below p99");
+        assert!(
+            sizes[0]
+                .get("per_message_kbps_p999")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
     }
 }

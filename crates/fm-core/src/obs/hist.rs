@@ -3,18 +3,22 @@
 //!
 //! A [`LogHistogram`] keeps one counter per power-of-two bucket (65 of
 //! them cover the whole `u64` range), plus the exact observed min/max so
-//! percentile answers are clamped to values that actually occurred. The
-//! relative error of a percentile is bounded by the bucket width (a factor
-//! of two) — coarse, but honest and constant-space, which is what a
-//! per-packet hot path can afford.
+//! percentile answers are clamped to values that actually occurred.
+//! Percentiles interpolate linearly *within* the winning bucket (after
+//! intersecting its bounds with the observed min/max), so quantiles stay
+//! distinguishable even when most samples share one log₂ bucket — the
+//! price is an error bounded by how non-uniform samples are inside a
+//! bucket, still constant-space, which is what a per-packet hot path can
+//! afford.
 
 /// A log₂-bucketed histogram of `u64` samples (latencies in ns, bandwidth
 /// samples in KB/s, sizes in bytes, ...).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     /// `counts[i]` holds samples in `[2^(i-1), 2^i)`; `counts[0]` holds 0.
     counts: [u64; 65],
     total: u64,
+    sum: u64,
     min: u64,
     max: u64,
 }
@@ -31,6 +35,7 @@ impl LogHistogram {
         LogHistogram {
             counts: [0; 65],
             total: 0,
+            sum: 0,
             min: u64::MAX,
             max: 0,
         }
@@ -44,6 +49,7 @@ impl LogHistogram {
     pub fn record(&mut self, v: u64) {
         self.counts[Self::bucket(v)] += 1;
         self.total += 1;
+        self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -72,9 +78,13 @@ impl LogHistogram {
         self.max
     }
 
-    /// The value at percentile `p` (0–100), resolved to the upper bound of
-    /// the bucket containing that rank and clamped to the observed
-    /// min/max. Returns 0 for an empty histogram.
+    /// The value at percentile `p` (0–100), found by nearest rank and then
+    /// interpolated linearly inside the winning bucket: the bucket's bounds
+    /// are first intersected with the observed min/max, and the rank's
+    /// position among the bucket's samples picks a point on that span.
+    /// Assumes samples spread evenly within a bucket — exact for uniform
+    /// in-bucket data, and never off by more than the (clamped) bucket
+    /// width otherwise. Returns 0 for an empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
         if self.is_empty() {
             return 0;
@@ -84,8 +94,11 @@ impl LogHistogram {
         let rank = ((p / 100.0 * self.total as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            cum += c;
-            if cum >= rank {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
                 let upper = if i == 0 {
                     0
                 } else if i >= 64 {
@@ -93,8 +106,16 @@ impl LogHistogram {
                 } else {
                     (1u64 << i) - 1
                 };
-                return upper.clamp(self.min, self.max);
+                // Intersect the bucket with what was actually observed so
+                // a sparsely filled edge bucket doesn't stretch the answer.
+                let lo = lower.clamp(self.min, self.max);
+                let hi = upper.clamp(self.min, self.max);
+                // `k`-th of the bucket's `c` samples (1-based).
+                let k = rank - cum;
+                let step = ((hi - lo) as f64 * k as f64 / c as f64) as u64;
+                return lo.saturating_add(step).clamp(self.min, self.max);
             }
+            cum += c;
         }
         self.max
     }
@@ -109,12 +130,23 @@ impl LogHistogram {
         self.percentile(99.0)
     }
 
+    /// 99.9th percentile (see [`LogHistogram::percentile`]).
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Exact arithmetic mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.total).unwrap_or(0)
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
         self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
         if other.total > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -267,6 +299,51 @@ mod tests {
         assert!(h.p50() <= 127);
         assert!(h.p99() <= 127, "99 of 100 samples are 100");
         assert_eq!(h.percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn interpolated_quantiles_bound_relative_error() {
+        // Uniform 1..=10_000: in-bucket interpolation should land within a
+        // few percent of the exact nearest-rank answer at every quantile,
+        // including deep tails where all the mass shares one log₂ bucket.
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for p in [10.0f64, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9] {
+            let exact = (p / 100.0 * 10_000.0).ceil().max(1.0) as u64;
+            let got = h.percentile(p);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 0.02,
+                "p{p}: got {got}, exact {exact}, rel err {err:.4}"
+            );
+        }
+        // The headline symptom this fixes: p50 and p99 of a same-bucket
+        // distribution must not collapse to one value.
+        let mut tight = LogHistogram::new();
+        for v in 600..=1000u64 {
+            tight.record(v);
+        }
+        assert!(tight.p50() < tight.p99(), "quantiles saturated");
+        assert!(tight.p99() < tight.p999() || tight.p999() <= 1000);
+    }
+
+    #[test]
+    fn p999_tracks_the_far_tail() {
+        let mut h = LogHistogram::new();
+        for _ in 0..1999 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert!(h.p99() <= 127, "1999 of 2000 samples are 100");
+        assert!(h.p999() <= 127, "rank 1998 of 2000 is still 100");
+        assert_eq!(h.percentile(100.0), 1_000_000);
+        for _ in 0..3 {
+            h.record(1_000_000);
+        }
+        // 4 of 2003 big → rank ⌈0.999·2003⌉ = 2001 lands in the big bucket.
+        assert!(h.p999() >= 100_000, "p999 = {}", h.p999());
     }
 
     #[test]

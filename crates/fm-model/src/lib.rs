@@ -15,6 +15,8 @@
 //!   Figure 2 (Section 2.3).
 //! * [`halfpower`] — N½ (half-power message size) and bandwidth-curve
 //!   helpers used when evaluating every bandwidth sweep.
+//! * [`workload`] — seeded adversarial traffic-shape generation (uniform,
+//!   hotspot, incast, shuffle, straggler pauses) for the soak battery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ pub mod logp;
 pub mod profile;
 pub mod rng;
 pub mod time;
+pub mod workload;
 
 pub use halfpower::{half_power_point, BandwidthPoint};
 pub use profile::MachineProfile;

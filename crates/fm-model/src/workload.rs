@@ -1,0 +1,339 @@
+//! Seeded, deterministic workload generation for the soak battery.
+//!
+//! A [`WorkloadSpec`] describes an adversarial traffic shape — uniform
+//! random, hotspot-to-one-rank, incast fan-in, or balanced all-to-all
+//! shuffle — plus an optional straggler pause. From `(seed, shape, rank)`
+//! alone it derives the *entire* message schedule for that rank, so every
+//! driver (virtual-time myrinet-sim, threaded UDP loopback, multi-process
+//! `fm-udp-cluster`) replays byte-identical traffic and every receiver can
+//! recompute exactly how many messages it must see before declaring the
+//! run complete. No clocks, no I/O — schedules are pure functions of the
+//! spec, which is what makes the seed-sweep determinism tests possible.
+
+use crate::rng::DetRng;
+
+/// The traffic shapes the soak battery knows how to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Every message goes to a uniformly random peer (≠ self).
+    Uniform,
+    /// A fraction of traffic ([`WorkloadSpec::hotspot_fraction`]) converges
+    /// on rank 0; the rest is uniform. Models a skewed key distribution.
+    Hotspot,
+    /// All non-zero ranks send only to rank 0; rank 0 sends nothing.
+    /// The classic fan-in that exposes receiver-side queue collapse.
+    Incast,
+    /// Balanced all-to-all: each rank sends the same count to every other
+    /// rank, in a seed-shuffled peer order per round block.
+    Shuffle,
+}
+
+impl Shape {
+    /// Every shape, in reporting order.
+    pub const ALL: [Shape; 4] = [
+        Shape::Uniform,
+        Shape::Hotspot,
+        Shape::Incast,
+        Shape::Shuffle,
+    ];
+
+    /// Stable lowercase name used in CLI flags and headline keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Uniform => "uniform",
+            Shape::Hotspot => "hotspot",
+            Shape::Incast => "incast",
+            Shape::Shuffle => "shuffle",
+        }
+    }
+
+    /// Parse a CLI name back into a shape.
+    pub fn parse(s: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|sh| sh.name() == s)
+    }
+
+    /// A shape-specific constant folded into the per-rank RNG seed so the
+    /// same `(seed, rank)` yields unrelated streams across shapes.
+    fn tag(self) -> u64 {
+        match self {
+            Shape::Uniform => 0x756e_6966_6f72_6d00, // "uniform"
+            Shape::Hotspot => 0x686f_7473_706f_7400, // "hotspot"
+            Shape::Incast => 0x0069_6e63_6173_7400,  // "incast"
+            Shape::Shuffle => 0x7368_7566_666c_6500, // "shuffle"
+        }
+    }
+}
+
+/// A straggler: `rank` stops driving its engine after sending
+/// `after_msgs` messages, for `dur_ns` of the driver's clock, then
+/// resumes. Exercises the failure detector's Suspect path and the
+/// adaptive RTO estimator without an actual failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseSpec {
+    /// The rank that pauses.
+    pub rank: usize,
+    /// How many of its own sends complete before the pause begins.
+    pub after_msgs: usize,
+    /// Pause duration in the driving clock's nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A complete, seedable description of one workload run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Traffic shape.
+    pub shape: Shape,
+    /// Number of ranks participating.
+    pub ranks: usize,
+    /// Messages each *sending* rank emits (incast rank 0 sends none).
+    pub msgs_per_rank: usize,
+    /// Payload bytes per message (≥ [`STAMP_BYTES`] so a timestamp fits).
+    pub payload: usize,
+    /// Master seed; all per-rank schedules derive from it.
+    pub seed: u64,
+    /// Fraction of hotspot traffic aimed at rank 0 (ignored elsewhere).
+    pub hotspot_fraction: f64,
+    /// Optional straggler injection.
+    pub pause: Option<PauseSpec>,
+}
+
+impl WorkloadSpec {
+    /// A spec with the default 80% hotspot skew and no pause.
+    pub fn new(
+        shape: Shape,
+        ranks: usize,
+        msgs_per_rank: usize,
+        payload: usize,
+        seed: u64,
+    ) -> WorkloadSpec {
+        WorkloadSpec {
+            shape,
+            ranks,
+            msgs_per_rank,
+            payload,
+            seed,
+            hotspot_fraction: 0.8,
+            pause: None,
+        }
+    }
+
+    /// The RNG that drives `rank`'s schedule — a pure function of
+    /// `(seed, shape, rank)` (SplitMix64 scrambles the additive mix).
+    fn rank_rng(&self, rank: usize) -> DetRng {
+        DetRng::seed_from_u64(
+            self.seed
+                .wrapping_add(self.shape.tag())
+                .wrapping_add((rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+
+    /// How many messages `rank` sends in this workload.
+    pub fn sends_of(&self, rank: usize) -> usize {
+        if self.shape == Shape::Incast && rank == 0 {
+            0
+        } else {
+            self.msgs_per_rank
+        }
+    }
+
+    /// The destination of each of `rank`'s messages, in send order.
+    /// Deterministic: two calls with the same spec return the same vector.
+    pub fn schedule(&self, rank: usize) -> Vec<usize> {
+        let n = self.ranks;
+        assert!(n >= 2, "workloads need at least two ranks");
+        let count = self.sends_of(rank);
+        let mut rng = self.rank_rng(rank);
+        let mut dsts = Vec::with_capacity(count);
+        match self.shape {
+            Shape::Uniform => {
+                for _ in 0..count {
+                    dsts.push(other_rank(&mut rng, rank, n));
+                }
+            }
+            Shape::Hotspot => {
+                for _ in 0..count {
+                    if rank != 0 && rng.chance(self.hotspot_fraction) {
+                        dsts.push(0);
+                    } else {
+                        dsts.push(other_rank(&mut rng, rank, n));
+                    }
+                }
+            }
+            Shape::Incast => {
+                dsts.resize(count, 0);
+            }
+            Shape::Shuffle => {
+                // Round blocks: every block sends exactly once to each
+                // peer, in a freshly shuffled order — balanced in
+                // aggregate, seed-dependent in sequence.
+                let mut peers: Vec<usize> = (0..n).filter(|&p| p != rank).collect();
+                while dsts.len() < count {
+                    rng.shuffle(&mut peers);
+                    for &p in &peers {
+                        if dsts.len() == count {
+                            break;
+                        }
+                        dsts.push(p);
+                    }
+                }
+            }
+        }
+        dsts
+    }
+
+    /// How many messages each rank will *receive*, recomputed from the
+    /// spec alone — the termination condition for every driver.
+    pub fn expected_inbound(&self) -> Vec<u64> {
+        let mut inbound = vec![0u64; self.ranks];
+        for rank in 0..self.ranks {
+            for dst in self.schedule(rank) {
+                inbound[dst] += 1;
+            }
+        }
+        inbound
+    }
+
+    /// Total messages the whole workload sends.
+    pub fn total_msgs(&self) -> u64 {
+        (0..self.ranks).map(|r| self.sends_of(r) as u64).sum()
+    }
+}
+
+/// A uniformly random rank that is not `me`.
+fn other_rank(rng: &mut DetRng, me: usize, n: usize) -> usize {
+    let raw = rng.below((n - 1) as u64) as usize;
+    if raw >= me {
+        raw + 1
+    } else {
+        raw
+    }
+}
+
+/// Bytes of the per-message stamp every workload payload starts with:
+/// a send timestamp (u64 LE nanoseconds) and a per-sender sequence
+/// number (u32 LE).
+pub const STAMP_BYTES: usize = 12;
+
+/// Write the stamp into the head of `buf` (panics if `buf` is short).
+pub fn encode_stamp(buf: &mut [u8], t_ns: u64, seq: u32) {
+    buf[0..8].copy_from_slice(&t_ns.to_le_bytes());
+    buf[8..12].copy_from_slice(&seq.to_le_bytes());
+}
+
+/// Read back a stamp written by [`encode_stamp`].
+pub fn decode_stamp(buf: &[u8]) -> (u64, u32) {
+    let t = u64::from_le_bytes(buf[0..8].try_into().expect("stamp timestamp"));
+    let seq = u32::from_le_bytes(buf[8..12].try_into().expect("stamp seq"));
+    (t, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(shape: Shape) -> WorkloadSpec {
+        WorkloadSpec::new(shape, 4, 100, 64, 0xC0FFEE)
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        for shape in Shape::ALL {
+            let s = spec(shape);
+            for rank in 0..s.ranks {
+                assert_eq!(s.schedule(rank), s.schedule(rank), "{}", shape.name());
+            }
+            let mut other = s;
+            other.seed ^= 1;
+            if shape != Shape::Incast {
+                assert_ne!(
+                    (0..s.ranks).map(|r| s.schedule(r)).collect::<Vec<_>>(),
+                    (0..s.ranks).map(|r| other.schedule(r)).collect::<Vec<_>>(),
+                    "{} ignores its seed",
+                    shape.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_rank_sends_to_itself() {
+        for shape in Shape::ALL {
+            let s = spec(shape);
+            for rank in 0..s.ranks {
+                assert!(
+                    s.schedule(rank).iter().all(|&d| d != rank && d < s.ranks),
+                    "{} rank {rank} sends to itself or out of range",
+                    shape.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incast_converges_and_rank0_is_silent() {
+        let s = spec(Shape::Incast);
+        assert!(s.schedule(0).is_empty());
+        for rank in 1..s.ranks {
+            assert!(s.schedule(rank).iter().all(|&d| d == 0));
+        }
+        let inbound = s.expected_inbound();
+        assert_eq!(inbound[0], 300);
+        assert_eq!(&inbound[1..], &[0, 0, 0]);
+        assert_eq!(s.total_msgs(), 300);
+    }
+
+    #[test]
+    fn hotspot_skews_to_rank0() {
+        let s = spec(Shape::Hotspot);
+        let inbound = s.expected_inbound();
+        let rest: u64 = inbound[1..].iter().sum();
+        // 3 senders × (80% + ~7% uniform) ≈ 260 of 400 total should hit
+        // rank 0; everything else (including rank 0's own 100 uniform
+        // sends) splits the remainder.
+        assert!(inbound[0] > rest, "hotspot inbound {inbound:?} not skewed");
+        assert_eq!(inbound.iter().sum::<u64>(), s.total_msgs());
+    }
+
+    #[test]
+    fn shuffle_is_balanced() {
+        let s = spec(Shape::Shuffle);
+        let inbound = s.expected_inbound();
+        // 4 ranks × 100 msgs, each block spreads evenly: inbound within
+        // one block of perfectly equal.
+        let per = s.total_msgs() / s.ranks as u64;
+        for (r, &c) in inbound.iter().enumerate() {
+            assert!(
+                c.abs_diff(per) <= s.ranks as u64,
+                "rank {r} inbound {c} vs {per}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_inbound_accounts_for_every_send() {
+        for shape in Shape::ALL {
+            let s = spec(shape);
+            assert_eq!(
+                s.expected_inbound().iter().sum::<u64>(),
+                s.total_msgs(),
+                "{}",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stamps_round_trip() {
+        let mut buf = [0u8; 64];
+        encode_stamp(&mut buf, 123_456_789_012, 42);
+        assert_eq!(decode_stamp(&buf), (123_456_789_012, 42));
+    }
+
+    #[test]
+    fn shape_names_round_trip() {
+        for shape in Shape::ALL {
+            assert_eq!(Shape::parse(shape.name()), Some(shape));
+        }
+        assert_eq!(Shape::parse("bogus"), None);
+    }
+}

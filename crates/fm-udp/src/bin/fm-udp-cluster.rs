@@ -32,7 +32,8 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use fm_core::blocking::{fm2_send, fm2_wait_until};
 use fm_core::obs::chrome::chrome_trace_json;
 use fm_core::packet::HandlerId;
-use fm_core::{Fm2Engine, ObsSink, Reliability, RetransmitConfig};
+use fm_core::{Fm2Engine, LogHistogram, ObsSink, Reliability, RetransmitConfig};
+use fm_model::workload::{decode_stamp, encode_stamp, Shape, WorkloadSpec, STAMP_BYTES};
 use fm_model::MachineProfile;
 use fm_udp::{UdpConfig, UdpDevice};
 
@@ -82,6 +83,12 @@ enum Workload {
     /// peer, per-incarnation order validated, peers allowed to die and
     /// rejoin mid-run.
     Churn,
+    /// A seeded adversarial traffic shape from [`fm_model::workload`]:
+    /// `--rounds` messages per sending rank, destinations derived from
+    /// `--seed`, per-channel arrival order validated against the replayed
+    /// schedule, one-way latency tails printed per node (loopback only —
+    /// stamps assume a shared CLOCK_REALTIME).
+    Shape(Shape),
 }
 
 impl Workload {
@@ -91,6 +98,7 @@ impl Workload {
             Workload::Barrier => "barrier",
             Workload::Allreduce => "allreduce",
             Workload::Churn => "churn",
+            Workload::Shape(s) => s.name(),
         }
     }
 }
@@ -123,12 +131,14 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          fm-udp-cluster spawn --nodes N [--rounds R] [--msg-size B] [--drop P] \
-         [--seed S] [--workload auto|barrier|allreduce|churn] [--trace DIR] \
+         [--seed S] [--workload auto|barrier|allreduce|churn|uniform|hotspot|\
+         incast|shuffle] [--trace DIR] \
          [--churn-kill I] [--churn-at-ms T] [--churn-restart-ms T] \
          [--churn-no-restart]\n  \
          fm-udp-cluster node --node-id I --nodes N [--peers a0,a1,...] \
          [--bind ADDR] [--epoch E] [--rounds R] [--msg-size B] [--drop P] \
-         [--seed S] [--workload auto|barrier|allreduce|churn] [--trace DIR] \
+         [--seed S] [--workload auto|barrier|allreduce|churn|uniform|hotspot|\
+         incast|shuffle] [--trace DIR] \
          [--rejoin]\n\n\
          spawn forks N `node` children on loopback and wires them up; `node` \
          with --peers joins a manually-assembled cluster (all nodes must agree \
@@ -163,7 +173,10 @@ fn parse(args: &[String]) -> (String, Opts) {
                     "barrier" => Workload::Barrier,
                     "allreduce" => Workload::Allreduce,
                     "churn" => Workload::Churn,
-                    _ => usage(),
+                    other => match Shape::parse(other) {
+                        Some(s) => Workload::Shape(s),
+                        None => usage(),
+                    },
                 }
             }
             "--rejoin" => o.rejoin = true,
@@ -486,6 +499,7 @@ fn run_node(opts: &Opts) {
         Workload::Barrier => barrier_workload(&fm, opts),
         Workload::Allreduce => allreduce_workload(&fm, opts),
         Workload::Churn => churn_workload(&fm, opts),
+        Workload::Shape(shape) => shape_workload(&fm, opts, shape),
     }
     let elapsed = started.elapsed();
     workload_active.set(false);
@@ -780,6 +794,101 @@ fn churn_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opt
             }
         }
     }
+}
+
+/// Drive one seeded adversarial shape from [`fm_model::workload`] across
+/// the cluster. Every rank replays its schedule from `(seed, shape,
+/// rank)` alone, so each receiver also knows exactly which send indices
+/// every peer will direct at it — FIFO per channel makes the arrival
+/// order checkable against that replay — and how many messages it must
+/// see before the run is complete (zero FM-level loss by construction).
+/// Stamps carry `CLOCK_REALTIME` nanoseconds, comparable across
+/// processes on one host, so each node prints its one-way latency tail
+/// as a `WORKLOAD` line.
+fn shape_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts, shape: Shape) {
+    use std::cell::{Cell, RefCell};
+    use std::rc::Rc;
+    const WORK: HandlerId = HandlerId(41);
+    let me = opts.node_id;
+    let spec = WorkloadSpec::new(
+        shape,
+        opts.nodes,
+        opts.rounds as usize,
+        opts.msg_size.max(STAMP_BYTES),
+        opts.seed,
+    );
+    // Ground truth per channel: the send indices each peer aims at us,
+    // in its send order.
+    let expected_seqs: Rc<Vec<Vec<u32>>> = Rc::new(
+        (0..opts.nodes)
+            .map(|src| {
+                spec.schedule(src)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d == me)
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect(),
+    );
+    let expected_total: u64 = expected_seqs.iter().map(|v| v.len() as u64).sum();
+    let hist = Rc::new(RefCell::new(LogHistogram::new()));
+    let cursor = Rc::new(RefCell::new(vec![0usize; opts.nodes]));
+    let got: Rc<Cell<u64>> = Rc::default();
+    {
+        let hist = Rc::clone(&hist);
+        let cursor = Rc::clone(&cursor);
+        let got = Rc::clone(&got);
+        let expected_seqs = Rc::clone(&expected_seqs);
+        fm.set_handler(WORK, move |stream, src| {
+            let hist = Rc::clone(&hist);
+            let cursor = Rc::clone(&cursor);
+            let got = Rc::clone(&got);
+            let expected_seqs = Rc::clone(&expected_seqs);
+            async move {
+                let msg = stream.receive_vec(stream.msg_len()).await;
+                let (t, seq) = decode_stamp(&msg);
+                let mut cur = cursor.borrow_mut();
+                assert_eq!(
+                    seq, expected_seqs[src][cur[src]],
+                    "channel {src}->{me} broke schedule order"
+                );
+                cur[src] += 1;
+                hist.borrow_mut()
+                    .record(realtime_ns().saturating_sub(t).max(1));
+                got.set(got.get() + 1);
+            }
+        });
+    }
+    let sched = spec.schedule(me);
+    let mut payload = vec![0u8; spec.payload];
+    for (i, &dst) in sched.iter().enumerate() {
+        encode_stamp(&mut payload, realtime_ns(), i as u32);
+        fm2_send(fm, dst, WORK, &[&payload]);
+        fm.progress(); // keep heartbeats and retransmit timers serviced
+    }
+    fm2_wait_until(fm, || got.get() >= expected_total);
+    let h = {
+        let h = hist.borrow();
+        h.clone()
+    };
+    println!(
+        "WORKLOAD node={me} shape={} sent={} delivered={} p50_ns={} p99_ns={} p999_ns={}",
+        shape.name(),
+        sched.len(),
+        got.get(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+    );
+}
+
+/// `CLOCK_REALTIME` now, in nanoseconds since the Unix epoch.
+fn realtime_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_nanos() as u64
 }
 
 /// Keep the engine progressing until the reliability sublayer has no

@@ -272,6 +272,140 @@ fn killed_node_goes_down_then_rejoins_with_zero_survivor_loss() {
 }
 
 #[test]
+fn paused_peer_is_suspected_not_downed_and_srtt_recovers() {
+    // A straggler, not a corpse: node 1 stops driving its engine for
+    // 100ms — longer than suspect_after (40ms), well short of down_after
+    // (400ms here). The detector must raise Suspect and then clear it
+    // with Up, never Down; the paced stream must arrive complete and in
+    // order; and the adaptive RTO estimator must come back to a loopback-
+    // scale srtt instead of absorbing the outage (Karn's rule discards
+    // retransmitted samples, fresh post-resume acks re-converge it).
+    const ROUNDS: u32 = 250;
+    const PAUSE_AT: u32 = 50;
+    let pause = Duration::from_millis(100);
+    let cfg = UdpConfig {
+        heartbeat_interval: Duration::from_millis(5),
+        suspect_after: Duration::from_millis(40),
+        down_after: Duration::from_millis(400),
+        ..UdpConfig::default()
+    };
+    let sockets: Vec<std::net::UdpSocket> = (0..2)
+        .map(|_| std::net::UdpSocket::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let peers: Vec<_> = sockets.iter().map(|s| s.local_addr().unwrap()).collect();
+    let mut devs: Vec<_> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| UdpDevice::from_socket(s, i, peers.clone(), cfg.clone()).unwrap())
+        .collect();
+    let straggler_dev = devs.pop().unwrap();
+    let sender_dev = devs.pop().unwrap();
+
+    const ECHO: HandlerId = HandlerId(8);
+    let straggler = thread::spawn(move || {
+        let mut dev = straggler_dev;
+        dev.join(JOIN).expect("straggler join");
+        let fm = engine(dev);
+        let echoed = Rc::new(RefCell::new(0u32));
+        {
+            let echoed = Rc::clone(&echoed);
+            let fm_h = fm.clone();
+            fm.set_handler(DATA, move |stream, src| {
+                let echoed = Rc::clone(&echoed);
+                let fm = fm_h.clone();
+                async move {
+                    let mut hdr = [0u8; 4];
+                    stream.receive(&mut hdr).await;
+                    stream.skip(stream.remaining()).await;
+                    let round = u32::from_le_bytes(hdr);
+                    let mut g = echoed.borrow_mut();
+                    assert_eq!(round, *g, "stream order broke across the pause");
+                    *g += 1;
+                    fm.send_from_handler(src, ECHO, hdr.to_vec());
+                }
+            });
+        }
+        fm2_wait_until(&fm, || *echoed.borrow() >= PAUSE_AT);
+        thread::sleep(pause); // the straggle: no extracts, no acks, no heartbeats
+        fm2_wait_until(&fm, || *echoed.borrow() >= ROUNDS);
+        // Drain the ack tail so the sender's window empties.
+        let cap = Instant::now() + Duration::from_secs(5);
+        while fm.unacked_packets() > 0 && Instant::now() < cap {
+            fm.extract_all();
+            fm.progress();
+            thread::yield_now();
+        }
+        let total = *echoed.borrow();
+        total
+    });
+
+    let mut dev = sender_dev;
+    dev.join(JOIN).expect("sender join");
+    let fm = engine(dev);
+    let events: Rc<RefCell<Vec<PeerEventKind>>> = Rc::default();
+    {
+        let events = Rc::clone(&events);
+        fm.set_peer_handler(move |ev| {
+            if ev.peer == 1 {
+                events.borrow_mut().push(ev.kind);
+            }
+        });
+    }
+    let echoes = Rc::new(RefCell::new(0u32));
+    {
+        let echoes = Rc::clone(&echoes);
+        fm.set_handler(ECHO, move |stream, _src| {
+            let echoes = Rc::clone(&echoes);
+            async move {
+                stream.skip(stream.remaining()).await;
+                *echoes.borrow_mut() += 1;
+            }
+        });
+    }
+    let mut baseline_srtt = None;
+    for round in 0..ROUNDS {
+        fm2_send(&fm, 1, DATA, &[&round.to_le_bytes()]);
+        fm2_wait_until(&fm, || *echoes.borrow() > round);
+        if round == PAUSE_AT - 1 {
+            // Warmed-up estimate just before the peer goes quiet (echo
+            // replies piggyback acks, so the probe samples cleanly).
+            baseline_srtt = fm.srtt_ns(1);
+        }
+    }
+    fm2_wait_until(&fm, || fm.unacked_packets() == 0);
+    let received = straggler.join().expect("straggler thread");
+    assert_eq!(received, ROUNDS, "stream incomplete across the pause");
+
+    let ev = events.borrow().clone();
+    assert!(
+        !ev.contains(&PeerEventKind::Down),
+        "paused peer wrongly declared Down: {ev:?}"
+    );
+    let suspect = ev
+        .iter()
+        .position(|k| *k == PeerEventKind::Suspect)
+        .expect("a 100ms silence must raise Suspect");
+    assert!(
+        ev[suspect + 1..].contains(&PeerEventKind::Up),
+        "Suspect never cleared back to Up: {ev:?}"
+    );
+    // The estimator recovered: srtt is back at loopback scale (the pause
+    // was 100ms — an srtt that absorbed it would sit near 10^8 ns), and
+    // the backed-off RTO has collapsed below the pause length again.
+    let baseline = baseline_srtt.expect("srtt warmed up before the pause");
+    let final_srtt = fm.srtt_ns(1).expect("srtt still tracked");
+    let final_rto = fm.current_rto_ns(1).expect("rto still tracked");
+    assert!(
+        final_srtt < 10_000_000,
+        "srtt did not recover: {final_srtt} ns (baseline {baseline} ns)"
+    );
+    assert!(
+        final_rto < pause.as_nanos() as u64,
+        "RTO still backed off: {final_rto} ns"
+    );
+}
+
+#[test]
 fn killed_node_without_restart_goes_down_within_the_suspicion_timeout() {
     let (mut devs, _peers) = bind_cluster(3);
     let victim_dev = devs.pop().unwrap();

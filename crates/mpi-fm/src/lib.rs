@@ -59,6 +59,7 @@ pub mod comm;
 pub mod matching;
 pub mod mpi1;
 pub mod mpi2;
+pub mod shuffle;
 pub mod testutil;
 pub mod types;
 pub mod wire;
@@ -70,5 +71,6 @@ pub use collectives::{
 pub use comm::{CollConfig, CollPhase, Communicator};
 pub use mpi1::Mpi1;
 pub use mpi2::Mpi2;
+pub use shuffle::{run_shuffle, ShuffleReport, ShuffleRunner, ShuffleSpec};
 pub use types::{RecvReq, SendReq, Status, ANY_SOURCE, ANY_TAG};
 pub use wire::{coll_tag, CollKind};
