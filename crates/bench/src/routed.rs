@@ -1,0 +1,172 @@
+//! Mixed-locality collective probes over the routed composite device.
+//!
+//! Builds a "cluster of clusters" inside one process: `n` ranks split
+//! across simulated hosts by a [`HostMap`], each rank holding a
+//! [`RoutedDevice`] that sends same-host frames through `fm-shm`'s
+//! mapped rings and cross-host frames through loopback UDP. Real
+//! multi-host runs swap the loopback sockets for the wire; the routing
+//! and the collective schedules are identical.
+//!
+//! The headline question these probes answer is the locality one: does
+//! the hierarchy-aware two-level allreduce (gather within each host
+//! over shared memory, exchange only between host leaders over the
+//! network) beat the flat schedule that ignores placement? Both run on
+//! the *same* routed transport — only `Mpi2::set_coll_hosts` differs —
+//! so the comparison isolates the schedule, not the fabric.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fm_core::{Fm2Engine, Reliability, RetransmitConfig};
+use fm_model::MachineProfile;
+use fm_route::{HostMap, RoutedDevice};
+use fm_shm::{ShmConfig, ShmDevice};
+use fm_udp::{loopback_cluster, UdpConfig, UdpDevice};
+use mpi_fm::{Mpi, Mpi2, ReduceOp};
+
+/// Join-barrier timeout for the probe clusters.
+const JOIN: Duration = Duration::from_secs(10);
+
+/// Build the per-rank `(shm, udp)` device pairs for `hosts`. Shm
+/// devices open sequentially in ascending rank order (attach-downward
+/// makes that deadlock-free); UDP sockets all bind before any device is
+/// built.
+fn routed_devices(hosts: &[usize], shm_cfg: ShmConfig) -> Vec<(ShmDevice, UdpDevice)> {
+    let n = hosts.len();
+    let map = HostMap::new(hosts.to_vec());
+    let udp = loopback_cluster(n, UdpConfig::default()).expect("bind loopback cluster");
+    udp.into_iter()
+        .enumerate()
+        .map(|(rank, udp)| {
+            let shm = ShmDevice::open(rank, n, &map.local_peers(rank), shm_cfg.clone())
+                .expect("open shm links");
+            (shm, udp)
+        })
+        .collect()
+}
+
+/// Run one node program per rank over routed devices; rank `i` runs
+/// `f(i, routed_i)` after both fabrics' join barriers complete.
+/// Returns every rank's result in rank order; panics propagate.
+pub fn routed_run<F, R>(hosts: &[usize], shm_cfg: ShmConfig, f: F) -> Vec<R>
+where
+    F: Fn(usize, RoutedDevice<ShmDevice, UdpDevice>) -> R + Send + Sync,
+    R: Send,
+{
+    let devices = routed_devices(hosts, shm_cfg);
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut shm, mut udp))| {
+                let map = HostMap::new(hosts.to_vec());
+                thread::Builder::new()
+                    .name(format!("fm-routed-node-{i}"))
+                    .spawn_scoped(scope, move || {
+                        // Same order on every rank: no cross-fabric deadlock.
+                        udp.join(JOIN).expect("udp join barrier");
+                        shm.join(JOIN).expect("shm join barrier");
+                        f(i, RoutedDevice::new(shm, udp, map))
+                    })
+                    .expect("spawn node thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    })
+}
+
+/// A probe-unique segment config for routed clusters (run ids must
+/// differ between concurrent clusters in one process).
+pub fn probe_cfg() -> ShmConfig {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static PROBE: AtomicU64 = AtomicU64::new(0);
+    let n = PROBE.fetch_add(1, Ordering::Relaxed);
+    ShmConfig {
+        run_id: format!("routed{}-{n}", std::process::id()),
+        ..ShmConfig::default()
+    }
+}
+
+/// Wall-clock mean microseconds per collective on a routed cluster laid
+/// out by `hosts`. `allreduce_bytes: None` times barriers, `Some(b)`
+/// times `b`-byte sum-allreduces. `hier` selects the locality-aware
+/// two-level schedules; flat runs the placement-blind ones — over the
+/// identical transport either way.
+pub fn routed_coll_latency_us(
+    hosts: &[usize],
+    iters: usize,
+    allreduce_bytes: Option<usize>,
+    hier: bool,
+) -> f64 {
+    if let Some(bytes) = allreduce_bytes {
+        assert_eq!(bytes % 8, 0, "f64 reduction payload");
+    }
+    let out = routed_run(hosts, probe_cfg(), move |node, dev| {
+        // The remote half is real UDP: lossy, so the reliability
+        // sublayer is mandatory.
+        let fm = Fm2Engine::with_reliability(
+            dev,
+            MachineProfile::ppro200_fm2(),
+            Reliability::Retransmit(RetransmitConfig::adaptive()),
+        );
+        let mut mpi = Mpi2::new(fm.clone());
+        mpi.set_coll_hosts(hier.then(|| hosts.to_vec()));
+        mpi.barrier(); // synchronized start
+        let t = Instant::now();
+        for _ in 0..iters {
+            match allreduce_bytes {
+                None => mpi.barrier(),
+                Some(bytes) => {
+                    let contrib = vec![0u8; bytes]; // all-zero f64s
+                    let _ = mpi.allreduce(&contrib, ReduceOp::SumF64);
+                }
+            }
+        }
+        let us = t.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64;
+        // Drain the ack tail on the UDP half before teardown.
+        let quiet = Instant::now();
+        while quiet.elapsed() < Duration::from_millis(50) || fm.unacked_packets() > 0 {
+            fm.extract_all();
+            fm.progress();
+            if quiet.elapsed() > Duration::from_secs(5) {
+                break;
+            }
+        }
+        (node == 0).then_some(us)
+    });
+    out.into_iter().flatten().next().expect("rank 0 timing")
+}
+
+/// The canonical mixed-locality layout: `ranks_per_host` ranks on each
+/// of `num_hosts` hosts, ranks dense per host (0..k on host 0, …).
+pub fn block_hosts(num_hosts: usize, ranks_per_host: usize) -> Vec<usize> {
+    (0..num_hosts * ranks_per_host)
+        .map(|r| r / ranks_per_host)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routed_probe_times_flat_and_hier_allreduce() {
+        // Keep the in-test cluster small: 2 hosts x 2 ranks.
+        let hosts = block_hosts(2, 2);
+        let flat = routed_coll_latency_us(&hosts, 16, Some(16), false);
+        let hier = routed_coll_latency_us(&hosts, 16, Some(16), true);
+        assert!(flat > 0.0 && flat < 1e6, "flat {flat} us");
+        assert!(hier > 0.0 && hier < 1e6, "hier {hier} us");
+    }
+
+    #[test]
+    fn routed_probe_times_barriers() {
+        let hosts = block_hosts(2, 2);
+        let us = routed_coll_latency_us(&hosts, 16, None, true);
+        assert!(us > 0.0 && us < 1e6, "{us} us");
+    }
+}

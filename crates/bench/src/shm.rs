@@ -1,0 +1,279 @@
+//! Wall-clock measurement programs over the shared-memory transport.
+//!
+//! Mirror images of the [`crate::udp`] probes, but the substrate is
+//! `fm-shm`'s mapped SPSC rings instead of kernel sockets: two OS
+//! threads, one `/dev/shm` segment, the full FM 2.x engine in between.
+//! Shared memory is lossless, so the engine runs in `TrustSubstrate`
+//! mode — no retransmission sublayer, exactly the trust FM places in
+//! Myrinet. The probes share the [`LatencyDist`] / [`StreamDist`]
+//! result shapes with the simulator and UDP probes so the same
+//! reporting works on all three.
+//!
+//! Comparing `shm_*` numbers against the `udp_*` numbers on the same
+//! machine isolates what the *kernel path* costs per message: both runs
+//! execute the identical engine and measurement shape, only the device
+//! under it changes.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use fm_core::blocking::{fm2_send, fm2_wait_until};
+use fm_core::packet::HandlerId;
+use fm_core::{Fm2Engine, FmStream, LogHistogram};
+use fm_model::{MachineProfile, Nanos};
+use fm_shm::{ShmCluster, ShmConfig, ShmDevice};
+use mpi_fm::{Mpi, Mpi2, ReduceOp};
+
+use crate::harness::{LatencyDist, StreamDist, StreamResult};
+
+const PING: HandlerId = HandlerId(1);
+const PONG: HandlerId = HandlerId(2);
+
+/// Ring depth (slots per direction) and matching engine credit window
+/// for the *streaming* probe. FM's window bounds the receiver's pinned
+/// region; for a mapped ring the natural bound is the ring itself, and
+/// a deep window matters on a time-shared machine: when sender and
+/// receiver share a core, each scheduler swap drains at most one
+/// window, so the window size sets how many bytes every context switch
+/// amortizes over. The latency and collective probes keep the default
+/// shallow ring — their messages are never windowed, and the smaller
+/// mapped footprint keeps the round-trip path cache-friendly.
+const STREAM_DEPTH: u32 = 512;
+
+fn engine(dev: ShmDevice, window: u32) -> Fm2Engine<ShmDevice> {
+    // Lossless substrate: TrustSubstrate, the FM-on-Myrinet trust model.
+    let mut profile = MachineProfile::ppro200_fm2();
+    profile.fm.credits_per_peer = window;
+    Fm2Engine::new(dev, profile)
+}
+
+/// A probe-unique segment config: the run id must differ between
+/// concurrent clusters, and `cargo test` runs probes concurrently in
+/// one process, so a process-wide counter disambiguates beyond the pid
+/// that [`ShmConfig::default`] already mixes in.
+fn probe_cfg(slots: u32) -> ShmConfig {
+    static PROBE: AtomicU64 = AtomicU64::new(0);
+    let n = PROBE.fetch_add(1, Ordering::Relaxed);
+    ShmConfig {
+        run_id: format!("bench{}-{n}", std::process::id()),
+        slots,
+        ..ShmConfig::default()
+    }
+}
+
+/// Default ring depth for the non-streaming probes.
+const DEFAULT_DEPTH: u32 = 64;
+
+/// Drain the engine until the cluster is quiet; shared memory carries
+/// no acks under `TrustSubstrate`, but peers may still be mid-extract,
+/// so give the tail of the conversation a beat before tearing down the
+/// segments.
+fn linger(fm: &Fm2Engine<ShmDevice>) {
+    let quiet_for = Duration::from_millis(20);
+    let cap = Instant::now() + Duration::from_secs(5);
+    let mut quiet_since = Instant::now();
+    while Instant::now() < cap {
+        if fm.extract_all() > 0 {
+            quiet_since = Instant::now();
+        }
+        fm.progress();
+        if quiet_since.elapsed() >= quiet_for {
+            return;
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// One-way latency over shared memory: half the measured wall-clock
+/// round trip, `rounds` samples, with the per-round distribution. A
+/// 10 % warm-up phase (min 16 rounds) runs untimed first: pools fill
+/// and queues reach steady capacity before the clock starts, matching
+/// the steady-state framing of the paper's latency figures.
+pub fn shm_latency_dist(size: usize, rounds: usize) -> LatencyDist {
+    let size = size.max(1);
+    let warmup = (rounds / 10).max(16);
+    let mut out = ShmCluster::run(2, probe_cfg(DEFAULT_DEPTH), |node, dev| {
+        let fm = engine(dev, DEFAULT_DEPTH);
+        if node == 0 {
+            let hist = Rc::new(RefCell::new(LogHistogram::new()));
+            let pongs: Rc<Cell<usize>> = Rc::default();
+            {
+                let pongs = Rc::clone(&pongs);
+                fm.set_handler(PONG, move |stream: FmStream, _| {
+                    let pongs = Rc::clone(&pongs);
+                    async move {
+                        stream.skip(stream.msg_len()).await;
+                        pongs.set(pongs.get() + 1);
+                    }
+                });
+            }
+            let data = vec![7u8; size];
+            for round in 0..warmup {
+                fm2_send(&fm, 1, PING, &[&data]);
+                fm2_wait_until(&fm, || pongs.get() == round + 1);
+            }
+            let started = Instant::now();
+            for round in 0..rounds {
+                let t0 = Instant::now();
+                fm2_send(&fm, 1, PING, &[&data]);
+                fm2_wait_until(&fm, || pongs.get() == warmup + round + 1);
+                hist.borrow_mut().record(t0.elapsed().as_nanos() as u64 / 2);
+            }
+            let total = started.elapsed();
+            linger(&fm);
+            let one_way_ns = hist.borrow().clone();
+            Some(LatencyDist {
+                mean: Nanos(total.as_nanos() as u64 / (2 * rounds as u64)),
+                one_way_ns,
+            })
+        } else {
+            let echoed: Rc<Cell<usize>> = Rc::default();
+            {
+                let echoed = Rc::clone(&echoed);
+                let fm_h = fm.clone();
+                fm.set_handler(PING, move |stream: FmStream, src| {
+                    let echoed = Rc::clone(&echoed);
+                    let fm = fm_h.clone();
+                    async move {
+                        let msg = stream.receive_vec(stream.msg_len()).await;
+                        fm.send_from_handler(src, PONG, msg);
+                        echoed.set(echoed.get() + 1);
+                    }
+                });
+            }
+            fm2_wait_until(&fm, || echoed.get() == warmup + rounds);
+            linger(&fm);
+            None
+        }
+    });
+    out.swap_remove(0).expect("node 0 returns the distribution")
+}
+
+/// Stream `count` `size`-byte messages through the mapped rings and
+/// measure delivered wall-clock bandwidth plus the per-message
+/// distribution. Under `TrustSubstrate` there are no acks to wait for:
+/// the receiver's message count is the completion signal, and the
+/// receiver's clock bounds the measurement exactly as in the UDP probe.
+pub fn shm_stream_dist(size: usize, count: usize) -> StreamDist {
+    let size = size.max(1);
+    let mut out = ShmCluster::run(2, probe_cfg(STREAM_DEPTH), |node, dev| {
+        let fm = engine(dev, STREAM_DEPTH);
+        if node == 0 {
+            let data = vec![0xCDu8; size];
+            for _ in 0..count {
+                fm2_send(&fm, 1, PING, &[&data]);
+            }
+            linger(&fm);
+            None
+        } else {
+            let started = Instant::now();
+            let got: Rc<Cell<usize>> = Rc::default();
+            let per_msg = Rc::new(RefCell::new(LogHistogram::new()));
+            let last_done = Rc::new(Cell::new(0u64));
+            {
+                let got = Rc::clone(&got);
+                let per_msg = Rc::clone(&per_msg);
+                let last_done = Rc::clone(&last_done);
+                fm.set_handler(PING, move |stream: FmStream, _| {
+                    let got = Rc::clone(&got);
+                    let per_msg = Rc::clone(&per_msg);
+                    let last_done = Rc::clone(&last_done);
+                    async move {
+                        let msg = stream.receive_vec(stream.msg_len()).await;
+                        debug_assert_eq!(msg.len(), size);
+                        let t = started.elapsed().as_nanos() as u64;
+                        let gap = t - last_done.get();
+                        last_done.set(t);
+                        // KB/s per message from the inter-completion gap.
+                        if let Some(kbps) = (size as u64 * 1_000_000).checked_div(gap) {
+                            per_msg.borrow_mut().record(kbps);
+                        }
+                        got.set(got.get() + 1);
+                    }
+                });
+            }
+            fm2_wait_until(&fm, || got.get() == count);
+            let elapsed = Nanos(started.elapsed().as_nanos() as u64);
+            linger(&fm);
+            let per_message_kbps = per_msg.borrow().clone();
+            Some(StreamDist {
+                result: StreamResult {
+                    bytes: (size * count) as u64,
+                    elapsed,
+                    unexpected: 0,
+                    recv_copied: fm.stats().bytes_copied,
+                },
+                per_message_kbps,
+            })
+        }
+    });
+    out.swap_remove(1).expect("node 1 returns the distribution")
+}
+
+/// Wall-clock mean microseconds per barrier on `n` shared-memory nodes.
+pub fn shm_barrier_latency_us(n: usize, iters: usize) -> f64 {
+    shm_coll_latency_us(n, iters, None)
+}
+
+/// Wall-clock mean microseconds per `bytes`-sized sum-allreduce on `n`
+/// shared-memory nodes.
+pub fn shm_allreduce_latency_us(n: usize, bytes: usize, iters: usize) -> f64 {
+    assert_eq!(bytes % 8, 0, "f64 reduction payload");
+    shm_coll_latency_us(n, iters, Some(bytes))
+}
+
+fn shm_coll_latency_us(n: usize, iters: usize, allreduce_bytes: Option<usize>) -> f64 {
+    let mut out = ShmCluster::run(n, probe_cfg(DEFAULT_DEPTH), move |node, dev| {
+        let fm = engine(dev, DEFAULT_DEPTH);
+        let mut mpi = Mpi2::new(fm.clone());
+        mpi.barrier(); // synchronized start
+        let t = Instant::now();
+        for _ in 0..iters {
+            match allreduce_bytes {
+                None => mpi.barrier(),
+                Some(bytes) => {
+                    let contrib = vec![0u8; bytes]; // all-zero f64s
+                    let _ = mpi.allreduce(&contrib, ReduceOp::SumF64);
+                }
+            }
+        }
+        let us = t.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64;
+        linger(&fm);
+        (node == 0).then_some(us)
+    });
+    out.swap_remove(0).expect("node 0 reports the timing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shm_latency_probe_measures_real_time() {
+        let d = shm_latency_dist(16, 30);
+        assert_eq!(d.one_way_ns.count(), 30, "one sample per round");
+        // Through the full stack but no kernel: nonzero, far under the
+        // 10 ms bound the UDP probe also respects.
+        assert!(d.mean.as_ns() > 0, "mean = {}", d.mean);
+        assert!(d.mean.as_ns() < 10_000_000, "mean = {}", d.mean);
+        assert!(d.one_way_ns.p99() >= d.one_way_ns.p50());
+    }
+
+    #[test]
+    fn shm_stream_probe_delivers_everything() {
+        let d = shm_stream_dist(1024, 200);
+        assert_eq!(d.result.bytes, 1024 * 200);
+        assert!(d.result.bandwidth().as_mbps() > 0.0, "nonzero bandwidth");
+        assert!(d.per_message_kbps.count() >= 100);
+    }
+
+    #[test]
+    fn shm_collective_probes_return_sane_microseconds() {
+        let bar = shm_barrier_latency_us(4, 32);
+        let ar = shm_allreduce_latency_us(4, 16, 32);
+        assert!(bar > 0.0 && bar < 1e6, "barrier {bar} us");
+        assert!(ar > 0.0 && ar < 1e6, "allreduce {ar} us");
+    }
+}

@@ -9,6 +9,12 @@
 //! allocated nothing. Everything in the loop is included: engine
 //! staging, the simulated NIC/DMA event machinery, and delivery.
 //!
+//! The counter is **per-thread**: every measured datapath here runs
+//! entirely on one thread, and a process-global count would race with
+//! the test harness's own threads (libtest's output formatting lands
+//! at nondeterministic points and was observed polluting the window by
+//! a couple of allocations).
+//!
 //! The warm-up phase exists because pools start empty (first takes
 //! miss), queues grow to their steady capacity, and the simulator's
 //! event heap sizes itself — all legitimate one-time costs the paper's
@@ -28,10 +34,13 @@ use myrinet_sim::{NodeId, Simulation, StepOutcome, Topology};
 /// claim is that the steady state takes nothing *from* the allocator).
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static TRACE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 thread_local! {
+    /// Per-thread allocation count. `try_with` in the hot path: the
+    /// allocator also runs during thread teardown after TLS destruction,
+    /// where those allocations are uncountable and irrelevant.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
     static IN_TRACE: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -53,9 +62,13 @@ fn maybe_trace(layout: Layout) {
     });
 }
 
+fn bump() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         maybe_trace(layout);
         unsafe { System.alloc(layout) }
     }
@@ -65,13 +78,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         maybe_trace(layout);
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         maybe_trace(layout);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -80,8 +93,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// This thread's allocation count. Snapshots and deltas are only
+/// meaningful on the thread that runs the measured datapath — which is
+/// the point: other threads' allocations can't pollute the window.
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    ALLOCATIONS.with(|c| c.get())
 }
 
 const BENCH_HANDLER: HandlerId = HandlerId(1);
@@ -166,6 +182,66 @@ fn stream_alloc_delta(size: usize, warmup: usize, measured: usize) -> u64 {
     at_done.get() - at_warm.get()
 }
 
+/// Streams `warmup + measured` single-packet messages through a real
+/// mapped-segment pair — both `ShmDevice` ends opened in this process
+/// and both engines hand-pumped on this thread, so the whole datapath
+/// (encode-in-place into the ring, doorbell, pooled copy-out, decode,
+/// fast-handler delivery, credit return) is inside the counted window.
+fn shm_stream_alloc_delta(size: usize, warmup: usize, measured: usize) -> u64 {
+    use fm_shm::{shm_cluster, ShmConfig};
+    use std::time::Duration;
+
+    let profile = MachineProfile::ppro200_fm2();
+    let count = warmup + measured;
+    let cfg = ShmConfig {
+        run_id: format!("alloc{}", std::process::id()),
+        dir: std::env::temp_dir(),
+        ..ShmConfig::default()
+    };
+    let mut devs = shm_cluster(2, cfg).expect("open shm pair");
+    let mut d1 = devs.pop().expect("rank 1 device");
+    let mut d0 = devs.pop().expect("rank 0 device");
+    d0.join(Duration::from_secs(5)).expect("rank 0 join");
+    d1.join(Duration::from_secs(5)).expect("rank 1 join");
+
+    let fm_s = Fm2Engine::new(d0, profile);
+    let fm_r = Fm2Engine::new(d1, profile);
+    let data = vec![0xC5u8; size];
+    let got = Rc::new(Cell::new(0usize));
+    {
+        let got = Rc::clone(&got);
+        fm_r.set_fast_handler(BENCH_HANDLER, move |_src, payload: &[u8]| {
+            assert_eq!(payload.len(), size);
+            got.set(got.get() + 1);
+        });
+    }
+
+    let mut sent = 0usize;
+    let mut at_warm = 0u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while got.get() < count {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shm alloc stream wedged: {}/{count} delivered",
+            got.get()
+        );
+        if sent < count && fm_s.try_send_message(1, BENCH_HANDLER, &[&data]).is_ok() {
+            sent += 1;
+        }
+        fm_r.extract_all();
+        fm_s.extract_all(); // absorb returned credits
+        if got.get() >= warmup && at_warm == 0 {
+            at_warm = allocations();
+            if std::env::var_os("ALLOC_TRACE").is_some() {
+                TRACE.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    let at_done = allocations();
+    assert!(at_warm > 0, "warm-up snapshot never taken");
+    at_done - at_warm
+}
+
 #[test]
 fn steady_state_fm2_stream_allocates_nothing() {
     // 64-byte messages: single-packet, fast-handler path. 256 warm-up
@@ -177,6 +253,23 @@ fn steady_state_fm2_stream_allocates_nothing() {
         delta,
         0,
         "steady-state datapath allocated {delta} times over 512 messages \
+         ({} per message)",
+        delta as f64 / 512.0
+    );
+}
+
+#[test]
+fn steady_state_shm_stream_allocates_nothing() {
+    // The same zero-allocation claim, proven over the shared-memory
+    // transport: once the send pool, the receive `BufPool`, and the
+    // self-sizing queues are warm, a message's life — staged, encoded
+    // in place into the mapped ring, copied out into a recycled pool
+    // frame, decoded, delivered — takes nothing from the allocator.
+    let delta = shm_stream_alloc_delta(64, 256, 512);
+    assert_eq!(
+        delta,
+        0,
+        "steady-state shm datapath allocated {delta} times over 512 messages \
          ({} per message)",
         delta as f64 / 512.0
     );

@@ -1,0 +1,249 @@
+//! The lock-free SPSC frame ring that lives inside a mapped segment.
+//!
+//! One ring moves frames in one direction between exactly two parties:
+//! a single producer and a single consumer, typically in different
+//! processes. Layout, from the ring's base offset inside the segment:
+//!
+//! ```text
+//! +0    head: u32      consumer cursor (free-running, wraps mod 2^32)
+//! +64   tail: u32      producer cursor — the doorbell word
+//! +128  slot[0]        len: u32, _pad: u32, frame bytes...
+//! +128+slot_bytes  slot[1] ...
+//! ```
+//!
+//! `head` and `tail` sit on their own cache lines so the producer's
+//! doorbell store and the consumer's cursor store never ping-pong one
+//! line between cores. Both cursors free-run (occupancy is
+//! `tail - head` in wrapping arithmetic), so full (`== slots`) and
+//! empty (`== 0`) are never ambiguous and no slot is sacrificed.
+//!
+//! Ordering protocol — the entire correctness argument:
+//!
+//! * **Producer**: write the frame bytes and the slot's `len` with plain
+//!   stores, then publish with a `Release` store of `tail + 1`. The
+//!   doorbell *is* the release fence; everything written before it is
+//!   visible to whoever acquires it.
+//! * **Consumer**: `Acquire`-load `tail`; if it moved, the slot contents
+//!   are fully visible. Read them out, then retire the slot with a
+//!   `Release` store of `head + 1` — which is the producer's license
+//!   (via its `Acquire` load of `head`) to overwrite that slot.
+//!
+//! No CAS, no fetch-add, no spinning with the lock held — each side
+//! performs one load-acquire and one store-release per frame, which is
+//! as cheap as cross-core hand-off gets.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Bytes reserved for the two cursor cache lines at the ring's base.
+pub const RING_CTRL_BYTES: usize = 128;
+
+/// Per-slot record header: `len: u32` plus padding to an 8-byte
+/// boundary so frame bytes start aligned.
+pub const SLOT_HDR_BYTES: usize = 8;
+
+/// A raw view of one SPSC ring inside a shared mapping. Both endpoints
+/// construct a `RawRing` over the same bytes; the role (producer or
+/// consumer) is a usage convention enforced by the segment layer, which
+/// hands each peer the `tx`/`rx` pair with the roles straight.
+#[derive(Debug)]
+pub struct RawRing {
+    head: *const AtomicU32,
+    tail: *const AtomicU32,
+    slots_base: *mut u8,
+    slots: u32,
+    slot_bytes: u32,
+}
+
+// The raw pointers target a shared mapping whose lifetime is owned by
+// the Segment holding this ring; the SPSC protocol provides the
+// synchronization. Moving the handle across threads is safe, and so is
+// sharing it: every access goes through the acquire/release cursor
+// protocol, under the same single-producer/single-consumer convention
+// that `at` already demands across processes.
+unsafe impl Send for RawRing {}
+unsafe impl Sync for RawRing {}
+
+impl RawRing {
+    /// Total bytes a ring with this geometry occupies.
+    pub fn bytes_for(slots: u32, payload_capacity: u32) -> usize {
+        RING_CTRL_BYTES + slots as usize * (SLOT_HDR_BYTES + payload_capacity as usize)
+    }
+
+    /// Build a view over `base`, which must point at `bytes_for(slots,
+    /// payload_capacity)` bytes of shared, zero-initialized-at-creation
+    /// memory, 8-byte aligned.
+    ///
+    /// # Safety
+    /// `base` must stay valid (the mapping must outlive the ring view),
+    /// and across all processes at most one endpoint may produce and one
+    /// consume.
+    pub unsafe fn at(base: *mut u8, slots: u32, payload_capacity: u32) -> RawRing {
+        assert!(slots.is_power_of_two(), "slot count must be a power of two");
+        debug_assert_eq!(base as usize % 8, 0, "ring base must be 8-byte aligned");
+        RawRing {
+            head: base as *const AtomicU32,
+            tail: unsafe { base.add(64) } as *const AtomicU32,
+            slots_base: unsafe { base.add(RING_CTRL_BYTES) },
+            slots,
+            slot_bytes: SLOT_HDR_BYTES as u32 + payload_capacity,
+        }
+    }
+
+    fn head(&self) -> &AtomicU32 {
+        unsafe { &*self.head }
+    }
+
+    fn tail(&self) -> &AtomicU32 {
+        unsafe { &*self.tail }
+    }
+
+    fn slot(&self, cursor: u32) -> *mut u8 {
+        let idx = (cursor & (self.slots - 1)) as usize;
+        unsafe { self.slots_base.add(idx * self.slot_bytes as usize) }
+    }
+
+    /// Frame bytes one slot can carry.
+    pub fn payload_capacity(&self) -> usize {
+        self.slot_bytes as usize - SLOT_HDR_BYTES
+    }
+
+    /// Slots currently free for the producer. The consumer may be
+    /// retiring concurrently, so this is a lower bound there and exact
+    /// from the producer's own thread between its pushes.
+    pub fn free(&self) -> usize {
+        let t = self.tail().load(Ordering::Relaxed);
+        let h = self.head().load(Ordering::Acquire);
+        (self.slots - t.wrapping_sub(h)) as usize
+    }
+
+    /// Frames currently queued (consumer-side lower bound).
+    pub fn occupied(&self) -> usize {
+        let t = self.tail().load(Ordering::Acquire);
+        let h = self.head().load(Ordering::Relaxed);
+        t.wrapping_sub(h) as usize
+    }
+
+    /// Producer: reserve the next slot, let `write` fill it, publish.
+    ///
+    /// `write` gets the slot's payload region and returns the frame
+    /// length actually written, or `None` to abandon the reservation
+    /// (nothing is published). Returns `None` when the ring is full,
+    /// `Some(result_of_write)` otherwise.
+    pub fn try_push<T>(&self, write: impl FnOnce(&mut [u8]) -> Option<T>) -> Option<Option<T>>
+    where
+        T: FrameLen,
+    {
+        let t = self.tail().load(Ordering::Relaxed);
+        let h = self.head().load(Ordering::Acquire);
+        if t.wrapping_sub(h) == self.slots {
+            return None; // full
+        }
+        let slot = self.slot(t);
+        let payload = unsafe {
+            std::slice::from_raw_parts_mut(slot.add(SLOT_HDR_BYTES), self.payload_capacity())
+        };
+        let out = write(payload);
+        if let Some(v) = &out {
+            let len = v.frame_len() as u32;
+            debug_assert!(len as usize <= self.payload_capacity());
+            unsafe {
+                (slot as *mut u32).write(len);
+            }
+            // The doorbell: everything above becomes visible with this
+            // one release store.
+            self.tail().store(t.wrapping_add(1), Ordering::Release);
+        }
+        Some(out)
+    }
+
+    /// Consumer: read the oldest frame out through `read`, retire the
+    /// slot. Returns `None` when the ring is empty.
+    pub fn try_pop<T>(&self, read: impl FnOnce(&[u8]) -> T) -> Option<T> {
+        let h = self.head().load(Ordering::Relaxed);
+        let t = self.tail().load(Ordering::Acquire);
+        if h == t {
+            return None; // empty
+        }
+        let slot = self.slot(h);
+        let len = unsafe { (slot as *const u32).read() } as usize;
+        debug_assert!(len <= self.payload_capacity(), "corrupt slot length");
+        let frame = unsafe { std::slice::from_raw_parts(slot.add(SLOT_HDR_BYTES), len) };
+        let out = read(frame);
+        // License the producer to overwrite the slot.
+        self.head().store(h.wrapping_add(1), Ordering::Release);
+        Some(out)
+    }
+}
+
+/// Types [`RawRing::try_push`] can publish: anything that knows the
+/// frame length it wrote.
+pub trait FrameLen {
+    /// Bytes of frame written into the slot.
+    fn frame_len(&self) -> usize;
+}
+
+impl FrameLen for usize {
+    fn frame_len(&self) -> usize {
+        *self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An owned, heap-backed ring for protocol tests (the segment layer
+    /// provides the mmap-backed version).
+    struct OwnedRing {
+        /// Keeps the storage the ring points into alive.
+        _buf: Vec<u64>, // u64 storage guarantees 8-byte alignment
+        ring: RawRing,
+    }
+
+    fn owned(slots: u32, payload: u32) -> OwnedRing {
+        let bytes = RawRing::bytes_for(slots, payload);
+        let mut buf = vec![0u64; bytes.div_ceil(8)];
+        let ring = unsafe { RawRing::at(buf.as_mut_ptr() as *mut u8, slots, payload) };
+        OwnedRing { _buf: buf, ring }
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let r = owned(4, 64);
+        let pushed = r.ring.try_push(|slot| {
+            slot[..5].copy_from_slice(b"hello");
+            Some(5usize)
+        });
+        assert!(matches!(pushed, Some(Some(5))));
+        let got = r.ring.try_pop(|frame| frame.to_vec()).expect("one frame");
+        assert_eq!(got, b"hello");
+        assert!(r.ring.try_pop(|_| ()).is_none(), "drained");
+    }
+
+    #[test]
+    fn full_ring_rejects_without_overwrite() {
+        let r = owned(2, 16);
+        for i in 0..2u8 {
+            let ok = r.ring.try_push(|slot| {
+                slot[0] = i;
+                Some(1usize)
+            });
+            assert!(matches!(ok, Some(Some(1))));
+        }
+        assert!(r.ring.try_push(|_| Some(1usize)).is_none(), "full");
+        assert_eq!(r.ring.free(), 0);
+        assert_eq!(r.ring.occupied(), 2);
+        // The queued frames are intact, in order.
+        assert_eq!(r.ring.try_pop(|f| f[0]), Some(0));
+        assert_eq!(r.ring.try_pop(|f| f[0]), Some(1));
+    }
+
+    #[test]
+    fn abandoned_reservation_publishes_nothing() {
+        let r = owned(4, 16);
+        let out = r.ring.try_push(|_slot| Option::<usize>::None);
+        assert!(matches!(out, Some(None)), "reservation made, not published");
+        assert_eq!(r.ring.occupied(), 0);
+        assert!(r.ring.try_pop(|_| ()).is_none());
+    }
+}

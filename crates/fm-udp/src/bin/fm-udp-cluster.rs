@@ -23,6 +23,22 @@
 //! mandatory over UDP — so the run completes with zero message loss at
 //! the FM API even under `--drop`-injected datagram loss; the `STATS`
 //! lines show the retransmission machinery paying for it.
+//!
+//! `--transport` picks the fabric under the same workloads:
+//!
+//! * `udp` (default) — every pair talks UDP, exactly as above.
+//! * `shm` — every pair talks through `fm-shm` mapped segments; the
+//!   processes must share a host. The device is lossless, so the engine
+//!   runs `TrustSubstrate` (no retransmission sublayer). The UDP socket
+//!   is still bound for the spawn handshake, then dropped.
+//! * `routed` — a `fm-route` composite: `--hosts 0,0,1,1` (default:
+//!   first half / second half) assigns ranks to simulated hosts;
+//!   same-host pairs ride shared memory, cross-host pairs ride UDP, and
+//!   the collective workloads run the hierarchy-aware (leader-per-host)
+//!   schedules over that placement.
+//!
+//! Churn (`--workload churn`, `--churn-kill`) stays UDP-only: shm
+//! segments are per-run and have no rejoin protocol.
 
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::SocketAddr;
@@ -35,6 +51,8 @@ use fm_core::packet::HandlerId;
 use fm_core::{Fm2Engine, LogHistogram, ObsSink, Reliability, RetransmitConfig};
 use fm_model::workload::{decode_stamp, encode_stamp, Shape, WorkloadSpec, STAMP_BYTES};
 use fm_model::MachineProfile;
+use fm_route::{HostMap, RoutedDevice};
+use fm_shm::{ShmConfig, ShmDevice};
 use fm_udp::{UdpConfig, UdpDevice};
 
 const PING: HandlerId = HandlerId(1);
@@ -54,6 +72,10 @@ struct Opts {
     trace: Option<String>,
     join_timeout_s: u64,
     workload: Workload,
+    transport: Transport,
+    /// `--transport routed` placement: host id per rank. `None` defaults
+    /// to first half on host 0, second half on host 1.
+    hosts: Option<Vec<usize>>,
     /// This process is a restarted incarnation rejoining a live run
     /// (set by the parent's churn restart; relaxes end-of-run checks
     /// that assume the node saw the whole stream).
@@ -68,6 +90,27 @@ struct Opts {
     /// `spawn` only: kill without restarting — survivors must detect the
     /// loss and finish (or abort loudly) on their own.
     churn_no_restart: bool,
+}
+
+/// Which fabric carries the frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// UDP between every pair (the original binary).
+    Udp,
+    /// `fm-shm` mapped segments between every pair (one host).
+    Shm,
+    /// `fm-route`: shm within a simulated host, UDP across.
+    Routed,
+}
+
+impl Transport {
+    fn flag(self) -> &'static str {
+        match self {
+            Transport::Udp => "udp",
+            Transport::Shm => "shm",
+            Transport::Routed => "routed",
+        }
+    }
 }
 
 /// What the cluster actually runs after the join barrier.
@@ -118,6 +161,8 @@ impl Default for Opts {
             trace: None,
             join_timeout_s: 10,
             workload: Workload::Auto,
+            transport: Transport::Udp,
+            hosts: None,
             rejoin: false,
             churn_kill: None,
             churn_at_ms: 300,
@@ -132,20 +177,25 @@ fn usage() -> ! {
         "usage:\n  \
          fm-udp-cluster spawn --nodes N [--rounds R] [--msg-size B] [--drop P] \
          [--seed S] [--workload auto|barrier|allreduce|churn|uniform|hotspot|\
-         incast|shuffle] [--trace DIR] \
+         incast|shuffle] [--transport udp|shm|routed] [--hosts h0,h1,...] \
+         [--trace DIR] \
          [--churn-kill I] [--churn-at-ms T] [--churn-restart-ms T] \
          [--churn-no-restart]\n  \
          fm-udp-cluster node --node-id I --nodes N [--peers a0,a1,...] \
          [--bind ADDR] [--epoch E] [--rounds R] [--msg-size B] [--drop P] \
          [--seed S] [--workload auto|barrier|allreduce|churn|uniform|hotspot|\
-         incast|shuffle] [--trace DIR] \
+         incast|shuffle] [--transport udp|shm|routed] [--hosts h0,h1,...] \
+         [--trace DIR] \
          [--rejoin]\n\n\
          spawn forks N `node` children on loopback and wires them up; `node` \
          with --peers joins a manually-assembled cluster (all nodes must agree \
          on the peer order; each picks its own --epoch incarnation). \
          --churn-kill SIGKILLs node I at --churn-at-ms and (unless \
          --churn-no-restart) restarts it --churn-restart-ms later under a \
-         bumped epoch; use with --workload churn for a run that tolerates it."
+         bumped epoch; use with --workload churn for a run that tolerates it \
+         (UDP transport only). --transport shm runs every pair over fm-shm \
+         mapped segments; routed splits ranks over simulated --hosts (default \
+         half and half), shm within a host and UDP across."
     );
     std::process::exit(2)
 }
@@ -179,6 +229,23 @@ fn parse(args: &[String]) -> (String, Opts) {
                     },
                 }
             }
+            "--transport" => {
+                o.transport = match val().as_str() {
+                    "udp" => Transport::Udp,
+                    "shm" => Transport::Shm,
+                    "routed" => Transport::Routed,
+                    _ => usage(),
+                }
+            }
+            "--hosts" => {
+                o.hosts = Some(match HostMap::parse(&val()) {
+                    Ok(m) => m.hosts().to_vec(),
+                    Err(e) => {
+                        eprintln!("--hosts: {e}");
+                        usage()
+                    }
+                })
+            }
             "--rejoin" => o.rejoin = true,
             "--churn-kill" => o.churn_kill = Some(val().parse().unwrap_or_else(|_| usage())),
             "--churn-at-ms" => o.churn_at_ms = val().parse().unwrap_or_else(|_| usage()),
@@ -197,6 +264,16 @@ fn parse(args: &[String]) -> (String, Opts) {
     }
     if o.msg_size < 4 {
         o.msg_size = 4; // room for the round counter
+    }
+    if o.transport != Transport::Udp && (o.workload == Workload::Churn || o.churn_kill.is_some()) {
+        eprintln!("churn requires --transport udp: shm segments are per-run, no rejoin protocol");
+        usage()
+    }
+    if let Some(h) = &o.hosts {
+        if h.len() != o.nodes {
+            eprintln!("--hosts lists {} ranks but --nodes is {}", h.len(), o.nodes);
+            usage()
+        }
     }
     (cmd.clone(), o)
 }
@@ -230,8 +307,13 @@ fn node_command(exe: &std::path::Path, opts: &Opts, node_id: usize, epoch: u64) 
         .args(["--epoch", &epoch.to_string()])
         .args(["--join-timeout", &opts.join_timeout_s.to_string()])
         .args(["--workload", opts.workload.flag()])
+        .args(["--transport", opts.transport.flag()])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped());
+    if let Some(h) = &opts.hosts {
+        let list: Vec<String> = h.iter().map(usize::to_string).collect();
+        c.args(["--hosts", &list.join(",")]);
+    }
     if let Some(dir) = &opts.trace {
         c.args(["--trace", dir]);
     }
@@ -415,54 +497,64 @@ fn spawn_cluster(opts: &Opts) {
     println!("OK nodes={} rounds={}", opts.nodes, opts.rounds);
 }
 
-/// Run one node: resolve the peer map (from `--peers` or the stdin
-/// handshake), join the barrier, run the workload, linger until the
-/// reliability sublayer has drained, print `STATS`.
+/// Run one node over the selected transport: resolve the peer map, join
+/// the fabric, run the workload, linger until everything has drained,
+/// print `STATS`.
 fn run_node(opts: &Opts) {
-    let (device, _held) = match &opts.peers {
+    match opts.transport {
+        Transport::Udp => run_node_udp(opts),
+        Transport::Shm => run_node_shm(opts),
+        Transport::Routed => run_node_routed(opts),
+    }
+}
+
+/// stdin handshake: bind ephemeral, announce `ADDR`, wait for the
+/// positional `PEERS` map.
+fn stdin_handshake(opts: &Opts) -> (std::net::UdpSocket, Vec<SocketAddr>) {
+    let socket = std::net::UdpSocket::bind(&opts.bind).expect("bind node socket");
+    let me = socket.local_addr().expect("local addr");
+    println!("ADDR {me}");
+    // Line-buffered stdout would sit on this forever:
+    std::io::stdout().flush().expect("flush ADDR");
+    let mut line = String::new();
+    std::io::stdin()
+        .read_line(&mut line)
+        .expect("read PEERS line");
+    let peers: Vec<SocketAddr> = line
+        .trim()
+        .strip_prefix("PEERS ")
+        .expect("expected 'PEERS a0 a1 ...' on stdin")
+        .split_whitespace()
+        .map(|a| a.parse().expect("peer socket address"))
+        .collect();
+    assert_eq!(peers.len(), opts.nodes, "peer map size vs --nodes");
+    assert_eq!(peers[opts.node_id], me, "own slot in the peer map");
+    (socket, peers)
+}
+
+/// Build the UDP half: `--peers` joins directly, otherwise the stdin
+/// handshake supplies the map.
+fn udp_device(opts: &Opts) -> UdpDevice {
+    match &opts.peers {
         Some(peers) => {
-            let d = UdpDevice::bind(opts.node_id, peers.clone(), udp_cfg(opts))
-                .expect("bind node socket");
-            (d, None)
+            UdpDevice::bind(opts.node_id, peers.clone(), udp_cfg(opts)).expect("bind node socket")
         }
         None => {
-            // stdin handshake: bind ephemeral, announce, wait for the map.
-            let socket = std::net::UdpSocket::bind(&opts.bind).expect("bind node socket");
-            let me = socket.local_addr().expect("local addr");
-            println!("ADDR {me}");
-            // Line-buffered stdout would sit on this forever:
-            std::io::stdout().flush().expect("flush ADDR");
-            let mut line = String::new();
-            std::io::stdin()
-                .read_line(&mut line)
-                .expect("read PEERS line");
-            let peers: Vec<SocketAddr> = line
-                .trim()
-                .strip_prefix("PEERS ")
-                .expect("expected 'PEERS a0 a1 ...' on stdin")
-                .split_whitespace()
-                .map(|a| a.parse().expect("peer socket address"))
-                .collect();
-            assert_eq!(peers.len(), opts.nodes, "peer map size vs --nodes");
-            assert_eq!(peers[opts.node_id], me, "own slot in the peer map");
-            let d = UdpDevice::from_socket(socket, opts.node_id, peers, udp_cfg(opts))
-                .expect("wrap node socket");
-            (d, Some(()))
+            let (socket, peers) = stdin_handshake(opts);
+            UdpDevice::from_socket(socket, opts.node_id, peers, udp_cfg(opts))
+                .expect("wrap node socket")
         }
-    };
+    }
+}
 
-    let mut device = device;
-    device
-        .join(Duration::from_secs(opts.join_timeout_s))
-        .expect("join barrier");
-
-    // Adaptive reliability over a real network: RTT-sampled RTO and an
-    // AIMD send window, instead of the simulator's fixed constants.
-    let fm = Fm2Engine::with_reliability(
-        device,
-        MachineProfile::ppro200_fm2(),
-        Reliability::Retransmit(RetransmitConfig::adaptive()),
-    );
+/// Attach tracing, arm the mid-workload failure tripwire, run the
+/// workload, linger, and write the trace out. Returns the workload's
+/// wall time. Shared by every transport.
+fn drive_workload<D: fm_core::NetDevice + 'static>(
+    fm: &Fm2Engine<D>,
+    opts: &Opts,
+    hosts: Option<&[usize]>,
+) -> Duration {
     let sink = opts.trace.as_ref().map(|_| {
         let s = ObsSink::new(1 << 16);
         fm.attach_obs(s.clone());
@@ -494,17 +586,57 @@ fn run_node(opts: &Opts) {
 
     let started = Instant::now();
     match opts.workload {
-        Workload::Auto if opts.nodes == 2 => ping_pong(&fm, opts),
-        Workload::Auto => ring(&fm, opts),
-        Workload::Barrier => barrier_workload(&fm, opts),
-        Workload::Allreduce => allreduce_workload(&fm, opts),
-        Workload::Churn => churn_workload(&fm, opts),
-        Workload::Shape(shape) => shape_workload(&fm, opts, shape),
+        Workload::Auto if opts.nodes == 2 => ping_pong(fm, opts),
+        Workload::Auto => ring(fm, opts),
+        Workload::Barrier => barrier_workload(fm, opts, hosts),
+        Workload::Allreduce => allreduce_workload(fm, opts, hosts),
+        Workload::Churn => churn_workload(fm, opts),
+        Workload::Shape(shape) => shape_workload(fm, opts, shape),
     }
     let elapsed = started.elapsed();
     workload_active.set(false);
 
-    linger(&fm);
+    linger(fm);
+
+    if let Some(sink) = sink {
+        let dir = opts.trace.as_deref().unwrap();
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let path = format!("{dir}/trace-node{}.json", opts.node_id);
+        std::fs::write(&path, chrome_trace_json(&sink.events(), &[])).expect("write trace");
+        println!("TRACE {path}");
+    }
+    elapsed
+}
+
+/// Per-operation microseconds for the workloads where node 0's wall
+/// time divides cleanly by `--rounds` (ping-pong round trips, barrier
+/// and allreduce operations); NaN elsewhere.
+fn per_op_us(opts: &Opts, elapsed: Duration) -> f64 {
+    if opts.node_id == 0
+        && (opts.workload == Workload::Barrier
+            || opts.workload == Workload::Allreduce
+            || (opts.workload == Workload::Auto && opts.nodes == 2))
+    {
+        elapsed.as_secs_f64() * 1e6 / opts.rounds.max(1) as f64
+    } else {
+        f64::NAN
+    }
+}
+
+fn run_node_udp(opts: &Opts) {
+    let mut device = udp_device(opts);
+    device
+        .join(Duration::from_secs(opts.join_timeout_s))
+        .expect("join barrier");
+
+    // Adaptive reliability over a real network: RTT-sampled RTO and an
+    // AIMD send window, instead of the simulator's fixed constants.
+    let fm = Fm2Engine::with_reliability(
+        device,
+        MachineProfile::ppro200_fm2(),
+        Reliability::Retransmit(RetransmitConfig::adaptive()),
+    );
+    let elapsed = drive_workload(&fm, opts, None);
 
     let st = fm.stats();
     let udp = fm.with_device(|d| d.stats());
@@ -521,15 +653,7 @@ fn run_node(opts: &Opts) {
         opts.rounds,
         elapsed.as_secs_f64() * 1e3,
         // Per-round-trip for ping-pong; per-operation for collectives.
-        if opts.node_id == 0
-            && (opts.workload == Workload::Barrier
-                || opts.workload == Workload::Allreduce
-                || (opts.workload == Workload::Auto && opts.nodes == 2))
-        {
-            elapsed.as_secs_f64() * 1e6 / opts.rounds.max(1) as f64
-        } else {
-            f64::NAN
-        },
+        per_op_us(opts, elapsed),
         st.retransmissions,
         st.retransmit_timeouts,
         st.acks_sent,
@@ -550,13 +674,111 @@ fn run_node(opts: &Opts) {
     // Part on the record: a goodbye burst turns our absence from a
     // suspicion timeout into an immediate, explicit Down at the peers.
     fm.with_device(|d| d.leave());
-    if let Some(sink) = sink {
-        let dir = opts.trace.as_deref().unwrap();
-        std::fs::create_dir_all(dir).expect("create trace dir");
-        let path = format!("{dir}/trace-node{}.json", opts.node_id);
-        std::fs::write(&path, chrome_trace_json(&sink.events(), &[])).expect("write trace");
-        println!("TRACE {path}");
+    assert!(errors.is_empty(), "engine reported errors: {errors:?}");
+}
+
+fn run_node_shm(opts: &Opts) {
+    // The spawn handshake doubles as the start barrier even though shm
+    // needs no addresses; manual `node --peers` invocations skip it.
+    if opts.peers.is_none() {
+        let _ = stdin_handshake(opts);
     }
+    let local_peers: Vec<usize> = (0..opts.nodes).filter(|&p| p != opts.node_id).collect();
+    let mut device = ShmDevice::open(opts.node_id, opts.nodes, &local_peers, shm_cfg(opts))
+        .expect("open shm segments");
+    device
+        .join(Duration::from_secs(opts.join_timeout_s))
+        .expect("shm join barrier");
+
+    // The rings are lossless and in-order, so FM's guarantees come
+    // straight from the substrate: no retransmission sublayer.
+    let fm = Fm2Engine::new(device, MachineProfile::ppro200_fm2());
+    let elapsed = drive_workload(&fm, opts, None);
+
+    let sh = fm.with_device(|d| d.stats());
+    let errors = fm.take_errors();
+    println!(
+        "STATS node={} rounds={} elapsed_ms={:.1} op_us={:.2} \
+         frames_sent={} bytes_sent={} frames_recv={} bytes_recv={} \
+         self_frames={} full_rejections={} corrupt={} errors={}",
+        opts.node_id,
+        opts.rounds,
+        elapsed.as_secs_f64() * 1e3,
+        per_op_us(opts, elapsed),
+        sh.frames_sent,
+        sh.bytes_sent,
+        sh.frames_recv,
+        sh.bytes_recv,
+        sh.self_frames,
+        sh.full_rejections,
+        sh.corrupt_frames,
+        errors.len(),
+    );
+    assert!(errors.is_empty(), "engine reported errors: {errors:?}");
+}
+
+fn run_node_routed(opts: &Opts) {
+    // Default placement: first half of the ranks on host 0, second half
+    // on host 1 — the canonical mixed-locality shape.
+    let hosts: Vec<usize> = opts.hosts.clone().unwrap_or_else(|| {
+        (0..opts.nodes)
+            .map(|r| usize::from(r >= opts.nodes / 2))
+            .collect()
+    });
+    let map = HostMap::new(hosts.clone());
+
+    // UDP half first (it also provides the composite's clock), then the
+    // shm half toward co-located ranks only. Join order is uniform
+    // across ranks, so neither barrier can deadlock the other.
+    let mut udp = udp_device(opts);
+    udp.join(Duration::from_secs(opts.join_timeout_s))
+        .expect("udp join barrier");
+    let local_peers = map.local_peers(opts.node_id);
+    let mut shm = ShmDevice::open(opts.node_id, opts.nodes, &local_peers, shm_cfg(opts))
+        .expect("open shm segments");
+    shm.join(Duration::from_secs(opts.join_timeout_s))
+        .expect("shm join barrier");
+    let device = RoutedDevice::new(shm, udp, map);
+
+    // The cross-host half is lossy UDP, so the engine keeps the adaptive
+    // retransmission sublayer (correct, if redundant, over the shm half).
+    let fm = Fm2Engine::with_reliability(
+        device,
+        MachineProfile::ppro200_fm2(),
+        Reliability::Retransmit(RetransmitConfig::adaptive()),
+    );
+    // The placement feeds the hierarchy-aware collectives: barrier and
+    // allreduce run leader-per-host schedules over this exact map.
+    let elapsed = drive_workload(&fm, opts, Some(&hosts));
+
+    let st = fm.stats();
+    let (route, sh, udp) = fm.with_device(|d| {
+        let r = d.stats();
+        let s = d.local_mut().stats();
+        let u = d.remote_mut().stats();
+        (r, s, u)
+    });
+    let errors = fm.take_errors();
+    println!(
+        "STATS node={} rounds={} elapsed_ms={:.1} op_us={:.2} \
+         local_sent={} remote_sent={} local_recv={} remote_recv={} \
+         shm_frames_sent={} udp_frames_sent={} retransmits={} timeouts={} \
+         errors={}",
+        opts.node_id,
+        opts.rounds,
+        elapsed.as_secs_f64() * 1e3,
+        per_op_us(opts, elapsed),
+        route.local_sent,
+        route.remote_sent,
+        route.local_recv,
+        route.remote_recv,
+        sh.frames_sent,
+        udp.frames_sent,
+        st.retransmissions,
+        st.retransmit_timeouts,
+        errors.len(),
+    );
+    fm.with_device(|d| d.remote_mut().leave());
     assert!(errors.is_empty(), "engine reported errors: {errors:?}");
 }
 
@@ -566,6 +788,16 @@ fn udp_cfg(opts: &Opts) -> UdpConfig {
         drop_outbound: opts.drop,
         drop_seed: opts.seed,
         ..UdpConfig::default()
+    }
+}
+
+fn shm_cfg(opts: &Opts) -> ShmConfig {
+    ShmConfig {
+        // Every child of one spawn shares the parent's epoch stamp, so
+        // segment names agree within the run and differ across runs.
+        run_id: format!("cluster-{:x}", opts.epoch),
+        attach_timeout: Duration::from_secs(opts.join_timeout_s),
+        ..ShmConfig::default()
     }
 }
 
@@ -656,9 +888,14 @@ fn ring<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
 /// lost or duplicated barrier message would either wedge the run (the
 /// join timeout catches it) or let a rank escape a round early, which
 /// the next round's tag mismatch would surface.
-fn barrier_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
+fn barrier_workload<D: fm_core::NetDevice + 'static>(
+    fm: &Fm2Engine<D>,
+    opts: &Opts,
+    hosts: Option<&[usize]>,
+) {
     use mpi_fm::Mpi;
     let mut mpi = mpi_fm::Mpi2::new(fm.clone());
+    mpi.set_coll_hosts(hosts.map(<[usize]>::to_vec));
     for _ in 0..opts.rounds {
         mpi.barrier();
     }
@@ -667,9 +904,14 @@ fn barrier_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &O
 /// `--rounds` sum-allreduces of `--msg-size` bytes; every rank checks
 /// the full result vector every round, so a single corrupted or stale
 /// element anywhere in the cluster fails the run.
-fn allreduce_workload<D: fm_core::NetDevice + 'static>(fm: &Fm2Engine<D>, opts: &Opts) {
+fn allreduce_workload<D: fm_core::NetDevice + 'static>(
+    fm: &Fm2Engine<D>,
+    opts: &Opts,
+    hosts: Option<&[usize]>,
+) {
     use mpi_fm::{Mpi, ReduceOp};
     let mut mpi = mpi_fm::Mpi2::new(fm.clone());
+    mpi.set_coll_hosts(hosts.map(<[usize]>::to_vec));
     let elems = (opts.msg_size / 8).max(1);
     let n = opts.nodes;
     for round in 0..opts.rounds as usize {

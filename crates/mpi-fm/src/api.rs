@@ -18,6 +18,7 @@
 
 use crate::collectives::{AllreduceOp, BarrierOp, BcastOp, GatherOp, ReduceToRootOp, ScatterOp};
 use crate::comm::{CollConfig, CollPhase};
+use crate::hier::{HierAllreduceOp, HierBarrierOp, HierBcastOp, HostGeometry};
 use crate::types::{RecvReq, SendReq, Status};
 use crate::wire::{coll_tag, CollKind};
 
@@ -97,6 +98,19 @@ pub trait Mpi {
         CollConfig::default()
     }
 
+    /// The host each rank lives on (`hosts[r]` = host id of rank `r`),
+    /// when the transport knows the placement — e.g. a routed device
+    /// composing shared memory within hosts and a network across them.
+    /// When this returns a map covering every rank with at least two
+    /// distinct hosts, the blocking `barrier`/`bcast`/`allreduce`
+    /// wrappers switch to the two-level schedules in [`crate::hier`]
+    /// for small payloads. Like [`Mpi::coll_config`], every rank must
+    /// return the same map (it is part of the distributed
+    /// algorithm-choice agreement). Default: `None` — flat schedules.
+    fn coll_hosts(&self) -> Option<&[usize]> {
+        None
+    }
+
     /// A peer rank the transport's failure detector has confirmed lost
     /// (`Down` — terminal for that incarnation), if any. The blocking
     /// wrappers and collective drivers poll this between progress steps
@@ -163,11 +177,19 @@ pub trait Mpi {
     // ---- collectives (blocking drivers over crate::collectives) ----
 
     /// Dissemination barrier: ⌈log₂ n⌉ rounds, each rank sends to
-    /// `rank + 2^k` and hears from `rank - 2^k`.
+    /// `rank + 2^k` and hears from `rank - 2^k`. With a hierarchical
+    /// host map configured ([`Mpi::coll_hosts`]), runs the two-level
+    /// leader barrier instead: ⌈log₂ H⌉ cross-host rounds plus local
+    /// gather/release.
     fn barrier(&mut self)
     where
         Self: Sized,
     {
+        if let Some(geo) = hier_geometry(self) {
+            let mut op = HierBarrierOp::new(self, &geo);
+            drive(self, |mpi| op.poll(mpi));
+            return;
+        }
         let mut op = BarrierOp::new(self);
         drive(self, |mpi| op.poll(mpi));
     }
@@ -181,6 +203,17 @@ pub trait Mpi {
     where
         Self: Sized,
     {
+        // Two-level only below the pipeline threshold: large payloads
+        // stay on the segmented chain pipeline, whose bandwidth the
+        // hierarchy cannot beat. `max_len` gates (identical on every
+        // rank), not the root's actual length, so all ranks agree.
+        if max_len < self.coll_config().pipeline_threshold {
+            if let Some(geo) = hier_geometry(self) {
+                let mut op = HierBcastOp::new(self, root, data, max_len, &geo);
+                drive(self, |mpi| op.poll(mpi));
+                return op.take_result();
+            }
+        }
         let mut op = BcastOp::new(self, root, data, max_len);
         drive(self, |mpi| op.poll(mpi));
         op.take_result()
@@ -206,6 +239,17 @@ pub trait Mpi {
     where
         Self: Sized,
     {
+        // Same gate as bcast: small payloads take the two-level
+        // schedule when a hierarchical host map is configured; large
+        // ones keep the bandwidth-optimal ring. `contrib.len()` is
+        // required identical on every rank, so the choice agrees.
+        if contrib.len() < self.coll_config().pipeline_threshold {
+            if let Some(geo) = hier_geometry(self) {
+                let mut a = HierAllreduceOp::new(self, contrib, op, &geo);
+                drive(self, |mpi| a.poll(mpi));
+                return a.take_result();
+            }
+        }
         let mut a = AllreduceOp::new(self, contrib, op);
         drive(self, |mpi| a.poll(mpi));
         a.take_result()
@@ -272,6 +316,19 @@ pub trait Mpi {
         }
         out
     }
+}
+
+/// The host geometry for the two-level collective schedules, when the
+/// transport's host map makes them worthwhile: it must cover every rank
+/// and span at least two hosts (a single-host map degenerates to the
+/// flat schedules, which are strictly better there).
+fn hier_geometry<M: Mpi + ?Sized>(mpi: &M) -> Option<HostGeometry> {
+    let hosts = mpi.coll_hosts()?;
+    if hosts.len() != mpi.size() {
+        return None;
+    }
+    let geo = HostGeometry::new(mpi.rank(), hosts);
+    geo.is_hierarchical().then_some(geo)
 }
 
 /// Blocking driver: poll a collective state machine to completion,

@@ -1,0 +1,800 @@
+//! Hierarchy-aware collectives: leader-per-host two-level schedules.
+//!
+//! When ranks are spread across hosts — shared memory within a host,
+//! a network between hosts — the flat schedules in
+//! [`crate::collectives`] waste the asymmetry: a dissemination barrier
+//! crosses the wire on almost every round, and a binomial allreduce
+//! ships every rank's contribution across hosts individually. The
+//! two-level shape fixes the accounting: combine *within* each host
+//! first over the cheap fabric, cross the expensive fabric once per
+//! host, then fan back out locally.
+//!
+//! Each operation runs in three phases, tag-partitioned by round
+//! offsets inside one collective sequence number so nothing collides:
+//!
+//! 1. **Local gather** (round base [`R_LOCAL`]) — non-leader ranks send
+//!    to their host leader (the lowest rank on the host).
+//! 2. **Leader exchange** (round bases [`R_LEADER`] / [`R_LEADER_BC`])
+//!    — only leaders talk, one message per host in each direction:
+//!    dissemination among leaders for barrier, reduce-to-first-leader
+//!    plus leader broadcast for allreduce, root-leader fan-out for
+//!    bcast.
+//! 3. **Local release** (round base [`R_RELEASE`]) — leaders fan
+//!    results back out to their host members.
+//!
+//! Reduction fold order is fixed by *structure* (ascending rank within
+//! a host, ascending host at the leader level), never by arrival
+//! timing, so results are deterministic run-to-run. Note the order
+//! differs from the flat binomial fold, so `f64` sums can differ from
+//! the flat path in the last ulp — exactly as MPI permits between
+//! algorithms; integer operations are bitwise identical. The blocking
+//! wrappers select these schedules only when a host map with at least
+//! two hosts is configured (see [`crate::Mpi::coll_hosts`]), and only
+//! below the pipeline threshold: large payloads stay on the flat ring
+//! paths, whose bandwidth optimality a hierarchy cannot beat.
+
+use crate::api::{Mpi, ReduceOp};
+use crate::comm::CollPhase;
+use crate::types::{RecvReq, SendReq};
+use crate::wire::{coll_tag, CollKind};
+
+/// Round base for the local-gather phase.
+pub const R_LOCAL: u32 = 0x100;
+/// Round base for the leader-exchange phase (dissemination rounds and
+/// the reduce-to-first-leader hop live here).
+pub const R_LEADER: u32 = 0x200;
+/// Round base for the leader-level broadcast-back hop of allreduce.
+pub const R_LEADER_BC: u32 = 0x280;
+/// Round base for the local-release phase.
+pub const R_RELEASE: u32 = 0x300;
+
+/// Rank → host geometry for the two-level schedules: which host each
+/// rank lives on, who leads each host (its lowest rank), and this
+/// rank's place in it. Every rank must construct it from the *same*
+/// host map or the schedules disagree and the operation wedges.
+#[derive(Debug, Clone)]
+pub struct HostGeometry {
+    rank: usize,
+    hosts: Vec<usize>,
+    /// Host leaders, ordered by ascending host id — the canonical
+    /// leader-level rank order.
+    leaders: Vec<usize>,
+    /// This rank's host's position in `leaders`.
+    my_leader_index: usize,
+}
+
+impl HostGeometry {
+    /// Build the geometry for `rank` under `hosts` (one host id per
+    /// rank).
+    pub fn new(rank: usize, hosts: &[usize]) -> HostGeometry {
+        assert!(rank < hosts.len(), "rank outside the host map");
+        let mut host_ids: Vec<usize> = hosts.to_vec();
+        host_ids.sort_unstable();
+        host_ids.dedup();
+        let leaders: Vec<usize> = host_ids
+            .iter()
+            .map(|&h| {
+                (0..hosts.len())
+                    .find(|&r| hosts[r] == h)
+                    .expect("every host id has a rank")
+            })
+            .collect();
+        let my_host = hosts[rank];
+        let my_leader_index = host_ids
+            .iter()
+            .position(|&h| h == my_host)
+            .expect("own host present");
+        HostGeometry {
+            rank,
+            hosts: hosts.to_vec(),
+            leaders,
+            my_leader_index,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// The leader (lowest rank) of this rank's host.
+    pub fn my_leader(&self) -> usize {
+        self.leaders[self.my_leader_index]
+    }
+
+    /// Whether this rank leads its host.
+    pub fn is_leader(&self) -> bool {
+        self.my_leader() == self.rank
+    }
+
+    /// Host leaders in canonical (ascending host id) order.
+    pub fn leaders(&self) -> &[usize] {
+        &self.leaders
+    }
+
+    /// This host's position in [`HostGeometry::leaders`].
+    pub fn leader_index(&self) -> usize {
+        self.my_leader_index
+    }
+
+    /// The leader of the host `r` lives on.
+    pub fn leader_of(&self, r: usize) -> usize {
+        let h = self.hosts[r];
+        self.leaders[self
+            .leaders
+            .iter()
+            .position(|&l| self.hosts[l] == h)
+            .expect("host has a leader")]
+    }
+
+    /// Ranks on this rank's host, ascending, excluding this rank.
+    pub fn local_others(&self) -> Vec<usize> {
+        let h = self.hosts[self.rank];
+        (0..self.hosts.len())
+            .filter(|&r| r != self.rank && self.hosts[r] == h)
+            .collect()
+    }
+
+    /// Whether the map is genuinely hierarchical (at least two hosts,
+    /// so the two-level schedules have a leader level to win on).
+    pub fn is_hierarchical(&self) -> bool {
+        self.num_hosts() >= 2
+    }
+}
+
+// ---------------------------------------------------------------- barrier
+
+enum HBarrierState {
+    /// Non-leader: report to the leader, wait for the release.
+    Member {
+        report: SendReq,
+        release: RecvReq,
+    },
+    /// Leader: wait for every local member's report.
+    Gather {
+        recvs: Vec<RecvReq>,
+    },
+    /// Leader: dissemination among leaders.
+    Leaders {
+        dist: usize,
+        round: u32,
+        pair: Option<(SendReq, RecvReq)>,
+    },
+    /// Leader: releases in flight to local members.
+    Release {
+        sends: Vec<SendReq>,
+    },
+    Done,
+}
+
+/// Two-level barrier: local gather to each host leader, dissemination
+/// among leaders (⌈log₂ H⌉ cross-host rounds instead of ⌈log₂ n⌉), and
+/// a local release.
+pub struct HierBarrierOp {
+    geo: HostGeometry,
+    seq: u32,
+    state: HBarrierState,
+}
+
+impl HierBarrierOp {
+    /// Start a hierarchical barrier.
+    pub fn new<M: Mpi + ?Sized>(mpi: &mut M, geo: &HostGeometry) -> Self {
+        let geo = geo.clone();
+        let seq = mpi.next_coll_seq();
+        mpi.obs_coll(CollPhase::Start, CollKind::Barrier, seq, 0, 0);
+        let state = if geo.num_ranks() <= 1 {
+            mpi.obs_coll(CollPhase::End, CollKind::Barrier, seq, 0, 0);
+            HBarrierState::Done
+        } else if geo.is_leader() {
+            let tag = coll_tag(CollKind::Barrier, seq, R_LOCAL);
+            let recvs = geo
+                .local_others()
+                .into_iter()
+                .map(|r| mpi.irecv(Some(r), Some(tag), 0))
+                .collect();
+            HBarrierState::Gather { recvs }
+        } else {
+            let leader = geo.my_leader();
+            let report = mpi.isend(
+                leader,
+                coll_tag(CollKind::Barrier, seq, R_LOCAL),
+                Vec::new(),
+            );
+            let release = mpi.irecv(
+                Some(leader),
+                Some(coll_tag(CollKind::Barrier, seq, R_RELEASE)),
+                0,
+            );
+            HBarrierState::Member { report, release }
+        };
+        HierBarrierOp { geo, seq, state }
+    }
+
+    /// Advance; `true` when this rank has passed the barrier.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        loop {
+            match &mut self.state {
+                HBarrierState::Member { report, release } => {
+                    if !(report.is_done() && release.is_done()) {
+                        return false;
+                    }
+                    mpi.obs_coll(CollPhase::End, CollKind::Barrier, self.seq, 0, 0);
+                    self.state = HBarrierState::Done;
+                }
+                HBarrierState::Gather { recvs } => {
+                    if !recvs.iter().all(RecvReq::is_done) {
+                        return false;
+                    }
+                    mpi.obs_coll(CollPhase::Round, CollKind::Barrier, self.seq, R_LOCAL, 0);
+                    self.state = HBarrierState::Leaders {
+                        dist: 1,
+                        round: 0,
+                        pair: None,
+                    };
+                }
+                HBarrierState::Leaders { dist, round, pair } => {
+                    let leaders = self.geo.leaders();
+                    let li = self.geo.leader_index();
+                    let h = leaders.len();
+                    match pair {
+                        None => {
+                            if *dist >= h {
+                                let tag = coll_tag(CollKind::Barrier, self.seq, R_RELEASE);
+                                let sends = self
+                                    .geo
+                                    .local_others()
+                                    .into_iter()
+                                    .map(|r| mpi.isend(r, tag, Vec::new()))
+                                    .collect();
+                                self.state = HBarrierState::Release { sends };
+                                continue;
+                            }
+                            let tag = coll_tag(CollKind::Barrier, self.seq, R_LEADER + *round);
+                            let dst = leaders[(li + *dist) % h];
+                            let src = leaders[(li + h - *dist) % h];
+                            let s = mpi.isend(dst, tag, Vec::new());
+                            let r = mpi.irecv(Some(src), Some(tag), 0);
+                            mpi.obs_coll(
+                                CollPhase::Round,
+                                CollKind::Barrier,
+                                self.seq,
+                                R_LEADER + *round,
+                                0,
+                            );
+                            *pair = Some((s, r));
+                        }
+                        Some((s, r)) => {
+                            if !(s.is_done() && r.is_done()) {
+                                return false;
+                            }
+                            *pair = None;
+                            *dist *= 2;
+                            *round += 1;
+                        }
+                    }
+                }
+                HBarrierState::Release { sends } => {
+                    if !sends.iter().all(SendReq::is_done) {
+                        return false;
+                    }
+                    mpi.obs_coll(CollPhase::End, CollKind::Barrier, self.seq, 0, 0);
+                    self.state = HBarrierState::Done;
+                }
+                HBarrierState::Done => return true,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- bcast
+
+enum HBcastState {
+    /// Root, when it doesn't lead its host: ship the buffer to the
+    /// local leader, then wait out that send.
+    RootToLeader {
+        send: SendReq,
+        buf: Vec<u8>,
+    },
+    /// Root's leader (non-root): waiting for the root's buffer.
+    LeaderFromRoot(RecvReq),
+    /// A leader with the buffer: fan out to the other leaders.
+    LeaderFan {
+        sends: Vec<SendReq>,
+        buf: Vec<u8>,
+    },
+    /// A non-root-host leader: waiting for the root's leader.
+    LeaderRecv(RecvReq),
+    /// A leader: local fan-out in flight.
+    LocalFan {
+        sends: Vec<SendReq>,
+        buf: Vec<u8>,
+    },
+    /// A plain member: waiting for the local release.
+    MemberRecv(RecvReq),
+    Finished(Vec<u8>),
+    Taken,
+}
+
+/// Two-level broadcast: the buffer crosses hosts exactly once per host
+/// (root's leader → each other leader), with local hops at either end.
+pub struct HierBcastOp {
+    geo: HostGeometry,
+    root: usize,
+    seq: u32,
+    state: HBcastState,
+}
+
+impl HierBcastOp {
+    /// Start a hierarchical broadcast; the root passes `Some(data)`,
+    /// everyone else `None` plus the shared `max_len` bound.
+    pub fn new<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        root: usize,
+        data: Option<Vec<u8>>,
+        max_len: usize,
+        geo: &HostGeometry,
+    ) -> Self {
+        let geo = geo.clone();
+        let seq = mpi.next_coll_seq();
+        let rank = geo.rank;
+        let is_root = rank == root;
+        if is_root {
+            let d = data.as_ref().expect("root must supply the broadcast data");
+            assert!(d.len() <= max_len, "root data exceeds max_len");
+        }
+        mpi.obs_coll(
+            CollPhase::Start,
+            CollKind::Bcast,
+            seq,
+            0,
+            data.as_ref().map_or(0, Vec::len),
+        );
+        let root_leader = geo.leader_of(root);
+        let state = if geo.num_ranks() <= 1 {
+            HBcastState::Finished(data.unwrap_or_default())
+        } else if is_root {
+            let buf = data.expect("root data");
+            if geo.is_leader() {
+                Self::leader_fan(mpi, &geo, seq, buf)
+            } else {
+                let send = mpi.isend(
+                    root_leader,
+                    coll_tag(CollKind::Bcast, seq, R_LOCAL),
+                    buf.clone(),
+                );
+                HBcastState::RootToLeader { send, buf }
+            }
+        } else if geo.is_leader() {
+            if rank == root_leader {
+                // The root is one of my members: its buffer arrives on
+                // the local-gather tag.
+                HBcastState::LeaderFromRoot(mpi.irecv(
+                    Some(root),
+                    Some(coll_tag(CollKind::Bcast, seq, R_LOCAL)),
+                    max_len,
+                ))
+            } else {
+                HBcastState::LeaderRecv(mpi.irecv(
+                    Some(root_leader),
+                    Some(coll_tag(CollKind::Bcast, seq, R_LEADER)),
+                    max_len,
+                ))
+            }
+        } else {
+            HBcastState::MemberRecv(mpi.irecv(
+                Some(geo.my_leader()),
+                Some(coll_tag(CollKind::Bcast, seq, R_RELEASE)),
+                max_len,
+            ))
+        };
+        HierBcastOp {
+            geo,
+            root,
+            seq,
+            state,
+        }
+    }
+
+    fn leader_fan<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        geo: &HostGeometry,
+        seq: u32,
+        buf: Vec<u8>,
+    ) -> HBcastState {
+        let tag = coll_tag(CollKind::Bcast, seq, R_LEADER);
+        let me = geo.rank;
+        let sends = geo
+            .leaders()
+            .iter()
+            .filter(|&&l| l != me)
+            .map(|&l| mpi.isend(l, tag, buf.clone()))
+            .collect();
+        HBcastState::LeaderFan { sends, buf }
+    }
+
+    fn local_fan<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        geo: &HostGeometry,
+        root: usize,
+        seq: u32,
+        buf: Vec<u8>,
+    ) -> HBcastState {
+        let tag = coll_tag(CollKind::Bcast, seq, R_RELEASE);
+        let sends = geo
+            .local_others()
+            .into_iter()
+            .filter(|&r| r != root) // the root already holds the buffer
+            .map(|r| mpi.isend(r, tag, buf.clone()))
+            .collect();
+        HBcastState::LocalFan { sends, buf }
+    }
+
+    /// Advance; `true` once this rank holds the buffer and its
+    /// forwarding duties are done.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        loop {
+            match &mut self.state {
+                HBcastState::RootToLeader { send, buf } => {
+                    if !send.is_done() {
+                        return false;
+                    }
+                    let buf = std::mem::take(buf);
+                    mpi.obs_coll(CollPhase::End, CollKind::Bcast, self.seq, 0, buf.len());
+                    self.state = HBcastState::Finished(buf);
+                }
+                HBcastState::LeaderFromRoot(r) => {
+                    if !r.is_done() {
+                        return false;
+                    }
+                    let buf = r.take().expect("done");
+                    mpi.obs_coll(
+                        CollPhase::Round,
+                        CollKind::Bcast,
+                        self.seq,
+                        R_LOCAL,
+                        buf.len(),
+                    );
+                    self.state = Self::leader_fan(mpi, &self.geo, self.seq, buf);
+                }
+                HBcastState::LeaderFan { sends, buf } => {
+                    if !sends.iter().all(SendReq::is_done) {
+                        return false;
+                    }
+                    let buf = std::mem::take(buf);
+                    mpi.obs_coll(
+                        CollPhase::Round,
+                        CollKind::Bcast,
+                        self.seq,
+                        R_LEADER,
+                        buf.len(),
+                    );
+                    self.state = Self::local_fan(mpi, &self.geo, self.root, self.seq, buf);
+                }
+                HBcastState::LeaderRecv(r) => {
+                    if !r.is_done() {
+                        return false;
+                    }
+                    let buf = r.take().expect("done");
+                    mpi.obs_coll(
+                        CollPhase::Round,
+                        CollKind::Bcast,
+                        self.seq,
+                        R_LEADER,
+                        buf.len(),
+                    );
+                    self.state = Self::local_fan(mpi, &self.geo, self.root, self.seq, buf);
+                }
+                HBcastState::LocalFan { sends, buf } => {
+                    if !sends.iter().all(SendReq::is_done) {
+                        return false;
+                    }
+                    let buf = std::mem::take(buf);
+                    mpi.obs_coll(CollPhase::End, CollKind::Bcast, self.seq, 0, buf.len());
+                    self.state = HBcastState::Finished(buf);
+                }
+                HBcastState::MemberRecv(r) => {
+                    if !r.is_done() {
+                        return false;
+                    }
+                    let buf = r.take().expect("done");
+                    mpi.obs_coll(CollPhase::End, CollKind::Bcast, self.seq, 0, buf.len());
+                    self.state = HBcastState::Finished(buf);
+                }
+                HBcastState::Finished(_) => return true,
+                HBcastState::Taken => panic!("poll after take_result"),
+            }
+        }
+    }
+
+    /// The broadcast buffer; call once after `poll` returns `true`.
+    pub fn take_result(&mut self) -> Vec<u8> {
+        match std::mem::replace(&mut self.state, HBcastState::Taken) {
+            HBcastState::Finished(b) => b,
+            _ => panic!("broadcast not complete"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- allreduce
+
+enum HAllreduceState {
+    /// Non-leader: contribution sent, waiting for the reduced result.
+    Member {
+        report: SendReq,
+        result: RecvReq,
+    },
+    /// Leader: folding local members' contributions.
+    LocalGather {
+        recvs: Vec<RecvReq>,
+        acc: Vec<u8>,
+    },
+    /// First leader: folding the other hosts' partials.
+    LeaderGather {
+        recvs: Vec<RecvReq>,
+        acc: Vec<u8>,
+    },
+    /// Non-first leader: partial sent up, waiting for the result.
+    LeaderWait {
+        up: SendReq,
+        result: RecvReq,
+    },
+    /// First leader: result going back out to the other leaders.
+    LeaderFan {
+        sends: Vec<SendReq>,
+        buf: Vec<u8>,
+    },
+    /// Any leader: result going out to local members.
+    LocalFan {
+        sends: Vec<SendReq>,
+        buf: Vec<u8>,
+    },
+    Finished(Vec<u8>),
+    Taken,
+}
+
+/// Two-level allreduce: fold within each host (ascending rank), fold
+/// the per-host partials at the first leader (ascending host), then fan
+/// the result back out — two cross-host messages per host total,
+/// against the flat binomial's per-rank crossings.
+pub struct HierAllreduceOp {
+    geo: HostGeometry,
+    seq: u32,
+    rop: ReduceOp,
+    len: usize,
+    state: HAllreduceState,
+}
+
+impl HierAllreduceOp {
+    /// Start a hierarchical allreduce (`contrib.len()` identical on
+    /// every rank).
+    pub fn new<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        contrib: &[u8],
+        rop: ReduceOp,
+        geo: &HostGeometry,
+    ) -> Self {
+        let geo = geo.clone();
+        let seq = mpi.next_coll_seq();
+        let len = contrib.len();
+        mpi.obs_coll(CollPhase::Start, CollKind::Reduce, seq, 0, len);
+        let state = if geo.num_ranks() <= 1 {
+            HAllreduceState::Finished(contrib.to_vec())
+        } else if geo.is_leader() {
+            let tag = coll_tag(CollKind::Reduce, seq, R_LOCAL);
+            let recvs = geo
+                .local_others()
+                .into_iter()
+                .map(|r| mpi.irecv(Some(r), Some(tag), len))
+                .collect();
+            HAllreduceState::LocalGather {
+                recvs,
+                acc: contrib.to_vec(),
+            }
+        } else {
+            let leader = geo.my_leader();
+            let report = mpi.isend(
+                leader,
+                coll_tag(CollKind::Reduce, seq, R_LOCAL),
+                contrib.to_vec(),
+            );
+            let result = mpi.irecv(
+                Some(leader),
+                Some(coll_tag(CollKind::Reduce, seq, R_RELEASE)),
+                len,
+            );
+            HAllreduceState::Member { report, result }
+        };
+        HierAllreduceOp {
+            geo,
+            seq,
+            rop,
+            len,
+            state,
+        }
+    }
+
+    fn local_fan<M: Mpi + ?Sized>(
+        mpi: &mut M,
+        geo: &HostGeometry,
+        seq: u32,
+        buf: Vec<u8>,
+    ) -> HAllreduceState {
+        let tag = coll_tag(CollKind::Reduce, seq, R_RELEASE);
+        let sends = geo
+            .local_others()
+            .into_iter()
+            .map(|r| mpi.isend(r, tag, buf.clone()))
+            .collect();
+        HAllreduceState::LocalFan { sends, buf }
+    }
+
+    /// Advance; `true` once the reduced buffer is available here.
+    pub fn poll<M: Mpi + ?Sized>(&mut self, mpi: &mut M) -> bool {
+        loop {
+            match &mut self.state {
+                HAllreduceState::Member { report, result } => {
+                    if !(report.is_done() && result.is_done()) {
+                        return false;
+                    }
+                    let buf = result.take().expect("done");
+                    mpi.obs_coll(CollPhase::End, CollKind::Reduce, self.seq, 0, buf.len());
+                    self.state = HAllreduceState::Finished(buf);
+                }
+                HAllreduceState::LocalGather { recvs, acc } => {
+                    if !recvs.iter().all(RecvReq::is_done) {
+                        return false;
+                    }
+                    // Ascending-rank fold order (recvs were posted in
+                    // local_others() order) — fixed, hence deterministic.
+                    for r in recvs.iter() {
+                        let data = r.take().expect("done");
+                        self.rop.apply(acc, &data);
+                    }
+                    let acc = std::mem::take(acc);
+                    mpi.obs_coll(
+                        CollPhase::Round,
+                        CollKind::Reduce,
+                        self.seq,
+                        R_LOCAL,
+                        acc.len(),
+                    );
+                    let leaders = self.geo.leaders();
+                    let first = leaders[0];
+                    if self.geo.rank == first {
+                        let tag = coll_tag(CollKind::Reduce, self.seq, R_LEADER);
+                        let recvs = leaders[1..]
+                            .iter()
+                            .map(|&l| mpi.irecv(Some(l), Some(tag), self.len))
+                            .collect();
+                        self.state = HAllreduceState::LeaderGather { recvs, acc };
+                    } else {
+                        let up =
+                            mpi.isend(first, coll_tag(CollKind::Reduce, self.seq, R_LEADER), acc);
+                        let result = mpi.irecv(
+                            Some(first),
+                            Some(coll_tag(CollKind::Reduce, self.seq, R_LEADER_BC)),
+                            self.len,
+                        );
+                        self.state = HAllreduceState::LeaderWait { up, result };
+                    }
+                }
+                HAllreduceState::LeaderGather { recvs, acc } => {
+                    if !recvs.iter().all(RecvReq::is_done) {
+                        return false;
+                    }
+                    // Ascending-host fold order (recvs posted in
+                    // leaders() order).
+                    for r in recvs.iter() {
+                        let data = r.take().expect("done");
+                        self.rop.apply(acc, &data);
+                    }
+                    let buf = std::mem::take(acc);
+                    mpi.obs_coll(
+                        CollPhase::Round,
+                        CollKind::Reduce,
+                        self.seq,
+                        R_LEADER,
+                        buf.len(),
+                    );
+                    let tag = coll_tag(CollKind::Reduce, self.seq, R_LEADER_BC);
+                    let me = self.geo.rank;
+                    let sends = self
+                        .geo
+                        .leaders()
+                        .iter()
+                        .filter(|&&l| l != me)
+                        .map(|&l| mpi.isend(l, tag, buf.clone()))
+                        .collect();
+                    self.state = HAllreduceState::LeaderFan { sends, buf };
+                }
+                HAllreduceState::LeaderWait { up, result } => {
+                    if !(up.is_done() && result.is_done()) {
+                        return false;
+                    }
+                    let buf = result.take().expect("done");
+                    mpi.obs_coll(
+                        CollPhase::Round,
+                        CollKind::Reduce,
+                        self.seq,
+                        R_LEADER_BC,
+                        buf.len(),
+                    );
+                    self.state = Self::local_fan(mpi, &self.geo, self.seq, buf);
+                }
+                HAllreduceState::LeaderFan { sends, buf } => {
+                    if !sends.iter().all(SendReq::is_done) {
+                        return false;
+                    }
+                    let buf = std::mem::take(buf);
+                    self.state = Self::local_fan(mpi, &self.geo, self.seq, buf);
+                }
+                HAllreduceState::LocalFan { sends, buf } => {
+                    if !sends.iter().all(SendReq::is_done) {
+                        return false;
+                    }
+                    let buf = std::mem::take(buf);
+                    mpi.obs_coll(CollPhase::End, CollKind::Reduce, self.seq, 0, buf.len());
+                    self.state = HAllreduceState::Finished(buf);
+                }
+                HAllreduceState::Finished(_) => return true,
+                HAllreduceState::Taken => panic!("poll after take_result"),
+            }
+        }
+    }
+
+    /// The reduced buffer; call once after `poll` returns `true`.
+    pub fn take_result(&mut self) -> Vec<u8> {
+        match std::mem::replace(&mut self.state, HAllreduceState::Taken) {
+            HAllreduceState::Finished(b) => b,
+            _ => panic!("allreduce not complete"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_identifies_leaders_and_members() {
+        // hosts: ranks 0,1 on host 0; 2,3 on host 1; 4 on host 2.
+        let hosts = [0, 0, 1, 1, 2];
+        let g0 = HostGeometry::new(0, &hosts);
+        assert!(g0.is_leader());
+        assert_eq!(g0.leaders(), &[0, 2, 4]);
+        assert_eq!(g0.local_others(), vec![1]);
+        assert_eq!(g0.leader_index(), 0);
+        let g3 = HostGeometry::new(3, &hosts);
+        assert!(!g3.is_leader());
+        assert_eq!(g3.my_leader(), 2);
+        assert_eq!(g3.leader_of(0), 0);
+        assert_eq!(g3.leader_of(4), 4);
+        assert!(g3.is_hierarchical());
+        assert_eq!(g3.num_hosts(), 3);
+    }
+
+    #[test]
+    fn geometry_handles_non_dense_host_ids() {
+        // Host ids need not be dense or ordered by rank.
+        let hosts = [7, 3, 7, 3];
+        let g = HostGeometry::new(0, &hosts);
+        // Canonical order is ascending host id: host 3 (leader 1), then
+        // host 7 (leader 0).
+        assert_eq!(g.leaders(), &[1, 0]);
+        assert_eq!(g.leader_index(), 1);
+        assert!(g.is_leader());
+        assert_eq!(g.local_others(), vec![2]);
+    }
+
+    #[test]
+    fn single_host_map_is_not_hierarchical() {
+        let g = HostGeometry::new(2, &[0, 0, 0, 0]);
+        assert!(!g.is_hierarchical());
+        assert_eq!(g.num_hosts(), 1);
+    }
+}

@@ -56,6 +56,7 @@
 pub mod api;
 pub mod collectives;
 pub mod comm;
+pub mod hier;
 pub mod matching;
 pub mod mpi1;
 pub mod mpi2;
@@ -69,6 +70,7 @@ pub use collectives::{
     AllreduceOp, BarrierOp, BcastAlgo, BcastOp, GatherOp, ReduceAlgo, ReduceToRootOp, ScatterOp,
 };
 pub use comm::{CollConfig, CollPhase, Communicator};
+pub use hier::{HierAllreduceOp, HierBarrierOp, HierBcastOp, HostGeometry};
 pub use mpi1::Mpi1;
 pub use mpi2::Mpi2;
 pub use shuffle::{run_shuffle, ShuffleReport, ShuffleRunner, ShuffleSpec};

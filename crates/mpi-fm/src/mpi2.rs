@@ -108,6 +108,9 @@ pub struct Mpi2<D: NetDevice> {
     eager_threshold: usize,
     /// Collective algorithm selection (must match across ranks).
     coll_config: CollConfig,
+    /// Rank → host placement for hierarchy-aware collectives (must match
+    /// across ranks); `None` keeps the flat schedules.
+    coll_hosts: Option<Vec<usize>>,
     send_seq: u32,
     coll_seq: u32,
 }
@@ -260,6 +263,7 @@ impl<D: NetDevice + 'static> Mpi2<D> {
             extract_budget: usize::MAX,
             eager_threshold: usize::MAX,
             coll_config: CollConfig::default(),
+            coll_hosts: None,
             send_seq: 0,
             coll_seq: 0,
         }
@@ -270,6 +274,18 @@ impl<D: NetDevice + 'static> Mpi2<D> {
     /// choices disagree and the operation never completes.
     pub fn set_coll_config(&mut self, config: CollConfig) {
         self.coll_config = config;
+    }
+
+    /// Declare the rank → host placement so small-payload collectives
+    /// use the two-level (leader-per-host) schedules in [`crate::hier`].
+    /// `hosts[r]` is the host id of rank `r`; the map must cover every
+    /// rank, be identical on every rank, and span at least two hosts to
+    /// take effect. `None` restores the flat schedules.
+    pub fn set_coll_hosts(&mut self, hosts: Option<Vec<usize>>) {
+        if let Some(h) = &hosts {
+            assert_eq!(h.len(), self.size(), "host map must cover every rank");
+        }
+        self.coll_hosts = hosts;
     }
 
     /// Payloads strictly larger than `bytes` use the rendezvous protocol.
@@ -531,6 +547,10 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
 
     fn coll_config(&self) -> CollConfig {
         self.coll_config
+    }
+
+    fn coll_hosts(&self) -> Option<&[usize]> {
+        self.coll_hosts.as_deref()
     }
 
     fn obs_coll(&mut self, phase: CollPhase, kind: CollKind, seq: u32, round: u32, bytes: usize) {

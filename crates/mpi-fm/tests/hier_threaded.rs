@@ -1,0 +1,148 @@
+//! Hierarchy-aware collectives over real OS threads: the two-level
+//! leader schedules must agree with the flat schedules and with the
+//! analytically expected results. The threaded transport has no real
+//! host boundary, so the host map is supplied explicitly — the
+//! schedules only care about the map, not about actual locality.
+
+use fm_core::Fm2Engine;
+use fm_model::MachineProfile;
+use fm_threaded::ThreadedCluster;
+use mpi_fm::{Mpi, Mpi2, ReduceOp};
+
+fn u64s(v: &[u64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn to_u64s(v: &[u8]) -> Vec<u64> {
+    v.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Barrier, bcast from every root, and allreduce at a given host map;
+/// returns this rank's allreduce results so callers can compare runs.
+fn exercise(mpi: &mut impl Mpi) -> Vec<Vec<u64>> {
+    let (rank, size) = (mpi.rank(), mpi.size());
+    for _ in 0..5 {
+        mpi.barrier();
+    }
+    for root in 0..size {
+        let data = (rank == root).then(|| vec![root as u8; 61]);
+        let got = mpi.bcast(root, data, 61);
+        assert_eq!(got, vec![root as u8; 61], "bcast root {root}");
+    }
+    let mut results = Vec::new();
+    let sum = mpi.allreduce(
+        &u64s(&[rank as u64, (rank * rank) as u64]),
+        ReduceOp::SumU64,
+    );
+    results.push(to_u64s(&sum));
+    let mx = mpi.allreduce(&u64s(&[rank as u64 + 7]).to_vec(), ReduceOp::SumU64);
+    results.push(to_u64s(&mx));
+    mpi.barrier();
+    results
+}
+
+fn expected(size: usize) -> Vec<Vec<u64>> {
+    let sum: u64 = (0..size as u64).sum();
+    let sq: u64 = (0..size as u64).map(|r| r * r).sum();
+    let shifted: u64 = (0..size as u64).map(|r| r + 7).sum();
+    vec![vec![sum, sq], vec![shifted]]
+}
+
+#[test]
+fn hier_collectives_match_flat_and_expected() {
+    // 8 ranks as 4-per-host × 2 hosts — the ISSUE's acceptance shape.
+    let hosts = vec![0, 0, 0, 0, 1, 1, 1, 1];
+    let hier = ThreadedCluster::run(8, {
+        let hosts = hosts.clone();
+        move |_, dev| {
+            let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+            mpi.set_coll_hosts(Some(hosts.clone()));
+            exercise(&mut mpi)
+        }
+    });
+    let flat = ThreadedCluster::run(8, |_, dev| {
+        let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+        exercise(&mut mpi)
+    });
+    let want = expected(8);
+    for (rank, (h, f)) in hier.iter().zip(flat.iter()).enumerate() {
+        assert_eq!(h, &want, "hier rank {rank} vs analytic");
+        // Integer reductions are order-insensitive, so the two-level
+        // fold must agree with the flat binomial fold bit for bit.
+        assert_eq!(h, f, "hier vs flat, rank {rank}");
+    }
+}
+
+#[test]
+fn hier_handles_uneven_and_many_hosts() {
+    // Uneven placement: 1 + 3 + 2 ranks across three hosts, with the
+    // hosts interleaved in rank order (leaders are ranks 0, 1, 2).
+    let hosts = vec![0, 1, 2, 1, 1, 2];
+    let out = ThreadedCluster::run(6, move |_, dev| {
+        let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+        mpi.set_coll_hosts(Some(hosts.clone()));
+        exercise(&mut mpi)
+    });
+    let want = expected(6);
+    for (rank, got) in out.iter().enumerate() {
+        assert_eq!(got, &want, "rank {rank}");
+    }
+}
+
+#[test]
+fn single_host_map_falls_back_to_flat_schedules() {
+    // A map with one host must not engage the hierarchy (it would be
+    // pure overhead); this exercises the `is_hierarchical` gate.
+    let out = ThreadedCluster::run(3, |_, dev| {
+        let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+        mpi.set_coll_hosts(Some(vec![4, 4, 4]));
+        exercise(&mut mpi)
+    });
+    let want = expected(3);
+    for got in &out {
+        assert_eq!(got, &want);
+    }
+}
+
+#[test]
+fn large_payloads_stay_on_the_flat_pipeline_paths() {
+    // Above the pipeline threshold the wrappers must keep the
+    // bandwidth-optimal flat algorithms even with a host map set.
+    const ELEMS: usize = 8 * 1024; // 64 KiB > default 32 KiB threshold
+    let hosts = vec![0, 0, 1, 1];
+    let out = ThreadedCluster::run(4, move |rank, dev| {
+        let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+        mpi.set_coll_hosts(Some(hosts.clone()));
+        let contrib: Vec<u64> = (0..ELEMS as u64).map(|j| j % 13 + rank as u64).collect();
+        let got = to_u64s(&mpi.allreduce(&u64s(&contrib), ReduceOp::SumU64));
+        mpi.barrier();
+        got
+    });
+    for got in &out {
+        for (j, x) in got.iter().enumerate() {
+            let want: u64 = (0..4).map(|r| (j as u64) % 13 + r).sum();
+            assert_eq!(*x, want, "elem {j}");
+        }
+    }
+}
+
+#[test]
+fn hier_bcast_from_non_leader_roots() {
+    // Roots that don't lead their host exercise the extra
+    // root-to-leader hop; every root position must still deliver.
+    let hosts = vec![0, 0, 0, 1, 1];
+    let out = ThreadedCluster::run(5, move |rank, dev| {
+        let mut mpi = Mpi2::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()));
+        mpi.set_coll_hosts(Some(hosts.clone()));
+        for root in 0..5 {
+            let payload: Vec<u8> = (0..113).map(|i| (i * 7 + root) as u8).collect();
+            let data = (rank == root).then(|| payload.clone());
+            assert_eq!(mpi.bcast(root, data, 113), payload, "root {root}");
+        }
+        mpi.barrier();
+        true
+    });
+    assert_eq!(out, vec![true; 5]);
+}

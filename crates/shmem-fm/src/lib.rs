@@ -13,6 +13,22 @@
 //! * [`ga::GlobalArray`] — block-distributed dense f64 arrays on top of
 //!   shmem: `get`/`put`/`acc` over arbitrary index ranges, crossing
 //!   ownership boundaries transparently.
+//!
+//! # Naming: `shmem-fm` vs `fm-shm`
+//!
+//! Two similarly named crates, two unrelated layers — easy to confuse:
+//!
+//! * **`shmem-fm`** (this crate) is an *API above* FM: the SHMEM
+//!   one-sided programming interface, runnable over any [`fm_core`]
+//!   device — loopback, threaded, UDP, or shared memory.
+//! * **`fm-shm`** is a *transport below* FM: an intra-host
+//!   [`fm_core::NetDevice`] built on memory-mapped SPSC rings in
+//!   `/dev/shm`, carrying FM packets between co-located processes.
+//!
+//! So "SHMEM over shared memory" is the stack `shmem-fm` →
+//! `fm_core::Fm2Engine` → `fm-shm`. For convenience the transport is
+//! re-exported here as [`transport`] (`shmem_fm::transport`), so code
+//! assembling that stack needs only this crate in scope.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +36,8 @@
 pub mod ga;
 pub mod shmem;
 pub mod wire;
+
+pub use fm_shm as transport;
 
 pub use ga::{GlobalArray, GlobalArray2D};
 pub use shmem::Shmem;

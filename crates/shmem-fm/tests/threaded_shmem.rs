@@ -213,3 +213,32 @@ fn wait_until_flag_synchronizes_data() {
     });
     assert_eq!(out[1], vec![0xABu8; 512], "flag implies data visibility");
 }
+
+#[test]
+fn shmem_runs_over_the_shared_memory_transport() {
+    // "SHMEM over shared memory": the one-sided API stacked on the
+    // intra-host fm-shm transport via the `shmem_fm::transport`
+    // re-export — two processes' worth of state in two threads, with
+    // real mapped segments carrying the FM packets.
+    use shmem_fm::transport::{ShmCluster, ShmConfig};
+    let cfg = ShmConfig {
+        run_id: format!("shmem-api-{}", std::process::id()),
+        dir: std::env::temp_dir(),
+        ..ShmConfig::default()
+    };
+    let out = ShmCluster::run(2, cfg, |pe, dev| {
+        let sh = Shmem::new(Fm2Engine::new(dev, MachineProfile::ppro200_fm2()), 4096);
+        if pe == 0 {
+            sh.put(1, 32, b"over the rings");
+            sh.quiet();
+            let back = sh.get(1, 32, 14);
+            sh.barrier_all();
+            back
+        } else {
+            sh.barrier_all();
+            sh.local_read(32, 14)
+        }
+    });
+    assert_eq!(out[0], b"over the rings");
+    assert_eq!(out[1], b"over the rings");
+}
