@@ -26,7 +26,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fm_core::packet::HandlerId;
-use fm_core::{Fm2Engine, SimDevice};
+use fm_core::{Fm2Engine, Onesided, OnesidedConfig, OsStatus, RegionHandle, SimDevice};
 use fm_model::{MachineProfile, Nanos};
 use myrinet_sim::{NodeId, Simulation, StepOutcome, Topology};
 
@@ -242,6 +242,187 @@ fn shm_stream_alloc_delta(size: usize, warmup: usize, measured: usize) -> u64 {
     at_done - at_warm
 }
 
+/// Pipelined one-sided puts kept in flight by the alloc probes.
+const OS_WINDOW: usize = 4;
+
+/// Slot 0, epoch 0 on a fresh table (both ends register their whole
+/// arena first thing).
+fn arena_handle() -> RegionHandle {
+    RegionHandle { index: 0, epoch: 0 }
+}
+
+fn os_cfg(arena: usize) -> OnesidedConfig {
+    OnesidedConfig {
+        arena_bytes: arena,
+        ..OnesidedConfig::default()
+    }
+}
+
+/// Streams `warmup + measured` zero-copy `put_from` transfers of `size`
+/// bytes node 0 → node 1 over the simulator and returns the allocation
+/// delta across the measured phase plus the receiver engine's total
+/// copied bytes (staging-copy evidence: rendezvous placement is the
+/// *only* copy, so the total must equal the payload exactly).
+fn onesided_alloc_delta_sim(size: usize, warmup: usize, measured: usize) -> (u64, u64, u64) {
+    let profile = MachineProfile::ppro200_fm2();
+    let count = warmup + measured;
+    let arena = size * OS_WINDOW;
+    let mut sim = Simulation::new(profile, Topology::single_crossbar(2));
+
+    let fm_s = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    let mut os_s = Onesided::new(&fm_s, os_cfg(arena));
+    os_s.register(0, arena).expect("sender arena");
+    os_s.port()
+        .write_local(arena_handle(), 0, &vec![0xC5u8; arena])
+        .expect("fill source");
+
+    let sender_done = Rc::new(Cell::new(false));
+    let at_warm = Rc::new(Cell::new(0u64));
+    let at_done = Rc::new(Cell::new(0u64));
+    {
+        let fm = fm_s.clone();
+        let port = os_s.port();
+        let sender_done = Rc::clone(&sender_done);
+        let at_warm = Rc::clone(&at_warm);
+        let at_done = Rc::clone(&at_done);
+        let mut issued = 0usize;
+        let mut done = 0usize;
+        sim.set_program(
+            NodeId(0),
+            Box::new(move || {
+                fm.extract_all();
+                os_s.progress();
+                while let Some(c) = port.poll_completion() {
+                    assert_eq!(c.status, OsStatus::Ok, "alloc-probe put failed");
+                    done += 1;
+                }
+                while issued < count && issued - done < OS_WINDOW {
+                    let off = (issued % OS_WINDOW) * size;
+                    port.put_from(1, arena_handle(), off as u64, arena_handle(), off, size)
+                        .expect("alloc-probe put_from");
+                    issued += 1;
+                }
+                // Issued work must hit the wire before sleeping —
+                // `Wait` wakes on *new* activity only.
+                os_s.progress();
+                if done >= warmup && at_warm.get() == 0 {
+                    at_warm.set(allocations());
+                }
+                if done == count {
+                    at_done.set(allocations());
+                    sender_done.set(true);
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    let fm_r = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+    let mut os_r = Onesided::new(&fm_r, os_cfg(arena));
+    os_r.register(0, arena).expect("receiver arena");
+    let copied = Rc::new(Cell::new(0u64));
+    {
+        let fm = fm_r.clone();
+        let copied = Rc::clone(&copied);
+        let sender_done = Rc::clone(&sender_done);
+        sim.set_program(
+            NodeId(1),
+            Box::new(move || {
+                fm.extract_all();
+                os_r.progress();
+                copied.set(fm.stats().bytes_copied);
+                if sender_done.get() {
+                    return StepOutcome::Done;
+                }
+                StepOutcome::Wait
+            }),
+        );
+    }
+
+    sim.run(Some(SIM_LIMIT));
+    assert!(sender_done.get(), "one-sided alloc stream wedged");
+    assert!(at_warm.get() > 0, "warm-up snapshot never taken");
+    (
+        at_done.get() - at_warm.get(),
+        copied.get(),
+        (size * count) as u64,
+    )
+}
+
+/// The same zero-copy put probe over a real mapped-segment pair, both
+/// ends hand-pumped on this thread (mirrors `shm_stream_alloc_delta`).
+fn onesided_alloc_delta_shm(size: usize, warmup: usize, measured: usize) -> (u64, u64, u64) {
+    use fm_shm::{shm_cluster, ShmConfig};
+    use std::time::Duration;
+
+    let mut profile = MachineProfile::ppro200_fm2();
+    profile.fm.credits_per_peer = 512;
+    let count = warmup + measured;
+    let arena = size * OS_WINDOW;
+    let cfg = ShmConfig {
+        run_id: format!("osalloc{}", std::process::id()),
+        dir: std::env::temp_dir(),
+        slots: 512,
+        ..ShmConfig::default()
+    };
+    let mut devs = shm_cluster(2, cfg).expect("open shm pair");
+    let mut d1 = devs.pop().expect("rank 1 device");
+    let mut d0 = devs.pop().expect("rank 0 device");
+    d0.join(Duration::from_secs(5)).expect("rank 0 join");
+    d1.join(Duration::from_secs(5)).expect("rank 1 join");
+
+    let fm_s = Fm2Engine::new(d0, profile);
+    let mut os_s = Onesided::new(&fm_s, os_cfg(arena));
+    os_s.register(0, arena).expect("sender arena");
+    let port = os_s.port();
+    port.write_local(arena_handle(), 0, &vec![0xC5u8; arena])
+        .expect("fill source");
+
+    let fm_r = Fm2Engine::new(d1, profile);
+    let mut os_r = Onesided::new(&fm_r, os_cfg(arena));
+    os_r.register(0, arena).expect("receiver arena");
+
+    let mut issued = 0usize;
+    let mut done = 0usize;
+    let mut at_warm = 0u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while done < count {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "shm one-sided alloc stream wedged: {done}/{count} complete"
+        );
+        fm_s.extract_all();
+        os_s.progress();
+        while let Some(c) = port.poll_completion() {
+            assert_eq!(c.status, OsStatus::Ok, "alloc-probe put failed");
+            done += 1;
+        }
+        while issued < count && issued - done < OS_WINDOW {
+            let off = (issued % OS_WINDOW) * size;
+            port.put_from(1, arena_handle(), off as u64, arena_handle(), off, size)
+                .expect("alloc-probe put_from");
+            issued += 1;
+        }
+        os_s.progress();
+        fm_r.extract_all();
+        os_r.progress();
+        if done >= warmup && at_warm == 0 {
+            at_warm = allocations();
+            if std::env::var_os("ALLOC_TRACE").is_some() {
+                TRACE.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    let at_done = allocations();
+    assert!(at_warm > 0, "warm-up snapshot never taken");
+    (
+        at_done - at_warm,
+        fm_r.stats().bytes_copied,
+        (size * count) as u64,
+    )
+}
+
 #[test]
 fn steady_state_fm2_stream_allocates_nothing() {
     // 64-byte messages: single-packet, fast-handler path. 256 warm-up
@@ -272,6 +453,47 @@ fn steady_state_shm_stream_allocates_nothing() {
         "steady-state shm datapath allocated {delta} times over 512 messages \
          ({} per message)",
         delta as f64 / 512.0
+    );
+}
+
+#[test]
+fn steady_state_large_put_allocates_nothing_sim() {
+    // 64 KiB zero-copy puts (rendezvous: RTS/CTS handshake plus chunked
+    // DATA straight into the registered region). 16 warm-up transfers
+    // fill the op tables, job queues, and engine pools; the next 32
+    // must take nothing from the allocator — and the receiver's only
+    // copy must be the placement itself (no staging).
+    let (delta, copied, payload) = onesided_alloc_delta_sim(64 * 1024, 16, 32);
+    assert_eq!(
+        delta,
+        0,
+        "steady-state one-sided datapath allocated {delta} times over 32 puts \
+         ({} per put)",
+        delta as f64 / 32.0
+    );
+    assert_eq!(
+        copied, payload,
+        "receiver copied {copied} bytes for {payload} payload bytes — \
+         a staging copy survived on the rendezvous path"
+    );
+}
+
+#[test]
+fn steady_state_large_put_allocates_nothing_shm() {
+    // The same ≥64 KiB zero-allocation, zero-staging claim over the
+    // real mapped-ring transport.
+    let (delta, copied, payload) = onesided_alloc_delta_shm(64 * 1024, 16, 32);
+    assert_eq!(
+        delta,
+        0,
+        "steady-state shm one-sided datapath allocated {delta} times over \
+         32 puts ({} per put)",
+        delta as f64 / 32.0
+    );
+    assert_eq!(
+        copied, payload,
+        "shm receiver copied {copied} bytes for {payload} payload bytes — \
+         a staging copy survived on the rendezvous path"
     );
 }
 

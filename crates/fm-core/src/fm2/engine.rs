@@ -40,6 +40,28 @@ pub type Fm2HandlerFn = Rc<dyn Fn(FmStream, usize) -> Pin<Box<dyn Future<Output 
 /// only for the duration of the call.
 pub type Fm2FastHandlerFn = Box<dyn FnMut(usize, &[u8])>;
 
+/// Per-packet metadata passed to a sink handler (see
+/// [`Fm2Engine::set_sink_handler`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SinkMeta {
+    /// The message's sequence number from its sender toward this node
+    /// (0 for NIC-bypassing self-sends, which arrive whole).
+    pub msg_seq: u32,
+    /// Total declared length of the message this packet belongs to.
+    pub msg_len: u32,
+    /// This call delivers the message's first packet.
+    pub first: bool,
+    /// This call delivers the message's last packet.
+    pub last: bool,
+}
+
+/// A synchronous per-packet **sink** handler (see
+/// [`Fm2Engine::set_sink_handler`]): called once per arriving packet of a
+/// message — any size — with the sender, per-packet metadata, and a
+/// zero-copy view of the packet's payload inside the arrival frame. The
+/// view is valid only for the duration of the call.
+pub type SinkHandlerFn = Box<dyn FnMut(usize, SinkMeta, &[u8])>;
+
 /// Free-list depth of each engine's send-payload pool. Deep enough to
 /// cover a full retransmit window of in-flight frames per peer on small
 /// clusters; beyond it, bursts fall back to the allocator harmlessly.
@@ -80,6 +102,12 @@ struct Inner<D: NetDevice> {
     /// Synchronous fast-path handlers, indexed like `handlers`. `None`
     /// entries fall through to the async handler table.
     fast_handlers: Vec<Option<Fm2FastHandlerFn>>,
+    /// Synchronous per-packet sink handlers, indexed like `handlers`.
+    /// A registered sink takes precedence over both other tables for
+    /// its id and consumes every packet of every message — the one-sided
+    /// rendezvous datapath, where multi-packet payloads must land
+    /// without staging buffers or task allocation.
+    sink_handlers: Vec<Option<SinkHandlerFn>>,
     flow: CreditLedger,
     send_pkt_seq: Vec<u32>,
     send_msg_seq: Vec<u32>,
@@ -239,6 +267,7 @@ impl<D: NetDevice> Fm2Engine<D> {
                 profile,
                 handlers: Vec::new(),
                 fast_handlers: Vec::new(),
+                sink_handlers: Vec::new(),
                 flow: CreditLedger::new(n, profile.fm.credits_per_peer),
                 send_pkt_seq: vec![0; n],
                 send_msg_seq: vec![0; n],
@@ -354,6 +383,13 @@ impl<D: NetDevice> Fm2Engine<D> {
         self.inner.borrow().peer_down[peer]
     }
 
+    /// Whether *any* peer is currently declared down — an allocation-free
+    /// check suitable for per-progress polling (unlike
+    /// [`downed_peers`](Self::downed_peers), which collects).
+    pub fn has_downed_peers(&self) -> bool {
+        self.inner.borrow().peer_down.iter().any(|&d| d)
+    }
+
     /// The peers currently declared down, in node order (empty for
     /// devices with static membership).
     pub fn downed_peers(&self) -> Vec<usize> {
@@ -429,6 +465,34 @@ impl<D: NetDevice> Fm2Engine<D> {
             inner.fast_handlers.resize_with(idx + 1, || None);
         }
         inner.fast_handlers[idx] = Some(Box::new(f));
+    }
+
+    /// Register a synchronous per-packet **sink** handler under `id`.
+    ///
+    /// A sink fires once per arriving packet of a message — messages of
+    /// *any* size, unlike [`set_fast_handler`](Self::set_fast_handler) —
+    /// directly from the extract loop: no stream state, no future, no
+    /// task bookkeeping, no per-message allocation. Each call sees a
+    /// zero-copy view of one packet's payload inside the arrival frame,
+    /// plus [`SinkMeta`] (message sequence, declared length, first/last
+    /// flags) so the sink can scatter the bytes to their final
+    /// destination itself. This is the one-sided rendezvous receive
+    /// path: DATA segments land straight in a registered region with no
+    /// staging copy.
+    ///
+    /// A registered sink takes precedence over fast and async handlers
+    /// for its id. The payload view is valid **only for the duration of
+    /// the call**; sinks may call engine send methods but not `extract`.
+    pub fn set_sink_handler<F>(&self, id: HandlerId, f: F)
+    where
+        F: FnMut(usize, SinkMeta, &[u8]) + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        let idx = id.0 as usize;
+        if inner.sink_handlers.len() <= idx {
+            inner.sink_handlers.resize_with(idx + 1, || None);
+        }
+        inner.sink_handlers[idx] = Some(Box::new(f));
     }
 
     // ------------------------------------------------------------------
@@ -1202,6 +1266,56 @@ impl<D: NetDevice> Fm2Engine<D> {
 
     fn deliver_local(&self, handler: HandlerId, payload: PacketBuf) {
         let me = self.node_id();
+        // Sink handlers consume self-sends synchronously too: the whole
+        // message arrives in one call (self-sends are never packetized),
+        // so `first` and `last` are both set and `msg_seq` is 0.
+        let sink = {
+            let mut inner = self.inner.borrow_mut();
+            inner
+                .sink_handlers
+                .get_mut(handler.0 as usize)
+                .and_then(Option::take)
+        };
+        if let Some(mut f) = sink {
+            let msg_len = payload.len() as u32;
+            {
+                let mut inner = self.inner.borrow_mut();
+                let c = Nanos(inner.profile.host.handler_dispatch_ns);
+                inner.device.charge(c);
+                inner.stats.handlers_run += 1;
+                inner.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::HandlerStart)
+                        .peer(me)
+                        .handler(handler.0)
+                        .msg_seq(0)
+                        .bytes(msg_len)
+                });
+                inner.in_extract = true;
+            }
+            let meta = SinkMeta {
+                msg_seq: 0,
+                msg_len,
+                first: true,
+                last: true,
+            };
+            f(me, meta, &payload);
+            let mut inner = self.inner.borrow_mut();
+            inner.in_extract = false;
+            inner.stats.messages_received += 1;
+            inner.stats.bytes_received += msg_len as u64;
+            inner.obs_emit(|t, me| {
+                ObsEvent::new(t, me, SpanKind::HandlerEnd)
+                    .peer(me)
+                    .handler(handler.0)
+                    .msg_seq(0)
+                    .bytes(msg_len)
+            });
+            let idx = handler.0 as usize;
+            if inner.sink_handlers[idx].is_none() {
+                inner.sink_handlers[idx] = Some(f);
+            }
+            return;
+        }
         let len = payload.len() as u32;
         let (stream, charge) = {
             let inner = self.inner.borrow();
@@ -1239,6 +1353,66 @@ impl<D: NetDevice> Fm2Engine<D> {
         let key = (src, pkt.header.msg_seq);
         let first = pkt.header.flags.contains(PacketFlags::FIRST);
         let last = pkt.header.flags.contains(PacketFlags::LAST);
+
+        // Sink path: a registered per-packet sink consumes every packet
+        // of the message synchronously — no stream, no task, no future,
+        // no allocation — so multi-packet payloads (the one-sided
+        // rendezvous DATA path) land without staging. The payload view
+        // borrows the arrival frame and is valid only for the call.
+        let sink = {
+            let mut inner = self.inner.borrow_mut();
+            inner
+                .sink_handlers
+                .get_mut(pkt.header.handler.0 as usize)
+                .and_then(Option::take)
+        };
+        if let Some(mut f) = sink {
+            let handler = pkt.header.handler;
+            let msg_len = pkt.header.msg_len;
+            let n = pkt.payload.len();
+            {
+                let mut inner = self.inner.borrow_mut();
+                if first {
+                    let c = Nanos(inner.profile.host.handler_dispatch_ns);
+                    inner.device.charge(c);
+                    inner.stats.handlers_run += 1;
+                    inner.obs_emit(|t, me| {
+                        ObsEvent::new(t, me, SpanKind::HandlerStart)
+                            .peer(src as u16)
+                            .handler(handler.0)
+                            .msg_seq(key.1)
+                            .bytes(msg_len)
+                    });
+                }
+                inner.in_extract = true;
+            }
+            let meta = SinkMeta {
+                msg_seq: pkt.header.msg_seq,
+                msg_len,
+                first,
+                last,
+            };
+            // Engine unborrowed: the sink may send (not extract).
+            f(src, meta, &pkt.payload);
+            let mut inner = self.inner.borrow_mut();
+            inner.in_extract = false;
+            if last {
+                inner.stats.messages_received += 1;
+                inner.stats.bytes_received += msg_len as u64;
+                inner.obs_emit(|t, me| {
+                    ObsEvent::new(t, me, SpanKind::HandlerEnd)
+                        .peer(src as u16)
+                        .handler(handler.0)
+                        .msg_seq(key.1)
+                        .bytes(msg_len)
+                });
+            }
+            let idx = handler.0 as usize;
+            if inner.sink_handlers[idx].is_none() {
+                inner.sink_handlers[idx] = Some(f);
+            }
+            return n;
+        }
 
         // Fast path: a complete single-packet message whose handler is
         // registered synchronously dispatches right here — no stream, no

@@ -32,6 +32,6 @@ mod engine;
 mod sendstream;
 mod stream;
 
-pub use engine::{Fm2Engine, Fm2Handle, Fm2HandlerFn};
+pub use engine::{Fm2Engine, Fm2Handle, Fm2HandlerFn, SinkHandlerFn, SinkMeta};
 pub use sendstream::SendStream;
 pub use stream::FmStream;

@@ -80,6 +80,7 @@ pub mod flow;
 pub mod fm1;
 pub mod fm2;
 pub mod obs;
+pub mod onesided;
 pub mod packet;
 pub mod reliable;
 pub mod stats;
@@ -88,8 +89,12 @@ pub use buf::{BufPool, PacketBuf, PoolStats};
 pub use device::{NetDevice, PeerEvent, PeerEventKind, SimDevice};
 pub use error::{FmError, WouldBlock};
 pub use fm1::Fm1Engine;
-pub use fm2::{Fm2Engine, Fm2Handle, FmStream};
+pub use fm2::{Fm2Engine, Fm2Handle, FmStream, SinkMeta};
 pub use obs::{LogHistogram, ObsEvent, ObsSink, SpanKind};
+pub use onesided::{
+    Fm1Onesided, Onesided, OnesidedConfig, OsCompletion, OsError, OsPort, OsStatus, OsToken,
+    RegionHandle,
+};
 pub use packet::{
     FmPacket, HandlerId, PacketHeader, HEADER_WIRE_BYTES, MAX_FRAME_PAYLOAD, MAX_WIRE_FRAME,
 };

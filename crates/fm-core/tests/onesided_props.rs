@@ -1,0 +1,399 @@
+//! Property battery for the one-sided registration table.
+//!
+//! The region table is the safety core of `fm_core::onesided`: every
+//! remote byte lands through it, so a bounds or aliasing mistake is
+//! silent remote memory corruption. Three seeded batteries pin its
+//! contract (case count follows `PROPTEST_CASES`, see
+//! `fm_model::rng::env_cases`):
+//!
+//! 1. random register/deregister interleavings never hand out two live
+//!    handles over the same arena byte, and every refusal carries the
+//!    documented error;
+//! 2. puts against out-of-bounds windows, deregistered handles, and
+//!    never-registered slots are refused with the right status *at the
+//!    initiator*, and refused puts leave target memory untouched;
+//! 3. a region pinned by an in-flight transfer cannot be deregistered
+//!    (`RegionBusy`), so handles never dangle — and once the transfer
+//!    drains, deregistration succeeds and the stale handle is dead.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use fm_core::{
+    Fm2Engine, Onesided, OnesidedConfig, OsError, OsStatus, OsToken, RegionHandle, SimDevice,
+};
+use fm_model::rng::{env_cases, DetRng};
+use fm_model::{MachineProfile, Nanos};
+use myrinet_sim::{NodeId, Simulation, StepOutcome, Topology};
+
+const SIM_LIMIT: Nanos = Nanos(30_000_000_000);
+
+/// A local engine whose network is never run: registration, local
+/// reads/writes, and deregistration are all node-local operations.
+fn local_setup(arena: usize) -> (Simulation<fm_core::FmPacket>, Onesided<SimDevice>) {
+    let profile = MachineProfile::ppro200_fm2();
+    let sim = Simulation::new(profile, Topology::single_crossbar(2));
+    let fm = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+    let os = Onesided::new(
+        &fm,
+        OnesidedConfig {
+            arena_bytes: arena,
+            ..OnesidedConfig::default()
+        },
+    );
+    (sim, os)
+}
+
+#[test]
+fn prop_register_interleavings_never_alias() {
+    const ARENA: usize = 4096;
+    let cases = env_cases(192);
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0x0E51_DE00 ^ case as u64);
+        let (_sim, os) = local_setup(ARENA);
+        let port = os.port();
+        // Model: every live region remembers the distinct fill byte it
+        // wrote at registration time. If any two registrations aliased
+        // the same arena byte, the later fill would clobber the earlier
+        // one and the sweep below would catch it.
+        let mut live: Vec<(RegionHandle, usize, usize, u8)> = Vec::new();
+        let mut owned: Vec<(RegionHandle, usize, u8)> = Vec::new();
+        let mut dead: Vec<RegionHandle> = Vec::new();
+        let mut next_fill = 1u8;
+        let mut fill = || {
+            let f = next_fill;
+            next_fill = if next_fill == u8::MAX {
+                1
+            } else {
+                next_fill + 1
+            };
+            f
+        };
+        for op in 0..rng.range_usize(12, 48) {
+            match rng.below(6) {
+                0..=2 => {
+                    // Register a random window: sometimes legal,
+                    // sometimes empty, out of bounds, or overlapping.
+                    let offset = rng.range_usize(0, ARENA + 64);
+                    let len = rng.range_usize(0, 192);
+                    let oob = len == 0 || offset + len > ARENA;
+                    let overlaps = live
+                        .iter()
+                        .any(|&(_, o, l, _)| offset < o + l && o < offset + len);
+                    match port.register(offset, len) {
+                        Ok(h) => {
+                            assert!(
+                                !oob && !overlaps,
+                                "case {case} op {op}: accepted bad window {offset}+{len}"
+                            );
+                            let f = fill();
+                            port.write_local(h, 0, &vec![f; len]).expect("fresh region");
+                            live.push((h, offset, len, f));
+                        }
+                        Err(e) if oob => assert_eq!(e, OsError::OutOfBounds, "case {case}"),
+                        Err(e) => {
+                            assert!(overlaps, "case {case} op {op}: spurious refusal {e:?}");
+                            assert_eq!(e, OsError::Overlap, "case {case}");
+                        }
+                    }
+                }
+                3 => {
+                    // Adopt an owned buffer (overlap-exempt by design).
+                    let len = rng.range_usize(1, 96);
+                    let f = fill();
+                    let h = port.register_owned(vec![f; len]).expect("owned buffer");
+                    owned.push((h, len, f));
+                }
+                4 => {
+                    // Retire a random live region; its handle must be
+                    // dead from this moment on.
+                    if live.is_empty() && owned.is_empty() {
+                        continue;
+                    }
+                    if !live.is_empty() && (owned.is_empty() || rng.chance(0.5)) {
+                        let (h, ..) = live.swap_remove(rng.range_usize(0, live.len()));
+                        port.deregister(h).expect("idle region deregisters");
+                        dead.push(h);
+                    } else {
+                        let (h, len, f) = owned.swap_remove(rng.range_usize(0, owned.len()));
+                        let buf = port.deregister_owned(h).expect("idle owned deregisters");
+                        assert_eq!(buf, vec![f; len], "case {case}: owned buffer corrupted");
+                        dead.push(h);
+                    }
+                }
+                _ => {
+                    // Poke a dead handle: refused, never aliased — even
+                    // if the slot was recycled for a newer region.
+                    if dead.is_empty() {
+                        continue;
+                    }
+                    let h = dead[rng.range_usize(0, dead.len())];
+                    let e = port.write_local(h, 0, &[0xEE]).expect_err("stale handle");
+                    assert_eq!(e, OsError::Deregistered, "case {case}");
+                    let e = port.deregister(h).expect_err("stale handle");
+                    assert_eq!(e, OsError::Deregistered, "case {case}");
+                }
+            }
+            // Invariant sweep: every live region still holds exactly
+            // its own fill.
+            for &(h, _, len, f) in &live {
+                let mut buf = vec![0u8; len];
+                port.read_local(h, 0, &mut buf).expect("live region reads");
+                assert!(
+                    buf.iter().all(|&b| b == f),
+                    "case {case} op {op}: arena region aliased (fill {f})"
+                );
+            }
+            for &(h, len, f) in &owned {
+                let mut buf = vec![0u8; len];
+                port.read_local(h, 0, &mut buf).expect("owned region reads");
+                assert!(
+                    buf.iter().all(|&b| b == f),
+                    "case {case} op {op}: owned region aliased (fill {f})"
+                );
+            }
+        }
+    }
+}
+
+/// One scripted put the initiator will issue, with its expected fate.
+struct PlannedPut {
+    h: RegionHandle,
+    offset: u64,
+    data: Vec<u8>,
+    expect: OsStatus,
+}
+
+#[test]
+fn prop_refused_puts_report_errors_and_touch_nothing() {
+    const ARENA: usize = 8192;
+    const LIVE_LEN: usize = 4096;
+    const SLOT: usize = 512;
+    let cases = env_cases(48);
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0xBAD_B075 ^ ((case as u64) << 4));
+        let profile = MachineProfile::ppro200_fm2();
+        let mut sim = Simulation::new(profile, Topology::single_crossbar(2));
+        // Small eager/chunk thresholds so random sizes exercise both
+        // protocol paths without megabytes of traffic.
+        let cfg = OnesidedConfig {
+            arena_bytes: ARENA,
+            eager_max: 256,
+            chunk_bytes: 128,
+        };
+
+        // Target: a live window, a deregistered window, and nothing else
+        // — so BadHandle, Deregistered, and OutOfBounds all have a
+        // concrete target to be refused by.
+        let fm_t = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+        let mut os_t = Onesided::new(&fm_t, cfg);
+        let t_port = os_t.port();
+        let h_live = t_port.register(0, LIVE_LEN).expect("target window");
+        let h_dead = t_port.register(LIVE_LEN, 2048).expect("doomed window");
+        t_port.deregister(h_dead).expect("retire doomed window");
+
+        // Plan the initiator's puts: successful ones land in disjoint
+        // 512-byte slots (completion order of mixed eager/rendezvous
+        // puts is not write order, so overlap would make the expected
+        // image ambiguous); refused ones probe each failure mode.
+        let mut slots: Vec<usize> = (0..LIVE_LEN / SLOT).collect();
+        rng.shuffle(&mut slots);
+        let mut plan: Vec<PlannedPut> = Vec::new();
+        let mut image = vec![0u8; LIVE_LEN];
+        for i in 0..rng.range_usize(6, 14) {
+            let fill = (i % 250 + 1) as u8;
+            let len = rng.range_usize(1, SLOT + 1);
+            match rng.below(4) {
+                0 if !slots.is_empty() => {
+                    let slot = slots.pop().expect("nonempty") * SLOT;
+                    image[slot..slot + len].fill(fill);
+                    plan.push(PlannedPut {
+                        h: h_live,
+                        offset: slot as u64,
+                        data: vec![fill; len],
+                        expect: OsStatus::Ok,
+                    });
+                }
+                1 => plan.push(PlannedPut {
+                    h: h_live,
+                    offset: (LIVE_LEN - len / 2) as u64,
+                    data: vec![fill; len],
+                    expect: OsStatus::OutOfBounds,
+                }),
+                2 => plan.push(PlannedPut {
+                    h: h_dead,
+                    offset: 0,
+                    data: vec![fill; len],
+                    expect: OsStatus::Deregistered,
+                }),
+                _ => plan.push(PlannedPut {
+                    h: RegionHandle {
+                        index: 40 + i as u32,
+                        epoch: 0,
+                    },
+                    offset: 0,
+                    data: vec![fill; len],
+                    expect: OsStatus::BadHandle,
+                }),
+            }
+        }
+
+        let done = Rc::new(Cell::new(false));
+        {
+            let fm = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+            let mut os = Onesided::new(&fm, cfg);
+            let port = os.port();
+            let expected: Vec<(OsToken, OsStatus)> = plan
+                .iter()
+                .map(|p| (port.put(1, p.h, p.offset, &p.data), p.expect))
+                .collect();
+            let done = Rc::clone(&done);
+            let mut seen = 0usize;
+            sim.set_program(
+                NodeId(0),
+                Box::new(move || {
+                    fm.extract_all();
+                    os.progress();
+                    while let Some(c) = port.poll_completion() {
+                        let (_, expect) = expected
+                            .iter()
+                            .find(|(t, _)| *t == c.token)
+                            .expect("known token");
+                        assert_eq!(c.status, *expect, "case {case}: wrong completion status");
+                        seen += 1;
+                    }
+                    os.progress();
+                    if seen == expected.len() {
+                        done.set(true);
+                        return StepOutcome::Done;
+                    }
+                    StepOutcome::Wait
+                }),
+            );
+        }
+        {
+            let done = Rc::clone(&done);
+            sim.set_program(
+                NodeId(1),
+                Box::new(move || {
+                    fm_t.extract_all();
+                    os_t.progress();
+                    if done.get() {
+                        return StepOutcome::Done;
+                    }
+                    StepOutcome::Wait
+                }),
+            );
+        }
+        sim.run(Some(SIM_LIMIT));
+        assert!(done.get(), "case {case}: puts never all completed");
+
+        // The target image: accepted puts landed exactly, refused puts
+        // (including the multi-chunk rendezvous refusals) left every
+        // other byte zero.
+        let mut got = vec![0u8; LIVE_LEN];
+        t_port
+            .read_local(h_live, 0, &mut got)
+            .expect("target window readable");
+        assert_eq!(got, image, "case {case}: target memory diverged");
+    }
+}
+
+#[test]
+fn prop_pinned_region_cannot_be_deregistered() {
+    let cases = env_cases(24);
+    // Across the battery at least one attempt must catch the region
+    // mid-transfer; per case the transfer can be too fast to observe.
+    let busy_seen = Rc::new(Cell::new(0u64));
+    for case in 0..cases {
+        let mut rng = DetRng::seed_from_u64(0x0917_11ED ^ case as u64);
+        let len = rng.range_usize(8 * 1024, 24 * 1024);
+        let profile = MachineProfile::ppro200_fm2();
+        let mut sim = Simulation::new(profile, Topology::single_crossbar(2));
+        let cfg = OnesidedConfig {
+            arena_bytes: 32 * 1024,
+            eager_max: 256,
+            chunk_bytes: 1024,
+        };
+
+        let put_done = Rc::new(Cell::new(false));
+        {
+            let fm = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(0))), profile);
+            let mut os = Onesided::new(&fm, cfg);
+            let port = os.port();
+            let token = port.put(1, RegionHandle { index: 0, epoch: 0 }, 0, &vec![0x5A; len]);
+            let put_done = Rc::clone(&put_done);
+            sim.set_program(
+                NodeId(0),
+                Box::new(move || {
+                    fm.extract_all();
+                    os.progress();
+                    if let Some(c) = port.poll_completion() {
+                        assert_eq!(c.token, token);
+                        assert_eq!(c.status, OsStatus::Ok, "case {case}: put failed");
+                        put_done.set(true);
+                        return StepOutcome::Done;
+                    }
+                    os.progress();
+                    StepOutcome::Wait
+                }),
+            );
+        }
+
+        let dereg_ok = Rc::new(Cell::new(false));
+        {
+            let fm = Fm2Engine::new(SimDevice::new(sim.host_interface(NodeId(1))), profile);
+            let mut os = Onesided::new(&fm, cfg);
+            let port = os.port();
+            let h = port.register(0, len).expect("target region");
+            let dereg_ok = Rc::clone(&dereg_ok);
+            let busy_seen = Rc::clone(&busy_seen);
+            sim.set_program(
+                NodeId(1),
+                Box::new(move || {
+                    fm.extract_all();
+                    os.progress();
+                    let mut probe = [0u8; 1];
+                    port.read_local(h, 0, &mut probe).expect("live probe");
+                    if probe[0] == 0 {
+                        // Transfer not started: leave the region alone
+                        // (deregistering now would legitimately succeed
+                        // and the put would be refused).
+                        return StepOutcome::Wait;
+                    }
+                    let mut last = [0u8; 1];
+                    port.read_local(h, len - 1, &mut last).expect("live probe");
+                    match port.deregister(h) {
+                        Ok(()) => {
+                            // Success implies no pins: the transfer must
+                            // have fully landed first — never dangle.
+                            assert_eq!(last[0], 0x5A, "case {case}: deregistered mid-transfer");
+                            let e = port.write_local(h, 0, &[0]).expect_err("stale handle");
+                            assert_eq!(e, OsError::Deregistered, "case {case}");
+                            // The slot is reusable immediately, under a
+                            // fresh epoch.
+                            let h2 = port.register(0, len).expect("slot recycles");
+                            assert_eq!(h2.index, h.index, "case {case}");
+                            assert_ne!(h2.epoch, h.epoch, "case {case}");
+                            dereg_ok.set(true);
+                            return StepOutcome::Done;
+                        }
+                        Err(e) => {
+                            assert_eq!(e, OsError::RegionBusy, "case {case}: wrong refusal");
+                            assert_ne!(last[0], 0x5A, "case {case}: busy after transfer drained");
+                            busy_seen.set(busy_seen.get() + 1);
+                        }
+                    }
+                    StepOutcome::Wait
+                }),
+            );
+        }
+        sim.run(Some(SIM_LIMIT));
+        assert!(put_done.get(), "case {case}: put never completed");
+        assert!(dereg_ok.get(), "case {case}: deregister never succeeded");
+    }
+    assert!(
+        busy_seen.get() > 0,
+        "battery never observed RegionBusy mid-transfer"
+    );
+}

@@ -27,7 +27,9 @@ use std::rc::Rc;
 
 use fm_core::device::NetDevice;
 use fm_core::packet::HandlerId;
-use fm_core::{Fm2Engine, Fm2Handle, FmStream, ObsEvent, SpanKind};
+use fm_core::{
+    Fm2Engine, Fm2Handle, FmStream, ObsEvent, Onesided, OnesidedConfig, RegionHandle, SpanKind,
+};
 use fm_model::Nanos;
 
 use crate::api::Mpi;
@@ -35,8 +37,7 @@ use crate::comm::{CollConfig, CollPhase};
 use crate::matching::{MatchQueues, Posted, UnexpectedBody};
 use crate::types::{RecvReq, SendReq};
 use crate::wire::{
-    CollKind, MpiHeader, COMM_WORLD, KIND_CTS, KIND_EAGER, KIND_RNDV_DATA, KIND_RTS,
-    MPI_HEADER_BYTES,
+    CollKind, MpiHeader, COMM_WORLD, KIND_CTS, KIND_EAGER, KIND_RTS, MPI_HEADER_BYTES,
 };
 
 /// FM handler id used by MPI-FM point-to-point traffic.
@@ -61,8 +62,20 @@ struct RndvState {
     next_seq: u32,
     /// Parked sends awaiting CTS: seq -> (dst, tag, payload, request).
     parked: HashMap<u32, (usize, u32, Vec<u8>, SendReq)>,
-    /// Receives awaiting RNDV_DATA: (src_rank, seq) -> posted slot.
-    expected: HashMap<(usize, u32), Posted>,
+    /// Receives whose buffer is granted to the one-sided layer and is
+    /// being filled by streaming DATA segments: (src_rank, seq).
+    granted: HashMap<(usize, u32), GrantedRecv>,
+}
+
+/// A rendezvous receive in flight: the destination buffer is registered
+/// with `fm_core::onesided` and granted to the sender, whose DATA
+/// segments stream straight into it through the sink handler — no
+/// staging copy, and the payload never touches the MPI handler again.
+struct GrantedRecv {
+    h: RegionHandle,
+    xfer: u32,
+    tag: u32,
+    posted: Posted,
 }
 
 /// A send FM could not yet fully admit. Pending sends *stream*: each
@@ -86,6 +99,10 @@ struct PendingSend {
 /// MPI over FM 2.x.
 pub struct Mpi2<D: NetDevice> {
     fm: Fm2Engine<D>,
+    /// One-sided layer carrying rendezvous payloads: receive buffers
+    /// are registered and granted to the sender, DATA streams into them
+    /// with no staging copy.
+    os: Onesided<D>,
     queues: Rc<RefCell<MatchQueues>>,
     rndv: Rc<RefCell<RndvState>>,
     /// Stalled sends in arrival order (pairwise FIFO is the invariant).
@@ -120,6 +137,16 @@ impl<D: NetDevice + 'static> Mpi2<D> {
     pub fn new(fm: Fm2Engine<D>) -> Self {
         let queues: Rc<RefCell<MatchQueues>> = Rc::default();
         let rndv: Rc<RefCell<RndvState>> = Rc::default();
+        // Rendezvous payloads ride the one-sided layer (no arena: MPI
+        // registers each receive buffer individually as it is granted).
+        let os = Onesided::new(
+            &fm,
+            OnesidedConfig {
+                arena_bytes: 0,
+                ..OnesidedConfig::default()
+            },
+        );
+        let os_port = os.port();
         let q = Rc::clone(&queues);
         let rv = Rc::clone(&rndv);
         let fm_for_handler = fm.handle();
@@ -127,6 +154,7 @@ impl<D: NetDevice + 'static> Mpi2<D> {
             let q = Rc::clone(&q);
             let rndv = Rc::clone(&rv);
             let fm = fm_for_handler.clone();
+            let port = os_port.clone();
             async move {
                 // "get the header" — first FM_receive; may suspend if even
                 // the header hasn't fully arrived.
@@ -183,10 +211,25 @@ impl<D: NetDevice + 'static> Mpi2<D> {
                                     hdr.len,
                                     posted.max_len
                                 );
-                                rndv.borrow_mut()
-                                    .expected
-                                    .insert((src_rank, hdr.seq), posted);
-                                send_cts(&fm, src_node, hdr.seq);
+                                // Register a buffer sized for the payload and
+                                // grant it to the sender: DATA will stream
+                                // into it with no staging copy.
+                                let len = hdr.len as usize;
+                                let buf_h =
+                                    port.register_owned(vec![0u8; len]).expect("slots free");
+                                let xfer = port
+                                    .grant_from(src_node, buf_h, 0, len)
+                                    .expect("fresh handle");
+                                rndv.borrow_mut().granted.insert(
+                                    (src_rank, hdr.seq),
+                                    GrantedRecv {
+                                        h: buf_h,
+                                        xfer,
+                                        tag: hdr.tag,
+                                        posted,
+                                    },
+                                );
+                                send_cts(&fm, src_node, hdr.seq, xfer);
                             }
                             None => q.borrow_mut().store_unexpected_body(
                                 src_rank,
@@ -199,48 +242,16 @@ impl<D: NetDevice + 'static> Mpi2<D> {
                         }
                     }
                     KIND_CTS => {
-                        // Our parked payload may now travel; send it as a
-                        // gather (header + payload, no assembly copy).
+                        // Our parked payload may now travel down the granted
+                        // one-sided transfer (xfer id rides in the CTS `len`
+                        // field); the DATA segments stream straight into the
+                        // buffer the receiver registered.
                         let parked = rndv.borrow_mut().parked.remove(&hdr.seq);
-                        if let Some((dst, tag, data, req)) = parked {
-                            let dhdr = MpiHeader {
-                                src_rank: fm.node_id() as u32,
-                                tag,
-                                comm: COMM_WORLD,
-                                len: data.len() as u32,
-                                kind: KIND_RNDV_DATA,
-                                seq: hdr.seq,
-                            }
-                            .encode();
-                            fm.send_pieces_from_handler(
-                                dst,
-                                MPI_HANDLER,
-                                vec![dhdr.to_vec(), data],
-                            );
-                            // The buffer now belongs to FM: the isend is
-                            // complete in the MPI sense.
+                        if let Some((dst, _tag, data, req)) = parked {
+                            port.send_granted(dst, hdr.len, data);
+                            // The buffer now belongs to the one-sided layer:
+                            // the isend is complete in the MPI sense.
                             req.inner.borrow_mut().done = true;
-                        }
-                    }
-                    KIND_RNDV_DATA => {
-                        let posted = rndv.borrow_mut().expected.remove(&(src_rank, hdr.seq));
-                        match posted {
-                            Some(posted) => {
-                                // Straight into the user buffer: the whole
-                                // point of rendezvous.
-                                let mut buf = vec![0u8; hdr.len as usize];
-                                let got = stream.receive(&mut buf).await;
-                                debug_assert_eq!(got, hdr.len as usize);
-                                MatchQueues::complete(&posted, src_rank, hdr.tag, buf);
-                            }
-                            None => {
-                                // Protocol violation (CTS is only sent once
-                                // a receive is registered) — salvage as
-                                // unexpected rather than lose data.
-                                debug_assert!(false, "RNDV_DATA without a registered receive");
-                                let data = stream.receive_vec(hdr.len as usize).await;
-                                q.borrow_mut().store_unexpected(src_rank, hdr.tag, data);
-                            }
                         }
                     }
                     k => panic!("unknown MPI wire kind {k}"),
@@ -254,6 +265,7 @@ impl<D: NetDevice + 'static> Mpi2<D> {
         let nic_capacity = fm.with_device(|d| d.send_space());
         Mpi2 {
             fm,
+            os,
             queues,
             rndv,
             pending: VecDeque::new(),
@@ -391,16 +403,42 @@ impl<D: NetDevice + 'static> Mpi2<D> {
             i += 1;
         }
     }
+
+    /// Complete rendezvous receives whose granted one-sided transfer has
+    /// fully landed: reclaim the registered buffer and hand it to the
+    /// matched receive — it already holds the payload, so completion is
+    /// copy-free.
+    fn poll_granted(&mut self) {
+        if self.rndv.borrow().granted.is_empty() {
+            return;
+        }
+        let port = self.os.port();
+        let done: Vec<(usize, u32)> = self
+            .rndv
+            .borrow()
+            .granted
+            .iter()
+            .filter(|(&(src, _), g)| port.take_grant_complete(src, g.xfer))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in done {
+            let g = self.rndv.borrow_mut().granted.remove(&key).expect("polled");
+            let buf = port.deregister_owned(g.h).expect("granted buffer");
+            MatchQueues::complete(&g.posted, key.0, g.tag, buf);
+        }
+    }
 }
 
 /// Send a header-only CTS back to the rendezvous sender (deferred through
-/// FM's handler-send queue; tiny, flushed on the next progress).
-fn send_cts<D: NetDevice>(fm: &Fm2Handle<D>, to_node: usize, seq: u32) {
+/// FM's handler-send queue; tiny, flushed on the next progress). The
+/// granted one-sided transfer id rides in the otherwise-unused `len`
+/// field — the sender hands it to `OsPort::send_granted`.
+fn send_cts<D: NetDevice>(fm: &Fm2Handle<D>, to_node: usize, seq: u32, xfer: u32) {
     let cts = MpiHeader {
         src_rank: fm.node_id() as u32,
         tag: 0,
         comm: COMM_WORLD,
-        len: 0,
+        len: xfer,
         kind: KIND_CTS,
         seq,
     }
@@ -512,18 +550,29 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
                     self.fm.charge_memcpy(user.len());
                     MatchQueues::fill_slot(&req.inner, u.src, u.tag, user);
                 }
-                UnexpectedBody::Rts { seq, len: _ } => {
-                    // The payload is still at the sender: register this
-                    // receive for the incoming RNDV_DATA and release the
-                    // sender with a CTS. No bounce copy, ever.
+                UnexpectedBody::Rts { seq, len } => {
+                    // The payload is still at the sender: register and
+                    // grant a buffer for the incoming one-sided DATA and
+                    // release the sender with a CTS. No bounce copy, ever.
                     let posted = Posted {
                         src: Some(u.src),
                         tag: Some(u.tag),
                         max_len,
                         slot: Rc::clone(&req.inner),
                     };
-                    self.rndv.borrow_mut().expected.insert((u.src, seq), posted);
-                    send_cts(&self.fm.handle(), u.src, seq);
+                    let port = self.os.port();
+                    let buf_h = port.register_owned(vec![0u8; len]).expect("slots free");
+                    let xfer = port.grant_from(u.src, buf_h, 0, len).expect("fresh handle");
+                    self.rndv.borrow_mut().granted.insert(
+                        (u.src, seq),
+                        GrantedRecv {
+                            h: buf_h,
+                            xfer,
+                            tag: u.tag,
+                            posted,
+                        },
+                    );
+                    send_cts(&self.fm.handle(), u.src, seq, xfer);
                     // Flush the CTS now — irecv runs outside extract, so
                     // nothing else would drain the deferred queue before
                     // the caller sleeps.
@@ -537,6 +586,8 @@ impl<D: NetDevice + 'static> Mpi for Mpi2<D> {
     fn progress(&mut self) {
         self.try_flush_pending();
         self.fm.extract(self.extract_budget);
+        self.os.progress();
+        self.poll_granted();
         self.try_flush_pending();
     }
 

@@ -39,11 +39,11 @@ pub const KIND_EAGER: u32 = 1;
 /// directly in the user buffer — even when it arrived "unexpected".
 pub const KIND_RTS: u32 = 2;
 
-/// Rendezvous clear-to-send: header only, echoing the RTS `seq`.
+/// Rendezvous clear-to-send: header only, echoing the RTS `seq`. On the
+/// FM 2.x path `len` carries the granted `fm_core::onesided` transfer id;
+/// the payload itself then travels as one-sided DATA segments straight
+/// into the buffer the receiver registered (no MPI-level payload kind).
 pub const KIND_CTS: u32 = 3;
-
-/// Rendezvous payload: header (echoing `seq`) + payload pieces.
-pub const KIND_RNDV_DATA: u32 = 4;
 
 /// Continuation fragment of a segmented eager message (MPI-FM 1.x path:
 /// FM 1.x admits whole messages atomically, so MPI messages beyond the

@@ -1,32 +1,35 @@
 //! The symmetric heap and one-sided operations.
 //!
 //! Every node allocates a heap of identical size; remote operations name
-//! plain byte offsets into the target's heap. All remote memory access is
-//! performed *by the target's FM handler* during its `FM_extract` — the
-//! classic Active-Messages realization of one-sided semantics, which FM
-//! 2.x's handler model gives us directly.
+//! plain byte offsets into the target's heap. Bulk data movement (`put`,
+//! `get`) is re-based on [`fm_core::onesided`]: the heap *is* the
+//! one-sided arena, registered whole at startup, so every node holds the
+//! same [`RegionHandle`] for every peer's heap and puts/gets ride the
+//! eager/rendezvous machinery (large transfers stream straight into the
+//! heap through the sink handler, with no staging copy). The remaining
+//! read-modify-write ops (`accumulate`, `fetch_add`) and the barrier stay
+//! Active-Messages-style on this crate's own FM handler — the target
+//! applies them during its `FM_extract`, which is what makes them atomic.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use fm_core::device::NetDevice;
 use fm_core::packet::HandlerId;
-use fm_core::{Fm2Engine, FmStream};
+use fm_core::{Fm2Engine, FmStream, Onesided, OnesidedConfig, OsPort, OsStatus, RegionHandle};
 
 use crate::wire::{Op, OP_BYTES};
 
-/// FM handler id used by Shmem-FM.
+/// FM handler id used by Shmem-FM (accumulate/fetch-add/barrier; bulk
+/// put/get use `fm_core::onesided`'s handlers).
 pub const SHMEM_HANDLER: HandlerId = HandlerId(120);
 
 struct ShState {
-    heap: Vec<u8>,
     next_req: u32,
-    /// Completed get/fadd replies by request id.
-    get_replies: HashMap<u32, Vec<u8>>,
     fadd_replies: HashMap<u32, i64>,
-    /// Put acknowledgements received (vs. puts issued, for `quiet`).
-    put_acks: u64,
+    /// Accumulate acknowledgements received (vs. issued, for `quiet`).
+    acc_acks: u64,
     /// Barrier notifications seen: (epoch, round, src).
     barrier_seen: HashSet<(u64, u32, usize)>,
 }
@@ -34,99 +37,86 @@ struct ShState {
 /// One node's shmem context.
 pub struct Shmem<D: NetDevice> {
     fm: Fm2Engine<D>,
+    os: RefCell<Onesided<D>>,
+    port: OsPort,
+    heap_h: RegionHandle,
+    heap_bytes: usize,
     state: Rc<RefCell<ShState>>,
-    puts_issued: std::cell::Cell<u64>,
-    barrier_epoch: std::cell::Cell<u64>,
+    accs_issued: Cell<u64>,
+    puts_issued: Cell<u64>,
+    puts_done: Cell<u64>,
+    /// Statuses of puts that failed at the target (e.g. out of the
+    /// remote heap's bounds) instead of landing.
+    put_failures: RefCell<Vec<OsStatus>>,
+    /// Get/typed-op completion statuses awaiting pickup, by token.
+    tracked: RefCell<HashMap<u32, Option<OsStatus>>>,
+    barrier_epoch: Cell<u64>,
 }
 
 impl<D: NetDevice + 'static> Shmem<D> {
     /// Create a shmem context with a `heap_bytes` symmetric heap and
-    /// install the FM handler. Every node must use the same size.
+    /// install the FM handlers. Every node must use the same size, so
+    /// the whole-heap registration yields the *same* region handle on
+    /// every node — the symmetry SHMEM addressing relies on.
     pub fn new(fm: Fm2Engine<D>, heap_bytes: usize) -> Self {
+        let os = Onesided::new(
+            &fm,
+            OnesidedConfig {
+                arena_bytes: heap_bytes,
+                ..OnesidedConfig::default()
+            },
+        );
+        let port = os.port();
+        let heap_h = os.register(0, heap_bytes).expect("whole-heap registration");
         let state = Rc::new(RefCell::new(ShState {
-            heap: vec![0u8; heap_bytes],
             next_req: 0,
-            get_replies: HashMap::new(),
             fadd_replies: HashMap::new(),
-            put_acks: 0,
+            acc_acks: 0,
             barrier_seen: HashSet::new(),
         }));
         let st = Rc::clone(&state);
         let fm_h = fm.handle();
+        let hport = port.clone();
         fm.set_handler(SHMEM_HANDLER, move |stream: FmStream, src| {
             let st = Rc::clone(&st);
             let fm = fm_h.clone();
+            let port = hport.clone();
             async move {
                 let mut hdr = [0u8; OP_BYTES];
                 stream.receive(&mut hdr).await;
                 match Op::decode(&hdr) {
-                    Op::Put { offset } => {
-                        let len = stream.msg_len() - OP_BYTES;
-                        let o = offset as usize;
-                        assert!(o + len <= st.borrow().heap.len(), "put out of heap bounds");
-                        // Stream into place chunk by chunk. The heap
-                        // borrow is never held across an await, so other
-                        // handlers (interleaved puts from other sources)
-                        // stay safe.
-                        let mut written = 0;
-                        let mut chunk = [0u8; 1024];
-                        while written < len {
-                            let want = (len - written).min(chunk.len());
-                            let n = stream.receive(&mut chunk[..want]).await;
-                            if n == 0 {
-                                break;
-                            }
-                            let mut s = st.borrow_mut();
-                            s.heap[o + written..o + written + n].copy_from_slice(&chunk[..n]);
-                            written += n;
-                        }
-                        fm.send_from_handler(src, SHMEM_HANDLER, Op::PutAck.encode().to_vec());
+                    Op::Put { .. } | Op::GetReq { .. } | Op::GetReply { .. } => {
+                        unreachable!("bulk put/get are carried by fm_core::onesided")
                     }
                     Op::PutAck => {
-                        st.borrow_mut().put_acks += 1;
-                    }
-                    Op::GetReq { req, offset, len } => {
-                        let (o, l) = (offset as usize, len as usize);
-                        let mut reply = Op::GetReply { req }.encode().to_vec();
-                        {
-                            let s = st.borrow();
-                            assert!(o + l <= s.heap.len(), "get out of heap bounds");
-                            reply.extend_from_slice(&s.heap[o..o + l]);
-                        }
-                        fm.send_from_handler(src, SHMEM_HANDLER, reply);
-                    }
-                    Op::GetReply { req } => {
-                        let data = stream.receive_vec(stream.msg_len() - OP_BYTES).await;
-                        st.borrow_mut().get_replies.insert(req, data);
+                        st.borrow_mut().acc_acks += 1;
                     }
                     Op::AccF64 { offset } => {
                         let len = stream.msg_len() - OP_BYTES;
                         assert_eq!(len % 8, 0, "accumulate operates on f64s");
                         let contrib = stream.receive_vec(len).await;
-                        let mut s = st.borrow_mut();
                         let o = offset as usize;
-                        assert!(o + len <= s.heap.len(), "acc out of heap bounds");
-                        for (i, c) in contrib.chunks_exact(8).enumerate() {
-                            let at = o + i * 8;
-                            let cur = f64::from_le_bytes(s.heap[at..at + 8].try_into().unwrap());
-                            let add = f64::from_le_bytes(c.try_into().unwrap());
-                            s.heap[at..at + 8].copy_from_slice(&(cur + add).to_le_bytes());
+                        let mut cur = vec![0u8; len];
+                        port.read_local(heap_h, o, &mut cur)
+                            .expect("acc out of heap bounds");
+                        for (c, slot) in contrib.chunks_exact(8).zip(cur.chunks_exact_mut(8)) {
+                            let a = f64::from_le_bytes(slot[..8].try_into().unwrap());
+                            let b = f64::from_le_bytes(c.try_into().unwrap());
+                            slot.copy_from_slice(&(a + b).to_le_bytes());
                         }
-                        drop(s);
+                        port.write_local(heap_h, o, &cur).expect("checked above");
                         // Accumulates are acked like puts so `quiet`
                         // covers them.
                         fm.send_from_handler(src, SHMEM_HANDLER, Op::PutAck.encode().to_vec());
                     }
                     Op::Fadd { req, offset, delta } => {
-                        let old = {
-                            let mut s = st.borrow_mut();
-                            let o = offset as usize;
-                            assert!(o + 8 <= s.heap.len(), "fadd out of heap bounds");
-                            let cur = i64::from_le_bytes(s.heap[o..o + 8].try_into().unwrap());
-                            s.heap[o..o + 8]
-                                .copy_from_slice(&cur.wrapping_add(delta).to_le_bytes());
-                            cur
-                        };
+                        let o = offset as usize;
+                        let mut cur = [0u8; 8];
+                        port.read_local(heap_h, o, &mut cur)
+                            .expect("fadd out of heap bounds");
+                        let old = i64::from_le_bytes(cur);
+                        port.write_local(heap_h, o, &old.wrapping_add(delta).to_le_bytes())
+                            .expect("checked above");
                         fm.send_from_handler(
                             src,
                             SHMEM_HANDLER,
@@ -144,15 +134,28 @@ impl<D: NetDevice + 'static> Shmem<D> {
         });
         Shmem {
             fm,
+            os: RefCell::new(os),
+            port,
+            heap_h,
+            heap_bytes,
             state,
-            puts_issued: std::cell::Cell::new(0),
-            barrier_epoch: std::cell::Cell::new(0),
+            accs_issued: Cell::new(0),
+            puts_issued: Cell::new(0),
+            puts_done: Cell::new(0),
+            put_failures: RefCell::new(Vec::new()),
+            tracked: RefCell::new(HashMap::new()),
+            barrier_epoch: Cell::new(0),
         }
     }
 
     /// The underlying FM engine.
     pub fn fm(&self) -> &Fm2Engine<D> {
         &self.fm
+    }
+
+    /// The symmetric heap's region handle (identical on every node).
+    pub fn heap_handle(&self) -> RegionHandle {
+        self.heap_h
     }
 
     /// This node's id.
@@ -167,23 +170,66 @@ impl<D: NetDevice + 'static> Shmem<D> {
 
     /// Heap size in bytes.
     pub fn heap_len(&self) -> usize {
-        self.state.borrow().heap.len()
+        self.heap_bytes
     }
 
     /// Read local heap bytes.
     pub fn local_read(&self, offset: usize, len: usize) -> Vec<u8> {
-        self.state.borrow().heap[offset..offset + len].to_vec()
+        let mut out = vec![0u8; len];
+        if len > 0 {
+            self.port
+                .read_local(self.heap_h, offset, &mut out)
+                .expect("local read out of heap bounds");
+        }
+        out
     }
 
     /// Write local heap bytes.
     pub fn local_write(&self, offset: usize, data: &[u8]) {
-        self.state.borrow_mut().heap[offset..offset + data.len()].copy_from_slice(data);
+        if !data.is_empty() {
+            self.port
+                .write_local(self.heap_h, offset, data)
+                .expect("local write out of heap bounds");
+        }
     }
 
     /// Drive communication.
     pub fn progress(&self) {
         self.fm.extract_all();
-        self.fm.progress();
+        self.os.borrow_mut().progress();
+        self.drain_completions();
+    }
+
+    fn drain_completions(&self) {
+        while let Some(c) = self.port.poll_completion() {
+            let mut tracked = self.tracked.borrow_mut();
+            if let Some(slot) = tracked.get_mut(&c.token.0) {
+                *slot = Some(c.status);
+            } else {
+                drop(tracked);
+                self.puts_done.set(self.puts_done.get() + 1);
+                if c.status != OsStatus::Ok {
+                    self.put_failures.borrow_mut().push(c.status);
+                }
+            }
+        }
+    }
+
+    /// Block until the tracked op `token` completes, returning its
+    /// status.
+    fn wait_tracked(&self, token: u32) -> OsStatus {
+        let mut spins = 0u64;
+        loop {
+            let done = self.tracked.borrow().get(&token).cloned();
+            if let Some(Some(s)) = done {
+                self.tracked.borrow_mut().remove(&token);
+                return s;
+            }
+            self.progress();
+            spins += 1;
+            assert!(spins < 500_000_000, "shmem op wedged — peer gone?");
+            std::thread::yield_now();
+        }
     }
 
     fn send_op(&self, dst: usize, hdr: &[u8], payload: &[u8]) {
@@ -205,61 +251,68 @@ impl<D: NetDevice + 'static> Shmem<D> {
 
     /// One-sided put: write `data` into `dst`'s heap at `offset`.
     /// Completion (remotely visible) is guaranteed only after
-    /// [`Shmem::quiet`].
+    /// [`Shmem::quiet`]. Small puts go eagerly; large ones through the
+    /// RTS/CTS rendezvous, landing in the remote heap with no staging
+    /// copy.
     pub fn put(&self, dst: usize, offset: usize, data: &[u8]) {
         self.puts_issued.set(self.puts_issued.get() + 1);
-        self.send_op(
-            dst,
-            &Op::Put {
-                offset: offset as u64,
-            }
-            .encode(),
-            data,
-        );
+        self.port.put(dst, self.heap_h, offset as u64, data);
     }
 
-    /// Block until every put issued by this node has been applied at its
-    /// target.
+    /// Statuses of puts refused by their target (bad offset, stale
+    /// heap handle, peer down) since the last call. A put that fails
+    /// remotely still counts as complete for [`Shmem::quiet`] — SHMEM
+    /// has no reply channel for puts, so refusals surface here.
+    pub fn take_put_failures(&self) -> Vec<OsStatus> {
+        std::mem::take(&mut self.put_failures.borrow_mut())
+    }
+
+    /// Block until every put and accumulate issued by this node has
+    /// been applied (or refused — see [`Shmem::take_put_failures`]) at
+    /// its target.
     pub fn quiet(&self) {
-        let want = self.puts_issued.get();
-        while self.state.borrow().put_acks < want {
+        let mut spins = 0u64;
+        loop {
+            let puts_quiet = self.puts_done.get() >= self.puts_issued.get();
+            let accs_quiet = self.state.borrow().acc_acks >= self.accs_issued.get();
+            if puts_quiet && accs_quiet {
+                return;
+            }
             self.progress();
+            spins += 1;
+            assert!(spins < 500_000_000, "shmem quiet wedged — peer gone?");
             std::thread::yield_now();
         }
     }
 
     /// One-sided get: read `len` bytes from `dst`'s heap at `offset`
-    /// (blocking).
+    /// (blocking). The reply streams straight into the result buffer
+    /// through the one-sided layer's sink — no bounce copy.
     pub fn get(&self, dst: usize, offset: usize, len: usize) -> Vec<u8> {
-        let req = {
-            let mut s = self.state.borrow_mut();
-            s.next_req += 1;
-            s.next_req
-        };
-        self.send_op(
-            dst,
-            &Op::GetReq {
-                req,
-                offset: offset as u64,
-                len: len as u32,
-            }
-            .encode(),
-            &[],
-        );
-        loop {
-            if let Some(data) = self.state.borrow_mut().get_replies.remove(&req) {
-                return data;
-            }
-            self.progress();
-            std::thread::yield_now();
+        if len == 0 {
+            return Vec::new();
         }
+        let scratch = self
+            .port
+            .register_owned(vec![0u8; len])
+            .expect("scratch registration");
+        let token = self
+            .port
+            .get(dst, self.heap_h, offset as u64, scratch, 0, len)
+            .expect("scratch window valid");
+        self.tracked.borrow_mut().insert(token.0, None);
+        let status = self.wait_tracked(token.0);
+        assert_eq!(status, OsStatus::Ok, "get refused by target: {status:?}");
+        self.port
+            .deregister_owned(scratch)
+            .expect("scratch unpinned after completion")
     }
 
     /// One-sided elementwise f64 accumulate into `dst`'s heap. Covered by
     /// [`Shmem::quiet`] like a put.
     pub fn accumulate_f64(&self, dst: usize, offset: usize, contrib: &[f64]) {
         let bytes: Vec<u8> = contrib.iter().flat_map(|x| x.to_le_bytes()).collect();
-        self.puts_issued.set(self.puts_issued.get() + 1);
+        self.accs_issued.set(self.accs_issued.get() + 1);
         self.send_op(
             dst,
             &Op::AccF64 {
@@ -367,7 +420,7 @@ mod tests {
     }
 
     fn pump(a: &Shmem<LoopbackDevice>, b: &Shmem<LoopbackDevice>) {
-        for _ in 0..6 {
+        for _ in 0..12 {
             a.progress();
             b.progress();
             let fa = a.fm().clone();
@@ -384,8 +437,9 @@ mod tests {
         a.put(1, 100, &[1, 2, 3, 4]);
         pump(&a, &b);
         assert_eq!(b.local_read(100, 4), vec![1, 2, 3, 4]);
-        // Ack came back: quiet() returns immediately.
-        assert_eq!(a.state.borrow().put_acks, 1);
+        // The completion came back: quiet() returns immediately.
+        assert_eq!(a.puts_done.get(), 1);
+        a.quiet();
     }
 
     #[test]
@@ -423,10 +477,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of heap bounds")]
-    fn put_beyond_heap_is_rejected_at_target() {
+    fn put_beyond_heap_is_refused_with_reported_error() {
         let (a, b) = pair();
         a.put(1, 4090, &[0u8; 16]);
         pump(&a, &b);
+        a.quiet();
+        // The put completed (quiet returned) but was refused at the
+        // target with a reported error instead of corrupting memory.
+        assert_eq!(a.take_put_failures(), vec![OsStatus::OutOfBounds]);
+        assert_eq!(b.local_read(4090, 6), vec![0u8; 6]);
+    }
+
+    #[test]
+    fn large_put_takes_rendezvous_and_lands_intact() {
+        let (a, b) = pair();
+        // Bigger heap so a rendezvous-sized put fits.
+        let (a, b) = {
+            drop((a, b));
+            let (da, db) = LoopbackPair::new(256);
+            let p = MachineProfile::ppro200_fm2();
+            (
+                Shmem::new(Fm2Engine::new(da, p), 128 * 1024),
+                Shmem::new(Fm2Engine::new(db, p), 128 * 1024),
+            )
+        };
+        let data: Vec<u8> = (0..80_000u32).map(|i| (i % 251) as u8).collect();
+        a.put(1, 4096, &data);
+        pump(&a, &b);
+        a.quiet();
+        assert_eq!(b.local_read(4096, data.len()), data);
+        assert!(a.take_put_failures().is_empty());
     }
 }
